@@ -1,0 +1,71 @@
+//===- BenchCommon.h - Shared helpers for the bench harnesses ---*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_BENCH_BENCHCOMMON_H
+#define THRESHER_BENCH_BENCHCOMMON_H
+
+#include "android/Benchmarks.h"
+#include "leak/LeakChecker.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+
+namespace thresher {
+namespace bench {
+
+/// One Table-1-style measurement row.
+struct Row {
+  std::string Name;
+  bool Annotated = false;
+  uint32_t Alarms = 0, RefA = 0, TruA = 0, FalA = 0;
+  uint32_t Flds = 0, RefFlds = 0;
+  uint32_t RefEdg = 0, WitEdg = 0, TO = 0;
+  double Seconds = 0.0;
+};
+
+/// Runs the full pipeline for \p App in the given configuration.
+inline Row runConfig(const BenchmarkApp &App, bool Annotated,
+                     SymOptions SymOpts) {
+  PTAOptions PtaOpts;
+  if (Annotated)
+    annotateHashMapEmptyTable(*App.Prog, PtaOpts);
+  auto PTA = PointsToAnalysis(*App.Prog, PtaOpts).run();
+  LeakChecker LC(*App.Prog, *PTA, App.ActivityBase, SymOpts);
+  LeakReport R = LC.run();
+  Row Out;
+  Out.Name = App.Spec.Name;
+  Out.Annotated = Annotated;
+  Out.Alarms = R.NumAlarms;
+  Out.RefA = R.RefutedAlarms;
+  Out.TruA = R.countTrue(*App.Prog, PTA->Locs, App.TrueLeaks);
+  Out.FalA = R.NumAlarms - R.RefutedAlarms - Out.TruA;
+  Out.Flds = R.Fields;
+  Out.RefFlds = R.RefutedFields;
+  Out.RefEdg = R.RefutedEdges;
+  Out.WitEdg = R.WitnessedEdges;
+  Out.TO = R.TimeoutEdges;
+  Out.Seconds = R.Seconds;
+  return Out;
+}
+
+inline void printRowHeader() {
+  std::printf("%-13s %-4s %6s %6s %6s %6s %6s %8s %7s %7s %4s %9s\n",
+              "Benchmark", "Ann?", "Alrms", "RefA", "TruA", "FalA", "Flds",
+              "RefFlds", "RefEdg", "WitEdg", "TO", "T(s)");
+}
+
+inline void printRow(const Row &R) {
+  std::printf("%-13s %-4s %6u %6u %6u %6u %6u %8u %7u %7u %4u %9.2f\n",
+              R.Name.c_str(), R.Annotated ? "Y" : "N", R.Alarms, R.RefA,
+              R.TruA, R.FalA, R.Flds, R.RefFlds, R.RefEdg, R.WitEdg, R.TO,
+              R.Seconds);
+}
+
+} // namespace bench
+} // namespace thresher
+
+#endif // THRESHER_BENCH_BENCHCOMMON_H

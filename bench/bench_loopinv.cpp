@@ -1,0 +1,109 @@
+//===- bench_loopinv.cpp - Loop invariant inference ablation --------------===//
+//
+// Hypothesis 3 of Sec. 4: the on-the-fly loop invariant inference
+// (Sec. 3.3) is needed to distinguish the contents of different HashMap
+// objects; the trivial inference that drops every possibly-affected
+// constraint at any loop cannot refute the resize-copy-loop pollution
+// edges. We measure this exactly where the paper says it bites: programs
+// with multiple HashMaps, where the grown table of a static map is claimed
+// (falsely) to contain the entries of an unrelated local map.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "sym/WitnessSearch.h"
+
+using namespace thresher;
+using namespace thresher::bench;
+
+namespace {
+
+/// A family of programs with \p NumMaps HashMaps: one static registry and
+/// NumMaps-1 locals fed with Activities.
+std::string multiMapApp(int NumMaps) {
+  std::string Src = "class MapHolder {\n"
+                    "  static var registry = new HashMap() @mapStat;\n"
+                    "}\n"
+                    "class MAct extends Activity {\n"
+                    "  onCreate() {\n";
+  for (int I = 1; I < NumMaps; ++I) {
+    std::string N = std::to_string(I);
+    Src += "    var m" + N + " = new HashMap() @mapLoc" + N + ";\n";
+    Src += "    m" + N + ".put(\"k" + N + "\", this);\n";
+  }
+  Src += "    var r = MapHolder.registry;\n"
+         "    r.put(\"rk\", \"rv\");\n"
+         "  }\n"
+         "}\n"
+         "fun main() {\n"
+         "  var a = new MAct() @act0;\n"
+         "  if (*) { a.onCreate(); }\n"
+         "}\n";
+  return Src;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Loop invariant inference ablation: multi-HashMap "
+              "programs ===\n");
+  std::printf("%-8s %-22s %12s %12s %10s %10s\n", "maps", "edge",
+              "full", "drop-all", "Tfull(s)", "Tdrop(s)");
+  for (int NumMaps : {2, 3, 4}) {
+    CompileResult CR = compileAndroidApp(multiMapApp(NumMaps));
+    if (!CR.ok())
+      return 1;
+    const Program &P = *CR.Prog;
+    auto PTA = PointsToAnalysis(P).run();
+    auto Loc = [&](const std::string &L) {
+      for (AbsLocId I = 0; I < PTA->Locs.size(); ++I)
+        if (PTA->Locs.label(P, I) == L)
+          return I;
+      return InvalidId;
+    };
+    // The copy-loop pollution edge: the static map's grown table claimed
+    // to contain a local map's entry.
+    AbsLocId Grown = Loc("mapStat.hmTbl");
+    AbsLocId Entry = Loc("mapLoc1.hmEntry");
+    const char *Verdict[2];
+    double Secs[2];
+    for (LoopMode Mode : {LoopMode::FullInference, LoopMode::DropAll}) {
+      SymOptions Opts;
+      Opts.Loop = Mode;
+      Opts.EdgeBudget = 500000;
+      WitnessSearch WS(P, *PTA, Opts);
+      Timer T;
+      EdgeSearchResult R = WS.searchFieldEdge(Grown, P.ElemsField, Entry);
+      int Idx = Mode == LoopMode::FullInference ? 0 : 1;
+      Secs[Idx] = T.seconds();
+      Verdict[Idx] = R.Outcome == SearchOutcome::Refuted ? "REFUTED"
+                     : R.Outcome == SearchOutcome::Witnessed ? "witnessed"
+                                                             : "timeout";
+    }
+    std::printf("%-8d %-22s %12s %12s %10.3f %10.3f\n", NumMaps,
+                "hmTbl.@elems->entry", Verdict[0], Verdict[1], Secs[0],
+                Secs[1]);
+  }
+  std::printf("\nPaper reference: the full inference handles multi-HashMap "
+              "cases precisely; the trivial drop-everything inference "
+              "cannot distinguish the contents of different HashMaps and "
+              "fails to refute these edges.\n");
+
+  // Also confirm the end-to-end effect on the benchmark suite is limited
+  // (the paper found no fewer overall refutations on its real apps due to
+  // unrelated analysis limitations).
+  std::printf("\n=== Loop mode across the benchmark suite (Ann?=N) ===\n");
+  std::printf("%-13s %8s %8s\n", "Benchmark", "RefAfull", "RefAdrop");
+  for (const AppSpec &Spec : paperBenchmarks()) {
+    BenchmarkApp App = buildBenchmarkApp(Spec);
+    SymOptions Full;
+    Full.EdgeBudget = Spec.EdgeBudget;
+    Row RF = runConfig(App, false, Full);
+    SymOptions Drop = Full;
+    Drop.Loop = LoopMode::DropAll;
+    Row RD = runConfig(App, false, Drop);
+    std::printf("%-13s %8u %8u\n", Spec.Name.c_str(), RF.RefA, RD.RefA);
+  }
+  return 0;
+}

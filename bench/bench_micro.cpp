@@ -1,0 +1,132 @@
+//===- bench_micro.cpp - Microbenchmarks (google-benchmark) ---------------===//
+//
+// Throughput microbenchmarks for the substrate components: frontend
+// compilation, points-to solving, pure-constraint satisfiability, and
+// witness-refutation search. These are not paper experiments; they track
+// the performance of the pieces the experiments are built from.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/Benchmarks.h"
+#include "interp/Interp.h"
+#include "leak/LeakChecker.h"
+#include "solver/Pure.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace thresher;
+
+namespace {
+
+const AppSpec &k9Spec() {
+  static std::vector<AppSpec> Specs = paperBenchmarks();
+  for (const AppSpec &S : Specs)
+    if (S.Name == "K9Mail")
+      return S;
+  return Specs.back();
+}
+
+void BM_FrontendCompile(benchmark::State &State) {
+  std::string Src = generateAppSource(k9Spec());
+  for (auto _ : State) {
+    CompileResult R = compileAndroidApp(Src);
+    benchmark::DoNotOptimize(R.Prog);
+  }
+}
+BENCHMARK(BM_FrontendCompile);
+
+void BM_PointsToSolve(benchmark::State &State) {
+  BenchmarkApp App = buildBenchmarkApp(k9Spec());
+  for (auto _ : State) {
+    auto PTA = PointsToAnalysis(*App.Prog).run();
+    benchmark::DoNotOptimize(PTA->numEdges());
+  }
+}
+BENCHMARK(BM_PointsToSolve);
+
+void BM_PureSolverSat(benchmark::State &State) {
+  PureConstraints P;
+  P.addCmp(PureTerm::mkVar(0), RelOp::LT, PureTerm::mkVar(1), true);
+  P.addCmp(PureTerm::mkVar(1), RelOp::LE, PureTerm::mkVar(2, -1), false);
+  P.addCmp(PureTerm::mkVar(2), RelOp::EQ, PureTerm::mkConst(7), false);
+  P.addCmp(PureTerm::mkVar(0), RelOp::NE, PureTerm::mkVar(2), false);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.isSatisfiable());
+}
+BENCHMARK(BM_PureSolverSat);
+
+void BM_WitnessRefuteFlagEdge(benchmark::State &State) {
+  // The latent-flag refutation: a short interprocedural path-sensitive
+  // search ending in a pure contradiction.
+  const char *App = R"MJ(
+class DAO {
+  static var cached;
+  static var enabled = 0;
+  static cache(o) { if (DAO.enabled != 0) { DAO.cached = o; } }
+}
+class TAct extends Activity { onCreate() { DAO.cache(this); } }
+fun main() { var a = new TAct() @act0; if (*) { a.onCreate(); } }
+)MJ";
+  CompileResult CR = compileAndroidApp(App);
+  auto PTA = PointsToAnalysis(*CR.Prog).run();
+  GlobalId G = CR.Prog->findGlobal("DAO", "cached");
+  AbsLocId Act = InvalidId;
+  for (AbsLocId L = 0; L < PTA->Locs.size(); ++L)
+    if (PTA->Locs.label(*CR.Prog, L) == "act0")
+      Act = L;
+  for (auto _ : State) {
+    WitnessSearch WS(*CR.Prog, *PTA);
+    EdgeSearchResult R = WS.searchGlobalEdge(G, Act);
+    benchmark::DoNotOptimize(R.Outcome);
+  }
+}
+BENCHMARK(BM_WitnessRefuteFlagEdge);
+
+void BM_WitnessRefuteFig1Edge(benchmark::State &State) {
+  // The Fig. 1 refutation: strong updates + path sensitivity + the copy
+  // loop's invariant inference.
+  const char *App = R"MJ(
+class Act extends Activity {
+  static var objs = new Vec() @vec0;
+  onCreate() {
+    var acts = new Vec() @vec1;
+    acts.push(this);
+    var o = Act.objs;
+    o.push("hello");
+  }
+}
+fun main() { var a = new Act() @act0; a.onCreate(); }
+)MJ";
+  CompileResult CR = compileAndroidApp(App);
+  auto PTA = PointsToAnalysis(*CR.Prog).run();
+  AbsLocId Arr = InvalidId, Act = InvalidId;
+  for (AbsLocId L = 0; L < PTA->Locs.size(); ++L) {
+    if (PTA->Locs.label(*CR.Prog, L) == "vecEmpty")
+      Arr = L;
+    if (PTA->Locs.label(*CR.Prog, L) == "act0")
+      Act = L;
+  }
+  for (auto _ : State) {
+    WitnessSearch WS(*CR.Prog, *PTA);
+    EdgeSearchResult R = WS.searchFieldEdge(Arr, CR.Prog->ElemsField, Act);
+    benchmark::DoNotOptimize(R.Outcome);
+  }
+}
+BENCHMARK(BM_WitnessRefuteFig1Edge);
+
+void BM_InterpreterRun(benchmark::State &State) {
+  BenchmarkApp App = buildBenchmarkApp(k9Spec());
+  for (auto _ : State) {
+    InterpOptions O;
+    O.HavocProvider = []() { return 0; };
+    O.RecordWrites = false;
+    Interpreter I(*App.Prog, O);
+    InterpResult R = I.run();
+    benchmark::DoNotOptimize(R.Steps);
+  }
+}
+BENCHMARK(BM_InterpreterRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+//===- encapsulation.cpp - Heap-reachability assertions beyond leaks ------===//
+//
+// The paper's introduction: "A heap reachability checker would also enable
+// a developer to write statically checkable assertions about, for example,
+// object lifetimes, encapsulation of fields, or immutability of objects."
+//
+// This example checks an encapsulation property: a Ledger's internal
+// Record objects must never become reachable from the global audit
+// registry. Two code versions are checked — one that only publishes
+// redacted snapshots (the assertion is PROVEN despite a flow-insensitive
+// false alarm), and one with a debug path that publishes the record itself
+// (VIOLATED, with the counterexample heap path printed).
+//
+// Run:  ./encapsulation
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "leak/ReachabilityAssert.h"
+#include "pta/PointsTo.h"
+
+#include <iostream>
+
+using namespace thresher;
+
+namespace {
+
+// The internal records flow into a snapshot wrapper; only the wrapper is
+// published. A dead debug flag guards a direct publish, which the
+// flow-insensitive analysis cannot rule out: pt(Audit.log) claims rec0.
+const char *SafeModule = R"MJ(
+class Record { var payload; }
+class Snapshot { var summary; }
+class Audit { static var log; }
+class Ledger {
+  static var debugMode = 0;
+  var records;
+  Ledger() { records = new Record() @rec0; }
+  publish() {
+    if (Ledger.debugMode != 0) {
+      Audit.log = records;
+    }
+    var s = new Snapshot() @snap0;
+    Audit.log = s;
+  }
+}
+fun main() {
+  var l = new Ledger() @ledger0;
+  l.publish();
+}
+)MJ";
+
+// Same module, but the debug flag can actually be enabled.
+const char *LeakyModule = R"MJ(
+class Record { var payload; }
+class Snapshot { var summary; }
+class Audit { static var log; }
+class Ledger {
+  static var debugMode = 0;
+  var records;
+  Ledger() { records = new Record() @rec0; }
+  publish() {
+    if (Ledger.debugMode != 0) {
+      Audit.log = records;
+    }
+    var s = new Snapshot() @snap0;
+    Audit.log = s;
+  }
+}
+fun main() {
+  if (*) { Ledger.debugMode = 1; }
+  var l = new Ledger() @ledger0;
+  l.publish();
+}
+)MJ";
+
+int checkModule(const char *Name, const char *Src) {
+  CompileResult R = compileMJ(Src);
+  if (!R.ok()) {
+    for (const std::string &E : R.Errors)
+      std::cerr << "compile error: " << E << "\n";
+    return 1;
+  }
+  const Program &P = *R.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  GlobalId Log = P.findGlobal("Audit", "log");
+  ClassId Record = P.findClass("Record");
+
+  std::cout << "== " << Name << " ==\n";
+  std::cout << "flow-insensitive pt(Audit.log) = {";
+  for (AbsLocId L : PTA->ptGlobal(Log))
+    std::cout << " " << PTA->Locs.label(P, L);
+  std::cout << " }\n";
+
+  ReachabilityChecker RC(P, *PTA);
+  AssertResult A = RC.assertUnreachableClass(Log, Record);
+  std::cout << "assert Record unreachable from Audit.log: ";
+  switch (A.Verdict) {
+  case AssertVerdict::Proven:
+    std::cout << "PROVEN (" << A.EdgesRefuted << " edge(s) refuted)\n";
+    break;
+  case AssertVerdict::Violated:
+    std::cout << "VIOLATED — counterexample heap path:\n";
+    for (const std::string &E : A.CounterexamplePath)
+      std::cout << "    " << E << "\n";
+    break;
+  case AssertVerdict::Inconclusive:
+    std::cout << "inconclusive (budget)\n";
+    break;
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+} // namespace
+
+int main() {
+  int Rc = checkModule("safe module (dead debug flag)", SafeModule);
+  Rc |= checkModule("leaky module (debug flag reachable)", LeakyModule);
+  return Rc;
+}

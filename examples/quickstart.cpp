@@ -1,0 +1,97 @@
+//===- quickstart.cpp - Minimal end-to-end use of the library -------------===//
+//
+// Builds a tiny program through the IRBuilder API, runs the points-to
+// analysis, and asks the witness-refutation engine about two heap facts:
+// one realizable (witnessed) and one guarded by an impossible condition
+// (refuted). This is the smallest complete tour of the public API.
+//
+// Run:  ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "pta/PointsTo.h"
+#include "sym/WitnessSearch.h"
+
+#include <iostream>
+
+using namespace thresher;
+
+int main() {
+  // --- 1. Build a program. ---
+  //
+  //   class Box { f }
+  //   static Box Holder.slot;
+  //   fun main() {
+  //     b  = new Box()    @box0
+  //     o  = new Object() @obj0
+  //     b.f = o;
+  //     flag = 0;
+  //     if (flag != 0)  Holder.slot = o;   // dead guard
+  //   }
+  ProgramBuilder PB;
+  ClassId Box = PB.addClass("Box");
+  FieldId F = PB.addField(Box, "f");
+  ClassId Holder = PB.addClass("Holder");
+  GlobalId Slot = PB.addGlobal(Holder, "slot");
+
+  FunctionBuilder FB = PB.beginFunc("main", 0);
+  VarId B = FB.newVar("b");
+  VarId O = FB.newVar("o");
+  VarId Flag = FB.newVar("flag");
+  BlockId Store = FB.newBlock();
+  BlockId Done = FB.newBlock();
+  FB.newObj(B, Box, "box0");
+  FB.newObj(O, PB.prog().ObjectClass, "obj0");
+  FB.store(B, F, O);
+  FB.constInt(Flag, 0);
+  FB.branchConst(Flag, RelOp::NE, 0, Store, Done);
+  FB.setBlock(Store);
+  FB.storeStatic(Slot, O);
+  FB.jump(Done);
+  FB.setBlock(Done);
+  FB.retVoid();
+  FuncId Main = FB.finish();
+  PB.setEntry(Main);
+  std::unique_ptr<Program> P = PB.take();
+
+  std::cout << "=== Program ===\n";
+  printProgram(std::cout, *P);
+
+  // --- 2. Flow-insensitive points-to analysis. ---
+  auto PTA = PointsToAnalysis(*P).run();
+  std::cout << "\n=== Points-to facts ===\n";
+  std::cout << "pt(Holder.slot) = {";
+  for (AbsLocId L : PTA->ptGlobal(Slot))
+    std::cout << " " << PTA->Locs.label(*P, L);
+  std::cout << " }   <- imprecise: the store is dead\n";
+
+  // Resolve the abstract locations by label.
+  AbsLocId Box0 = InvalidId, Obj0 = InvalidId;
+  for (AbsLocId L = 0; L < PTA->Locs.size(); ++L) {
+    if (PTA->Locs.label(*P, L) == "box0")
+      Box0 = L;
+    if (PTA->Locs.label(*P, L) == "obj0")
+      Obj0 = L;
+  }
+
+  // --- 3. Witness-refutation queries. ---
+  WitnessSearch WS(*P, *PTA);
+
+  EdgeSearchResult R1 = WS.searchFieldEdge(Box0, F, Obj0);
+  std::cout << "\nquery box0.f -> obj0 : "
+            << (R1.Outcome == SearchOutcome::Witnessed ? "WITNESSED"
+                                                       : "refuted")
+            << " (" << R1.StepsUsed << " states explored)\n";
+
+  EdgeSearchResult R2 = WS.searchGlobalEdge(Slot, Obj0);
+  std::cout << "query Holder.slot -> obj0 : "
+            << (R2.Outcome == SearchOutcome::Refuted ? "REFUTED"
+                                                     : "witnessed")
+            << " (" << R2.StepsUsed << " states explored)\n";
+  std::cout << "\nThe flow-insensitive analysis says Holder.slot may point "
+               "to obj0;\nthe path-sensitive backwards search proves the "
+               "guard is dead and refutes it.\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "android/AndroidModel.h"
+
+using namespace thresher;
+
+std::string thresher::androidLibrarySource() {
+  return R"MJ(
+// ---- Modelled Android core classes ----
+
+class Context { }
+
+class Activity extends Context {
+  onCreate() { }
+  onStart() { }
+  onPause() { }
+  onDestroy() { }
+}
+
+class Intent { }
+class Bundle { }
+
+class View {
+  var mContext;
+  View(ctx) { mContext = ctx; }
+  getContext() { return mContext; }
+}
+
+class ViewGroup extends View {
+  var children;
+  ViewGroup(ctx) {
+    super(ctx);
+    children = new Vec() @viewChildren;
+  }
+  addView(v) {
+    var c = children;
+    c.push(v);
+  }
+}
+
+// ---- CursorAdapter chain (Fig. 5 leak substrate): the context parameter
+// travels through two super constructors into mContext. Marked container
+// so the shared super-constructors are analyzed per receiver, standing in
+// for the call-site context WALA's 0-1-CFA gives constructors (otherwise
+// every adapter's mContext would conflate every caller's Activity). ----
+
+container class CursorAdapter {
+  var mContext;
+  CursorAdapter(context) { mContext = context; }
+}
+
+container class ResourceCursorAdapter extends CursorAdapter {
+  ResourceCursorAdapter(context) { super(context); }
+}
+
+// ---- Vec: the Fig. 1 collection, null object pattern. All empty Vecs
+// share the static EMPTY array; push is carefully written never to store
+// into it, which only path-sensitive reasoning can see. ----
+
+container class Vec {
+  static var EMPTY = new Object[1] @vecEmpty;
+  var sz;
+  var cap;
+  var tbl;
+  Vec() {
+    sz = 0;
+    cap = -1;
+    tbl = Vec.EMPTY;
+  }
+  push(val) {
+    var oldtbl = tbl;
+    if (sz >= cap) {
+      cap = tbl.length * 2;
+      tbl = new Object[cap] @vecTbl;
+      var i = 0;
+      while (i < sz) {
+        var moved = oldtbl[i];
+        tbl[i] = moved;
+        i = i + 1;
+      }
+    }
+    tbl[sz] = val;
+    sz = sz + 1;
+  }
+  get(i) {
+    var t = tbl;
+    var r = t[i];
+    return r;
+  }
+  size() { return sz; }
+}
+
+// ---- HashMap: same null-object pattern through EMPTY_TABLE; this is the
+// field the paper annotates in the Ann?=Y configuration. ----
+
+class MapEntry {
+  var key;
+  var value;
+}
+
+container class HashMap {
+  static var EMPTY_TABLE = new MapEntry[2] @hmEmpty;
+  var table;
+  var hsize;
+  var threshold;
+  HashMap() {
+    hsize = 0;
+    threshold = -1;
+    table = HashMap.EMPTY_TABLE;
+  }
+  put(k, v) {
+    if (hsize >= threshold) {
+      threshold = table.length * 2;
+      var newtab = new MapEntry[threshold] @hmTbl;
+      var i = 0;
+      var oldtab = table;
+      while (i < hsize) {
+        var movede = oldtab[i];
+        newtab[i] = movede;
+        i = i + 1;
+      }
+      table = newtab;
+    }
+    var e = new MapEntry() @hmEntry;
+    e.key = k;
+    e.value = v;
+    table[hsize] = e;
+    hsize = hsize + 1;
+  }
+  get(k) {
+    var i = 0;
+    var t = table;
+    while (i < hsize) {
+      var e = t[i];
+      if (e.key == k) {
+        return e.value;
+      }
+      i = i + 1;
+    }
+    return null;
+  }
+  size() { return hsize; }
+}
+)MJ";
+}
+
+CompileResult thresher::compileAndroidApp(const std::string &AppSource) {
+  return compileMJ({androidLibrarySource(), AppSource}, "main");
+}
+
+ClassId thresher::activityBaseClass(const Program &P) {
+  return P.findClass(activityClassName());
+}
+
+void thresher::annotateHashMapEmptyTable(const Program &P, PTAOptions &Opts) {
+  GlobalId G = P.findGlobal("HashMap", "EMPTY_TABLE");
+  if (G != InvalidId)
+    Opts.AnnotatedEmptyGlobals.insert(G);
+}

@@ -1,0 +1,52 @@
+//===- AndroidModel.h - Modelled Android library -----------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mini-Java model of the Android library idioms the paper identifies as
+/// the sources of points-to imprecision and of real leaks:
+///
+///  - `Vec`: the Fig. 1 growable collection implemented with the null
+///    object pattern (a shared static EMPTY backing array);
+///  - `HashMap`: same pattern via the shared EMPTY_TABLE (the class the
+///    paper annotates in the Ann?=Y configuration);
+///  - the Context/Activity hierarchy and the CursorAdapter chain through
+///    which the K9Mail singleton leak (Fig. 5) retains its Activity;
+///  - View objects holding their parent Activity via mContext.
+///
+/// Substitutes for Android 2.3.3 (see DESIGN.md's substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_ANDROID_ANDROIDMODEL_H
+#define THRESHER_ANDROID_ANDROIDMODEL_H
+
+#include "frontend/Frontend.h"
+#include "pta/PointsTo.h"
+
+#include <string>
+
+namespace thresher {
+
+/// The mini-Java source of the modelled Android library.
+std::string androidLibrarySource();
+
+/// Compiles the library plus \p AppSource into one program whose entry is
+/// the app's `main` harness function.
+CompileResult compileAndroidApp(const std::string &AppSource);
+
+/// The class name used as the Activity base in the leak client.
+inline const char *activityClassName() { return "Activity"; }
+
+/// Looks up the Activity base class in a compiled program.
+ClassId activityBaseClass(const Program &P);
+
+/// Applies the paper's Ann?=Y configuration: the HashMap.EMPTY_TABLE
+/// static field is annotated as never pointing to anything.
+void annotateHashMapEmptyTable(const Program &P, PTAOptions &Opts);
+
+} // namespace thresher
+
+#endif // THRESHER_ANDROID_ANDROIDMODEL_H

@@ -1,0 +1,87 @@
+//===- Benchmarks.h - Synthetic benchmark applications ----------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the seven synthetic benchmark applications standing in
+/// for the paper's app corpus (PulsePoint, StandupTimer, DroidLife,
+/// OpenSudoku, SMSPopUp, aMetro, K9Mail). Each app is assembled from leak
+/// and false-alarm patterns with known ground truth:
+///
+///  - Singleton leaks (Fig. 5): a static sInstance retaining an Activity
+///    through the CursorAdapter chain. TRUE alarms.
+///  - Latent-flag caches (the StandupTimer almost-leak): an Activity cache
+///    guarded by a flag that is never enabled. REFUTABLE false alarms
+///    (need path sensitivity over the flag).
+///  - Vec pollution (Fig. 1): Activities pushed into local Vecs alongside
+///    strings pushed into static Vecs; the shared EMPTY array conflates
+///    them. REFUTABLE false alarms (need strong updates + path
+///    sensitivity; the copy-loop producer also needs loop invariants).
+///  - HashMap pollution: the same through HashMap.EMPTY_TABLE, optionally
+///    routed through wrapper layers to inflate the backwards search (the
+///    timeout behaviour of the paper's Ann?=N runs). REFUTABLE in
+///    principle; expensive. Removed entirely by the Ann?=Y annotation.
+///  - Clear-before-publish conflation: a wrapper whose Activity field is
+///    nulled before the wrapper is published to a static. Never leaks
+///    concretely, but every individual edge is realizable, so edge-wise
+///    refutation cannot filter it. UNREFUTABLE false alarms (the paper's
+///    FalA column).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_ANDROID_BENCHMARKS_H
+#define THRESHER_ANDROID_BENCHMARKS_H
+
+#include "android/AndroidModel.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// Shape parameters of one synthetic app.
+struct AppSpec {
+  std::string Name;
+  int Activities = 1;
+  int SingletonLeaks = 0;       ///< True alarms (Fig. 5 pattern).
+  int SingletonFanout = 1;      ///< Activities calling each getInstance
+                                ///< (one static field, several alarms).
+  int LatentFlagAlarms = 0;     ///< Refutable via path sensitivity.
+  int VecFalseAlarms = 0;       ///< Refutable via Fig. 1 reasoning.
+  int HashMapAlarms = 0;        ///< Refutable but expensive; gone in Ann?=Y.
+  int HashMapWrapperDepth = 0;  ///< Wrapper layers inflating call fan-in.
+  int ConflationFalseAlarms = 0; ///< Unrefutable FalA.
+  /// Route the strings the Vec pattern pushes through a shared HashMap of
+  /// labels. Under Ann?=N the polluted EMPTY_TABLE makes every Vec search
+  /// wander into HashMap code (the paper's coupling that makes the
+  /// un-annotated configuration slow and timeout-prone); under Ann?=Y the
+  /// pollution—and the cost—disappears.
+  bool CoupleVecWithHashMap = false;
+  uint64_t EdgeBudget = 10000;  ///< Per-edge exploration budget.
+};
+
+/// Emits the mini-Java source for \p Spec (library not included).
+std::string generateAppSource(const AppSpec &Spec);
+
+/// A compiled benchmark app with its ground truth.
+struct BenchmarkApp {
+  AppSpec Spec;
+  std::unique_ptr<Program> Prog;
+  ClassId ActivityBase = InvalidId;
+  /// Ground-truth true leaks: (static field, activity alloc-site label).
+  std::vector<std::pair<GlobalId, std::string>> TrueLeaks;
+};
+
+/// Compiles library + generated app and resolves ground truth. Aborts via
+/// assertion on generator/compile errors (they are programmer mistakes).
+BenchmarkApp buildBenchmarkApp(const AppSpec &Spec);
+
+/// The seven paper-shaped benchmark specs.
+std::vector<AppSpec> paperBenchmarks();
+
+} // namespace thresher
+
+#endif // THRESHER_ANDROID_BENCHMARKS_H

@@ -1,0 +1,142 @@
+//===- AST.h - Abstract syntax for the mini-Java language -------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for mini-Java. Names are resolved during lowering
+/// (frontend/Lower.cpp), not during parsing, because resolution needs the
+/// full class table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_FRONTEND_AST_H
+#define THRESHER_FRONTEND_AST_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace thresher {
+namespace mj {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expressions. Kind selects the meaningful fields.
+struct Expr {
+  enum class Kind {
+    IntLit,    ///< IntVal
+    StrLit,    ///< Str
+    Null,      ///<
+    This,      ///<
+    Name,      ///< Str (unresolved: local / implicit this-field / static)
+    New,       ///< Str = class name, Args = ctor args, Label = @label
+    NewArray,  ///< Str = element class name, A = length, Label
+    FieldGet,  ///< A . Str  (also C.f static get and arr.length)
+    Index,     ///< A [ B ]
+    Call,      ///< A . Str (Args) where A may be null for bare calls
+    Binary,    ///< A BK B
+    Neg,       ///< - A
+  };
+  Kind K;
+  uint32_t Line = 0;
+  int64_t IntVal = 0;
+  std::string Str;   ///< Name / literal text / class name.
+  std::string Label; ///< Allocation-site label for New/NewArray/StrLit.
+  BinopKind BK = BinopKind::Add;
+  ExprPtr A, B;
+  std::vector<ExprPtr> Args;
+};
+
+struct Cond;
+using CondPtr = std::unique_ptr<Cond>;
+
+/// Conditions of if/while. Separate from Expr: the IR branches on
+/// relational comparisons, and && / || lower to short-circuit CFG.
+struct Cond {
+  enum class Kind {
+    Cmp,    ///< L Rel R (R may be the Null expr)
+    And,    ///< C1 && C2
+    Or,     ///< C1 || C2
+    Nondet, ///< '*': nondeterministic choice
+  };
+  Kind K;
+  uint32_t Line = 0;
+  RelOp Rel = RelOp::EQ;
+  ExprPtr L, R;
+  CondPtr C1, C2;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statements.
+struct Stmt {
+  enum class Kind {
+    VarDecl,   ///< var Str [= E1];
+    Assign,    ///< E1 = E2; (E1 is a Name/FieldGet/Index lvalue)
+    If,        ///< if (C) Body else ElseBody
+    While,     ///< while (C) Body
+    Return,    ///< return [E1];
+    ExprStmt,  ///< E1; (must be a call)
+    SuperCall, ///< super(Args);
+  };
+  Kind K;
+  uint32_t Line = 0;
+  std::string Str;
+  ExprPtr E1, E2;
+  CondPtr C;
+  std::vector<StmtPtr> Body, ElseBody;
+  std::vector<ExprPtr> Args;
+};
+
+/// A method (or constructor, when Name equals the class name).
+struct MethodDecl {
+  std::string Name;
+  bool IsStatic = false;
+  bool IsCtor = false;
+  std::vector<std::string> Params;
+  std::vector<StmtPtr> Body;
+  uint32_t Line = 0;
+};
+
+/// An instance or static field; static fields may carry an initializer,
+/// collected into the synthetic __clinit__ function.
+struct FieldDecl {
+  std::string Name;
+  bool IsStatic = false;
+  ExprPtr Init;
+  uint32_t Line = 0;
+};
+
+struct ClassDecl {
+  std::string Name;
+  std::string Super; ///< Empty means Object.
+  bool Container = false;
+  std::vector<FieldDecl> Fields;
+  std::vector<MethodDecl> Methods;
+  uint32_t Line = 0;
+};
+
+/// A free (top-level) function.
+struct FunDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<StmtPtr> Body;
+  uint32_t Line = 0;
+};
+
+/// One compilation unit (several may be lowered together).
+struct Unit {
+  std::vector<ClassDecl> Classes;
+  std::vector<FunDecl> Funs;
+};
+
+} // namespace mj
+} // namespace thresher
+
+#endif // THRESHER_FRONTEND_AST_H

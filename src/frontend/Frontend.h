@@ -1,0 +1,47 @@
+//===- Frontend.h - Mini-Java to IR compiler --------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Top-level frontend entry point: parses one or more mini-Java sources and
+/// lowers them into a single Program. Static field initializers are
+/// collected into a synthetic `__clinit__` function; if a free function (or
+/// unique static method) named \p EntryName exists, a synthetic `__entry__`
+/// that runs `__clinit__` followed by the entry is installed as the
+/// program's entry function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_FRONTEND_FRONTEND_H
+#define THRESHER_FRONTEND_FRONTEND_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thresher {
+
+/// Result of compiling mini-Java sources.
+struct CompileResult {
+  std::unique_ptr<Program> Prog;
+  std::vector<std::string> Errors;
+  bool ok() const { return Errors.empty() && Prog != nullptr; }
+};
+
+/// Compiles the given sources (in order; later sources may reference classes
+/// from earlier ones) into one Program.
+CompileResult compileMJ(const std::vector<std::string> &Sources,
+                        std::string_view EntryName = "main");
+
+/// Convenience overload for a single source text.
+CompileResult compileMJ(std::string_view Source,
+                        std::string_view EntryName = "main");
+
+} // namespace thresher
+
+#endif // THRESHER_FRONTEND_FRONTEND_H

@@ -1,0 +1,335 @@
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace thresher;
+using namespace thresher::mj;
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok> Keywords = {
+    {"class", Tok::KwClass},         {"extends", Tok::KwExtends},
+    {"container", Tok::KwContainer}, {"static", Tok::KwStatic},
+    {"var", Tok::KwVar},             {"if", Tok::KwIf},
+    {"else", Tok::KwElse},           {"while", Tok::KwWhile},
+    {"return", Tok::KwReturn},       {"new", Tok::KwNew},
+    {"null", Tok::KwNull},           {"this", Tok::KwThis},
+    {"super", Tok::KwSuper},         {"fun", Tok::KwFun},
+};
+
+} // namespace
+
+std::vector<Token> mj::lex(std::string_view Src) {
+  std::vector<Token> Out;
+  size_t I = 0, N = Src.size();
+  uint32_t Line = 1;
+
+  auto Push = [&](Tok K, std::string Text = "", int64_t V = 0) {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.IntVal = V;
+    T.Line = Line;
+    Out.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Src[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments: // to end of line, /* ... */.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/')) {
+        if (Src[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      if (I + 1 >= N) {
+        Push(Tok::Error, "unterminated block comment");
+        break;
+      }
+      I += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == '_'))
+        ++I;
+      std::string_view Word = Src.substr(Start, I - Start);
+      auto It = Keywords.find(Word);
+      if (It != Keywords.end())
+        Push(It->second, std::string(Word));
+      else
+        Push(Tok::Ident, std::string(Word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Src[I])))
+        ++I;
+      int64_t V = 0;
+      for (size_t K = Start; K < I; ++K)
+        V = V * 10 + (Src[K] - '0');
+      Push(Tok::IntLit, std::string(Src.substr(Start, I - Start)), V);
+      continue;
+    }
+    if (C == '"') {
+      ++I;
+      std::string Text;
+      bool Closed = false;
+      while (I < N) {
+        if (Src[I] == '"') {
+          Closed = true;
+          ++I;
+          break;
+        }
+        if (Src[I] == '\n')
+          ++Line;
+        if (Src[I] == '\\' && I + 1 < N) {
+          ++I;
+          switch (Src[I]) {
+          case 'n':
+            Text.push_back('\n');
+            break;
+          case 't':
+            Text.push_back('\t');
+            break;
+          default:
+            Text.push_back(Src[I]);
+            break;
+          }
+          ++I;
+          continue;
+        }
+        Text.push_back(Src[I]);
+        ++I;
+      }
+      if (!Closed) {
+        Push(Tok::Error, "unterminated string literal");
+        break;
+      }
+      Push(Tok::StrLit, std::move(Text));
+      continue;
+    }
+    auto Two = [&](char Next, Tok IfTwo, Tok IfOne) {
+      if (I + 1 < N && Src[I + 1] == Next) {
+        Push(IfTwo);
+        I += 2;
+      } else {
+        Push(IfOne);
+        ++I;
+      }
+    };
+    switch (C) {
+    case '{':
+      Push(Tok::LBrace);
+      ++I;
+      break;
+    case '}':
+      Push(Tok::RBrace);
+      ++I;
+      break;
+    case '(':
+      Push(Tok::LParen);
+      ++I;
+      break;
+    case ')':
+      Push(Tok::RParen);
+      ++I;
+      break;
+    case '[':
+      Push(Tok::LBracket);
+      ++I;
+      break;
+    case ']':
+      Push(Tok::RBracket);
+      ++I;
+      break;
+    case ';':
+      Push(Tok::Semi);
+      ++I;
+      break;
+    case ',':
+      Push(Tok::Comma);
+      ++I;
+      break;
+    case '.':
+      Push(Tok::Dot);
+      ++I;
+      break;
+    case '@':
+      Push(Tok::At);
+      ++I;
+      break;
+    case '=':
+      Two('=', Tok::EqEq, Tok::Assign);
+      break;
+    case '!':
+      if (I + 1 < N && Src[I + 1] == '=') {
+        Push(Tok::NotEq);
+        I += 2;
+      } else {
+        Push(Tok::Error, "unexpected '!'");
+        ++I;
+      }
+      break;
+    case '<':
+      Two('=', Tok::Le, Tok::Lt);
+      break;
+    case '>':
+      Two('=', Tok::Ge, Tok::Gt);
+      break;
+    case '+':
+      Push(Tok::Plus);
+      ++I;
+      break;
+    case '-':
+      Push(Tok::Minus);
+      ++I;
+      break;
+    case '*':
+      Push(Tok::Star);
+      ++I;
+      break;
+    case '/':
+      Push(Tok::Slash);
+      ++I;
+      break;
+    case '%':
+      Push(Tok::Percent);
+      ++I;
+      break;
+    case '&':
+      if (I + 1 < N && Src[I + 1] == '&') {
+        Push(Tok::AndAnd);
+        I += 2;
+      } else {
+        Push(Tok::Error, "unexpected '&'");
+        ++I;
+      }
+      break;
+    case '|':
+      if (I + 1 < N && Src[I + 1] == '|') {
+        Push(Tok::OrOr);
+        I += 2;
+      } else {
+        Push(Tok::Error, "unexpected '|'");
+        ++I;
+      }
+      break;
+    default:
+      Push(Tok::Error, std::string("unexpected character '") + C + "'");
+      ++I;
+      break;
+    }
+  }
+  Push(Tok::Eof);
+  return Out;
+}
+
+const char *mj::tokName(Tok K) {
+  switch (K) {
+  case Tok::Ident:
+    return "identifier";
+  case Tok::IntLit:
+    return "integer literal";
+  case Tok::StrLit:
+    return "string literal";
+  case Tok::KwClass:
+    return "'class'";
+  case Tok::KwExtends:
+    return "'extends'";
+  case Tok::KwContainer:
+    return "'container'";
+  case Tok::KwStatic:
+    return "'static'";
+  case Tok::KwVar:
+    return "'var'";
+  case Tok::KwIf:
+    return "'if'";
+  case Tok::KwElse:
+    return "'else'";
+  case Tok::KwWhile:
+    return "'while'";
+  case Tok::KwReturn:
+    return "'return'";
+  case Tok::KwNew:
+    return "'new'";
+  case Tok::KwNull:
+    return "'null'";
+  case Tok::KwThis:
+    return "'this'";
+  case Tok::KwSuper:
+    return "'super'";
+  case Tok::KwFun:
+    return "'fun'";
+  case Tok::LBrace:
+    return "'{'";
+  case Tok::RBrace:
+    return "'}'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::LBracket:
+    return "'['";
+  case Tok::RBracket:
+    return "']'";
+  case Tok::Semi:
+    return "';'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Dot:
+    return "'.'";
+  case Tok::At:
+    return "'@'";
+  case Tok::Assign:
+    return "'='";
+  case Tok::EqEq:
+    return "'=='";
+  case Tok::NotEq:
+    return "'!='";
+  case Tok::Lt:
+    return "'<'";
+  case Tok::Le:
+    return "'<='";
+  case Tok::Gt:
+    return "'>'";
+  case Tok::Ge:
+    return "'>='";
+  case Tok::Plus:
+    return "'+'";
+  case Tok::Minus:
+    return "'-'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::Slash:
+    return "'/'";
+  case Tok::Percent:
+    return "'%'";
+  case Tok::AndAnd:
+    return "'&&'";
+  case Tok::OrOr:
+    return "'||'";
+  case Tok::Eof:
+    return "end of input";
+  case Tok::Error:
+    return "lexical error";
+  }
+  return "?";
+}

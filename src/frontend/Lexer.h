@@ -1,0 +1,93 @@
+//===- Lexer.h - Tokenizer for the mini-Java language -----------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the mini-Java ("MJ") surface language that substitutes for
+/// the Java frontend of the original tool. See frontend/Parser.h for the
+/// grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_FRONTEND_LEXER_H
+#define THRESHER_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thresher {
+namespace mj {
+
+/// Token kinds. Keywords get their own kinds; punctuation is one kind each.
+enum class Tok : uint8_t {
+  // Literals and names.
+  Ident,
+  IntLit,
+  StrLit,
+  // Keywords.
+  KwClass,
+  KwExtends,
+  KwContainer,
+  KwStatic,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwNew,
+  KwNull,
+  KwThis,
+  KwSuper,
+  KwFun,
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  At,
+  Assign, // =
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  AndAnd,
+  OrOr,
+  Eof,
+  Error,
+};
+
+/// One token with its source position (1-based line).
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;  ///< Identifier spelling or string literal contents.
+  int64_t IntVal = 0;
+  uint32_t Line = 0;
+};
+
+/// Tokenizes \p Source. Lexical errors produce Tok::Error tokens whose Text
+/// describes the problem; the stream always ends with Tok::Eof.
+std::vector<Token> lex(std::string_view Source);
+
+/// Returns a printable name for a token kind (for diagnostics).
+const char *tokName(Tok K);
+
+} // namespace mj
+} // namespace thresher
+
+#endif // THRESHER_FRONTEND_LEXER_H

@@ -1,0 +1,934 @@
+//===- Lower.cpp - AST to IR lowering ------------------------------------===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two-pass lowering: pass 1 declares classes, fields, globals, and function
+// signatures; pass 2 lowers bodies through the IRBuilder. Field names live
+// in a single namespace (field-name merging): the analyses are field-
+// sensitive on FieldId, and the corpus we compile controls name reuse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace thresher;
+using namespace thresher::mj;
+
+namespace {
+
+class Lowerer {
+public:
+  explicit Lowerer(std::string_view EntryName) : EntryName(EntryName) {}
+
+  CompileResult run(std::vector<Unit> Units) {
+    declareClasses(Units);
+    patchSupers(Units);
+    if (!Errors.empty())
+      return finish();
+    declareFieldsAndSigs(Units);
+    if (!Errors.empty())
+      return finish();
+    lowerBodies(Units);
+    buildClinit(Units);
+    buildEntry();
+    return finish();
+  }
+
+private:
+  friend class BodyLowerer;
+
+  CompileResult finish() {
+    CompileResult R;
+    R.Errors = std::move(Errors);
+    if (R.Errors.empty()) {
+      R.Prog = PB.take();
+      for (std::string &Problem : verifyProgram(*R.Prog))
+        R.Errors.push_back("verifier: " + Problem);
+      if (!R.Errors.empty())
+        R.Prog.reset();
+    }
+    return R;
+  }
+
+  void error(uint32_t Line, const std::string &Msg) {
+    Errors.push_back("line " + std::to_string(Line) + ": " + Msg);
+  }
+
+  // --- Pass 1a: class names. ---
+  void declareClasses(const std::vector<Unit> &Units) {
+    // The builder pre-creates the well-known root classes.
+    ClassByName["Object"] = PB.prog().ObjectClass;
+    ClassByName["String"] = PB.prog().StringClass;
+    for (const Unit &U : Units) {
+      for (const ClassDecl &C : U.Classes) {
+        if (ClassByName.count(C.Name)) {
+          error(C.Line, "duplicate class '" + C.Name + "'");
+          continue;
+        }
+        uint8_t Flags = C.Container ? CF_Container : CF_None;
+        ClassByName[C.Name] = PB.addClass(C.Name, InvalidId, Flags);
+      }
+    }
+  }
+
+  // --- Pass 1b: superclass links. ---
+  void patchSupers(const std::vector<Unit> &Units) {
+    Program &P = PB.prog();
+    for (const Unit &U : Units) {
+      for (const ClassDecl &C : U.Classes) {
+        auto It = ClassByName.find(C.Name);
+        if (It == ClassByName.end())
+          continue;
+        if (C.Super.empty())
+          continue;
+        auto SIt = ClassByName.find(C.Super);
+        if (SIt == ClassByName.end()) {
+          error(C.Line, "unknown superclass '" + C.Super + "'");
+          continue;
+        }
+        P.Classes[It->second].Super = SIt->second;
+      }
+    }
+    // Cycle check.
+    for (const auto &[Name, C] : ClassByName) {
+      ClassId Cur = C;
+      size_t Steps = 0;
+      while (Cur != InvalidId && Steps++ <= P.Classes.size())
+        Cur = P.Classes[Cur].Super;
+      if (Steps > P.Classes.size())
+        Errors.push_back("inheritance cycle involving class '" + Name + "'");
+    }
+  }
+
+  // --- Pass 1c: fields, globals, signatures. ---
+  void declareFieldsAndSigs(const std::vector<Unit> &Units) {
+    for (const Unit &U : Units) {
+      for (const ClassDecl &C : U.Classes) {
+        ClassId CId = ClassByName.at(C.Name);
+        for (const FieldDecl &F : C.Fields) {
+          if (F.IsStatic) {
+            if (findGlobalOn(CId, F.Name) != InvalidId) {
+              error(F.Line, "duplicate static field '" + F.Name + "'");
+              continue;
+            }
+            GlobalByClassField[{CId, F.Name}] = PB.addGlobal(CId, F.Name);
+          } else {
+            auto It = FieldByName.find(F.Name);
+            if (It == FieldByName.end())
+              FieldByName[F.Name] = PB.addField(CId, F.Name);
+            // Same-named fields in other classes share the FieldId.
+          }
+        }
+        for (const MethodDecl &M : C.Methods) {
+          uint32_t NumParams =
+              static_cast<uint32_t>(M.Params.size()) + (M.IsStatic ? 0 : 1);
+          bool RegisterVirtual = !M.IsCtor && !M.IsStatic;
+          std::string IRName = M.IsCtor ? "<init>" : M.Name;
+          FunctionBuilder FB = PB.beginFunc(IRName, NumParams, CId,
+                                            M.IsStatic, RegisterVirtual);
+          FuncId F = FB.funcId();
+          if (M.IsCtor) {
+            if (CtorOf.count(CId))
+              error(M.Line, "duplicate constructor for '" + C.Name + "'");
+            CtorOf[CId] = F;
+          } else if (M.IsStatic) {
+            if (StaticMethodByClass.count({CId, M.Name}))
+              error(M.Line, "duplicate static method '" + M.Name + "'");
+            StaticMethodByClass[{CId, M.Name}] = F;
+          }
+          // Instance methods are registered for dispatch by beginFunc.
+        }
+      }
+      for (const FunDecl &F : U.Funs) {
+        if (FreeFunByName.count(F.Name)) {
+          error(F.Line, "duplicate function '" + F.Name + "'");
+          continue;
+        }
+        FunctionBuilder FB =
+            PB.beginFunc(F.Name, static_cast<uint32_t>(F.Params.size()));
+        FreeFunByName[F.Name] = FB.funcId();
+      }
+    }
+  }
+
+  void lowerBodies(const std::vector<Unit> &Units);
+  void buildClinit(const std::vector<Unit> &Units);
+  void buildEntry();
+
+  // --- Lookup helpers used during body lowering. ---
+  ClassId findClassByName(const std::string &Name) const {
+    auto It = ClassByName.find(Name);
+    return It == ClassByName.end() ? InvalidId : It->second;
+  }
+
+  FieldId findFieldByName(const std::string &Name) const {
+    auto It = FieldByName.find(Name);
+    return It == FieldByName.end() ? InvalidId : It->second;
+  }
+
+  GlobalId findGlobalOn(ClassId C, const std::string &Name) const {
+    auto It = GlobalByClassField.find({C, Name});
+    return It == GlobalByClassField.end() ? InvalidId : It->second;
+  }
+
+  /// Searches \p C's superclass chain for a static field \p Name.
+  GlobalId findGlobalOnChain(ClassId C, const std::string &Name) const {
+    const Program &P = PB.prog();
+    while (C != InvalidId) {
+      GlobalId G = findGlobalOn(C, Name);
+      if (G != InvalidId)
+        return G;
+      C = P.Classes[C].Super;
+    }
+    return InvalidId;
+  }
+
+  /// Searches \p C's superclass chain for a static method \p Name.
+  FuncId findStaticMethodOnChain(ClassId C, const std::string &Name) const {
+    const Program &P = PB.prog();
+    while (C != InvalidId) {
+      auto It = StaticMethodByClass.find({C, Name});
+      if (It != StaticMethodByClass.end())
+        return It->second;
+      C = P.Classes[C].Super;
+    }
+    return InvalidId;
+  }
+
+  /// True if some class in \p C's chain declares instance method \p Name.
+  bool hasInstanceMethod(ClassId C, const std::string &Name) const {
+    const Program &P = PB.prog();
+    NameId N = PB.prog().Names.lookup(Name);
+    if (N == InvalidId)
+      return false;
+    while (C != InvalidId) {
+      if (P.Classes[C].Methods.count(N))
+        return true;
+      C = P.Classes[C].Super;
+    }
+    return false;
+  }
+
+  struct PairHash {
+    size_t operator()(const std::pair<ClassId, std::string> &P) const {
+      return std::hash<std::string>()(P.second) * 31 + P.first;
+    }
+  };
+
+  std::string EntryName;
+  ProgramBuilder PB;
+  std::vector<std::string> Errors;
+  std::unordered_map<std::string, ClassId> ClassByName;
+  std::unordered_map<std::string, FieldId> FieldByName;
+  std::unordered_map<std::pair<ClassId, std::string>, GlobalId, PairHash>
+      GlobalByClassField;
+  std::unordered_map<std::pair<ClassId, std::string>, FuncId, PairHash>
+      StaticMethodByClass;
+  std::unordered_map<ClassId, FuncId> CtorOf;
+  std::unordered_map<std::string, FuncId> FreeFunByName;
+  FuncId ClinitFunc = InvalidId;
+};
+
+/// Lowers one function body.
+class BodyLowerer {
+public:
+  BodyLowerer(Lowerer &L, FunctionBuilder FB, ClassId CurClass, bool IsStatic,
+              bool IsCtor)
+      : L(L), FB(std::move(FB)), CurClass(CurClass), IsStatic(IsStatic),
+        IsCtor(IsCtor) {}
+
+  void lowerParams(const std::vector<std::string> &Params) {
+    pushScope();
+    uint32_t Slot = 0;
+    if (!IsStatic) {
+      FB.setVarName(FB.param(0), "this");
+      Slot = 1;
+    }
+    for (const std::string &Name : Params) {
+      VarId V = FB.param(Slot++);
+      FB.setVarName(V, Name);
+      declareLocal(0, Name, V);
+    }
+  }
+
+  void lowerBody(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &S : Body)
+      lowerStmt(*S);
+    if (!Terminated)
+      FB.retVoid();
+    FB.finish();
+  }
+
+  /// Lowers a single expression and stores it to global \p G (for static
+  /// field initializers in __clinit__).
+  void lowerGlobalInit(GlobalId G, const Expr &Init) {
+    VarId V = lowerExpr(Init);
+    FB.storeStatic(G, V);
+  }
+
+  /// Appends a direct call statement (used by synthetic functions).
+  void emitCall(FuncId F) { FB.callDirect(NoVar, F, {}); }
+
+  void seal() {
+    if (!Terminated)
+      FB.retVoid();
+    FB.finish();
+  }
+
+private:
+  void error(uint32_t Line, const std::string &Msg) { L.error(Line, Msg); }
+
+  // --- Scopes. ---
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void declareLocal(uint32_t Line, const std::string &Name, VarId V) {
+    if (Scopes.back().count(Name))
+      error(Line, "duplicate variable '" + Name + "' in scope");
+    Scopes.back()[Name] = V;
+  }
+  VarId lookupLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return F->second;
+    }
+    return NoVar;
+  }
+
+  /// Starts a fresh block after a terminator so trailing statements have
+  /// somewhere (unreachable) to go.
+  void startDeadBlock() {
+    BlockId B = FB.newBlock();
+    FB.setBlock(B);
+    Terminated = false;
+  }
+
+  // --- Statements. ---
+  void lowerStmt(const Stmt &S) {
+    if (Terminated)
+      startDeadBlock();
+    switch (S.K) {
+    case Stmt::Kind::VarDecl: {
+      VarId V = FB.newVar(S.Str);
+      if (S.E1) {
+        VarId Init = lowerExpr(*S.E1);
+        FB.assign(V, Init);
+      }
+      declareLocal(S.Line, S.Str, V);
+      break;
+    }
+    case Stmt::Kind::Assign:
+      lowerAssign(S);
+      break;
+    case Stmt::Kind::If:
+      lowerIf(S);
+      break;
+    case Stmt::Kind::While:
+      lowerWhile(S);
+      break;
+    case Stmt::Kind::Return:
+      if (S.E1) {
+        VarId V = lowerExpr(*S.E1);
+        FB.ret(V);
+      } else {
+        FB.retVoid();
+      }
+      Terminated = true;
+      break;
+    case Stmt::Kind::ExprStmt:
+      if (S.E1->K == Expr::Kind::Call)
+        lowerCall(*S.E1, /*WantValue=*/false);
+      else
+        error(S.Line, "expression statement must be a call");
+      break;
+    case Stmt::Kind::SuperCall:
+      lowerSuperCall(S);
+      break;
+    }
+  }
+
+  void lowerAssign(const Stmt &S) {
+    const Expr &LHS = *S.E1;
+    switch (LHS.K) {
+    case Expr::Kind::Name: {
+      // Local, implicit this-field, or static field on the current chain.
+      VarId Local = lookupLocal(LHS.Str);
+      if (Local != NoVar) {
+        VarId V = lowerExpr(*S.E2);
+        FB.assign(Local, V);
+        return;
+      }
+      if (!IsStatic && CurClass != InvalidId) {
+        FieldId F = L.findFieldByName(LHS.Str);
+        if (F != InvalidId) {
+          VarId V = lowerExpr(*S.E2);
+          FB.store(FB.param(0), F, V);
+          return;
+        }
+      }
+      GlobalId G = CurClass != InvalidId
+                       ? L.findGlobalOnChain(CurClass, LHS.Str)
+                       : InvalidId;
+      if (G != InvalidId) {
+        VarId V = lowerExpr(*S.E2);
+        FB.storeStatic(G, V);
+        return;
+      }
+      error(S.Line, "unknown variable or field '" + LHS.Str + "'");
+      return;
+    }
+    case Expr::Kind::FieldGet: {
+      // Static C.f = v, or instance obj.f = v.
+      if (LHS.A->K == Expr::Kind::Name && lookupLocal(LHS.A->Str) == NoVar) {
+        ClassId C = L.findClassByName(LHS.A->Str);
+        if (C != InvalidId) {
+          GlobalId G = L.findGlobalOnChain(C, LHS.Str);
+          if (G == InvalidId) {
+            error(S.Line, "unknown static field '" + LHS.A->Str + "." +
+                              LHS.Str + "'");
+            return;
+          }
+          VarId V = lowerExpr(*S.E2);
+          FB.storeStatic(G, V);
+          return;
+        }
+      }
+      FieldId F = L.findFieldByName(LHS.Str);
+      if (F == InvalidId) {
+        error(S.Line, "unknown field '" + LHS.Str + "'");
+        return;
+      }
+      VarId Base = lowerExpr(*LHS.A);
+      VarId V = lowerExpr(*S.E2);
+      FB.store(Base, F, V);
+      return;
+    }
+    case Expr::Kind::Index: {
+      VarId Arr = lowerExpr(*LHS.A);
+      VarId Idx = lowerExpr(*LHS.B);
+      VarId V = lowerExpr(*S.E2);
+      FB.arrayStore(Arr, Idx, V);
+      return;
+    }
+    default:
+      error(S.Line, "invalid assignment target");
+      return;
+    }
+  }
+
+  void lowerIf(const Stmt &S) {
+    BlockId ThenB = FB.newBlock();
+    BlockId Merge = FB.newBlock();
+    BlockId ElseB = S.ElseBody.empty() ? Merge : FB.newBlock();
+    lowerCond(*S.C, ThenB, ElseB);
+    FB.setBlock(ThenB);
+    Terminated = false;
+    pushScope();
+    for (const StmtPtr &St : S.Body)
+      lowerStmt(*St);
+    popScope();
+    if (!Terminated)
+      FB.jump(Merge);
+    if (!S.ElseBody.empty()) {
+      FB.setBlock(ElseB);
+      Terminated = false;
+      pushScope();
+      for (const StmtPtr &St : S.ElseBody)
+        lowerStmt(*St);
+      popScope();
+      if (!Terminated)
+        FB.jump(Merge);
+    }
+    FB.setBlock(Merge);
+    Terminated = false;
+  }
+
+  void lowerWhile(const Stmt &S) {
+    BlockId Head = FB.newBlock();
+    BlockId Body = FB.newBlock();
+    BlockId Exit = FB.newBlock();
+    FB.jump(Head);
+    FB.setBlock(Head);
+    Terminated = false;
+    lowerCond(*S.C, Body, Exit);
+    FB.setBlock(Body);
+    Terminated = false;
+    pushScope();
+    for (const StmtPtr &St : S.Body)
+      lowerStmt(*St);
+    popScope();
+    if (!Terminated)
+      FB.jump(Head);
+    FB.setBlock(Exit);
+    Terminated = false;
+  }
+
+  // --- Conditions (short-circuit lowering). ---
+  void lowerCond(const Cond &C, BlockId TrueB, BlockId FalseB) {
+    switch (C.K) {
+    case Cond::Kind::And: {
+      BlockId Mid = FB.newBlock();
+      lowerCond(*C.C1, Mid, FalseB);
+      FB.setBlock(Mid);
+      lowerCond(*C.C2, TrueB, FalseB);
+      return;
+    }
+    case Cond::Kind::Or: {
+      BlockId Mid = FB.newBlock();
+      lowerCond(*C.C1, TrueB, Mid);
+      FB.setBlock(Mid);
+      lowerCond(*C.C2, TrueB, FalseB);
+      return;
+    }
+    case Cond::Kind::Nondet: {
+      VarId T = FB.newVar("$nd");
+      FB.havoc(T);
+      FB.branchConst(T, RelOp::EQ, 0, TrueB, FalseB);
+      return;
+    }
+    case Cond::Kind::Cmp:
+      break;
+    }
+    const Expr *LE = C.L.get();
+    const Expr *RE = C.R.get();
+    RelOp Rel = C.Rel;
+    // Normalize literal/null on the right.
+    if (LE->K == Expr::Kind::Null || LE->K == Expr::Kind::IntLit) {
+      std::swap(LE, RE);
+      Rel = swapRelOp(Rel);
+    }
+    if (RE->K == Expr::Kind::Null) {
+      if (LE->K == Expr::Kind::Null) {
+        // null == null: constant condition.
+        FB.jump(Rel == RelOp::EQ ? TrueB : FalseB);
+        return;
+      }
+      VarId V = lowerExpr(*LE);
+      FB.branchNull(V, Rel, TrueB, FalseB);
+      return;
+    }
+    if (RE->K == Expr::Kind::IntLit) {
+      if (LE->K == Expr::Kind::IntLit) {
+        FB.jump(evalConstCmp(LE->IntVal, Rel, RE->IntVal) ? TrueB : FalseB);
+        return;
+      }
+      VarId V = lowerExpr(*LE);
+      FB.branchConst(V, Rel, RE->IntVal, TrueB, FalseB);
+      return;
+    }
+    VarId LV = lowerExpr(*LE);
+    VarId RV = lowerExpr(*RE);
+    FB.branch(LV, Rel, RV, TrueB, FalseB);
+  }
+
+  static bool evalConstCmp(int64_t A, RelOp R, int64_t B) {
+    switch (R) {
+    case RelOp::EQ:
+      return A == B;
+    case RelOp::NE:
+      return A != B;
+    case RelOp::LT:
+      return A < B;
+    case RelOp::LE:
+      return A <= B;
+    case RelOp::GT:
+      return A > B;
+    case RelOp::GE:
+      return A >= B;
+    }
+    return false;
+  }
+
+  // --- Expressions. ---
+  VarId lowerExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit: {
+      VarId V = FB.newVar("");
+      FB.constInt(V, E.IntVal);
+      return V;
+    }
+    case Expr::Kind::StrLit: {
+      VarId V = FB.newVar("");
+      FB.constStr(V, E.Str, E.Label);
+      return V;
+    }
+    case Expr::Kind::Null: {
+      VarId V = FB.newVar("");
+      FB.constNull(V);
+      return V;
+    }
+    case Expr::Kind::This:
+      if (IsStatic) {
+        error(E.Line, "'this' used in a static context");
+        return errorVar();
+      }
+      return FB.param(0);
+    case Expr::Kind::Name:
+      return lowerNameRead(E);
+    case Expr::Kind::New:
+      return lowerNew(E);
+    case Expr::Kind::NewArray: {
+      ClassId Elem = L.findClassByName(E.Str);
+      if (Elem == InvalidId) {
+        error(E.Line, "unknown class '" + E.Str + "' in array allocation");
+        return errorVar();
+      }
+      VarId V = FB.newVar("");
+      if (E.A->K == Expr::Kind::IntLit) {
+        FB.newArrayConst(V, Elem, E.A->IntVal, E.Label);
+      } else {
+        VarId Len = lowerExpr(*E.A);
+        FB.newArray(V, Elem, Len, E.Label);
+      }
+      return V;
+    }
+    case Expr::Kind::FieldGet:
+      return lowerFieldGet(E);
+    case Expr::Kind::Index: {
+      VarId Arr = lowerExpr(*E.A);
+      VarId Idx = lowerExpr(*E.B);
+      VarId V = FB.newVar("");
+      FB.arrayLoad(V, Arr, Idx);
+      return V;
+    }
+    case Expr::Kind::Call:
+      return lowerCall(E, /*WantValue=*/true);
+    case Expr::Kind::Binary: {
+      VarId A = lowerExpr(*E.A);
+      VarId V = FB.newVar("");
+      if (E.B->K == Expr::Kind::IntLit) {
+        FB.binopConst(V, A, E.BK, E.B->IntVal);
+      } else {
+        VarId B = lowerExpr(*E.B);
+        FB.binop(V, A, E.BK, B);
+      }
+      return V;
+    }
+    case Expr::Kind::Neg: {
+      if (E.A->K == Expr::Kind::IntLit) {
+        VarId V = FB.newVar("");
+        FB.constInt(V, -E.A->IntVal);
+        return V;
+      }
+      VarId A = lowerExpr(*E.A);
+      VarId Zero = FB.newVar("");
+      FB.constInt(Zero, 0);
+      VarId V = FB.newVar("");
+      FB.binop(V, Zero, BinopKind::Sub, A);
+      return V;
+    }
+    }
+    return errorVar();
+  }
+
+  VarId errorVar() {
+    VarId V = FB.newVar("$err");
+    FB.constNull(V);
+    return V;
+  }
+
+  VarId lowerNameRead(const Expr &E) {
+    VarId Local = lookupLocal(E.Str);
+    if (Local != NoVar)
+      return Local;
+    if (!IsStatic && CurClass != InvalidId) {
+      FieldId F = L.findFieldByName(E.Str);
+      if (F != InvalidId) {
+        VarId V = FB.newVar("");
+        FB.load(V, FB.param(0), F);
+        return V;
+      }
+    }
+    GlobalId G = CurClass != InvalidId
+                     ? L.findGlobalOnChain(CurClass, E.Str)
+                     : InvalidId;
+    if (G != InvalidId) {
+      VarId V = FB.newVar("");
+      FB.loadStatic(V, G);
+      return V;
+    }
+    error(E.Line, "unknown variable '" + E.Str + "'");
+    return errorVar();
+  }
+
+  VarId lowerFieldGet(const Expr &E) {
+    // C.f static access?
+    if (E.A->K == Expr::Kind::Name && lookupLocal(E.A->Str) == NoVar) {
+      ClassId C = L.findClassByName(E.A->Str);
+      if (C != InvalidId) {
+        GlobalId G = L.findGlobalOnChain(C, E.Str);
+        if (G == InvalidId) {
+          error(E.Line,
+                "unknown static field '" + E.A->Str + "." + E.Str + "'");
+          return errorVar();
+        }
+        VarId V = FB.newVar("");
+        FB.loadStatic(V, G);
+        return V;
+      }
+    }
+    VarId Base = lowerExpr(*E.A);
+    if (E.Str == "length") {
+      VarId V = FB.newVar("");
+      FB.arrayLen(V, Base);
+      return V;
+    }
+    FieldId F = L.findFieldByName(E.Str);
+    if (F == InvalidId) {
+      error(E.Line, "unknown field '" + E.Str + "'");
+      return errorVar();
+    }
+    VarId V = FB.newVar("");
+    FB.load(V, Base, F);
+    return V;
+  }
+
+  VarId lowerNew(const Expr &E) {
+    ClassId C = L.findClassByName(E.Str);
+    if (C == InvalidId) {
+      error(E.Line, "unknown class '" + E.Str + "'");
+      return errorVar();
+    }
+    VarId V = FB.newVar("");
+    FB.newObj(V, C, E.Label);
+    auto CtorIt = L.CtorOf.find(C);
+    if (CtorIt != L.CtorOf.end()) {
+      std::vector<VarId> Args = {V};
+      for (const ExprPtr &A : E.Args)
+        Args.push_back(lowerExpr(*A));
+      const Program &P = L.PB.prog();
+      if (Args.size() != P.Funcs[CtorIt->second].NumParams) {
+        error(E.Line, "constructor arity mismatch for '" + E.Str + "'");
+        return V;
+      }
+      FB.callDirect(NoVar, CtorIt->second, std::move(Args));
+    } else if (!E.Args.empty()) {
+      error(E.Line, "class '" + E.Str + "' has no constructor");
+    }
+    return V;
+  }
+
+  VarId lowerCall(const Expr &E, bool WantValue) {
+    std::vector<VarId> Args;
+    VarId Dst = WantValue ? FB.newVar("") : NoVar;
+
+    auto LowerArgs = [&]() {
+      for (const ExprPtr &A : E.Args)
+        Args.push_back(lowerExpr(*A));
+    };
+
+    auto Direct = [&](FuncId F) -> VarId {
+      const Program &P = L.PB.prog();
+      if (Args.size() != P.Funcs[F].NumParams) {
+        error(E.Line, "arity mismatch calling '" + E.Str + "'");
+        return WantValue ? errorVar() : NoVar;
+      }
+      FB.callDirect(Dst, F, std::move(Args));
+      if (WantValue)
+        return Dst;
+      return NoVar;
+    };
+
+    if (!E.A) {
+      // Bare call m(args): static method on chain, free fun, or this.m.
+      if (CurClass != InvalidId) {
+        FuncId F = L.findStaticMethodOnChain(CurClass, E.Str);
+        if (F != InvalidId) {
+          LowerArgs();
+          return Direct(F);
+        }
+      }
+      auto FIt = L.FreeFunByName.find(E.Str);
+      if (FIt != L.FreeFunByName.end()) {
+        LowerArgs();
+        return Direct(FIt->second);
+      }
+      if (!IsStatic && CurClass != InvalidId &&
+          L.hasInstanceMethod(CurClass, E.Str)) {
+        Args.push_back(FB.param(0));
+        LowerArgs();
+        FB.callVirtual(Dst, E.Str, std::move(Args));
+        return WantValue ? Dst : NoVar;
+      }
+      error(E.Line, "unknown function '" + E.Str + "'");
+      return WantValue ? errorVar() : NoVar;
+    }
+
+    // C.m(args) static call?
+    if (E.A->K == Expr::Kind::Name && lookupLocal(E.A->Str) == NoVar) {
+      ClassId C = L.findClassByName(E.A->Str);
+      if (C != InvalidId) {
+        FuncId F = L.findStaticMethodOnChain(C, E.Str);
+        if (F == InvalidId) {
+          error(E.Line,
+                "unknown static method '" + E.A->Str + "." + E.Str + "'");
+          return WantValue ? errorVar() : NoVar;
+        }
+        LowerArgs();
+        return Direct(F);
+      }
+    }
+
+    // Virtual call.
+    VarId Recv = lowerExpr(*E.A);
+    Args.push_back(Recv);
+    LowerArgs();
+    FB.callVirtual(Dst, E.Str, std::move(Args));
+    return WantValue ? Dst : NoVar;
+  }
+
+  void lowerSuperCall(const Stmt &S) {
+    if (!IsCtor || CurClass == InvalidId) {
+      error(S.Line, "'super(...)' is only allowed in constructors");
+      return;
+    }
+    const Program &P = L.PB.prog();
+    ClassId Super = P.Classes[CurClass].Super;
+    if (Super == InvalidId) {
+      error(S.Line, "class has no superclass");
+      return;
+    }
+    auto It = L.CtorOf.find(Super);
+    if (It == L.CtorOf.end()) {
+      error(S.Line, "superclass has no constructor");
+      return;
+    }
+    std::vector<VarId> Args = {FB.param(0)};
+    for (const ExprPtr &A : S.Args)
+      Args.push_back(lowerExpr(*A));
+    if (Args.size() != P.Funcs[It->second].NumParams) {
+      error(S.Line, "super constructor arity mismatch");
+      return;
+    }
+    FB.callDirect(NoVar, It->second, std::move(Args));
+  }
+
+  Lowerer &L;
+  FunctionBuilder FB;
+  ClassId CurClass;
+  bool IsStatic;
+  bool IsCtor;
+  std::vector<std::unordered_map<std::string, VarId>> Scopes;
+  bool Terminated = false;
+};
+
+void Lowerer::lowerBodies(const std::vector<Unit> &Units) {
+  for (const Unit &U : Units) {
+    for (const ClassDecl &C : U.Classes) {
+      ClassId CId = ClassByName.at(C.Name);
+      for (const MethodDecl &M : C.Methods) {
+        FuncId F;
+        if (M.IsCtor) {
+          F = CtorOf.at(CId);
+        } else if (M.IsStatic) {
+          F = StaticMethodByClass.at({CId, M.Name});
+        } else {
+          F = PB.prog().Classes[CId].Methods.at(PB.prog().Names.lookup(M.Name));
+        }
+        BodyLowerer BL(*this, PB.resumeFunc(F), CId, M.IsStatic, M.IsCtor);
+        BL.lowerParams(M.Params);
+        BL.lowerBody(M.Body);
+      }
+    }
+    for (const FunDecl &FD : U.Funs) {
+      FuncId F = FreeFunByName.at(FD.Name);
+      BodyLowerer BL(*this, PB.resumeFunc(F), InvalidId, /*IsStatic=*/true,
+                     /*IsCtor=*/false);
+      BL.lowerParams(FD.Params);
+      BL.lowerBody(FD.Body);
+    }
+  }
+}
+
+void Lowerer::buildClinit(const std::vector<Unit> &Units) {
+  FunctionBuilder FB = PB.beginFunc("__clinit__", 0);
+  ClinitFunc = FB.funcId();
+  for (const Unit &U : Units) {
+    for (const ClassDecl &C : U.Classes) {
+      ClassId CId = ClassByName.at(C.Name);
+      for (const FieldDecl &FD : C.Fields) {
+        if (!FD.IsStatic || !FD.Init)
+          continue;
+        GlobalId G = findGlobalOn(CId, FD.Name);
+        if (G == InvalidId)
+          continue;
+        // Each initializer gets its own lowering context, but all of them
+        // append to the same entry block of __clinit__ in order.
+        BodyLowerer BL(*this, PB.resumeFunc(ClinitFunc), CId,
+                       /*IsStatic=*/true, /*IsCtor=*/false);
+        BL.lowerParams({});
+        BL.lowerGlobalInit(G, *FD.Init);
+      }
+    }
+  }
+  FunctionBuilder Sealer = PB.resumeFunc(ClinitFunc);
+  Sealer.retVoid();
+  Sealer.finish();
+}
+
+void Lowerer::buildEntry() {
+  // Find the requested entry: a free fun, else a unique 0-arg static method.
+  FuncId Entry = InvalidId;
+  auto It = FreeFunByName.find(EntryName);
+  if (It != FreeFunByName.end()) {
+    Entry = It->second;
+  } else {
+    for (const auto &[Key, F] : StaticMethodByClass) {
+      if (Key.second == EntryName && PB.prog().Funcs[F].NumParams == 0) {
+        if (Entry != InvalidId) {
+          Errors.push_back("multiple candidate entry methods named '" +
+                           EntryName + "'");
+          return;
+        }
+        Entry = F;
+      }
+    }
+  }
+  if (Entry == InvalidId)
+    return; // No entry requested/found; caller may set one explicitly.
+  if (PB.prog().Funcs[Entry].NumParams != 0) {
+    Errors.push_back("entry function '" + EntryName +
+                     "' must take no parameters");
+    return;
+  }
+  FunctionBuilder FB = PB.beginFunc("__entry__", 0);
+  FB.callDirect(NoVar, ClinitFunc, {});
+  FB.callDirect(NoVar, Entry, {});
+  FB.retVoid();
+  FuncId EntryWrapper = FB.finish();
+  PB.setEntry(EntryWrapper);
+}
+
+} // namespace
+
+CompileResult thresher::compileMJ(const std::vector<std::string> &Sources,
+                                  std::string_view EntryName) {
+  std::vector<Unit> Units;
+  std::vector<std::string> ParseErrors;
+  for (size_t I = 0; I < Sources.size(); ++I) {
+    ParseResult R = parseUnit(Sources[I]);
+    for (std::string &E : R.Errors)
+      ParseErrors.push_back("source " + std::to_string(I) + ", " + E);
+    Units.push_back(std::move(R.TheUnit));
+  }
+  if (!ParseErrors.empty()) {
+    CompileResult CR;
+    CR.Errors = std::move(ParseErrors);
+    return CR;
+  }
+  return Lowerer(EntryName).run(std::move(Units));
+}
+
+CompileResult thresher::compileMJ(std::string_view Source,
+                                  std::string_view EntryName) {
+  return compileMJ(std::vector<std::string>{std::string(Source)}, EntryName);
+}

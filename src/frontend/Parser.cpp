@@ -1,0 +1,478 @@
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+
+using namespace thresher;
+using namespace thresher::mj;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source) : Toks(lex(Source)) {}
+
+  ParseResult run() {
+    ParseResult R;
+    while (!at(Tok::Eof) && Errors.size() < MaxErrors) {
+      size_t Before = Pos;
+      if (at(Tok::KwFun)) {
+        R.TheUnit.Funs.push_back(parseFun());
+      } else if (at(Tok::KwClass) || at(Tok::KwContainer)) {
+        R.TheUnit.Classes.push_back(parseClass());
+      } else {
+        error("expected 'class', 'container', or 'fun'");
+        advance();
+      }
+      if (Pos == Before)
+        advance(); // Guarantee progress on malformed input.
+    }
+    R.Errors = std::move(Errors);
+    return R;
+  }
+
+private:
+  // --- Token helpers. ---
+  const Token &cur() const { return Toks[Pos]; }
+  bool at(Tok K) const { return cur().Kind == K; }
+  void advance() {
+    if (!at(Tok::Eof))
+      ++Pos;
+  }
+  bool accept(Tok K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+  void expect(Tok K, const char *What) {
+    if (at(K)) {
+      advance();
+      return;
+    }
+    error(std::string("expected ") + What + ", found " + tokName(cur().Kind));
+  }
+  std::string expectIdent(const char *What) {
+    if (at(Tok::Ident)) {
+      std::string S = cur().Text;
+      advance();
+      return S;
+    }
+    error(std::string("expected ") + What);
+    return "<error>";
+  }
+  void error(const std::string &Msg) {
+    Errors.push_back("line " + std::to_string(cur().Line) + ": " + Msg);
+  }
+
+  // --- Declarations. ---
+  FunDecl parseFun() {
+    FunDecl F;
+    F.Line = cur().Line;
+    expect(Tok::KwFun, "'fun'");
+    F.Name = expectIdent("function name");
+    expect(Tok::LParen, "'('");
+    F.Params = parseParams();
+    expect(Tok::RParen, "')'");
+    F.Body = parseBlock();
+    return F;
+  }
+
+  ClassDecl parseClass() {
+    ClassDecl C;
+    C.Line = cur().Line;
+    C.Container = accept(Tok::KwContainer);
+    expect(Tok::KwClass, "'class'");
+    C.Name = expectIdent("class name");
+    if (accept(Tok::KwExtends))
+      C.Super = expectIdent("superclass name");
+    expect(Tok::LBrace, "'{'");
+    while (!at(Tok::RBrace) && !at(Tok::Eof) && Errors.size() < MaxErrors) {
+      size_t Before = Pos;
+      parseMember(C);
+      if (Pos == Before)
+        advance(); // Guarantee progress on malformed input.
+    }
+    expect(Tok::RBrace, "'}'");
+    return C;
+  }
+
+  void parseMember(ClassDecl &C) {
+    uint32_t Line = cur().Line;
+    bool IsStatic = accept(Tok::KwStatic);
+    if (accept(Tok::KwVar)) {
+      FieldDecl F;
+      F.Line = Line;
+      F.IsStatic = IsStatic;
+      F.Name = expectIdent("field name");
+      if (accept(Tok::Assign)) {
+        if (!IsStatic)
+          error("only static fields may have initializers");
+        F.Init = parseExpr();
+      }
+      expect(Tok::Semi, "';'");
+      C.Fields.push_back(std::move(F));
+      return;
+    }
+    MethodDecl M;
+    M.Line = Line;
+    M.IsStatic = IsStatic;
+    M.Name = expectIdent("method name");
+    M.IsCtor = (M.Name == C.Name);
+    if (M.IsCtor && IsStatic)
+      error("constructor may not be static");
+    expect(Tok::LParen, "'('");
+    M.Params = parseParams();
+    expect(Tok::RParen, "')'");
+    M.Body = parseBlock();
+    C.Methods.push_back(std::move(M));
+  }
+
+  std::vector<std::string> parseParams() {
+    std::vector<std::string> Params;
+    if (at(Tok::RParen))
+      return Params;
+    Params.push_back(expectIdent("parameter name"));
+    while (accept(Tok::Comma))
+      Params.push_back(expectIdent("parameter name"));
+    return Params;
+  }
+
+  // --- Statements. ---
+  std::vector<StmtPtr> parseBlock() {
+    std::vector<StmtPtr> Body;
+    expect(Tok::LBrace, "'{'");
+    while (!at(Tok::RBrace) && !at(Tok::Eof) && Errors.size() < MaxErrors) {
+      size_t Before = Pos;
+      Body.push_back(parseStmt());
+      if (Pos == Before)
+        advance(); // Guarantee progress on malformed input.
+    }
+    expect(Tok::RBrace, "'}'");
+    return Body;
+  }
+
+  StmtPtr parseStmt() {
+    auto S = std::make_unique<Stmt>();
+    S->Line = cur().Line;
+    if (accept(Tok::KwVar)) {
+      S->K = Stmt::Kind::VarDecl;
+      S->Str = expectIdent("variable name");
+      if (accept(Tok::Assign))
+        S->E1 = parseExpr();
+      expect(Tok::Semi, "';'");
+      return S;
+    }
+    if (at(Tok::KwIf))
+      return parseIf();
+    if (accept(Tok::KwWhile)) {
+      S->K = Stmt::Kind::While;
+      expect(Tok::LParen, "'('");
+      S->C = parseCond();
+      expect(Tok::RParen, "')'");
+      S->Body = parseBlock();
+      return S;
+    }
+    if (accept(Tok::KwReturn)) {
+      S->K = Stmt::Kind::Return;
+      if (!at(Tok::Semi))
+        S->E1 = parseExpr();
+      expect(Tok::Semi, "';'");
+      return S;
+    }
+    if (at(Tok::KwSuper) && Toks[Pos + 1].Kind == Tok::LParen) {
+      advance();
+      S->K = Stmt::Kind::SuperCall;
+      expect(Tok::LParen, "'('");
+      S->Args = parseArgs();
+      expect(Tok::RParen, "')'");
+      expect(Tok::Semi, "';'");
+      return S;
+    }
+    // Assignment or expression statement.
+    ExprPtr E = parseExpr();
+    if (accept(Tok::Assign)) {
+      S->K = Stmt::Kind::Assign;
+      S->E1 = std::move(E);
+      S->E2 = parseExpr();
+    } else {
+      S->K = Stmt::Kind::ExprStmt;
+      S->E1 = std::move(E);
+    }
+    expect(Tok::Semi, "';'");
+    return S;
+  }
+
+  StmtPtr parseIf() {
+    auto S = std::make_unique<Stmt>();
+    S->Line = cur().Line;
+    expect(Tok::KwIf, "'if'");
+    S->K = Stmt::Kind::If;
+    expect(Tok::LParen, "'('");
+    S->C = parseCond();
+    expect(Tok::RParen, "')'");
+    S->Body = parseBlock();
+    if (accept(Tok::KwElse)) {
+      if (at(Tok::KwIf)) {
+        S->ElseBody.push_back(parseIf());
+      } else {
+        S->ElseBody = parseBlock();
+      }
+    }
+    return S;
+  }
+
+  // --- Conditions. ---
+  CondPtr parseCond() {
+    CondPtr L = parseAndCond();
+    while (accept(Tok::OrOr)) {
+      auto C = std::make_unique<Cond>();
+      C->K = Cond::Kind::Or;
+      C->Line = cur().Line;
+      C->C1 = std::move(L);
+      C->C2 = parseAndCond();
+      L = std::move(C);
+    }
+    return L;
+  }
+
+  CondPtr parseAndCond() {
+    CondPtr L = parseAtomCond();
+    while (accept(Tok::AndAnd)) {
+      auto C = std::make_unique<Cond>();
+      C->K = Cond::Kind::And;
+      C->Line = cur().Line;
+      C->C1 = std::move(L);
+      C->C2 = parseAtomCond();
+      L = std::move(C);
+    }
+    return L;
+  }
+
+  CondPtr parseAtomCond() {
+    auto C = std::make_unique<Cond>();
+    C->Line = cur().Line;
+    if (at(Tok::Star) &&
+        (Toks[Pos + 1].Kind == Tok::RParen ||
+         Toks[Pos + 1].Kind == Tok::AndAnd ||
+         Toks[Pos + 1].Kind == Tok::OrOr)) {
+      advance();
+      C->K = Cond::Kind::Nondet;
+      return C;
+    }
+    // Parenthesized sub-condition, e.g. (a && (b || c)). Ambiguous with a
+    // parenthesized expression like (x + y) < z, so parse speculatively
+    // and roll back if it does not read as a condition.
+    if (at(Tok::LParen)) {
+      size_t SavedPos = Pos;
+      size_t SavedErrors = Errors.size();
+      advance();
+      CondPtr Inner = parseCond();
+      bool Ok = Errors.size() == SavedErrors && at(Tok::RParen) &&
+                (Toks[Pos + 1].Kind == Tok::AndAnd ||
+                 Toks[Pos + 1].Kind == Tok::OrOr ||
+                 Toks[Pos + 1].Kind == Tok::RParen);
+      if (Ok) {
+        advance(); // ')'
+        return Inner;
+      }
+      Pos = SavedPos;
+      Errors.resize(SavedErrors);
+    }
+    C->K = Cond::Kind::Cmp;
+    C->L = parseExpr();
+    switch (cur().Kind) {
+    case Tok::EqEq:
+      C->Rel = RelOp::EQ;
+      break;
+    case Tok::NotEq:
+      C->Rel = RelOp::NE;
+      break;
+    case Tok::Lt:
+      C->Rel = RelOp::LT;
+      break;
+    case Tok::Le:
+      C->Rel = RelOp::LE;
+      break;
+    case Tok::Gt:
+      C->Rel = RelOp::GT;
+      break;
+    case Tok::Ge:
+      C->Rel = RelOp::GE;
+      break;
+    default:
+      error("expected comparison operator in condition");
+      return C;
+    }
+    advance();
+    C->R = parseExpr();
+    return C;
+  }
+
+  // --- Expressions. ---
+  std::vector<ExprPtr> parseArgs() {
+    std::vector<ExprPtr> Args;
+    if (at(Tok::RParen))
+      return Args;
+    Args.push_back(parseExpr());
+    while (accept(Tok::Comma))
+      Args.push_back(parseExpr());
+    return Args;
+  }
+
+  ExprPtr mkExpr(Expr::Kind K) {
+    auto E = std::make_unique<Expr>();
+    E->K = K;
+    E->Line = cur().Line;
+    return E;
+  }
+
+  ExprPtr parseExpr() {
+    ExprPtr L = parseMul();
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      BinopKind BK = at(Tok::Plus) ? BinopKind::Add : BinopKind::Sub;
+      advance();
+      auto E = mkExpr(Expr::Kind::Binary);
+      E->BK = BK;
+      E->A = std::move(L);
+      E->B = parseMul();
+      L = std::move(E);
+    }
+    return L;
+  }
+
+  ExprPtr parseMul() {
+    ExprPtr L = parseUnary();
+    while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+      BinopKind BK = at(Tok::Star)    ? BinopKind::Mul
+                     : at(Tok::Slash) ? BinopKind::Div
+                                      : BinopKind::Rem;
+      advance();
+      auto E = mkExpr(Expr::Kind::Binary);
+      E->BK = BK;
+      E->A = std::move(L);
+      E->B = parseUnary();
+      L = std::move(E);
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    if (accept(Tok::Minus)) {
+      auto E = mkExpr(Expr::Kind::Neg);
+      E->A = parseUnary();
+      return E;
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    while (true) {
+      if (accept(Tok::Dot)) {
+        std::string Member = expectIdent("member name");
+        if (accept(Tok::LParen)) {
+          auto Call = mkExpr(Expr::Kind::Call);
+          Call->Str = std::move(Member);
+          Call->A = std::move(E);
+          Call->Args = parseArgs();
+          expect(Tok::RParen, "')'");
+          E = std::move(Call);
+        } else {
+          auto Get = mkExpr(Expr::Kind::FieldGet);
+          Get->Str = std::move(Member);
+          Get->A = std::move(E);
+          E = std::move(Get);
+        }
+        continue;
+      }
+      if (accept(Tok::LBracket)) {
+        auto Idx = mkExpr(Expr::Kind::Index);
+        Idx->A = std::move(E);
+        Idx->B = parseExpr();
+        expect(Tok::RBracket, "']'");
+        E = std::move(Idx);
+        continue;
+      }
+      break;
+    }
+    return E;
+  }
+
+  ExprPtr parsePrimary() {
+    if (at(Tok::IntLit)) {
+      auto E = mkExpr(Expr::Kind::IntLit);
+      E->IntVal = cur().IntVal;
+      advance();
+      return E;
+    }
+    if (at(Tok::StrLit)) {
+      auto E = mkExpr(Expr::Kind::StrLit);
+      E->Str = cur().Text;
+      advance();
+      if (accept(Tok::At))
+        E->Label = expectIdent("allocation label after '@'");
+      return E;
+    }
+    if (accept(Tok::KwNull))
+      return mkExpr(Expr::Kind::Null);
+    if (accept(Tok::KwThis))
+      return mkExpr(Expr::Kind::This);
+    if (accept(Tok::LParen)) {
+      ExprPtr E = parseExpr();
+      expect(Tok::RParen, "')'");
+      return E;
+    }
+    if (accept(Tok::KwNew)) {
+      std::string ClassName = expectIdent("class name after 'new'");
+      ExprPtr E;
+      if (accept(Tok::LBracket)) {
+        E = mkExpr(Expr::Kind::NewArray);
+        E->Str = std::move(ClassName);
+        E->A = parseExpr();
+        expect(Tok::RBracket, "']'");
+      } else {
+        expect(Tok::LParen, "'('");
+        E = mkExpr(Expr::Kind::New);
+        E->Str = std::move(ClassName);
+        E->Args = parseArgs();
+        expect(Tok::RParen, "')'");
+      }
+      if (accept(Tok::At))
+        E->Label = expectIdent("allocation label after '@'");
+      return E;
+    }
+    if (at(Tok::Ident)) {
+      std::string Name = cur().Text;
+      uint32_t Line = cur().Line;
+      advance();
+      if (accept(Tok::LParen)) {
+        auto Call = mkExpr(Expr::Kind::Call);
+        Call->Line = Line;
+        Call->Str = std::move(Name);
+        Call->Args = parseArgs();
+        expect(Tok::RParen, "')'");
+        return Call;
+      }
+      auto E = mkExpr(Expr::Kind::Name);
+      E->Line = Line;
+      E->Str = std::move(Name);
+      return E;
+    }
+    error(std::string("expected expression, found ") + tokName(cur().Kind));
+    advance();
+    return mkExpr(Expr::Kind::Null);
+  }
+
+  static constexpr size_t MaxErrors = 25;
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+ParseResult mj::parseUnit(std::string_view Source) {
+  return Parser(Source).run();
+}

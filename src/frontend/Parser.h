@@ -1,0 +1,66 @@
+//===- Parser.h - Recursive-descent parser for mini-Java --------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the AST of frontend/AST.h.
+///
+/// Grammar (EBNF):
+/// \code
+///   unit      := (classDecl | funDecl)*
+///   funDecl   := "fun" ID "(" params ")" block
+///   classDecl := ["container"] "class" ID ["extends" ID] "{" member* "}"
+///   member    := "static" "var" ID ["=" expr] ";"
+///              | "var" ID ";"
+///              | ["static"] ID "(" params ")" block   // ctor if ID == class
+///   params    := [ID ("," ID)*]
+///   block     := "{" stmt* "}"
+///   stmt      := "var" ID ["=" expr] ";"
+///              | "if" "(" cond ")" block ["else" (block | ifStmt)]
+///              | "while" "(" cond ")" block
+///              | "return" [expr] ";"
+///              | "super" "(" args ")" ";"
+///              | expr ["=" expr] ";"
+///   cond      := andCond ("||" andCond)*
+///   andCond   := atomCond ("&&" atomCond)*
+///   atomCond  := "*" | "(" cond ")" | expr relop expr
+///   relop     := "==" | "!=" | "<" | "<=" | ">" | ">="
+///   expr      := mulExpr (("+"|"-") mulExpr)*
+///   mulExpr   := unary (("*"|"/"|"%") unary)*
+///   unary     := "-" unary | postfix
+///   postfix   := primary ("." ID ["(" args ")"] | "[" expr "]")*
+///   primary   := INT | STRING ["@" ID] | "null" | "this" | "(" expr ")"
+///              | ID ["(" args ")"]
+///              | "new" ID ("(" args ")" | "[" expr "]") ["@" ID]
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_FRONTEND_PARSER_H
+#define THRESHER_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thresher {
+namespace mj {
+
+/// Parse result: the unit plus any syntax errors ("line N: message").
+struct ParseResult {
+  Unit TheUnit;
+  std::vector<std::string> Errors;
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Parses one source text.
+ParseResult parseUnit(std::string_view Source);
+
+} // namespace mj
+} // namespace thresher
+
+#endif // THRESHER_FRONTEND_PARSER_H

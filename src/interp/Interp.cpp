@@ -1,0 +1,375 @@
+#include "interp/Interp.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace thresher;
+
+Interpreter::Interpreter(const Program &Prog, InterpOptions Options)
+    : P(Prog), Opts(std::move(Options)) {
+  Globals.assign(P.Globals.size(), Value::mkNull());
+  if (!Opts.HavocProvider)
+    Opts.HavocProvider = []() { return 0; };
+}
+
+void Interpreter::fail(const std::string &Msg) {
+  if (!Failed) {
+    Failed = true;
+    Result.Error = Msg;
+  }
+}
+
+InterpResult Interpreter::run() {
+  if (P.EntryFunc == InvalidId) {
+    fail("program has no entry function");
+    return std::move(Result);
+  }
+  return runFunction(P.EntryFunc);
+}
+
+InterpResult Interpreter::runFunction(FuncId F) {
+  Value Ret;
+  if (callFunction(F, {}, Ret) && !Failed)
+    Result.Completed = true;
+  return std::move(Result);
+}
+
+bool Interpreter::callFunction(FuncId F, const std::vector<Value> &Args,
+                               Value &Ret) {
+  const Function &Fn = P.Funcs[F];
+  assert(Args.size() == Fn.NumParams && "arity mismatch at runtime");
+  if (++CallDepth > Opts.MaxCallDepth) {
+    fail("call depth exceeded in " + P.funcName(F));
+    --CallDepth;
+    return false;
+  }
+  std::vector<Value> Locals(Fn.NumVars, Value::mkNull());
+  for (size_t I = 0; I < Args.size(); ++I)
+    Locals[I] = Args[I];
+  bool Ok = execBlockChain(F, Locals, Ret);
+  --CallDepth;
+  return Ok;
+}
+
+bool Interpreter::execBlockChain(FuncId F, std::vector<Value> &Locals,
+                                 Value &Ret) {
+  const Function &Fn = P.Funcs[F];
+  BlockId B = Fn.Entry;
+
+  auto RequireRef = [&](const Value &V, const char *What) -> bool {
+    if (V.isRef())
+      return true;
+    fail(std::string("null dereference (") + What + ") in " + P.funcName(F));
+    return false;
+  };
+
+  while (true) {
+    const BasicBlock &BB = Fn.Blocks[B];
+    for (uint32_t Idx = 0; Idx < BB.Insts.size(); ++Idx) {
+      const Instruction &I = BB.Insts[Idx];
+      if (++Result.Steps > Opts.MaxSteps) {
+        fail("step budget exceeded");
+        return false;
+      }
+      switch (I.Op) {
+      case Opcode::Assign:
+        Locals[I.Dst] = Locals[I.Src];
+        break;
+      case Opcode::ConstInt:
+        Locals[I.Dst] = Value::mkInt(I.IntVal);
+        break;
+      case Opcode::ConstNull:
+        Locals[I.Dst] = Value::mkNull();
+        break;
+      case Opcode::Havoc:
+        Locals[I.Dst] = Value::mkInt(Opts.HavocProvider());
+        break;
+      case Opcode::New: {
+        HeapObject Obj;
+        Obj.Class = I.Class;
+        Obj.Site = I.Alloc;
+        Heap.push_back(std::move(Obj));
+        Locals[I.Dst] = Value::mkRef(static_cast<uint32_t>(Heap.size() - 1));
+        break;
+      }
+      case Opcode::NewArray: {
+        int64_t Len = I.RhsIsConst ? I.IntVal : Locals[I.Src].I;
+        if (!I.RhsIsConst && Locals[I.Src].K != Value::Kind::Int) {
+          fail("array length is not an integer");
+          return false;
+        }
+        if (Len < 0) {
+          fail("negative array length");
+          return false;
+        }
+        HeapObject Obj;
+        Obj.Class = I.Class;
+        Obj.Site = I.Alloc;
+        Obj.IsArray = true;
+        Obj.Elems.assign(static_cast<size_t>(Len), Value::mkNull());
+        Heap.push_back(std::move(Obj));
+        Locals[I.Dst] = Value::mkRef(static_cast<uint32_t>(Heap.size() - 1));
+        break;
+      }
+      case Opcode::Load: {
+        const Value &Base = Locals[I.Src];
+        if (!RequireRef(Base, "field load"))
+          return false;
+        const HeapObject &Obj = Heap[Base.Obj];
+        auto It = Obj.Fields.find(I.Field);
+        Locals[I.Dst] = It == Obj.Fields.end() ? Value::mkNull() : It->second;
+        break;
+      }
+      case Opcode::Store: {
+        const Value &Base = Locals[I.Dst];
+        if (!RequireRef(Base, "field store"))
+          return false;
+        const Value &V = Locals[I.Src];
+        Heap[Base.Obj].Fields[I.Field] = V;
+        if (Opts.RecordWrites) {
+          WriteEvent E;
+          E.At = {F, B, Idx};
+          E.BaseSite = Heap[Base.Obj].Site;
+          E.Field = I.Field;
+          E.TargetSite = V.isRef() ? Heap[V.Obj].Site : InvalidId;
+          Result.Writes.push_back(E);
+        }
+        break;
+      }
+      case Opcode::LoadStatic:
+        Locals[I.Dst] = Globals[I.Global];
+        break;
+      case Opcode::StoreStatic: {
+        const Value &V = Locals[I.Src];
+        Globals[I.Global] = V;
+        if (Opts.RecordWrites) {
+          WriteEvent E;
+          E.At = {F, B, Idx};
+          E.IsStatic = true;
+          E.Global = I.Global;
+          E.TargetSite = V.isRef() ? Heap[V.Obj].Site : InvalidId;
+          Result.Writes.push_back(E);
+        }
+        break;
+      }
+      case Opcode::ArrayLoad: {
+        const Value &Arr = Locals[I.Src];
+        if (!RequireRef(Arr, "array load"))
+          return false;
+        const Value &Idx2 = Locals[I.Src2];
+        const HeapObject &Obj = Heap[Arr.Obj];
+        if (Idx2.K != Value::Kind::Int || Idx2.I < 0 ||
+            static_cast<size_t>(Idx2.I) >= Obj.Elems.size()) {
+          fail("array index out of bounds on load in " + P.funcName(F));
+          return false;
+        }
+        Locals[I.Dst] = Obj.Elems[static_cast<size_t>(Idx2.I)];
+        break;
+      }
+      case Opcode::ArrayStore: {
+        const Value &Arr = Locals[I.Dst];
+        if (!RequireRef(Arr, "array store"))
+          return false;
+        const Value &Idx2 = Locals[I.Src2];
+        HeapObject &Obj = Heap[Arr.Obj];
+        if (Idx2.K != Value::Kind::Int || Idx2.I < 0 ||
+            static_cast<size_t>(Idx2.I) >= Obj.Elems.size()) {
+          fail("array index out of bounds on store in " + P.funcName(F));
+          return false;
+        }
+        const Value &V = Locals[I.Src];
+        Obj.Elems[static_cast<size_t>(Idx2.I)] = V;
+        if (Opts.RecordWrites) {
+          WriteEvent E;
+          E.At = {F, B, Idx};
+          E.BaseSite = Obj.Site;
+          E.Field = P.ElemsField;
+          E.TargetSite = V.isRef() ? Heap[V.Obj].Site : InvalidId;
+          Result.Writes.push_back(E);
+        }
+        break;
+      }
+      case Opcode::ArrayLen: {
+        const Value &Arr = Locals[I.Src];
+        if (!RequireRef(Arr, "length"))
+          return false;
+        Locals[I.Dst] =
+            Value::mkInt(static_cast<int64_t>(Heap[Arr.Obj].Elems.size()));
+        break;
+      }
+      case Opcode::Binop: {
+        const Value &A = Locals[I.Src];
+        int64_t Rhs = I.RhsIsConst ? I.IntVal : Locals[I.Src2].I;
+        if (A.K != Value::Kind::Int ||
+            (!I.RhsIsConst && Locals[I.Src2].K != Value::Kind::Int)) {
+          fail("arithmetic on non-integer in " + P.funcName(F));
+          return false;
+        }
+        int64_t R = 0;
+        switch (I.BK) {
+        case BinopKind::Add:
+          R = A.I + Rhs;
+          break;
+        case BinopKind::Sub:
+          R = A.I - Rhs;
+          break;
+        case BinopKind::Mul:
+          R = A.I * Rhs;
+          break;
+        case BinopKind::Div:
+          if (Rhs == 0) {
+            fail("division by zero in " + P.funcName(F));
+            return false;
+          }
+          R = A.I / Rhs;
+          break;
+        case BinopKind::Rem:
+          if (Rhs == 0) {
+            fail("remainder by zero in " + P.funcName(F));
+            return false;
+          }
+          R = A.I % Rhs;
+          break;
+        }
+        Locals[I.Dst] = Value::mkInt(R);
+        break;
+      }
+      case Opcode::Call: {
+        FuncId Callee = I.DirectCallee;
+        if (I.IsVirtual) {
+          const Value &Recv = Locals[I.Args[0]];
+          if (!RequireRef(Recv, "virtual call receiver"))
+            return false;
+          Callee = P.resolveVirtual(Heap[Recv.Obj].Class, I.Method);
+          if (Callee == InvalidId) {
+            fail("unresolved virtual call to '" + P.Names.str(I.Method) +
+                 "' on " + P.className(Heap[Recv.Obj].Class));
+            return false;
+          }
+        }
+        std::vector<Value> Args;
+        Args.reserve(I.Args.size());
+        for (VarId A : I.Args)
+          Args.push_back(Locals[A]);
+        Value RetV;
+        if (!callFunction(Callee, Args, RetV))
+          return false;
+        if (I.Dst != NoVar)
+          Locals[I.Dst] = RetV;
+        break;
+      }
+      }
+    }
+
+    // Terminator.
+    const Terminator &T = BB.Term;
+    if (++Result.Steps > Opts.MaxSteps) {
+      fail("step budget exceeded");
+      return false;
+    }
+    switch (T.Kind) {
+    case TermKind::Goto:
+      B = T.Then;
+      break;
+    case TermKind::Return:
+      Ret = T.HasRetVal ? Locals[T.RetVal] : Value::mkNull();
+      return true;
+    case TermKind::If: {
+      const Value &L = Locals[T.Lhs];
+      bool Taken = false;
+      if (T.RhsKind == CondRhsKind::Null) {
+        bool IsNull = L.isNull();
+        Taken = (T.Rel == RelOp::EQ) ? IsNull : !IsNull;
+      } else {
+        int64_t LV, RV;
+        if (T.RhsKind == CondRhsKind::IntConst) {
+          RV = T.RhsConst;
+        } else {
+          const Value &R = Locals[T.Rhs];
+          // Reference equality compares heap indices; mixed null/ref works.
+          if (L.isRef() || R.isRef() || (L.isNull() && R.isNull())) {
+            bool Eq = (L.K == R.K) && (!L.isRef() || L.Obj == R.Obj);
+            if (T.Rel == RelOp::EQ)
+              Taken = Eq;
+            else if (T.Rel == RelOp::NE)
+              Taken = !Eq;
+            else {
+              fail("ordered comparison of references");
+              return false;
+            }
+            B = Taken ? T.Then : T.Else;
+            goto nextBlock;
+          }
+          RV = R.I;
+        }
+        if (L.isRef() || L.isNull()) {
+          // Comparing a reference/null against an int constant: only ==/!=
+          // against semantics of 'false' make no sense; treat as error.
+          fail("comparison of reference with integer");
+          return false;
+        }
+        LV = L.I;
+        switch (T.Rel) {
+        case RelOp::EQ:
+          Taken = LV == RV;
+          break;
+        case RelOp::NE:
+          Taken = LV != RV;
+          break;
+        case RelOp::LT:
+          Taken = LV < RV;
+          break;
+        case RelOp::LE:
+          Taken = LV <= RV;
+          break;
+        case RelOp::GT:
+          Taken = LV > RV;
+          break;
+        case RelOp::GE:
+          Taken = LV >= RV;
+          break;
+        }
+      }
+      B = Taken ? T.Then : T.Else;
+      break;
+    }
+    }
+  nextBlock:;
+  }
+}
+
+bool Interpreter::activityReachableFromStatic(ClassId ActivityBase) const {
+  return !reachableActivities(ActivityBase).empty();
+}
+
+std::vector<std::pair<GlobalId, AllocSiteId>>
+Interpreter::reachableActivities(ClassId ActivityBase) const {
+  std::vector<std::pair<GlobalId, AllocSiteId>> Out;
+  for (GlobalId G = 0; G < Globals.size(); ++G) {
+    if (!Globals[G].isRef())
+      continue;
+    // BFS over the heap from this global.
+    std::vector<bool> Seen(Heap.size(), false);
+    std::deque<uint32_t> Work;
+    Work.push_back(Globals[G].Obj);
+    Seen[Globals[G].Obj] = true;
+    while (!Work.empty()) {
+      uint32_t O = Work.front();
+      Work.pop_front();
+      const HeapObject &Obj = Heap[O];
+      if (!Obj.IsArray && P.isSubclassOf(Obj.Class, ActivityBase))
+        Out.push_back({G, Obj.Site});
+      auto Visit = [&](const Value &V) {
+        if (V.isRef() && !Seen[V.Obj]) {
+          Seen[V.Obj] = true;
+          Work.push_back(V.Obj);
+        }
+      };
+      for (const auto &[_, V] : Obj.Fields)
+        Visit(V);
+      for (const Value &V : Obj.Elems)
+        Visit(V);
+    }
+  }
+  return Out;
+}

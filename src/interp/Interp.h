@@ -1,0 +1,132 @@
+//===- Interp.h - Concrete IR interpreter -----------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete big-step interpreter for the IR. Its role in this project is
+/// to provide ground truth: the refutation-soundness property tests run
+/// programs under many nondeterministic schedules and check that no heap
+/// fact the symbolic engine refuted is ever realized concretely
+/// (Theorem 1 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_INTERP_INTERP_H
+#define THRESHER_INTERP_INTERP_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// A runtime value: null, an integer, or a heap reference.
+struct Value {
+  enum class Kind : uint8_t { Null, Int, Ref };
+  Kind K = Kind::Null;
+  int64_t I = 0;    ///< Integer payload.
+  uint32_t Obj = 0; ///< Heap index for Kind::Ref.
+
+  static Value mkNull() { return {}; }
+  static Value mkInt(int64_t V) {
+    Value R;
+    R.K = Kind::Int;
+    R.I = V;
+    return R;
+  }
+  static Value mkRef(uint32_t Obj) {
+    Value R;
+    R.K = Kind::Ref;
+    R.Obj = Obj;
+    return R;
+  }
+  bool isNull() const { return K == Kind::Null; }
+  bool isRef() const { return K == Kind::Ref; }
+};
+
+/// A heap object or array.
+struct HeapObject {
+  ClassId Class = InvalidId;
+  AllocSiteId Site = InvalidId;
+  bool IsArray = false;
+  std::map<FieldId, Value> Fields; ///< Absent fields read as null.
+  std::vector<Value> Elems;        ///< Array payload.
+};
+
+/// A concrete heap write event: statement position plus the abstract
+/// identities of base and target. Used by soundness property tests to
+/// compare against symbolic refutations.
+struct WriteEvent {
+  ProgramPoint At;          ///< Position of the store instruction.
+  bool IsStatic = false;    ///< True for global (static field) writes.
+  GlobalId Global = InvalidId;
+  AllocSiteId BaseSite = InvalidId;   ///< For instance/array writes.
+  FieldId Field = InvalidId;          ///< @elems for array writes.
+  AllocSiteId TargetSite = InvalidId; ///< InvalidId when storing null/int.
+};
+
+/// Interpreter outcome.
+struct InterpResult {
+  bool Completed = false;    ///< Ran to normal termination.
+  std::string Error;         ///< Non-empty on runtime error.
+  uint64_t Steps = 0;        ///< Instructions executed.
+  std::vector<WriteEvent> Writes; ///< All heap write events, in order.
+};
+
+/// Interpreter configuration.
+struct InterpOptions {
+  uint64_t MaxSteps = 1'000'000; ///< Step budget; exceeding is an error.
+  uint32_t MaxCallDepth = 2000;  ///< Frame budget (guards the C++ stack).
+  /// Supplies values for Havoc instructions (harness nondeterminism).
+  /// Defaults to always-zero if unset.
+  std::function<int64_t()> HavocProvider;
+  /// If true, record WriteEvents (costs memory on long runs).
+  bool RecordWrites = true;
+};
+
+/// Concrete interpreter over a Program.
+class Interpreter {
+public:
+  Interpreter(const Program &P, InterpOptions Opts = {});
+
+  /// Runs the program's entry function. Can be called once per Interpreter.
+  InterpResult run();
+
+  /// Runs an arbitrary 0-argument function (e.g. for unit tests).
+  InterpResult runFunction(FuncId F);
+
+  /// After run(): true if any object whose class derives from
+  /// \p ActivityBase is reachable from some static field via references.
+  bool activityReachableFromStatic(ClassId ActivityBase) const;
+
+  /// After run(): the set of (global, reachable activity allocation site)
+  /// pairs, mirroring the leak client's alarm universe.
+  std::vector<std::pair<GlobalId, AllocSiteId>>
+  reachableActivities(ClassId ActivityBase) const;
+
+  const std::vector<HeapObject> &heap() const { return Heap; }
+  const std::vector<Value> &globals() const { return Globals; }
+
+private:
+  bool callFunction(FuncId F, const std::vector<Value> &Args, Value &Ret);
+  bool execBlockChain(FuncId F, std::vector<Value> &Locals, Value &Ret);
+  void fail(const std::string &Msg);
+
+  const Program &P;
+  InterpOptions Opts;
+  std::vector<HeapObject> Heap;
+  std::vector<Value> Globals;
+  InterpResult Result;
+  bool Failed = false;
+  uint32_t CallDepth = 0;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_INTERP_INTERP_H

@@ -1,0 +1,189 @@
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace thresher;
+
+RelOp thresher::negateRelOp(RelOp R) {
+  switch (R) {
+  case RelOp::EQ:
+    return RelOp::NE;
+  case RelOp::NE:
+    return RelOp::EQ;
+  case RelOp::LT:
+    return RelOp::GE;
+  case RelOp::LE:
+    return RelOp::GT;
+  case RelOp::GT:
+    return RelOp::LE;
+  case RelOp::GE:
+    return RelOp::LT;
+  }
+  assert(false && "unknown relop");
+  return RelOp::EQ;
+}
+
+RelOp thresher::swapRelOp(RelOp R) {
+  switch (R) {
+  case RelOp::EQ:
+    return RelOp::EQ;
+  case RelOp::NE:
+    return RelOp::NE;
+  case RelOp::LT:
+    return RelOp::GT;
+  case RelOp::LE:
+    return RelOp::GE;
+  case RelOp::GT:
+    return RelOp::LT;
+  case RelOp::GE:
+    return RelOp::LE;
+  }
+  assert(false && "unknown relop");
+  return RelOp::EQ;
+}
+
+std::vector<BlockId> Function::successors(BlockId B) const {
+  assert(B < Blocks.size() && "block out of range");
+  const Terminator &T = Blocks[B].Term;
+  switch (T.Kind) {
+  case TermKind::Goto:
+    return {T.Then};
+  case TermKind::If:
+    if (T.Then == T.Else)
+      return {T.Then};
+    return {T.Then, T.Else};
+  case TermKind::Return:
+    return {};
+  }
+  return {};
+}
+
+const LoopInfo &Function::loopAt(BlockId B) const {
+  assert(isLoopHeader(B) && "not a loop header");
+  return Loops[LoopIndexOfHeader[B]];
+}
+
+std::string Function::varName(VarId V) const {
+  if (V < VarNames.size() && !VarNames[V].empty())
+    return VarNames[V];
+  return "v" + std::to_string(V);
+}
+
+namespace {
+
+/// Records the destination local of \p I into \p Vars and its heap effects
+/// into \p Mods.
+void recordWrites(const Instruction &I, IdSet &Vars, ModSet &Mods,
+                  bool &HasCalls) {
+  if (I.Dst != NoVar && I.Op != Opcode::Store && I.Op != Opcode::ArrayStore)
+    Vars.insert(I.Dst);
+  switch (I.Op) {
+  case Opcode::Store:
+    Mods.Fields.insert(I.Field);
+    break;
+  case Opcode::ArrayStore:
+    Mods.Fields.insert(I.Field); // The @elems pseudo-field.
+    break;
+  case Opcode::StoreStatic:
+    Mods.Globals.insert(I.Global);
+    break;
+  case Opcode::New:
+  case Opcode::NewArray:
+    Mods.AllocatesOrCalls = true;
+    break;
+  case Opcode::Call:
+    Mods.AllocatesOrCalls = true;
+    HasCalls = true;
+    break;
+  default:
+    break;
+  }
+}
+
+} // namespace
+
+void Function::analyze() {
+  size_t N = Blocks.size();
+  Preds.assign(N, {});
+  for (BlockId B = 0; B < N; ++B)
+    for (BlockId S : successors(B))
+      Preds[S].push_back(B);
+
+  // Iterative dominator computation (small CFGs; simplicity over speed).
+  // Dom[B] is the set of blocks dominating B, as a bitset in a vector.
+  std::vector<std::vector<bool>> Dom(N, std::vector<bool>(N, true));
+  if (N > 0) {
+    Dom[Entry].assign(N, false);
+    Dom[Entry][Entry] = true;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B = 0; B < N; ++B) {
+        if (B == Entry)
+          continue;
+        std::vector<bool> NewDom(N, true);
+        if (Preds[B].empty())
+          NewDom.assign(N, false); // Unreachable: dominated by nothing.
+        for (BlockId P : Preds[B])
+          for (size_t K = 0; K < N; ++K)
+            NewDom[K] = NewDom[K] && Dom[P][K];
+        NewDom[B] = true;
+        if (NewDom != Dom[B]) {
+          Dom[B] = std::move(NewDom);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // Natural loops: back edge B -> H where H dominates B. The body is the set
+  // of blocks that reach B without passing through H.
+  Loops.clear();
+  LoopIndexOfHeader.assign(N, InvalidId);
+  for (BlockId B = 0; B < N; ++B) {
+    for (BlockId H : successors(B)) {
+      if (!Dom[B][H])
+        continue;
+      // Found back edge B -> H. Merge into an existing loop at H if any.
+      uint32_t Idx = LoopIndexOfHeader[H];
+      if (Idx == InvalidId) {
+        Idx = static_cast<uint32_t>(Loops.size());
+        Loops.push_back({});
+        Loops[Idx].Header = H;
+        Loops[Idx].Body.insert(H);
+        LoopIndexOfHeader[H] = Idx;
+      }
+      LoopInfo &L = Loops[Idx];
+      // Backwards reachability from B, stopping at H.
+      std::vector<BlockId> Work;
+      if (L.Body.insert(B))
+        Work.push_back(B);
+      while (!Work.empty()) {
+        BlockId Cur = Work.back();
+        Work.pop_back();
+        if (Cur == H)
+          continue;
+        for (BlockId P : Preds[Cur])
+          if (L.Body.insert(P))
+            Work.push_back(P);
+      }
+    }
+  }
+
+  // Per-loop and per-function write summaries.
+  LocalMods = {};
+  bool IgnoredCalls = false;
+  IdSet IgnoredVars;
+  for (const BasicBlock &BB : Blocks)
+    for (const Instruction &I : BB.Insts)
+      recordWrites(I, IgnoredVars, LocalMods, IgnoredCalls);
+
+  for (LoopInfo &L : Loops) {
+    for (uint32_t B : L.Body) {
+      for (const Instruction &I : Blocks[B].Insts)
+        recordWrites(I, L.VarsWritten, L.Mods, L.HasCalls);
+    }
+  }
+
+  Analyzed = true;
+}

@@ -1,0 +1,100 @@
+//===- Function.h - Functions, blocks, CFG analyses -------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functions (methods) with their basic-block CFGs, plus the derived CFG
+/// facts the backwards symbolic executor needs: predecessor lists,
+/// dominators, and natural-loop information (headers, bodies, and the
+/// variables/fields/globals a loop body may modify).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_IR_FUNCTION_H
+#define THRESHER_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+#include "support/IdSet.h"
+
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// A basic block: straight-line instructions plus one terminator.
+struct BasicBlock {
+  std::vector<Instruction> Insts;
+  Terminator Term;
+};
+
+/// Sets of things a region of code may modify; used both for loop widening
+/// and (per-function, transitively) for sound call skipping.
+struct ModSet {
+  IdSet Fields;   ///< Instance/array fields possibly written.
+  IdSet Globals;  ///< Static fields possibly written.
+  bool AllocatesOrCalls = false; ///< Region allocates or makes calls.
+
+  bool mergeFrom(const ModSet &Other) {
+    bool Changed = Fields.insertAll(Other.Fields);
+    Changed |= Globals.insertAll(Other.Globals);
+    if (Other.AllocatesOrCalls && !AllocatesOrCalls) {
+      AllocatesOrCalls = true;
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+/// Natural loop discovered from a back edge; Body includes the header.
+struct LoopInfo {
+  BlockId Header = InvalidId;
+  IdSet Body;      ///< Block ids in the loop (header included).
+  IdSet VarsWritten;   ///< Locals assigned anywhere in the body.
+  ModSet Mods;     ///< Fields/globals the body writes (callees NOT included;
+                   ///< the engine unions callee mod sets on demand).
+  bool HasCalls = false; ///< Body contains call instructions.
+};
+
+/// A function (free function or method).
+struct Function {
+  NameId Name = InvalidId;
+  ClassId Owner = InvalidId;  ///< Owning class for methods, InvalidId else.
+  bool IsStatic = true;       ///< Instance methods receive `this` as param 0.
+  uint32_t NumParams = 0;     ///< Locals [0, NumParams) are parameters.
+  uint32_t NumVars = 0;       ///< Total local slots (params included).
+  std::vector<std::string> VarNames; ///< Debug names, may be shorter.
+  std::vector<BasicBlock> Blocks;
+  BlockId Entry = 0;
+
+  // ---- Derived facts, filled in by analyze(). ----
+  std::vector<std::vector<BlockId>> Preds;
+  std::vector<LoopInfo> Loops;             ///< One per loop header.
+  std::vector<uint32_t> LoopIndexOfHeader; ///< Block -> index or InvalidId.
+  ModSet LocalMods; ///< Fields/globals written directly by this function.
+  bool Analyzed = false;
+
+  /// Successor block ids of \p B.
+  std::vector<BlockId> successors(BlockId B) const;
+
+  /// True if \p B heads a natural loop.
+  bool isLoopHeader(BlockId B) const {
+    return Analyzed && B < LoopIndexOfHeader.size() &&
+           LoopIndexOfHeader[B] != InvalidId;
+  }
+
+  /// Loop info for header \p B; must be a loop header.
+  const LoopInfo &loopAt(BlockId B) const;
+
+  /// Computes Preds, dominators, natural loops, and mod summaries.
+  /// Call once after the body is complete (the builder does this).
+  void analyze();
+
+  /// Returns a debug name for local \p V.
+  std::string varName(VarId V) const;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_IR_FUNCTION_H

@@ -1,0 +1,395 @@
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace thresher;
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder
+//===----------------------------------------------------------------------===//
+
+ProgramBuilder::ProgramBuilder() : P(std::make_unique<Program>()) {
+  P->ObjectClass = addClass("Object");
+  P->StringClass = addClass("String");
+  // The synthetic field for array element contents.
+  FieldInfo FI;
+  FI.Name = P->Names.intern("@elems");
+  FI.Owner = InvalidId;
+  P->Fields.push_back(FI);
+  P->ElemsField = static_cast<FieldId>(P->Fields.size() - 1);
+}
+
+ClassId ProgramBuilder::addClass(std::string_view Name, ClassId Super,
+                                 uint8_t Flags) {
+  ClassInfo CI;
+  CI.Name = P->Names.intern(Name);
+  CI.Super = (Super == InvalidId && !P->Classes.empty()) ? P->ObjectClass
+                                                         : Super;
+  if (P->Classes.empty())
+    CI.Super = InvalidId; // The root class (Object) has no superclass.
+  CI.Flags = Flags;
+  P->Classes.push_back(std::move(CI));
+  return static_cast<ClassId>(P->Classes.size() - 1);
+}
+
+FieldId ProgramBuilder::addField(ClassId Owner, std::string_view Name) {
+  assert(Owner < P->Classes.size() && "bad owner class");
+  FieldInfo FI;
+  FI.Name = P->Names.intern(Name);
+  FI.Owner = Owner;
+  P->Fields.push_back(FI);
+  FieldId F = static_cast<FieldId>(P->Fields.size() - 1);
+  P->Classes[Owner].OwnFields.push_back(F);
+  return F;
+}
+
+GlobalId ProgramBuilder::addGlobal(ClassId Owner, std::string_view Name) {
+  GlobalInfo GI;
+  GI.Name = P->Names.intern(Name);
+  GI.Owner = Owner;
+  P->Globals.push_back(GI);
+  return static_cast<GlobalId>(P->Globals.size() - 1);
+}
+
+FunctionBuilder ProgramBuilder::beginFunc(std::string_view Name,
+                                          uint32_t NumParams, ClassId Owner,
+                                          bool IsStatic,
+                                          bool RegisterVirtual) {
+  Function Fn;
+  Fn.Name = P->Names.intern(Name);
+  Fn.Owner = Owner;
+  Fn.IsStatic = IsStatic;
+  Fn.NumParams = NumParams;
+  Fn.NumVars = NumParams;
+  Fn.Blocks.emplace_back(); // Entry block.
+  P->Funcs.push_back(std::move(Fn));
+  FuncId F = static_cast<FuncId>(P->Funcs.size() - 1);
+  if (Owner != InvalidId && !IsStatic && RegisterVirtual)
+    P->Classes[Owner].Methods[P->Funcs[F].Name] = F;
+  return FunctionBuilder(*this, F);
+}
+
+FunctionBuilder ProgramBuilder::resumeFunc(FuncId F) {
+  assert(F < P->Funcs.size() && "bad function id");
+  return FunctionBuilder(*this, F);
+}
+
+AllocSiteId ProgramBuilder::addAllocSite(ClassId C, FuncId InFunc,
+                                         std::string_view Label, bool IsArray,
+                                         std::string_view StrLit) {
+  AllocSiteInfo AI;
+  AI.Class = C;
+  AI.InFunc = InFunc;
+  std::string L(Label);
+  if (L.empty())
+    L = "alloc" + std::to_string(AnonAllocCount++);
+  AI.Label = P->Names.intern(L);
+  AI.IsArray = IsArray;
+  if (!StrLit.empty() || C == P->StringClass)
+    AI.StrLiteral = P->Names.intern(StrLit);
+  P->AllocSites.push_back(AI);
+  return static_cast<AllocSiteId>(P->AllocSites.size() - 1);
+}
+
+std::unique_ptr<Program> ProgramBuilder::take() {
+  for (Function &Fn : P->Funcs)
+    if (!Fn.Analyzed)
+      Fn.analyze();
+  return std::move(P);
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionBuilder
+//===----------------------------------------------------------------------===//
+
+Function &FunctionBuilder::func() { return PB.P->Funcs[F]; }
+
+VarId FunctionBuilder::param(uint32_t I) const {
+  assert(I < PB.P->Funcs[F].NumParams && "param index out of range");
+  return I;
+}
+
+VarId FunctionBuilder::newVar(std::string_view Name) {
+  Function &Fn = func();
+  VarId V = Fn.NumVars++;
+  Fn.VarNames.resize(Fn.NumVars);
+  Fn.VarNames[V] = std::string(Name);
+  return V;
+}
+
+void FunctionBuilder::setVarName(VarId V, std::string_view Name) {
+  Function &Fn = func();
+  assert(V < Fn.NumVars && "bad variable id");
+  if (Fn.VarNames.size() < Fn.NumVars)
+    Fn.VarNames.resize(Fn.NumVars);
+  Fn.VarNames[V] = std::string(Name);
+}
+
+BlockId FunctionBuilder::newBlock() {
+  func().Blocks.emplace_back();
+  return static_cast<BlockId>(func().Blocks.size() - 1);
+}
+
+void FunctionBuilder::setBlock(BlockId B) {
+  assert(B < func().Blocks.size() && "bad block");
+  Cur = B;
+}
+
+void FunctionBuilder::append(Instruction I) {
+  assert(!Finished && "builder already finished");
+  func().Blocks[Cur].Insts.push_back(std::move(I));
+}
+
+void FunctionBuilder::setTerm(Terminator T) {
+  assert(!Finished && "builder already finished");
+  func().Blocks[Cur].Term = T;
+}
+
+void FunctionBuilder::assign(VarId Dst, VarId Src) {
+  Instruction I;
+  I.Op = Opcode::Assign;
+  I.Dst = Dst;
+  I.Src = Src;
+  append(std::move(I));
+}
+
+void FunctionBuilder::constInt(VarId Dst, int64_t V) {
+  Instruction I;
+  I.Op = Opcode::ConstInt;
+  I.Dst = Dst;
+  I.IntVal = V;
+  append(std::move(I));
+}
+
+void FunctionBuilder::constNull(VarId Dst) {
+  Instruction I;
+  I.Op = Opcode::ConstNull;
+  I.Dst = Dst;
+  append(std::move(I));
+}
+
+AllocSiteId FunctionBuilder::newObj(VarId Dst, ClassId C,
+                                    std::string_view Label) {
+  AllocSiteId A = PB.addAllocSite(C, F, Label, /*IsArray=*/false);
+  Instruction I;
+  I.Op = Opcode::New;
+  I.Dst = Dst;
+  I.Class = C;
+  I.Alloc = A;
+  append(std::move(I));
+  return A;
+}
+
+AllocSiteId FunctionBuilder::newArray(VarId Dst, ClassId Elem, VarId LenVar,
+                                      std::string_view Label) {
+  AllocSiteId A = PB.addAllocSite(Elem, F, Label, /*IsArray=*/true);
+  Instruction I;
+  I.Op = Opcode::NewArray;
+  I.Dst = Dst;
+  I.Src = LenVar;
+  I.Class = Elem;
+  I.Alloc = A;
+  append(std::move(I));
+  return A;
+}
+
+AllocSiteId FunctionBuilder::newArrayConst(VarId Dst, ClassId Elem,
+                                           int64_t LenConst,
+                                           std::string_view Label) {
+  AllocSiteId A = PB.addAllocSite(Elem, F, Label, /*IsArray=*/true);
+  Instruction I;
+  I.Op = Opcode::NewArray;
+  I.Dst = Dst;
+  I.Class = Elem;
+  I.Alloc = A;
+  I.IntVal = LenConst;
+  I.RhsIsConst = true;
+  append(std::move(I));
+  return A;
+}
+
+AllocSiteId FunctionBuilder::constStr(VarId Dst, std::string_view Lit,
+                                      std::string_view Label) {
+  std::string L(Label);
+  if (L.empty())
+    L = "str\"" + std::string(Lit) + "\"";
+  AllocSiteId A =
+      PB.addAllocSite(PB.P->StringClass, F, L, /*IsArray=*/false, Lit);
+  Instruction I;
+  I.Op = Opcode::New;
+  I.Dst = Dst;
+  I.Class = PB.P->StringClass;
+  I.Alloc = A;
+  append(std::move(I));
+  return A;
+}
+
+void FunctionBuilder::load(VarId Dst, VarId Base, FieldId Fld) {
+  Instruction I;
+  I.Op = Opcode::Load;
+  I.Dst = Dst;
+  I.Src = Base;
+  I.Field = Fld;
+  append(std::move(I));
+}
+
+void FunctionBuilder::store(VarId Base, FieldId Fld, VarId Src) {
+  Instruction I;
+  I.Op = Opcode::Store;
+  I.Dst = Base;
+  I.Src = Src;
+  I.Field = Fld;
+  append(std::move(I));
+}
+
+void FunctionBuilder::loadStatic(VarId Dst, GlobalId G) {
+  Instruction I;
+  I.Op = Opcode::LoadStatic;
+  I.Dst = Dst;
+  I.Global = G;
+  append(std::move(I));
+}
+
+void FunctionBuilder::storeStatic(GlobalId G, VarId Src) {
+  Instruction I;
+  I.Op = Opcode::StoreStatic;
+  I.Src = Src;
+  I.Global = G;
+  append(std::move(I));
+}
+
+void FunctionBuilder::arrayLoad(VarId Dst, VarId Arr, VarId Idx) {
+  Instruction I;
+  I.Op = Opcode::ArrayLoad;
+  I.Dst = Dst;
+  I.Src = Arr;
+  I.Src2 = Idx;
+  I.Field = PB.P->ElemsField;
+  append(std::move(I));
+}
+
+void FunctionBuilder::arrayStore(VarId Arr, VarId Idx, VarId Src) {
+  Instruction I;
+  I.Op = Opcode::ArrayStore;
+  I.Dst = Arr;
+  I.Src = Src;
+  I.Src2 = Idx;
+  I.Field = PB.P->ElemsField;
+  append(std::move(I));
+}
+
+void FunctionBuilder::arrayLen(VarId Dst, VarId Arr) {
+  Instruction I;
+  I.Op = Opcode::ArrayLen;
+  I.Dst = Dst;
+  I.Src = Arr;
+  append(std::move(I));
+}
+
+void FunctionBuilder::havoc(VarId Dst) {
+  Instruction I;
+  I.Op = Opcode::Havoc;
+  I.Dst = Dst;
+  append(std::move(I));
+}
+
+void FunctionBuilder::binop(VarId Dst, VarId A, BinopKind K, VarId B) {
+  Instruction I;
+  I.Op = Opcode::Binop;
+  I.Dst = Dst;
+  I.Src = A;
+  I.Src2 = B;
+  I.BK = K;
+  append(std::move(I));
+}
+
+void FunctionBuilder::binopConst(VarId Dst, VarId A, BinopKind K, int64_t C) {
+  Instruction I;
+  I.Op = Opcode::Binop;
+  I.Dst = Dst;
+  I.Src = A;
+  I.BK = K;
+  I.IntVal = C;
+  I.RhsIsConst = true;
+  append(std::move(I));
+}
+
+void FunctionBuilder::callVirtual(VarId Dst, std::string_view Method,
+                                  std::vector<VarId> Args) {
+  assert(!Args.empty() && "virtual call needs a receiver");
+  Instruction I;
+  I.Op = Opcode::Call;
+  I.Dst = Dst;
+  I.IsVirtual = true;
+  I.Method = PB.P->Names.intern(Method);
+  I.Args = std::move(Args);
+  append(std::move(I));
+}
+
+void FunctionBuilder::callDirect(VarId Dst, FuncId Callee,
+                                 std::vector<VarId> Args) {
+  assert(Callee < PB.P->Funcs.size() && "bad callee");
+  assert(Args.size() == PB.P->Funcs[Callee].NumParams &&
+         "arity mismatch in direct call");
+  Instruction I;
+  I.Op = Opcode::Call;
+  I.Dst = Dst;
+  I.IsVirtual = false;
+  I.DirectCallee = Callee;
+  I.Args = std::move(Args);
+  append(std::move(I));
+}
+
+void FunctionBuilder::jump(BlockId Target) {
+  setTerm(Terminator::mkGoto(Target));
+}
+
+void FunctionBuilder::branch(VarId Lhs, RelOp R, VarId Rhs, BlockId Then,
+                             BlockId Else) {
+  Terminator T;
+  T.Kind = TermKind::If;
+  T.Lhs = Lhs;
+  T.Rel = R;
+  T.RhsKind = CondRhsKind::Var;
+  T.Rhs = Rhs;
+  T.Then = Then;
+  T.Else = Else;
+  setTerm(T);
+}
+
+void FunctionBuilder::branchConst(VarId Lhs, RelOp R, int64_t RhsConst,
+                                  BlockId Then, BlockId Else) {
+  Terminator T;
+  T.Kind = TermKind::If;
+  T.Lhs = Lhs;
+  T.Rel = R;
+  T.RhsKind = CondRhsKind::IntConst;
+  T.RhsConst = RhsConst;
+  T.Then = Then;
+  T.Else = Else;
+  setTerm(T);
+}
+
+void FunctionBuilder::branchNull(VarId Lhs, RelOp R, BlockId Then,
+                                 BlockId Else) {
+  assert((R == RelOp::EQ || R == RelOp::NE) && "null compare must be ==/!=");
+  Terminator T;
+  T.Kind = TermKind::If;
+  T.Lhs = Lhs;
+  T.Rel = R;
+  T.RhsKind = CondRhsKind::Null;
+  T.Then = Then;
+  T.Else = Else;
+  setTerm(T);
+}
+
+void FunctionBuilder::retVoid() { setTerm(Terminator::mkReturnVoid()); }
+
+void FunctionBuilder::ret(VarId V) { setTerm(Terminator::mkReturn(V)); }
+
+FuncId FunctionBuilder::finish() {
+  assert(!Finished && "builder already finished");
+  Finished = true;
+  func().analyze();
+  return F;
+}

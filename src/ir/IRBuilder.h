@@ -1,0 +1,157 @@
+//===- IRBuilder.h - Fluent program construction API ------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramBuilder/FunctionBuilder: the programmatic way to construct IR.
+/// The mini-Java frontend lowers through this API, and tests/examples that
+/// need precise control over the IR use it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_IR_IRBUILDER_H
+#define THRESHER_IR_IRBUILDER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string_view>
+
+namespace thresher {
+
+class ProgramBuilder;
+
+/// Builds one function's body block by block. Obtained from
+/// ProgramBuilder::beginFunc; call finish() when the body is complete.
+class FunctionBuilder {
+public:
+  /// Returns the VarId of parameter \p I (params occupy slots 0..N-1;
+  /// for instance methods slot 0 is `this`).
+  VarId param(uint32_t I) const;
+
+  /// Allocates a fresh local variable slot.
+  VarId newVar(std::string_view Name = "");
+
+  /// Sets the debug name of an existing local (e.g. a parameter).
+  void setVarName(VarId V, std::string_view Name);
+
+  /// Creates a new (empty, unterminated) basic block.
+  BlockId newBlock();
+
+  /// Makes \p B the current insertion block.
+  void setBlock(BlockId B);
+
+  BlockId curBlock() const { return Cur; }
+
+  // --- Instructions (appended to the current block). ---
+  void assign(VarId Dst, VarId Src);
+  void constInt(VarId Dst, int64_t V);
+  void constNull(VarId Dst);
+  /// Dst = new C(); returns the fresh allocation site.
+  AllocSiteId newObj(VarId Dst, ClassId C, std::string_view Label = "");
+  /// Dst = new C[LenVar].
+  AllocSiteId newArray(VarId Dst, ClassId Elem, VarId LenVar,
+                       std::string_view Label = "");
+  /// Dst = new C[LenConst].
+  AllocSiteId newArrayConst(VarId Dst, ClassId Elem, int64_t LenConst,
+                            std::string_view Label = "");
+  /// Dst = "Lit" (allocates a String at a fresh site).
+  AllocSiteId constStr(VarId Dst, std::string_view Lit,
+                       std::string_view Label = "");
+  void load(VarId Dst, VarId Base, FieldId F);
+  void store(VarId Base, FieldId F, VarId Src);
+  void loadStatic(VarId Dst, GlobalId G);
+  void storeStatic(GlobalId G, VarId Src);
+  void arrayLoad(VarId Dst, VarId Arr, VarId Idx);
+  void arrayStore(VarId Arr, VarId Idx, VarId Src);
+  void arrayLen(VarId Dst, VarId Arr);
+  void havoc(VarId Dst);
+  void binop(VarId Dst, VarId A, BinopKind K, VarId B);
+  void binopConst(VarId Dst, VarId A, BinopKind K, int64_t C);
+  /// Virtual call: Dst = Args[0].Method(Args[1..]). Dst may be NoVar.
+  void callVirtual(VarId Dst, std::string_view Method,
+                   std::vector<VarId> Args);
+  /// Direct (static / constructor) call.
+  void callDirect(VarId Dst, FuncId Callee, std::vector<VarId> Args);
+
+  // --- Terminators (seal the current block). ---
+  void jump(BlockId Target);
+  void branch(VarId Lhs, RelOp R, VarId Rhs, BlockId Then, BlockId Else);
+  void branchConst(VarId Lhs, RelOp R, int64_t RhsConst, BlockId Then,
+                   BlockId Else);
+  void branchNull(VarId Lhs, RelOp R, BlockId Then, BlockId Else);
+  void retVoid();
+  void ret(VarId V);
+
+  /// Seals the function (verifies every block is terminated) and returns
+  /// its id. The builder must not be used afterwards.
+  FuncId finish();
+
+  FuncId funcId() const { return F; }
+
+private:
+  friend class ProgramBuilder;
+  FunctionBuilder(ProgramBuilder &PB, FuncId F) : PB(PB), F(F) {}
+
+  Function &func();
+  void append(Instruction I);
+  void setTerm(Terminator T);
+
+  ProgramBuilder &PB;
+  FuncId F;
+  BlockId Cur = 0;
+  bool Finished = false;
+};
+
+/// Builds a whole Program. Creates the well-known Object and String classes
+/// and the @elems pseudo-field up front.
+class ProgramBuilder {
+public:
+  ProgramBuilder();
+
+  /// Adds a class deriving from \p Super (defaults to Object).
+  ClassId addClass(std::string_view Name, ClassId Super = InvalidId,
+                   uint8_t Flags = CF_None);
+
+  /// Declares an instance field on \p Owner.
+  FieldId addField(ClassId Owner, std::string_view Name);
+
+  /// Declares a static field.
+  GlobalId addGlobal(ClassId Owner, std::string_view Name);
+
+  /// Starts a function. For instance methods pass the owner class and
+  /// IsStatic=false; slot 0 is then `this` and NumParams must include it.
+  /// Instance methods are registered for virtual dispatch under \p Name
+  /// unless \p RegisterVirtual is false (used for constructors, which are
+  /// always called directly).
+  FunctionBuilder beginFunc(std::string_view Name, uint32_t NumParams,
+                            ClassId Owner = InvalidId, bool IsStatic = true,
+                            bool RegisterVirtual = true);
+
+  /// Returns a builder positioned at the entry block of an already-begun
+  /// function (used by the frontend's two-pass lowering).
+  FunctionBuilder resumeFunc(FuncId F);
+
+  /// Designates the entry (harness) function.
+  void setEntry(FuncId F) { P->EntryFunc = F; }
+
+  /// Finalizes: runs CFG analyses on every function and returns the program.
+  std::unique_ptr<Program> take();
+
+  Program &prog() { return *P; }
+  const Program &prog() const { return *P; }
+
+private:
+  friend class FunctionBuilder;
+  AllocSiteId addAllocSite(ClassId C, FuncId InFunc, std::string_view Label,
+                           bool IsArray, std::string_view StrLit = "");
+
+  std::unique_ptr<Program> P;
+  uint32_t AnonAllocCount = 0;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_IR_IRBUILDER_H

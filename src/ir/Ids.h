@@ -1,0 +1,37 @@
+//===- Ids.h - Dense id types for the IR ------------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer id types used throughout the IR and the analyses. All ids
+/// index into vectors owned by the Program (or, for VarId/BlockId, by the
+/// enclosing Function).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_IR_IDS_H
+#define THRESHER_IR_IDS_H
+
+#include <cstdint>
+
+namespace thresher {
+
+using ClassId = uint32_t;     ///< Index into Program::Classes.
+using FieldId = uint32_t;     ///< Index into Program::Fields.
+using GlobalId = uint32_t;    ///< Index into Program::Globals (static fields).
+using FuncId = uint32_t;      ///< Index into Program::Funcs.
+using AllocSiteId = uint32_t; ///< Index into Program::AllocSites.
+using VarId = uint32_t;       ///< Local variable slot within a Function.
+using BlockId = uint32_t;     ///< Basic block index within a Function.
+
+/// Sentinel for "no id" in any of the id spaces above.
+inline constexpr uint32_t InvalidId = ~0u;
+
+/// Sentinel for "no variable" operand slots.
+inline constexpr VarId NoVar = ~0u;
+
+} // namespace thresher
+
+#endif // THRESHER_IR_IDS_H

@@ -1,0 +1,135 @@
+//===- Instruction.h - IR instructions and terminators ----------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of the Java-like register IR consumed by the
+/// points-to analysis, the concrete interpreter, and the backwards symbolic
+/// executor. This corresponds to the atomic commands of Sec. 3 of the paper
+/// (assignment, field read, field write, allocation, guard), extended with
+/// the statics, arrays, arithmetic, and calls that the implementation
+/// section requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_IR_INSTRUCTION_H
+#define THRESHER_IR_INSTRUCTION_H
+
+#include "ir/Ids.h"
+#include "support/StringPool.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace thresher {
+
+/// Instruction opcodes.
+enum class Opcode : uint8_t {
+  Assign,      ///< Dst = Src
+  ConstInt,    ///< Dst = IntVal
+  ConstNull,   ///< Dst = null
+  New,         ///< Dst = new Class() at Alloc (also used for string literals)
+  NewArray,    ///< Dst = new Class[Src or IntVal] at Alloc
+  Load,        ///< Dst = Src.Field
+  Store,       ///< Dst.Field = Src  (Dst is the base variable)
+  LoadStatic,  ///< Dst = Global
+  StoreStatic, ///< Global = Src
+  ArrayLoad,   ///< Dst = Src[Src2]
+  ArrayStore,  ///< Dst[Src2] = Src  (Dst is the array variable)
+  ArrayLen,    ///< Dst = Src.length
+  Binop,       ///< Dst = Src BK Src2   or   Dst = Src BK IntVal
+  Call,        ///< Dst = Args[0].Method(Args[1..]) or direct call
+  Havoc,       ///< Dst = nondeterministic int (harness choice points)
+};
+
+/// Arithmetic operators for Opcode::Binop.
+enum class BinopKind : uint8_t { Add, Sub, Mul, Div, Rem };
+
+/// Relational operators for conditional branches.
+enum class RelOp : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// Returns the negation of \p R (used when taking the else edge).
+RelOp negateRelOp(RelOp R);
+
+/// Returns \p R with its operands swapped (e.g. LT becomes GT).
+RelOp swapRelOp(RelOp R);
+
+/// One IR instruction. A plain struct: the Opcode selects which fields are
+/// meaningful (see the Opcode doc comments). Calls carry their argument list
+/// inline; Args[0] is the receiver for virtual calls.
+struct Instruction {
+  Opcode Op = Opcode::Assign;
+  VarId Dst = NoVar;
+  VarId Src = NoVar;
+  VarId Src2 = NoVar;
+  FieldId Field = InvalidId;
+  GlobalId Global = InvalidId;
+  ClassId Class = InvalidId;
+  AllocSiteId Alloc = InvalidId;
+  int64_t IntVal = 0;
+  BinopKind BK = BinopKind::Add;
+  /// Binop: true when the right operand is IntVal rather than Src2.
+  /// NewArray: true when the length is the constant IntVal.
+  bool RhsIsConst = false;
+
+  // Call payload.
+  bool IsVirtual = false;        ///< Dispatch on Args[0]'s dynamic class.
+  NameId Method = InvalidId;     ///< Selector name for virtual dispatch.
+  FuncId DirectCallee = InvalidId; ///< Callee for non-virtual calls.
+  std::vector<VarId> Args;       ///< Receiver first for virtual calls.
+};
+
+/// Terminator kinds for basic blocks.
+enum class TermKind : uint8_t {
+  Goto,   ///< Unconditional jump to Then.
+  If,     ///< Conditional: branch on Lhs Rel Rhs (or constant / null).
+  Return, ///< Return RetVal if HasRetVal, else void return.
+};
+
+/// Kinds for the right-hand side of an If condition.
+enum class CondRhsKind : uint8_t { Var, IntConst, Null };
+
+/// Block terminator. For If, the comparison is
+///   Lhs Rel (Rhs | RhsConst | null)
+/// and control goes to Then when it holds, Else otherwise.
+struct Terminator {
+  TermKind Kind = TermKind::Return;
+  // If payload.
+  VarId Lhs = NoVar;
+  RelOp Rel = RelOp::EQ;
+  CondRhsKind RhsKind = CondRhsKind::Var;
+  VarId Rhs = NoVar;
+  int64_t RhsConst = 0;
+  BlockId Then = InvalidId; ///< Also the Goto target.
+  BlockId Else = InvalidId;
+  // Return payload.
+  bool HasRetVal = false;
+  VarId RetVal = NoVar;
+
+  static Terminator mkGoto(BlockId Target) {
+    Terminator T;
+    T.Kind = TermKind::Goto;
+    T.Then = Target;
+    return T;
+  }
+
+  static Terminator mkReturnVoid() {
+    Terminator T;
+    T.Kind = TermKind::Return;
+    return T;
+  }
+
+  static Terminator mkReturn(VarId V) {
+    Terminator T;
+    T.Kind = TermKind::Return;
+    T.HasRetVal = true;
+    T.RetVal = V;
+    return T;
+  }
+};
+
+} // namespace thresher
+
+#endif // THRESHER_IR_INSTRUCTION_H

@@ -1,0 +1,186 @@
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace thresher;
+
+namespace {
+
+const char *relOpText(RelOp R) {
+  switch (R) {
+  case RelOp::EQ:
+    return "==";
+  case RelOp::NE:
+    return "!=";
+  case RelOp::LT:
+    return "<";
+  case RelOp::LE:
+    return "<=";
+  case RelOp::GT:
+    return ">";
+  case RelOp::GE:
+    return ">=";
+  }
+  return "?";
+}
+
+const char *binopText(BinopKind K) {
+  switch (K) {
+  case BinopKind::Add:
+    return "+";
+  case BinopKind::Sub:
+    return "-";
+  case BinopKind::Mul:
+    return "*";
+  case BinopKind::Div:
+    return "/";
+  case BinopKind::Rem:
+    return "%";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string thresher::printInstruction(const Program &P, const Function &Fn,
+                                       const Instruction &I) {
+  std::ostringstream OS;
+  auto V = [&](VarId Id) { return Fn.varName(Id); };
+  switch (I.Op) {
+  case Opcode::Assign:
+    OS << V(I.Dst) << " = " << V(I.Src);
+    break;
+  case Opcode::ConstInt:
+    OS << V(I.Dst) << " = " << I.IntVal;
+    break;
+  case Opcode::ConstNull:
+    OS << V(I.Dst) << " = null";
+    break;
+  case Opcode::New:
+    OS << V(I.Dst) << " = new " << P.className(I.Class) << " @"
+       << P.allocLabel(I.Alloc);
+    break;
+  case Opcode::NewArray:
+    OS << V(I.Dst) << " = new " << P.className(I.Class) << "[";
+    if (I.RhsIsConst)
+      OS << I.IntVal;
+    else
+      OS << V(I.Src);
+    OS << "] @" << P.allocLabel(I.Alloc);
+    break;
+  case Opcode::Load:
+    OS << V(I.Dst) << " = " << V(I.Src) << "." << P.fieldName(I.Field);
+    break;
+  case Opcode::Store:
+    OS << V(I.Dst) << "." << P.fieldName(I.Field) << " = " << V(I.Src);
+    break;
+  case Opcode::LoadStatic:
+    OS << V(I.Dst) << " = " << P.globalName(I.Global);
+    break;
+  case Opcode::StoreStatic:
+    OS << P.globalName(I.Global) << " = " << V(I.Src);
+    break;
+  case Opcode::ArrayLoad:
+    OS << V(I.Dst) << " = " << V(I.Src) << "[" << V(I.Src2) << "]";
+    break;
+  case Opcode::ArrayStore:
+    OS << V(I.Dst) << "[" << V(I.Src2) << "] = " << V(I.Src);
+    break;
+  case Opcode::ArrayLen:
+    OS << V(I.Dst) << " = " << V(I.Src) << ".length";
+    break;
+  case Opcode::Binop:
+    OS << V(I.Dst) << " = " << V(I.Src) << " " << binopText(I.BK) << " ";
+    if (I.RhsIsConst)
+      OS << I.IntVal;
+    else
+      OS << V(I.Src2);
+    break;
+  case Opcode::Havoc:
+    OS << V(I.Dst) << " = havoc";
+    break;
+  case Opcode::Call: {
+    if (I.Dst != NoVar)
+      OS << V(I.Dst) << " = ";
+    if (I.IsVirtual) {
+      OS << V(I.Args[0]) << "." << P.Names.str(I.Method) << "(";
+      for (size_t K = 1; K < I.Args.size(); ++K)
+        OS << (K > 1 ? ", " : "") << V(I.Args[K]);
+    } else {
+      OS << P.funcName(I.DirectCallee) << "(";
+      for (size_t K = 0; K < I.Args.size(); ++K)
+        OS << (K > 0 ? ", " : "") << V(I.Args[K]);
+    }
+    OS << ")";
+    break;
+  }
+  }
+  return OS.str();
+}
+
+std::string thresher::printTerminator(const Program &P, const Function &Fn,
+                                      const Terminator &T) {
+  (void)P;
+  std::ostringstream OS;
+  auto V = [&](VarId Id) { return Fn.varName(Id); };
+  switch (T.Kind) {
+  case TermKind::Goto:
+    OS << "goto bb" << T.Then;
+    break;
+  case TermKind::If:
+    OS << "if " << V(T.Lhs) << " " << relOpText(T.Rel) << " ";
+    switch (T.RhsKind) {
+    case CondRhsKind::Var:
+      OS << V(T.Rhs);
+      break;
+    case CondRhsKind::IntConst:
+      OS << T.RhsConst;
+      break;
+    case CondRhsKind::Null:
+      OS << "null";
+      break;
+    }
+    OS << " then bb" << T.Then << " else bb" << T.Else;
+    break;
+  case TermKind::Return:
+    OS << "return";
+    if (T.HasRetVal)
+      OS << " " << V(T.RetVal);
+    break;
+  }
+  return OS.str();
+}
+
+void thresher::printFunction(std::ostream &OS, const Program &P, FuncId F) {
+  const Function &Fn = P.Funcs[F];
+  OS << "func " << P.funcName(F) << "(" << Fn.NumParams << " params, "
+     << Fn.NumVars << " vars)" << (Fn.IsStatic ? " static" : "") << " {\n";
+  for (BlockId B = 0; B < Fn.Blocks.size(); ++B) {
+    OS << " bb" << B << ":\n";
+    for (const Instruction &I : Fn.Blocks[B].Insts)
+      OS << "    " << printInstruction(P, Fn, I) << "\n";
+    OS << "    " << printTerminator(P, Fn, Fn.Blocks[B].Term) << "\n";
+  }
+  OS << "}\n";
+}
+
+void thresher::printProgram(std::ostream &OS, const Program &P) {
+  for (ClassId C = 0; C < P.Classes.size(); ++C) {
+    const ClassInfo &CI = P.Classes[C];
+    OS << "class " << P.className(C);
+    if (CI.Super != InvalidId)
+      OS << " extends " << P.className(CI.Super);
+    if (CI.isContainer())
+      OS << " [container]";
+    OS << " {";
+    for (FieldId F : CI.OwnFields)
+      OS << " " << P.fieldName(F) << ";";
+    OS << " }\n";
+  }
+  for (GlobalId G = 0; G < P.Globals.size(); ++G)
+    OS << "static " << P.globalName(G) << ";\n";
+  for (FuncId F = 0; F < P.Funcs.size(); ++F)
+    printFunction(OS, P, F);
+  if (P.EntryFunc != InvalidId)
+    OS << "entry: " << P.funcName(P.EntryFunc) << "\n";
+}

@@ -1,0 +1,33 @@
+//===- Printer.h - Textual IR dumping ---------------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_IR_PRINTER_H
+#define THRESHER_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <ostream>
+#include <string>
+
+namespace thresher {
+
+/// Renders one instruction of \p Fn as text.
+std::string printInstruction(const Program &P, const Function &Fn,
+                             const Instruction &I);
+
+/// Renders a terminator as text.
+std::string printTerminator(const Program &P, const Function &Fn,
+                            const Terminator &T);
+
+/// Dumps a full function.
+void printFunction(std::ostream &OS, const Program &P, FuncId F);
+
+/// Dumps the whole program.
+void printProgram(std::ostream &OS, const Program &P);
+
+} // namespace thresher
+
+#endif // THRESHER_IR_PRINTER_H

@@ -1,0 +1,124 @@
+#include "ir/Program.h"
+
+#include <cassert>
+
+using namespace thresher;
+
+bool Program::isSubclassOf(ClassId C, ClassId Base) const {
+  while (C != InvalidId) {
+    if (C == Base)
+      return true;
+    C = Classes[C].Super;
+  }
+  return false;
+}
+
+FuncId Program::resolveVirtual(ClassId C, NameId Method) const {
+  while (C != InvalidId) {
+    const ClassInfo &CI = Classes[C];
+    auto It = CI.Methods.find(Method);
+    if (It != CI.Methods.end())
+      return It->second;
+    C = CI.Super;
+  }
+  return InvalidId;
+}
+
+ClassId Program::findClass(std::string_view Name) const {
+  NameId N = Names.lookup(Name);
+  if (N == InvalidId)
+    return InvalidId;
+  for (ClassId C = 0; C < Classes.size(); ++C)
+    if (Classes[C].Name == N)
+      return C;
+  return InvalidId;
+}
+
+GlobalId Program::findGlobal(std::string_view ClassName,
+                             std::string_view FieldName) const {
+  ClassId C = findClass(ClassName);
+  NameId N = Names.lookup(FieldName);
+  if (C == InvalidId || N == InvalidId)
+    return InvalidId;
+  for (GlobalId G = 0; G < Globals.size(); ++G)
+    if (Globals[G].Owner == C && Globals[G].Name == N)
+      return G;
+  return InvalidId;
+}
+
+FieldId Program::findField(ClassId C, std::string_view Name) const {
+  NameId N = Names.lookup(Name);
+  if (N == InvalidId)
+    return InvalidId;
+  while (C != InvalidId) {
+    for (FieldId F : Classes[C].OwnFields)
+      if (Fields[F].Name == N)
+        return F;
+    C = Classes[C].Super;
+  }
+  return InvalidId;
+}
+
+FieldId Program::findFieldByName(std::string_view Name) const {
+  NameId N = Names.lookup(Name);
+  if (N == InvalidId)
+    return InvalidId;
+  for (FieldId F = 0; F < Fields.size(); ++F)
+    if (Fields[F].Name == N)
+      return F;
+  return InvalidId;
+}
+
+FuncId Program::findFunc(std::string_view Name) const {
+  NameId N = Names.lookup(Name);
+  if (N == InvalidId)
+    return InvalidId;
+  for (FuncId F = 0; F < Funcs.size(); ++F)
+    if (Funcs[F].Name == N)
+      return F;
+  return InvalidId;
+}
+
+FuncId Program::findMethod(ClassId C, std::string_view Name) const {
+  NameId N = Names.lookup(Name);
+  if (N == InvalidId || C == InvalidId)
+    return InvalidId;
+  auto It = Classes[C].Methods.find(N);
+  return It == Classes[C].Methods.end() ? InvalidId : It->second;
+}
+
+std::string Program::className(ClassId C) const {
+  if (C == InvalidId)
+    return "<none>";
+  return Names.str(Classes[C].Name);
+}
+
+std::string Program::fieldName(FieldId F) const {
+  if (F == InvalidId)
+    return "<none>";
+  return Names.str(Fields[F].Name);
+}
+
+std::string Program::globalName(GlobalId G) const {
+  if (G == InvalidId)
+    return "<none>";
+  const GlobalInfo &GI = Globals[G];
+  std::string Owner =
+      GI.Owner == InvalidId ? std::string("<global>") : className(GI.Owner);
+  return Owner + "." + Names.str(GI.Name);
+}
+
+std::string Program::funcName(FuncId F) const {
+  if (F == InvalidId)
+    return "<none>";
+  const Function &Fn = Funcs[F];
+  if (Fn.Owner != InvalidId)
+    return className(Fn.Owner) + "." + Names.str(Fn.Name);
+  return Names.str(Fn.Name);
+}
+
+std::string Program::allocLabel(AllocSiteId A) const {
+  if (A == InvalidId)
+    return "<none>";
+  return Names.str(AllocSites[A].Label);
+}

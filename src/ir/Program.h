@@ -1,0 +1,147 @@
+//===- Program.h - Whole-program IR container -------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program container: classes with single inheritance, instance
+/// fields, static fields (globals), allocation sites, functions, and the
+/// designated entry function (the event-handler harness). Also provides the
+/// class-hierarchy queries (subtyping, virtual dispatch resolution) that the
+/// points-to analysis and the leak client need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_IR_PROGRAM_H
+#define THRESHER_IR_PROGRAM_H
+
+#include "ir/Function.h"
+#include "support/StringPool.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace thresher {
+
+/// Bit flags attached to classes.
+enum ClassFlags : uint8_t {
+  CF_None = 0,
+  /// Container classes get deeper heap context in the points-to analysis,
+  /// emulating WALA's 0-1-Container-CFA.
+  CF_Container = 1 << 0,
+};
+
+/// A class: name, superclass, declared instance fields, declared methods.
+struct ClassInfo {
+  NameId Name = InvalidId;
+  ClassId Super = InvalidId; ///< InvalidId only for the root (Object).
+  uint8_t Flags = CF_None;
+  std::vector<FieldId> OwnFields;
+  /// Instance methods declared directly on this class, by selector name.
+  /// Virtual dispatch walks the superclass chain through these maps.
+  std::unordered_map<NameId, FuncId> Methods;
+
+  bool isContainer() const { return Flags & CF_Container; }
+};
+
+/// An instance field: name plus declaring class.
+struct FieldInfo {
+  NameId Name = InvalidId;
+  ClassId Owner = InvalidId; ///< InvalidId for synthetic fields (@elems).
+};
+
+/// A static field (modelled as a global variable, as in the paper).
+struct GlobalInfo {
+  NameId Name = InvalidId;
+  ClassId Owner = InvalidId;
+};
+
+/// An allocation site (the subscript `a` on new in the paper).
+struct AllocSiteInfo {
+  ClassId Class = InvalidId;
+  FuncId InFunc = InvalidId;
+  NameId Label = InvalidId;  ///< E.g. "act0"; used in all diagnostics.
+  bool IsArray = false;
+  /// For string-literal allocations: the literal's interned text.
+  NameId StrLiteral = InvalidId;
+};
+
+/// The whole program.
+class Program {
+public:
+  StringPool Names;
+  std::vector<ClassInfo> Classes;
+  std::vector<FieldInfo> Fields;
+  std::vector<GlobalInfo> Globals;
+  std::vector<AllocSiteInfo> AllocSites;
+  std::vector<Function> Funcs;
+  FuncId EntryFunc = InvalidId;
+
+  /// Well-known classes, created by ProgramBuilder.
+  ClassId ObjectClass = InvalidId;
+  ClassId StringClass = InvalidId;
+  /// The synthetic field holding array element contents ("contents" in the
+  /// paper's arr0·contents edges).
+  FieldId ElemsField = InvalidId;
+
+  /// Returns true if \p C is \p Base or a (transitive) subclass of it.
+  bool isSubclassOf(ClassId C, ClassId Base) const;
+
+  /// Resolves virtual dispatch of selector \p Method on dynamic class \p C,
+  /// walking up the superclass chain. Returns InvalidId if unresolved.
+  FuncId resolveVirtual(ClassId C, NameId Method) const;
+
+  /// Finds a class by name; returns InvalidId if absent.
+  ClassId findClass(std::string_view Name) const;
+
+  /// Finds a global (static field) as "Class.field"; InvalidId if absent.
+  GlobalId findGlobal(std::string_view ClassName,
+                      std::string_view FieldName) const;
+
+  /// Finds an instance field declared on \p C or a superclass by name.
+  FieldId findField(ClassId C, std::string_view Name) const;
+
+  /// Finds an instance field by name anywhere in the program. The frontend
+  /// merges same-named fields into one FieldId, so this is unambiguous for
+  /// frontend-produced programs.
+  FieldId findFieldByName(std::string_view Name) const;
+
+  /// Finds a function by plain name (first match); InvalidId if absent.
+  FuncId findFunc(std::string_view Name) const;
+
+  /// Finds a method \p Name on exactly class \p C; InvalidId if absent.
+  FuncId findMethod(ClassId C, std::string_view Name) const;
+
+  /// Human-readable label helpers for diagnostics.
+  std::string className(ClassId C) const;
+  std::string fieldName(FieldId F) const;
+  std::string globalName(GlobalId G) const;
+  std::string funcName(FuncId F) const;
+  std::string allocLabel(AllocSiteId A) const;
+};
+
+/// A program point: before instruction Idx of block B in function F.
+/// Idx == Blocks[B].Insts.size() means "before the terminator".
+struct ProgramPoint {
+  FuncId F = InvalidId;
+  BlockId B = InvalidId;
+  uint32_t Idx = 0;
+
+  bool operator==(const ProgramPoint &O) const {
+    return F == O.F && B == O.B && Idx == O.Idx;
+  }
+  bool operator<(const ProgramPoint &O) const {
+    if (F != O.F)
+      return F < O.F;
+    if (B != O.B)
+      return B < O.B;
+    return Idx < O.Idx;
+  }
+};
+
+} // namespace thresher
+
+#endif // THRESHER_IR_PROGRAM_H

@@ -1,0 +1,177 @@
+#include "ir/Verifier.h"
+
+#include <sstream>
+
+using namespace thresher;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Program &P) : P(P) {}
+
+  std::vector<std::string> run() {
+    for (FuncId F = 0; F < P.Funcs.size(); ++F)
+      checkFunction(F);
+    if (P.EntryFunc != InvalidId) {
+      if (P.EntryFunc >= P.Funcs.size())
+        report("program", "entry function id out of range");
+      else if (P.Funcs[P.EntryFunc].NumParams != 0)
+        report("program", "entry function must take no parameters");
+    }
+    return std::move(Problems);
+  }
+
+private:
+  void report(const std::string &Where, const std::string &What) {
+    Problems.push_back(Where + ": " + What);
+  }
+
+  void checkVar(const std::string &Where, const Function &Fn, VarId V,
+                const char *Slot) {
+    if (V == NoVar || V >= Fn.NumVars)
+      report(Where, std::string("invalid ") + Slot + " variable");
+  }
+
+  void checkFunction(FuncId F) {
+    const Function &Fn = P.Funcs[F];
+    std::string Where = P.funcName(F);
+    if (Fn.Blocks.empty()) {
+      report(Where, "function has no blocks");
+      return;
+    }
+    if (Fn.Entry >= Fn.Blocks.size())
+      report(Where, "entry block out of range");
+    if (Fn.NumParams > Fn.NumVars)
+      report(Where, "more params than vars");
+    for (BlockId B = 0; B < Fn.Blocks.size(); ++B) {
+      std::string BWhere = Where + "/bb" + std::to_string(B);
+      for (const Instruction &I : Fn.Blocks[B].Insts)
+        checkInstruction(BWhere, Fn, I);
+      checkTerminator(BWhere, Fn, Fn.Blocks[B].Term);
+    }
+  }
+
+  void checkInstruction(const std::string &Where, const Function &Fn,
+                        const Instruction &I) {
+    switch (I.Op) {
+    case Opcode::Assign:
+      checkVar(Where, Fn, I.Dst, "dst");
+      checkVar(Where, Fn, I.Src, "src");
+      break;
+    case Opcode::ConstInt:
+    case Opcode::ConstNull:
+    case Opcode::Havoc:
+      checkVar(Where, Fn, I.Dst, "dst");
+      break;
+    case Opcode::New:
+      checkVar(Where, Fn, I.Dst, "dst");
+      if (I.Class >= P.Classes.size())
+        report(Where, "new of invalid class");
+      if (I.Alloc >= P.AllocSites.size())
+        report(Where, "invalid allocation site");
+      break;
+    case Opcode::NewArray:
+      checkVar(Where, Fn, I.Dst, "dst");
+      if (!I.RhsIsConst)
+        checkVar(Where, Fn, I.Src, "length");
+      if (I.Alloc >= P.AllocSites.size())
+        report(Where, "invalid allocation site");
+      break;
+    case Opcode::Load:
+      checkVar(Where, Fn, I.Dst, "dst");
+      checkVar(Where, Fn, I.Src, "base");
+      if (I.Field >= P.Fields.size())
+        report(Where, "load of invalid field");
+      break;
+    case Opcode::Store:
+      checkVar(Where, Fn, I.Dst, "base");
+      checkVar(Where, Fn, I.Src, "src");
+      if (I.Field >= P.Fields.size())
+        report(Where, "store to invalid field");
+      break;
+    case Opcode::LoadStatic:
+      checkVar(Where, Fn, I.Dst, "dst");
+      if (I.Global >= P.Globals.size())
+        report(Where, "load of invalid global");
+      break;
+    case Opcode::StoreStatic:
+      checkVar(Where, Fn, I.Src, "src");
+      if (I.Global >= P.Globals.size())
+        report(Where, "store to invalid global");
+      break;
+    case Opcode::ArrayLoad:
+      checkVar(Where, Fn, I.Dst, "dst");
+      checkVar(Where, Fn, I.Src, "array");
+      checkVar(Where, Fn, I.Src2, "index");
+      break;
+    case Opcode::ArrayStore:
+      checkVar(Where, Fn, I.Dst, "array");
+      checkVar(Where, Fn, I.Src, "src");
+      checkVar(Where, Fn, I.Src2, "index");
+      break;
+    case Opcode::ArrayLen:
+      checkVar(Where, Fn, I.Dst, "dst");
+      checkVar(Where, Fn, I.Src, "array");
+      break;
+    case Opcode::Binop:
+      checkVar(Where, Fn, I.Dst, "dst");
+      checkVar(Where, Fn, I.Src, "lhs");
+      if (!I.RhsIsConst)
+        checkVar(Where, Fn, I.Src2, "rhs");
+      break;
+    case Opcode::Call: {
+      if (I.Dst != NoVar)
+        checkVar(Where, Fn, I.Dst, "dst");
+      for (VarId A : I.Args)
+        checkVar(Where, Fn, A, "arg");
+      if (I.IsVirtual) {
+        if (I.Args.empty())
+          report(Where, "virtual call without receiver");
+        if (I.Method == InvalidId)
+          report(Where, "virtual call without selector");
+      } else {
+        if (I.DirectCallee >= P.Funcs.size())
+          report(Where, "direct call to invalid function");
+        else if (I.Args.size() != P.Funcs[I.DirectCallee].NumParams)
+          report(Where, "direct call arity mismatch calling " +
+                            P.funcName(I.DirectCallee));
+      }
+      break;
+    }
+    }
+  }
+
+  void checkTerminator(const std::string &Where, const Function &Fn,
+                       const Terminator &T) {
+    switch (T.Kind) {
+    case TermKind::Goto:
+      if (T.Then >= Fn.Blocks.size())
+        report(Where, "goto target out of range");
+      break;
+    case TermKind::If:
+      checkVar(Where, Fn, T.Lhs, "cond lhs");
+      if (T.RhsKind == CondRhsKind::Var)
+        checkVar(Where, Fn, T.Rhs, "cond rhs");
+      if (T.Then >= Fn.Blocks.size() || T.Else >= Fn.Blocks.size())
+        report(Where, "branch target out of range");
+      if (T.RhsKind == CondRhsKind::Null && T.Rel != RelOp::EQ &&
+          T.Rel != RelOp::NE)
+        report(Where, "null compare must use == or !=");
+      break;
+    case TermKind::Return:
+      if (T.HasRetVal)
+        checkVar(Where, Fn, T.RetVal, "return value");
+      break;
+    }
+  }
+
+  const Program &P;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> thresher::verifyProgram(const Program &P) {
+  return VerifierImpl(P).run();
+}

@@ -1,0 +1,25 @@
+//===- Verifier.h - IR well-formedness checks -------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_IR_VERIFIER_H
+#define THRESHER_IR_VERIFIER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// Checks structural well-formedness of \p P: every operand id in range,
+/// every block terminated with in-range targets, direct-call arities
+/// matching, and the entry function taking no parameters. Returns the list
+/// of problems found (empty means well-formed).
+std::vector<std::string> verifyProgram(const Program &P);
+
+} // namespace thresher
+
+#endif // THRESHER_IR_VERIFIER_H

@@ -1,0 +1,285 @@
+#include "leak/LeakChecker.h"
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <thread>
+
+using namespace thresher;
+
+LeakChecker::LeakChecker(const Program &P, const PointsToResult &PTA,
+                         ClassId ActivityBase, SymOptions Opts)
+    : P(P), PTA(PTA), ActivityBase(ActivityBase), Opts(Opts),
+      WS(P, PTA, Opts) {}
+
+std::string LeakChecker::edgeLabel(const EdgeKey &E) const {
+  if (E.IsGlobal)
+    return P.globalName(E.G) + " -> " + PTA.Locs.label(P, E.Target);
+  return PTA.Locs.label(P, E.Base) + "." + P.fieldName(E.Fld) + " -> " +
+         PTA.Locs.label(P, E.Target);
+}
+
+SearchOutcome LeakChecker::checkEdge(const EdgeKey &E) {
+  auto It = EdgeResults.find(E);
+  if (It != EdgeResults.end())
+    return It->second;
+  EdgeSearchResult R = E.IsGlobal
+                           ? WS.searchGlobalEdge(E.G, E.Target)
+                           : WS.searchFieldEdge(E.Base, E.Fld, E.Target);
+  EdgeResults.emplace(E, R.Outcome);
+  return R.Outcome;
+}
+
+bool LeakChecker::findPath(GlobalId G, AbsLocId Target,
+                           std::vector<EdgeKey> &Path) {
+  // BFS over points-to graph nodes (locations), skipping refuted edges.
+  auto Refuted = [&](const EdgeKey &E) {
+    auto It = EdgeResults.find(E);
+    return It != EdgeResults.end() && It->second == SearchOutcome::Refuted;
+  };
+  std::map<AbsLocId, std::pair<AbsLocId, EdgeKey>> Parent; // loc -> (pred, edge)
+  std::deque<AbsLocId> Work;
+  std::set<AbsLocId> Seen;
+  std::map<AbsLocId, EdgeKey> RootEdge;
+  for (AbsLocId L : PTA.ptGlobal(G)) {
+    EdgeKey E;
+    E.IsGlobal = true;
+    E.G = G;
+    E.Target = L;
+    if (Refuted(E))
+      continue;
+    if (Seen.insert(L).second) {
+      RootEdge[L] = E;
+      Work.push_back(L);
+    }
+  }
+  AbsLocId Found = InvalidId;
+  while (!Work.empty() && Found == InvalidId) {
+    AbsLocId L = Work.front();
+    Work.pop_front();
+    if (L == Target) {
+      Found = L;
+      break;
+    }
+    for (auto [Fld, Next] : PTA.fieldEdges(L)) {
+      EdgeKey E;
+      E.Base = L;
+      E.Fld = Fld;
+      E.Target = Next;
+      if (Refuted(E))
+        continue;
+      if (Seen.insert(Next).second) {
+        Parent[Next] = {L, E};
+        Work.push_back(Next);
+      }
+    }
+  }
+  if (Found == InvalidId)
+    return false;
+  // Reconstruct source -> target edge sequence.
+  std::vector<EdgeKey> Rev;
+  AbsLocId Cur = Found;
+  while (Parent.count(Cur)) {
+    Rev.push_back(Parent[Cur].second);
+    Cur = Parent[Cur].first;
+  }
+  Rev.push_back(RootEdge.at(Cur));
+  Path.assign(Rev.rbegin(), Rev.rend());
+  return true;
+}
+
+std::vector<std::pair<GlobalId, AbsLocId>>
+LeakChecker::enumerateAlarms() const {
+  IdSet Activities = PTA.locsOfClassDerivedFrom(P, ActivityBase);
+  // (static field, Activity location) connected pairs: a reachability
+  // sweep from every global (ignoring refutations; this is the
+  // flow-insensitive alarm set).
+  std::vector<std::pair<GlobalId, AbsLocId>> AlarmPairs;
+  for (GlobalId G = 0; G < P.Globals.size(); ++G) {
+    std::set<AbsLocId> Seen;
+    std::deque<AbsLocId> Work;
+    for (AbsLocId L : PTA.ptGlobal(G))
+      if (Seen.insert(L).second)
+        Work.push_back(L);
+    while (!Work.empty()) {
+      AbsLocId L = Work.front();
+      Work.pop_front();
+      if (Activities.contains(L))
+        AlarmPairs.push_back({G, L});
+      for (auto [Fld, Next] : PTA.fieldEdges(L)) {
+        (void)Fld;
+        if (Seen.insert(Next).second)
+          Work.push_back(Next);
+      }
+    }
+  }
+  return AlarmPairs;
+}
+
+void LeakChecker::prefetchEdgesParallel(
+    const std::vector<std::pair<GlobalId, AbsLocId>> &Alarms,
+    unsigned Threads) {
+  // Candidate edges: everything reachable from an alarmed global.
+  std::set<GlobalId> AlarmedGlobals;
+  for (auto [G, L] : Alarms) {
+    (void)L;
+    AlarmedGlobals.insert(G);
+  }
+  std::vector<EdgeKey> Candidates;
+  std::set<AbsLocId> Seen;
+  for (GlobalId G : AlarmedGlobals) {
+    std::deque<AbsLocId> Work;
+    for (AbsLocId L : PTA.ptGlobal(G)) {
+      EdgeKey E;
+      E.IsGlobal = true;
+      E.G = G;
+      E.Target = L;
+      Candidates.push_back(E);
+      if (Seen.insert(L).second)
+        Work.push_back(L);
+    }
+    while (!Work.empty()) {
+      AbsLocId L = Work.front();
+      Work.pop_front();
+      for (auto [Fld, Next] : PTA.fieldEdges(L)) {
+        EdgeKey E;
+        E.Base = L;
+        E.Fld = Fld;
+        E.Target = Next;
+        Candidates.push_back(E);
+        if (Seen.insert(Next).second)
+          Work.push_back(Next);
+      }
+    }
+  }
+
+  std::mutex M;
+  std::atomic<size_t> NextIdx{0};
+  auto Worker = [&]() {
+    WitnessSearch LocalWS(P, PTA, Opts);
+    std::vector<std::pair<EdgeKey, SearchOutcome>> LocalResults;
+    while (true) {
+      size_t I = NextIdx.fetch_add(1);
+      if (I >= Candidates.size())
+        break;
+      const EdgeKey &E = Candidates[I];
+      EdgeSearchResult R =
+          E.IsGlobal ? LocalWS.searchGlobalEdge(E.G, E.Target)
+                     : LocalWS.searchFieldEdge(E.Base, E.Fld, E.Target);
+      LocalResults.push_back({E, R.Outcome});
+    }
+    std::lock_guard<std::mutex> Lock(M);
+    for (auto &[E, O] : LocalResults)
+      EdgeResults.emplace(E, O);
+    WS.stats().mergeFrom(LocalWS.stats());
+  };
+  std::vector<std::thread> Pool;
+  for (unsigned I = 0; I < Threads; ++I)
+    Pool.emplace_back(Worker);
+  for (std::thread &Th : Pool)
+    Th.join();
+}
+
+LeakReport LeakChecker::run(unsigned Threads) {
+  LeakReport Report;
+  Timer T;
+  std::vector<std::pair<GlobalId, AbsLocId>> AlarmPairs =
+      enumerateAlarms();
+  if (Threads > 1)
+    prefetchEdgesParallel(AlarmPairs, Threads);
+
+  Report.NumAlarms = static_cast<uint32_t>(AlarmPairs.size());
+  std::set<GlobalId> AlarmFields;
+  std::map<GlobalId, uint32_t> FieldAlarmCount, FieldRefutedCount;
+  for (auto [G, L] : AlarmPairs) {
+    (void)L;
+    AlarmFields.insert(G);
+    ++FieldAlarmCount[G];
+  }
+  Report.Fields = static_cast<uint32_t>(AlarmFields.size());
+
+  // Thresh each alarm.
+  for (auto [G, Act] : AlarmPairs) {
+    AlarmResult AR;
+    AR.Source = G;
+    AR.Activity = Act;
+    while (true) {
+      std::vector<EdgeKey> Path;
+      if (!findPath(G, Act, Path)) {
+        AR.Status = AlarmStatus::Refuted;
+        ++Report.RefutedAlarms;
+        ++FieldRefutedCount[G];
+        break;
+      }
+      bool RefutedOne = false;
+      bool SawTimeout = false;
+      for (const EdgeKey &E : Path) {
+        SearchOutcome R = checkEdge(E);
+        if (R == SearchOutcome::Refuted) {
+          RefutedOne = true;
+          break;
+        }
+        if (R == SearchOutcome::BudgetExhausted)
+          SawTimeout = true;
+      }
+      if (RefutedOne)
+        continue; // Edge deleted (via cache); look for another path.
+      AR.Status = SawTimeout ? AlarmStatus::Timeout : AlarmStatus::Witnessed;
+      for (const EdgeKey &E : Path)
+        AR.PathDescription.push_back(edgeLabel(E));
+      break;
+    }
+    Report.Alarms.push_back(std::move(AR));
+  }
+
+  for (GlobalId G : AlarmFields)
+    if (FieldRefutedCount[G] == FieldAlarmCount[G])
+      ++Report.RefutedFields;
+
+  for (const auto &[E, R] : EdgeResults) {
+    (void)E;
+    switch (R) {
+    case SearchOutcome::Refuted:
+      ++Report.RefutedEdges;
+      break;
+    case SearchOutcome::Witnessed:
+      ++Report.WitnessedEdges;
+      break;
+    case SearchOutcome::BudgetExhausted:
+      ++Report.TimeoutEdges;
+      break;
+    }
+  }
+  Report.Seconds = T.seconds();
+  return Report;
+}
+
+std::vector<std::string>
+LeakChecker::edgesWithOutcome(SearchOutcome O) const {
+  std::vector<std::string> Out;
+  for (const auto &[E, R] : EdgeResults)
+    if (R == O)
+      Out.push_back(edgeLabel(E));
+  return Out;
+}
+
+uint32_t LeakReport::countTrue(
+    const Program &P, const AbsLocTable &T,
+    const std::vector<std::pair<GlobalId, std::string>> &TrueLeaks) const {
+  uint32_t N = 0;
+  for (const AlarmResult &A : Alarms) {
+    if (A.Status == AlarmStatus::Refuted)
+      continue;
+    std::string Label = T.label(P, A.Activity);
+    for (const auto &[G, SiteLabel] : TrueLeaks) {
+      if (G == A.Source && Label == SiteLabel) {
+        ++N;
+        break;
+      }
+    }
+  }
+  return N;
+}

@@ -1,0 +1,139 @@
+#include "leak/ReachabilityAssert.h"
+
+#include <deque>
+#include <set>
+
+using namespace thresher;
+
+ReachabilityChecker::ReachabilityChecker(const Program &P,
+                                         const PointsToResult &PTA,
+                                         SymOptions Opts)
+    : P(P), PTA(PTA), WS(P, PTA, Opts) {}
+
+AssertResult
+ReachabilityChecker::assertUnreachableClass(GlobalId Source,
+                                            ClassId TargetClass) {
+  return checkTargets(Source, PTA.locsOfClassDerivedFrom(P, TargetClass));
+}
+
+AssertResult ReachabilityChecker::assertUnreachableSite(GlobalId Source,
+                                                        AllocSiteId Site) {
+  IdSet Targets;
+  for (AbsLocId L : PTA.locsOfSite(Site))
+    Targets.insert(L);
+  return checkTargets(Source, Targets);
+}
+
+AssertResult ReachabilityChecker::checkTargets(GlobalId Source,
+                                               const IdSet &Targets) {
+  AssertResult Result;
+  auto Check = [&](const EdgeKey &E) {
+    auto It = Cache.find(E);
+    if (It != Cache.end())
+      return It->second;
+    EdgeSearchResult R = E.IsGlobal
+                             ? WS.searchGlobalEdge(E.G, E.Target)
+                             : WS.searchFieldEdge(E.Base, E.Fld, E.Target);
+    Cache.emplace(E, R.Outcome);
+    switch (R.Outcome) {
+    case SearchOutcome::Refuted:
+      ++Result.EdgesRefuted;
+      break;
+    case SearchOutcome::Witnessed:
+      ++Result.EdgesWitnessed;
+      break;
+    case SearchOutcome::BudgetExhausted:
+      ++Result.EdgeTimeouts;
+      break;
+    }
+    return R.Outcome;
+  };
+  auto Refuted = [&](const EdgeKey &E) {
+    auto It = Cache.find(E);
+    return It != Cache.end() && It->second == SearchOutcome::Refuted;
+  };
+  auto Label = [&](const EdgeKey &E) {
+    if (E.IsGlobal)
+      return P.globalName(E.G) + " -> " + PTA.Locs.label(P, E.Target);
+    return PTA.Locs.label(P, E.Base) + "." + P.fieldName(E.Fld) + " -> " +
+           PTA.Locs.label(P, E.Target);
+  };
+
+  // Same loop as the leak client: find a non-refuted path to any target,
+  // thresh its edges, repeat until disconnected or a path survives.
+  while (true) {
+    // BFS for a path avoiding refuted edges.
+    std::map<AbsLocId, std::pair<AbsLocId, EdgeKey>> Parent;
+    std::map<AbsLocId, EdgeKey> RootEdge;
+    std::set<AbsLocId> Seen;
+    std::deque<AbsLocId> Work;
+    for (AbsLocId L : PTA.ptGlobal(Source)) {
+      EdgeKey E;
+      E.IsGlobal = true;
+      E.G = Source;
+      E.Target = L;
+      if (Refuted(E))
+        continue;
+      if (Seen.insert(L).second) {
+        RootEdge[L] = E;
+        Work.push_back(L);
+      }
+    }
+    AbsLocId Found = InvalidId;
+    while (!Work.empty() && Found == InvalidId) {
+      AbsLocId L = Work.front();
+      Work.pop_front();
+      if (Targets.contains(L)) {
+        Found = L;
+        break;
+      }
+      for (auto [Fld, Next] : PTA.fieldEdges(L)) {
+        EdgeKey E;
+        E.Base = L;
+        E.Fld = Fld;
+        E.Target = Next;
+        if (Refuted(E))
+          continue;
+        if (Seen.insert(Next).second) {
+          Parent[Next] = {L, E};
+          Work.push_back(Next);
+        }
+      }
+    }
+    if (Found == InvalidId) {
+      Result.Verdict = AssertVerdict::Proven;
+      Result.CounterexamplePath.clear();
+      return Result;
+    }
+    // Reconstruct and thresh the path.
+    std::vector<EdgeKey> Path;
+    {
+      std::vector<EdgeKey> Rev;
+      AbsLocId Cur = Found;
+      while (Parent.count(Cur)) {
+        Rev.push_back(Parent[Cur].second);
+        Cur = Parent[Cur].first;
+      }
+      Rev.push_back(RootEdge.at(Cur));
+      Path.assign(Rev.rbegin(), Rev.rend());
+    }
+    bool RefutedOne = false;
+    bool SawTimeout = false;
+    for (const EdgeKey &E : Path) {
+      SearchOutcome O = Check(E);
+      if (O == SearchOutcome::Refuted) {
+        RefutedOne = true;
+        break;
+      }
+      if (O == SearchOutcome::BudgetExhausted)
+        SawTimeout = true;
+    }
+    if (RefutedOne)
+      continue;
+    Result.Verdict = SawTimeout ? AssertVerdict::Inconclusive
+                                : AssertVerdict::Violated;
+    for (const EdgeKey &E : Path)
+      Result.CounterexamplePath.push_back(Label(E));
+    return Result;
+  }
+}

@@ -1,0 +1,31 @@
+#include "pta/AbsLoc.h"
+
+using namespace thresher;
+
+AbsLocId AbsLocTable::intern(AllocSiteId Site, AbsLocId Ctx) {
+  auto Key = std::make_pair(Site, Ctx);
+  auto It = Index.find(Key);
+  if (It != Index.end())
+    return It->second;
+  Entry E;
+  E.Site = Site;
+  E.Ctx = Ctx;
+  E.Depth = Ctx == InvalidId ? 1 : Entries[Ctx].Depth + 1;
+  Entries.push_back(E);
+  AbsLocId Id = static_cast<AbsLocId>(Entries.size() - 1);
+  Index.emplace(Key, Id);
+  return Id;
+}
+
+AbsLocId AbsLocTable::find(AllocSiteId Site, AbsLocId Ctx) const {
+  auto It = Index.find(std::make_pair(Site, Ctx));
+  return It == Index.end() ? InvalidId : It->second;
+}
+
+std::string AbsLocTable::label(const Program &P, AbsLocId L) const {
+  const Entry &E = Entries[L];
+  std::string Base = P.allocLabel(E.Site);
+  if (E.Ctx == InvalidId)
+    return Base;
+  return label(P, E.Ctx) + "." + Base;
+}

@@ -1,0 +1,71 @@
+//===- AbsLoc.h - Context-qualified abstract locations ----------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract locations: allocation sites qualified by a heap context. The
+/// context of an allocation inside a container-class method is the abstract
+/// location of the method's receiver, emulating WALA's 0-1-Container-CFA
+/// naming (e.g. "vec0.arr1" for the arr1 instances allocated while
+/// Vec.push runs on vec0 instances, exactly as in Fig. 2 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_PTA_ABSLOC_H
+#define THRESHER_PTA_ABSLOC_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace thresher {
+
+/// Dense id of a context-qualified abstract location.
+using AbsLocId = uint32_t;
+
+/// Interns (allocation site, context) pairs into dense AbsLocIds. The
+/// context is itself an AbsLocId (the receiver's location) or InvalidId.
+class AbsLocTable {
+public:
+  /// Interns the location for \p Site under context \p Ctx.
+  AbsLocId intern(AllocSiteId Site, AbsLocId Ctx = InvalidId);
+
+  /// Looks up the location for (Site, Ctx) without creating it; returns
+  /// InvalidId if that combination was never realized by the analysis.
+  AbsLocId find(AllocSiteId Site, AbsLocId Ctx = InvalidId) const;
+
+  AllocSiteId site(AbsLocId L) const { return Entries[L].Site; }
+  AbsLocId context(AbsLocId L) const { return Entries[L].Ctx; }
+
+  /// Context-chain depth: 1 for an unqualified location, +1 per level.
+  uint32_t depth(AbsLocId L) const { return Entries[L].Depth; }
+
+  /// Human-readable label, e.g. "vec0.arr1".
+  std::string label(const Program &P, AbsLocId L) const;
+
+  size_t size() const { return Entries.size(); }
+
+private:
+  struct Entry {
+    AllocSiteId Site;
+    AbsLocId Ctx;
+    uint32_t Depth;
+  };
+  struct KeyHash {
+    size_t operator()(const std::pair<AllocSiteId, AbsLocId> &K) const {
+      return (static_cast<size_t>(K.first) << 32) ^ K.second;
+    }
+  };
+  std::vector<Entry> Entries;
+  std::unordered_map<std::pair<AllocSiteId, AbsLocId>, AbsLocId, KeyHash>
+      Index;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_PTA_ABSLOC_H

@@ -1,0 +1,82 @@
+#include "pta/GraphExport.h"
+
+#include <deque>
+#include <set>
+
+using namespace thresher;
+
+namespace {
+
+/// Escapes double quotes for dot labels (string-literal site labels
+/// contain them).
+std::string escapeLabel(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+} // namespace
+
+void thresher::exportPointsToDot(std::ostream &OS, const Program &P,
+                                 const PointsToResult &PTA,
+                                 const GraphExportOptions &Opts) {
+  // Select locations: everything, or the subgraph reachable from Roots.
+  std::set<AbsLocId> Nodes;
+  std::vector<GlobalId> Globals;
+  if (Opts.Roots.empty()) {
+    for (GlobalId G = 0; G < P.Globals.size(); ++G)
+      if (!PTA.ptGlobal(G).empty())
+        Globals.push_back(G);
+    for (AbsLocId L = 0; L < PTA.Locs.size(); ++L)
+      Nodes.insert(L);
+  } else {
+    Globals = Opts.Roots;
+    std::deque<AbsLocId> Work;
+    for (GlobalId G : Globals)
+      for (AbsLocId L : PTA.ptGlobal(G))
+        if (Nodes.insert(L).second)
+          Work.push_back(L);
+    while (!Work.empty()) {
+      AbsLocId L = Work.front();
+      Work.pop_front();
+      for (auto [Fld, Next] : PTA.fieldEdges(L)) {
+        (void)Fld;
+        if (Nodes.insert(Next).second)
+          Work.push_back(Next);
+      }
+    }
+  }
+
+  OS << "digraph pointsTo {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"Helvetica\"];\n";
+  for (GlobalId G : Globals)
+    OS << "  \"g" << G << "\" [label=\"" << P.globalName(G)
+       << "\", shape=box];\n";
+  for (AbsLocId L : Nodes) {
+    bool Highlight = false;
+    if (Opts.HighlightClass) {
+      const AllocSiteInfo &Site = P.AllocSites[PTA.Locs.site(L)];
+      Highlight = !Site.IsArray &&
+                  P.isSubclassOf(Site.Class, *Opts.HighlightClass);
+    }
+    OS << "  \"n" << L << "\" [label=\"" << escapeLabel(PTA.Locs.label(P, L))
+       << "\", shape=ellipse"
+       << (Highlight ? ", style=filled, fillcolor=lightcoral" : "")
+       << "];\n";
+  }
+  for (GlobalId G : Globals)
+    for (AbsLocId L : PTA.ptGlobal(G))
+      if (Nodes.count(L))
+        OS << "  \"g" << G << "\" -> \"n" << L << "\";\n";
+  for (AbsLocId L : Nodes)
+    for (auto [Fld, Next] : PTA.fieldEdges(L))
+      if (Nodes.count(Next))
+        OS << "  \"n" << L << "\" -> \"n" << Next << "\" [label=\""
+           << P.fieldName(Fld) << "\"];\n";
+  OS << "}\n";
+}

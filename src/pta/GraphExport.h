@@ -1,0 +1,42 @@
+//===- GraphExport.h - Points-to graph rendering ----------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the flow-insensitive points-to graph as Graphviz dot — the
+/// artifact shown as Fig. 2 of the paper. Optionally restricted to the
+/// subgraph reachable from a set of static fields (which is what the leak
+/// client looks at) and with highlighted Activity nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_PTA_GRAPHEXPORT_H
+#define THRESHER_PTA_GRAPHEXPORT_H
+
+#include "pta/PointsTo.h"
+
+#include <optional>
+#include <ostream>
+#include <vector>
+
+namespace thresher {
+
+/// Options for the dot rendering.
+struct GraphExportOptions {
+  /// If non-empty, restrict to the subgraph reachable from these globals.
+  std::vector<GlobalId> Roots;
+  /// Highlight locations whose class derives from this one (e.g. the
+  /// Activity base), as Fig. 2 highlights act0.
+  std::optional<ClassId> HighlightClass;
+};
+
+/// Writes the points-to graph of \p PTA as Graphviz dot to \p OS.
+void exportPointsToDot(std::ostream &OS, const Program &P,
+                       const PointsToResult &PTA,
+                       const GraphExportOptions &Opts = {});
+
+} // namespace thresher
+
+#endif // THRESHER_PTA_GRAPHEXPORT_H

@@ -1,0 +1,704 @@
+#include "pta/PointsTo.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace thresher;
+
+namespace {
+
+using NodeId = uint32_t;
+constexpr NodeId NoNode = ~0u;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Solver implementation
+//===----------------------------------------------------------------------===//
+
+struct PointsToAnalysis::Impl {
+  const Program &P;
+  PTAOptions Opts;
+  std::unique_ptr<PointsToResult> R = std::make_unique<PointsToResult>();
+  AbsLocTable &Locs = R->Locs;
+
+  // --- Method contexts: (function, receiver location or InvalidId). ---
+  struct MCKeyHash {
+    size_t operator()(const std::pair<FuncId, AbsLocId> &K) const {
+      return (static_cast<size_t>(K.first) << 32) ^ K.second;
+    }
+  };
+  std::vector<std::pair<FuncId, AbsLocId>> MCs;
+  std::unordered_map<std::pair<FuncId, AbsLocId>, uint32_t, MCKeyHash>
+      MCIndex;
+  std::deque<uint32_t> MCQueue;
+  std::vector<bool> MCProcessed;
+
+  // --- Nodes. Globals first, then vars / fields / returns on demand. ---
+  std::vector<IdSet> Pts;
+  std::vector<IdSet> Succ; // Successor node ids per node (copy edges).
+  struct LoadCons {
+    FieldId F;
+    NodeId Dst;
+  };
+  struct StoreCons {
+    FieldId F;
+    NodeId Src;
+  };
+  struct CallCons {
+    uint32_t Id; // Unique, for (cons, loc) processing dedup.
+    ProgramPoint At;
+    uint32_t CallerMC;
+    bool IsVirtual;
+    NameId Method;
+    FuncId Direct;
+    std::vector<NodeId> ArgNodes; // Excluding the receiver (index 0).
+    NodeId DstNode;
+  };
+  std::vector<std::vector<LoadCons>> Loads;
+  std::vector<std::vector<StoreCons>> Stores;
+  std::vector<std::vector<CallCons>> Calls;
+  uint32_t NextCallConsId = 0;
+  std::unordered_set<uint64_t> CallProcessed; // (consId << 32) | loc
+  std::deque<NodeId> Worklist;
+  std::vector<bool> InWorklist;
+
+  struct VarKeyHash {
+    size_t operator()(const std::pair<uint32_t, VarId> &K) const {
+      return (static_cast<size_t>(K.first) << 32) ^ K.second;
+    }
+  };
+  std::unordered_map<std::pair<uint32_t, VarId>, NodeId, VarKeyHash> VarNodes;
+  std::unordered_map<std::pair<AbsLocId, FieldId>, NodeId, VarKeyHash>
+      FieldNodes;
+  std::unordered_map<uint32_t, NodeId> RetNodes; // Per MC.
+
+  // Call graph edges recorded during solving.
+  std::vector<CallEdge> CallEdges;
+  std::unordered_set<uint64_t> CallEdgeSeen; // Hash of (At, callee).
+
+  Impl(const Program &P, PTAOptions Opts) : P(P), Opts(std::move(Opts)) {}
+
+  // --- Node management. ---
+  NodeId newNode() {
+    Pts.emplace_back();
+    Succ.emplace_back();
+    Loads.emplace_back();
+    Stores.emplace_back();
+    Calls.emplace_back();
+    InWorklist.push_back(false);
+    return static_cast<NodeId>(Pts.size() - 1);
+  }
+
+  void initGlobalNodes() {
+    for (GlobalId G = 0; G < P.Globals.size(); ++G) {
+      NodeId N = newNode();
+      (void)N;
+      assert(N == G && "global nodes must come first");
+    }
+  }
+
+  NodeId globalNode(GlobalId G) { return G; }
+
+  NodeId varNode(uint32_t MC, VarId V) {
+    auto Key = std::make_pair(MC, V);
+    auto It = VarNodes.find(Key);
+    if (It != VarNodes.end())
+      return It->second;
+    NodeId N = newNode();
+    VarNodes.emplace(Key, N);
+    return N;
+  }
+
+  NodeId fieldNode(AbsLocId L, FieldId F) {
+    auto Key = std::make_pair(L, F);
+    auto It = FieldNodes.find(Key);
+    if (It != FieldNodes.end())
+      return It->second;
+    NodeId N = newNode();
+    FieldNodes.emplace(Key, N);
+    return N;
+  }
+
+  NodeId retNode(uint32_t MC) {
+    auto It = RetNodes.find(MC);
+    if (It != RetNodes.end())
+      return It->second;
+    NodeId N = newNode();
+    RetNodes.emplace(MC, N);
+    return N;
+  }
+
+  void push(NodeId N) {
+    if (!InWorklist[N]) {
+      InWorklist[N] = true;
+      Worklist.push_back(N);
+    }
+  }
+
+  bool addToPts(NodeId N, AbsLocId L) {
+    if (Pts[N].insert(L)) {
+      push(N);
+      return true;
+    }
+    return false;
+  }
+
+  void addEdge(NodeId From, NodeId To) {
+    if (From == To)
+      return;
+    if (!Succ[From].insert(To))
+      return;
+    if (Pts[To].insertAll(Pts[From]))
+      push(To);
+  }
+
+  // --- Context policy. ---
+  bool ctxSensitive(FuncId F) const {
+    if (Opts.Policy == CtxPolicy::Insensitive)
+      return false;
+    const Function &Fn = P.Funcs[F];
+    if (Fn.IsStatic || Fn.Owner == InvalidId)
+      return false;
+    if (Opts.Policy == CtxPolicy::AllObjSens)
+      return true;
+    // ContainerCFA: the owner or an ancestor is flagged container.
+    ClassId C = Fn.Owner;
+    while (C != InvalidId) {
+      if (P.Classes[C].isContainer())
+        return true;
+      C = P.Classes[C].Super;
+    }
+    return false;
+  }
+
+  uint32_t internMC(FuncId F, AbsLocId Recv) {
+    auto Key = std::make_pair(F, Recv);
+    auto It = MCIndex.find(Key);
+    if (It != MCIndex.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(MCs.size());
+    MCs.push_back(Key);
+    MCIndex.emplace(Key, Id);
+    MCProcessed.push_back(false);
+    MCQueue.push_back(Id);
+    return Id;
+  }
+
+  // --- Constraint attachment (seeds with current pts). ---
+  void attachLoad(NodeId Base, FieldId F, NodeId Dst) {
+    Loads[Base].push_back({F, Dst});
+    for (AbsLocId L : Pts[Base])
+      addEdge(fieldNode(L, F), Dst);
+  }
+
+  void attachStore(NodeId Base, FieldId F, NodeId Src) {
+    Stores[Base].push_back({F, Src});
+    for (AbsLocId L : Pts[Base])
+      addEdge(Src, fieldNode(L, F));
+  }
+
+  void attachCall(NodeId Recv, CallCons C) {
+    Calls[Recv].push_back(C);
+    // Copy needed: processCallLoc may reallocate Calls.
+    CallCons Cons = Calls[Recv].back();
+    for (AbsLocId L : Pts[Recv])
+      processCallLoc(Cons, L);
+  }
+
+  void recordCallEdge(const ProgramPoint &At, uint32_t CallerMC,
+                      FuncId Callee, AbsLocId CalleeCtx) {
+    uint64_t H = (static_cast<uint64_t>(At.F) << 44) ^
+                 (static_cast<uint64_t>(At.B) << 28) ^
+                 (static_cast<uint64_t>(At.Idx) << 16) ^
+                 (static_cast<uint64_t>(CallerMC) << 8) ^
+                 (static_cast<uint64_t>(Callee) << 4) ^ CalleeCtx;
+    if (!CallEdgeSeen.insert(H).second)
+      return;
+    CallEdge E;
+    E.At = At;
+    E.Caller = MCs[CallerMC].first;
+    E.CallerCtx = MCs[CallerMC].second;
+    E.Callee = Callee;
+    E.CalleeCtx = CalleeCtx;
+    CallEdges.push_back(E);
+  }
+
+  void processCallLoc(const CallCons &C, AbsLocId L) {
+    uint64_t Key = (static_cast<uint64_t>(C.Id) << 32) | L;
+    if (!CallProcessed.insert(Key).second)
+      return;
+    const AllocSiteInfo &Site = P.AllocSites[Locs.site(L)];
+    FuncId Callee;
+    if (C.IsVirtual) {
+      if (Site.IsArray)
+        return; // No methods on arrays.
+      Callee = P.resolveVirtual(Site.Class, C.Method);
+      if (Callee == InvalidId)
+        return;
+    } else {
+      Callee = C.Direct;
+      // Filter receivers that cannot be instances of the owner.
+      if (P.Funcs[Callee].Owner != InvalidId && !Site.IsArray &&
+          !P.isSubclassOf(Site.Class, P.Funcs[Callee].Owner))
+        return;
+    }
+    AbsLocId Ctx = ctxSensitive(Callee) ? L : InvalidId;
+    uint32_t CalleeMC = internMC(Callee, Ctx);
+    const Function &CalleeFn = P.Funcs[Callee];
+    // Bind receiver exactly to this location.
+    if (CalleeFn.NumParams > 0)
+      addToPts(varNode(CalleeMC, 0), L);
+    // Bind remaining arguments.
+    size_t N = std::min<size_t>(C.ArgNodes.size(),
+                                CalleeFn.NumParams > 0
+                                    ? CalleeFn.NumParams - 1
+                                    : 0);
+    for (size_t I = 0; I < N; ++I)
+      addEdge(C.ArgNodes[I], varNode(CalleeMC, static_cast<VarId>(I + 1)));
+    if (C.DstNode != NoNode)
+      addEdge(retNode(CalleeMC), C.DstNode);
+    recordCallEdge(C.At, C.CallerMC, Callee, Ctx);
+  }
+
+  /// Direct, context-insensitive call binding.
+  void bindDirectCall(const ProgramPoint &At, uint32_t MC,
+                      const Instruction &I) {
+    FuncId Callee = I.DirectCallee;
+    uint32_t CalleeMC = internMC(Callee, InvalidId);
+    for (size_t K = 0; K < I.Args.size(); ++K)
+      addEdge(varNode(MC, I.Args[K]),
+              varNode(CalleeMC, static_cast<VarId>(K)));
+    if (I.Dst != NoVar)
+      addEdge(retNode(CalleeMC), varNode(MC, I.Dst));
+    recordCallEdge(At, MC, Callee, InvalidId);
+  }
+
+  /// Heap context for an allocation in method context \p MC.
+  AbsLocId allocCtx(uint32_t MC) const {
+    auto [F, Recv] = MCs[MC];
+    if (Recv == InvalidId)
+      return InvalidId;
+    if (!ctxSensitive(F))
+      return InvalidId;
+    if (Locs.depth(Recv) >= Opts.MaxCtxDepth)
+      return InvalidId;
+    return Recv;
+  }
+
+  // --- Constraint generation for one method context. ---
+  void genConstraints(uint32_t MC) {
+    auto [F, Recv] = MCs[MC];
+    (void)Recv;
+    const Function &Fn = P.Funcs[F];
+    for (BlockId B = 0; B < Fn.Blocks.size(); ++B) {
+      const BasicBlock &BB = Fn.Blocks[B];
+      for (uint32_t Idx = 0; Idx < BB.Insts.size(); ++Idx) {
+        const Instruction &I = BB.Insts[Idx];
+        ProgramPoint At{F, B, Idx};
+        switch (I.Op) {
+        case Opcode::Assign:
+          addEdge(varNode(MC, I.Src), varNode(MC, I.Dst));
+          break;
+        case Opcode::ConstInt:
+        case Opcode::ConstNull:
+        case Opcode::Havoc:
+        case Opcode::ArrayLen:
+        case Opcode::Binop:
+          break; // Data-only.
+        case Opcode::New:
+        case Opcode::NewArray:
+          addToPts(varNode(MC, I.Dst), Locs.intern(I.Alloc, allocCtx(MC)));
+          break;
+        case Opcode::Load:
+          attachLoad(varNode(MC, I.Src), I.Field, varNode(MC, I.Dst));
+          break;
+        case Opcode::ArrayLoad:
+          attachLoad(varNode(MC, I.Src), P.ElemsField, varNode(MC, I.Dst));
+          break;
+        case Opcode::Store:
+          if (!Opts.AnnotatedEmptyFields.contains(I.Field))
+            attachStore(varNode(MC, I.Dst), I.Field, varNode(MC, I.Src));
+          break;
+        case Opcode::ArrayStore:
+          if (!Opts.AnnotatedEmptyFields.contains(P.ElemsField))
+            attachStore(varNode(MC, I.Dst), P.ElemsField,
+                        varNode(MC, I.Src));
+          break;
+        case Opcode::LoadStatic:
+          addEdge(globalNode(I.Global), varNode(MC, I.Dst));
+          break;
+        case Opcode::StoreStatic:
+          if (!Opts.AnnotatedEmptyGlobals.contains(I.Global))
+            addEdge(varNode(MC, I.Src), globalNode(I.Global));
+          break;
+        case Opcode::Call: {
+          if (I.IsVirtual || (I.DirectCallee != InvalidId &&
+                              ctxSensitive(I.DirectCallee))) {
+            CallCons C;
+            C.Id = NextCallConsId++;
+            C.At = At;
+            C.CallerMC = MC;
+            C.IsVirtual = I.IsVirtual;
+            C.Method = I.Method;
+            C.Direct = I.DirectCallee;
+            for (size_t K = 1; K < I.Args.size(); ++K)
+              C.ArgNodes.push_back(varNode(MC, I.Args[K]));
+            C.DstNode = I.Dst == NoVar ? NoNode : varNode(MC, I.Dst);
+            attachCall(varNode(MC, I.Args[0]), C);
+          } else {
+            bindDirectCall(At, MC, I);
+          }
+          break;
+        }
+        }
+      }
+      const Terminator &T = BB.Term;
+      if (T.Kind == TermKind::Return && T.HasRetVal)
+        addEdge(varNode(MC, T.RetVal), retNode(MC));
+    }
+  }
+
+  // --- Main solve loop. ---
+  void solve() {
+    initGlobalNodes();
+    if (P.EntryFunc != InvalidId)
+      internMC(P.EntryFunc, InvalidId);
+    while (!MCQueue.empty() || !Worklist.empty()) {
+      while (!MCQueue.empty()) {
+        uint32_t MC = MCQueue.front();
+        MCQueue.pop_front();
+        if (MCProcessed[MC])
+          continue;
+        MCProcessed[MC] = true;
+        genConstraints(MC);
+      }
+      while (!Worklist.empty()) {
+        NodeId N = Worklist.front();
+        Worklist.pop_front();
+        InWorklist[N] = false;
+        // Copy: processing may add nodes / grow vectors.
+        IdSet Cur = Pts[N];
+        for (uint32_t S : IdSet(Succ[N]))
+          if (Pts[S].insertAll(Cur))
+            push(S);
+        for (LoadCons LC : std::vector<LoadCons>(Loads[N]))
+          for (AbsLocId L : Cur)
+            addEdge(fieldNode(L, LC.F), LC.Dst);
+        for (StoreCons SC : std::vector<StoreCons>(Stores[N]))
+          for (AbsLocId L : Cur)
+            addEdge(SC.Src, fieldNode(L, SC.F));
+        for (CallCons CC : std::vector<CallCons>(Calls[N]))
+          for (AbsLocId L : Cur)
+            processCallLoc(CC, L);
+        if (!MCQueue.empty())
+          break; // Generate constraints for newly reached methods first.
+      }
+    }
+  }
+
+  // --- Result finalization. ---
+  void finalize() {
+    R->P = &P;
+    R->VarPts.assign(P.Funcs.size(), {});
+    for (FuncId F = 0; F < P.Funcs.size(); ++F)
+      R->VarPts[F].assign(P.Funcs[F].NumVars, IdSet());
+    for (const auto &[Key, N] : VarNodes) {
+      auto [MC, V] = Key;
+      auto [F, Ctx] = MCs[MC];
+      if (V < R->VarPts[F].size())
+        R->VarPts[F][V].insertAll(Pts[N]);
+      auto &PerCtx = R->VarPtsCtx[{F, Ctx}];
+      if (PerCtx.empty())
+        PerCtx.assign(P.Funcs[F].NumVars, IdSet());
+      if (V < PerCtx.size())
+        PerCtx[V].insertAll(Pts[N]);
+    }
+    R->MaxCtxDepth = Opts.MaxCtxDepth;
+    R->GlobalPts.assign(P.Globals.size(), IdSet());
+    for (GlobalId G = 0; G < P.Globals.size(); ++G)
+      R->GlobalPts[G] = Pts[globalNode(G)];
+    for (const auto &[Key, N] : FieldNodes)
+      R->FieldPts[Key].insertAll(Pts[N]);
+
+    // Call graph.
+    R->Callers.assign(P.Funcs.size(), {});
+    for (const CallEdge &E : CallEdges) {
+      auto &CalleeList = R->Callees[E.At];
+      if (std::find(CalleeList.begin(), CalleeList.end(), E.Callee) ==
+          CalleeList.end())
+        CalleeList.push_back(E.Callee);
+      R->EdgesAt[E.At].push_back(E);
+      R->Callers[E.Callee].push_back(E);
+    }
+
+    // Reachability.
+    R->ReachableMask.assign(P.Funcs.size(), false);
+    for (uint32_t MC = 0; MC < MCs.size(); ++MC)
+      if (MCProcessed[MC])
+        R->ReachableMask[MCs[MC].first] = true;
+    for (FuncId F = 0; F < P.Funcs.size(); ++F)
+      if (R->ReachableMask[F])
+        R->Reachable.push_back(F);
+
+    // Transitive mod sets over the call graph.
+    R->ModSets.assign(P.Funcs.size(), ModSet());
+    for (FuncId F : R->Reachable)
+      R->ModSets[F] = P.Funcs[F].LocalMods;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const CallEdge &E : CallEdges)
+        if (R->ModSets[E.Caller].mergeFrom(R->ModSets[E.Callee]))
+          Changed = true;
+    }
+
+    // Heap-granular mod summaries (WALA ModRef style): direct writes with
+    // their base points-to sets, then the transitive closure.
+    R->HeapMods.assign(P.Funcs.size(), PointsToResult::HeapMod());
+    for (FuncId F : R->Reachable) {
+      PointsToResult::HeapMod &HM = R->HeapMods[F];
+      const Function &Fn = P.Funcs[F];
+      for (const BasicBlock &BB : Fn.Blocks) {
+        for (const Instruction &I : BB.Insts) {
+          switch (I.Op) {
+          case Opcode::Store:
+            HM.FieldBases[I.Field].insertAll(R->ptVar(F, I.Dst));
+            break;
+          case Opcode::ArrayStore:
+            HM.FieldBases[P.ElemsField].insertAll(R->ptVar(F, I.Dst));
+            break;
+          case Opcode::StoreStatic:
+            HM.Globals.insert(I.Global);
+            break;
+          default:
+            break;
+          }
+        }
+      }
+    }
+    Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const CallEdge &E : CallEdges)
+        if (R->HeapMods[E.Caller].mergeFrom(R->HeapMods[E.Callee]))
+          Changed = true;
+    }
+
+    // Locations per allocation site.
+    R->SiteLocs.assign(P.AllocSites.size(), {});
+    for (AbsLocId L = 0; L < Locs.size(); ++L)
+      R->SiteLocs[Locs.site(L)].push_back(L);
+
+    R->ReceiverCtxFuncs.assign(P.Funcs.size(), false);
+    for (FuncId F = 0; F < P.Funcs.size(); ++F)
+      R->ReceiverCtxFuncs[F] = ctxSensitive(F);
+  }
+};
+
+PointsToAnalysis::PointsToAnalysis(const Program &P, PTAOptions Opts)
+    : P(P), Opts(std::move(Opts)) {}
+
+std::unique_ptr<PointsToResult> PointsToAnalysis::run() {
+  Impl I(P, Opts);
+  I.solve();
+  I.finalize();
+  return std::move(I.R);
+}
+
+//===----------------------------------------------------------------------===//
+// PointsToResult queries
+//===----------------------------------------------------------------------===//
+
+const IdSet &PointsToResult::ptVar(FuncId F, VarId V) const {
+  if (F >= VarPts.size() || V >= VarPts[F].size())
+    return EmptySet;
+  return VarPts[F][V];
+}
+
+const IdSet &PointsToResult::ptVarCtx(FuncId F, AbsLocId Ctx,
+                                      VarId V) const {
+  auto It = VarPtsCtx.find({F, Ctx});
+  if (It == VarPtsCtx.end() || V >= It->second.size())
+    return ptVar(F, V); // Unknown context: fall back to the union.
+  return It->second[V];
+}
+
+const IdSet &PointsToResult::ptGlobal(GlobalId G) const {
+  if (G >= GlobalPts.size())
+    return EmptySet;
+  return GlobalPts[G];
+}
+
+const IdSet &PointsToResult::ptField(AbsLocId L, FieldId Fld) const {
+  auto It = FieldPts.find({L, Fld});
+  return It == FieldPts.end() ? EmptySet : It->second;
+}
+
+IdSet PointsToResult::ptVarField(FuncId F, VarId V, FieldId Fld) const {
+  IdSet Out;
+  for (AbsLocId L : ptVar(F, V))
+    Out.insertAll(ptField(L, Fld));
+  return Out;
+}
+
+std::vector<std::pair<FieldId, AbsLocId>>
+PointsToResult::fieldEdges(AbsLocId L) const {
+  std::vector<std::pair<FieldId, AbsLocId>> Out;
+  auto It = FieldPts.lower_bound({L, 0});
+  for (; It != FieldPts.end() && It->first.first == L; ++It)
+    for (AbsLocId T : It->second)
+      Out.push_back({It->first.second, T});
+  return Out;
+}
+
+const std::vector<FuncId> &
+PointsToResult::calleesAt(const ProgramPoint &At) const {
+  auto It = Callees.find(At);
+  return It == Callees.end() ? NoFuncs : It->second;
+}
+
+const std::vector<CallEdge> &PointsToResult::callersOf(FuncId F) const {
+  if (F >= Callers.size())
+    return NoEdges;
+  return Callers[F];
+}
+
+std::vector<CallEdge>
+PointsToResult::calleesAtCtx(const ProgramPoint &At,
+                             AbsLocId CallerCtx) const {
+  std::vector<CallEdge> Out;
+  auto It = EdgesAt.find(At);
+  if (It == EdgesAt.end())
+    return Out;
+  for (const CallEdge &E : It->second)
+    if (E.CallerCtx == CallerCtx)
+      Out.push_back(E);
+  return Out;
+}
+
+std::vector<CallEdge> PointsToResult::callersOfCtx(FuncId F,
+                                                   AbsLocId Ctx) const {
+  std::vector<CallEdge> Out;
+  for (const CallEdge &E : callersOf(F))
+    if (E.CalleeCtx == Ctx)
+      Out.push_back(E);
+  return Out;
+}
+
+AbsLocId PointsToResult::allocContextFor(FuncId F,
+                                         AbsLocId FrameCtx) const {
+  if (!receiverIsHeapContext(F) || FrameCtx == InvalidId)
+    return InvalidId;
+  if (Locs.depth(FrameCtx) >= MaxCtxDepth)
+    return InvalidId;
+  return FrameCtx;
+}
+
+bool PointsToResult::isReachable(FuncId F) const {
+  return F < ReachableMask.size() && ReachableMask[F];
+}
+
+const ModSet &PointsToResult::modSetOf(FuncId F) const {
+  static const ModSet Empty;
+  if (F >= ModSets.size())
+    return Empty;
+  return ModSets[F];
+}
+
+const PointsToResult::HeapMod &PointsToResult::heapModOf(FuncId F) const {
+  static const HeapMod Empty;
+  if (F >= HeapMods.size())
+    return Empty;
+  return HeapMods[F];
+}
+
+const std::vector<AbsLocId> &PointsToResult::locsOfSite(AllocSiteId S) const {
+  static const std::vector<AbsLocId> Empty;
+  if (S >= SiteLocs.size())
+    return Empty;
+  return SiteLocs[S];
+}
+
+bool PointsToResult::receiverIsHeapContext(FuncId F) const {
+  return F < ReceiverCtxFuncs.size() && ReceiverCtxFuncs[F];
+}
+
+IdSet PointsToResult::locsOfClassDerivedFrom(const Program &Prog,
+                                             ClassId Base) const {
+  IdSet Out;
+  for (AbsLocId L = 0; L < Locs.size(); ++L) {
+    const AllocSiteInfo &Site = Prog.AllocSites[Locs.site(L)];
+    if (!Site.IsArray && Prog.isSubclassOf(Site.Class, Base))
+      Out.insert(L);
+  }
+  return Out;
+}
+
+std::vector<ProducerSite>
+PointsToResult::producersOfFieldEdge(AbsLocId Base, FieldId Fld,
+                                     AbsLocId Target) const {
+  std::vector<ProducerSite> Out;
+  for (const auto &[MC, PerVar] : VarPtsCtx) {
+    auto [F, Ctx] = MC;
+    const Function &Fn = P->Funcs[F];
+    for (BlockId B = 0; B < Fn.Blocks.size(); ++B) {
+      const BasicBlock &BB = Fn.Blocks[B];
+      for (uint32_t Idx = 0; Idx < BB.Insts.size(); ++Idx) {
+        const Instruction &I = BB.Insts[Idx];
+        bool IsFieldStore = I.Op == Opcode::Store && I.Field == Fld;
+        bool IsArrayStore =
+            I.Op == Opcode::ArrayStore && Fld == P->ElemsField;
+        if (!IsFieldStore && !IsArrayStore)
+          continue;
+        if (I.Dst < PerVar.size() && PerVar[I.Dst].contains(Base) &&
+            I.Src < PerVar.size() && PerVar[I.Src].contains(Target))
+          Out.push_back({{F, B, Idx}, Ctx});
+      }
+    }
+  }
+  // VarPtsCtx iteration order is unspecified; sort for determinism.
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    return std::tie(A.At.F, A.At.B, A.At.Idx, A.Ctx) <
+           std::tie(B.At.F, B.At.B, B.At.Idx, B.Ctx);
+  });
+  return Out;
+}
+
+std::vector<ProducerSite>
+PointsToResult::producersOfGlobalEdge(GlobalId G, AbsLocId Target) const {
+  std::vector<ProducerSite> Out;
+  for (const auto &[MC, PerVar] : VarPtsCtx) {
+    auto [F, Ctx] = MC;
+    const Function &Fn = P->Funcs[F];
+    for (BlockId B = 0; B < Fn.Blocks.size(); ++B) {
+      const BasicBlock &BB = Fn.Blocks[B];
+      for (uint32_t Idx = 0; Idx < BB.Insts.size(); ++Idx) {
+        const Instruction &I = BB.Insts[Idx];
+        if (I.Op != Opcode::StoreStatic || I.Global != G)
+          continue;
+        if (I.Src < PerVar.size() && PerVar[I.Src].contains(Target))
+          Out.push_back({{F, B, Idx}, Ctx});
+      }
+    }
+  }
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    return std::tie(A.At.F, A.At.B, A.At.Idx, A.Ctx) <
+           std::tie(B.At.F, B.At.B, B.At.Idx, B.Ctx);
+  });
+  return Out;
+}
+
+uint64_t PointsToResult::numEdges() const {
+  uint64_t N = 0;
+  for (const auto &FPts : VarPts)
+    for (const IdSet &S : FPts)
+      N += S.size();
+  for (const IdSet &S : GlobalPts)
+    N += S.size();
+  for (const auto &[_, S] : FieldPts)
+    N += S.size();
+  return N;
+}

@@ -1,0 +1,226 @@
+//===- PointsTo.h - Andersen-style points-to analysis -----------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow-insensitive, field-sensitive, inclusion-based (Andersen) points-to
+/// analysis with an on-the-fly call graph, selectable context policy, and
+/// per-function transitive mod sets. This is the "obtain a conservative
+/// analysis result" phase of the paper (Sec. 2) and the provider of the
+/// pt() function the witness-refutation search consults (Sec. 3).
+///
+/// Context policies:
+///  - Insensitive: classic 0-CFA.
+///  - ContainerCFA (default): methods of classes flagged CF_Container are
+///    analyzed once per receiver abstract location and their allocations
+///    are heap-cloned by that receiver, emulating WALA's 0-1-Container-CFA.
+///  - AllObjSens: every instance method is receiver-sensitive (costly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_PTA_POINTSTO_H
+#define THRESHER_PTA_POINTSTO_H
+
+#include "pta/AbsLoc.h"
+#include "support/IdSet.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// Context policy for the analysis.
+enum class CtxPolicy : uint8_t { Insensitive, ContainerCFA, AllObjSens };
+
+/// Analysis options.
+struct PTAOptions {
+  CtxPolicy Policy = CtxPolicy::ContainerCFA;
+  /// Maximum context-chain depth for heap cloning; deeper allocations fall
+  /// back to the unqualified location.
+  uint32_t MaxCtxDepth = 3;
+  /// Static fields annotated as never pointing to anything (the paper's
+  /// HashMap.EMPTY_TABLE annotation): stores into them are ignored.
+  IdSet AnnotatedEmptyGlobals;
+  /// Instance fields annotated likewise.
+  IdSet AnnotatedEmptyFields;
+};
+
+/// A resolved call edge between method contexts: the position of the call
+/// plus caller and callee, each qualified by its receiver heap context
+/// (InvalidId for context-insensitive analysis units).
+struct CallEdge {
+  ProgramPoint At;
+  FuncId Caller = InvalidId;
+  FuncId Callee = InvalidId;
+  AbsLocId CallerCtx = InvalidId;
+  AbsLocId CalleeCtx = InvalidId;
+};
+
+/// A statement that may produce a points-to edge, qualified by the method
+/// context under which it produces it.
+struct ProducerSite {
+  ProgramPoint At;
+  AbsLocId Ctx = InvalidId; ///< Receiver context of the producing frame.
+};
+
+/// The analysis result: points-to sets over AbsLocIds, the call graph, and
+/// mod summaries. All query results are unions over contexts, which is what
+/// the (variable-context-insensitive) symbolic stage consumes.
+class PointsToResult {
+public:
+  AbsLocTable Locs;
+
+  /// pt(x): locations local \p V of function \p F may point to, unioned
+  /// over all analysis contexts of \p F.
+  const IdSet &ptVar(FuncId F, VarId V) const;
+
+  /// Context-qualified pt(x): the points-to set of \p V in the method
+  /// context (\p F, \p Ctx). Falls back to the context union when the
+  /// context is unknown to the analysis.
+  const IdSet &ptVarCtx(FuncId F, AbsLocId Ctx, VarId V) const;
+
+  /// pt(g): locations static field \p G may point to.
+  const IdSet &ptGlobal(GlobalId G) const;
+
+  /// pt(a.f): locations field \p Fld of location \p L may contain.
+  const IdSet &ptField(AbsLocId L, FieldId Fld) const;
+
+  /// pt(y.f) as in the paper: union of ptField over pt(y).
+  IdSet ptVarField(FuncId F, VarId V, FieldId Fld) const;
+
+  /// All (field, target) edges out of \p L.
+  std::vector<std::pair<FieldId, AbsLocId>> fieldEdges(AbsLocId L) const;
+
+  /// Callees resolved at the call instruction at \p At (all contexts).
+  const std::vector<FuncId> &calleesAt(const ProgramPoint &At) const;
+
+  /// Context-qualified call edges out of the call at \p At when the
+  /// calling frame has context \p CallerCtx.
+  std::vector<CallEdge> calleesAtCtx(const ProgramPoint &At,
+                                     AbsLocId CallerCtx) const;
+
+  /// Call sites that may invoke \p F (all contexts).
+  const std::vector<CallEdge> &callersOf(FuncId F) const;
+
+  /// Call edges into the method context (\p F, \p Ctx).
+  std::vector<CallEdge> callersOfCtx(FuncId F, AbsLocId Ctx) const;
+
+  /// Functions reachable from the entry.
+  const std::vector<FuncId> &reachableFuncs() const { return Reachable; }
+  bool isReachable(FuncId F) const;
+
+  /// Transitive mod set of \p F (fields and globals possibly written by F
+  /// or anything it may call).
+  const ModSet &modSetOf(FuncId F) const;
+
+  /// Heap-location-granular mod summary, as in WALA's ModRef: for each
+  /// field, the abstract locations whose instances may be written.
+  struct HeapMod {
+    std::map<FieldId, IdSet> FieldBases;
+    IdSet Globals;
+
+    bool mergeFrom(const HeapMod &Other) {
+      bool Changed = Globals.insertAll(Other.Globals);
+      for (const auto &[Fld, Bases] : Other.FieldBases)
+        Changed |= FieldBases[Fld].insertAll(Bases);
+      return Changed;
+    }
+    /// May this summary write field \p Fld of an instance from \p Region?
+    bool mayWriteField(FieldId Fld, const IdSet &Region) const {
+      auto It = FieldBases.find(Fld);
+      return It != FieldBases.end() && !It->second.disjointWith(Region);
+    }
+  };
+
+  /// Transitive heap-granular mod summary of \p F.
+  const HeapMod &heapModOf(FuncId F) const;
+
+  /// All locations for a given allocation site (across contexts).
+  const std::vector<AbsLocId> &locsOfSite(AllocSiteId S) const;
+
+  /// True if allocations in \p F are heap-cloned by F's receiver (the
+  /// context policy made F receiver-sensitive). The witness search uses
+  /// this to tie a context-qualified location back to the receiver.
+  bool receiverIsHeapContext(FuncId F) const;
+
+  /// All locations whose site allocates a class derived from \p Base.
+  IdSet locsOfClassDerivedFrom(const Program &P, ClassId Base) const;
+
+  /// Statements that may produce the heap edge \p Base.\p Fld -> \p Target
+  /// (field or array stores), qualified by the method context under which
+  /// they can produce it. For edges out of statics use the global form.
+  std::vector<ProducerSite> producersOfFieldEdge(AbsLocId Base, FieldId Fld,
+                                                 AbsLocId Target) const;
+  std::vector<ProducerSite> producersOfGlobalEdge(GlobalId G,
+                                                  AbsLocId Target) const;
+
+  /// The heap context that an allocation at \p Site inside function \p F
+  /// receives when F runs under receiver context \p FrameCtx (mirrors the
+  /// analysis' context policy, including the depth cap).
+  AbsLocId allocContextFor(FuncId F, AbsLocId FrameCtx) const;
+
+  /// Total number of points-to graph edges (for reporting).
+  uint64_t numEdges() const;
+
+private:
+  friend class PointsToAnalysis;
+  const Program *P = nullptr;
+
+  struct PPHash {
+    size_t operator()(const ProgramPoint &PP) const {
+      return (static_cast<size_t>(PP.F) << 40) ^
+             (static_cast<size_t>(PP.B) << 20) ^ PP.Idx;
+    }
+  };
+
+  struct MCKeyHash {
+    size_t operator()(const std::pair<FuncId, AbsLocId> &K) const {
+      return (static_cast<size_t>(K.first) << 32) ^ K.second;
+    }
+  };
+
+  // Collapsed (context-unioned) views, built after solving.
+  std::vector<std::vector<IdSet>> VarPts;      ///< [FuncId][VarId]
+  /// Context-qualified views: (F, Ctx) -> per-var points-to sets.
+  std::unordered_map<std::pair<FuncId, AbsLocId>, std::vector<IdSet>,
+                     MCKeyHash>
+      VarPtsCtx;
+  uint32_t MaxCtxDepth = 3;
+  std::vector<IdSet> GlobalPts;                ///< [GlobalId]
+  std::map<std::pair<AbsLocId, FieldId>, IdSet> FieldPts;
+  std::unordered_map<ProgramPoint, std::vector<FuncId>, PPHash> Callees;
+  std::unordered_map<ProgramPoint, std::vector<CallEdge>, PPHash> EdgesAt;
+  std::vector<std::vector<CallEdge>> Callers;  ///< [FuncId]
+  std::vector<FuncId> Reachable;
+  std::vector<bool> ReachableMask;
+  std::vector<ModSet> ModSets;                 ///< [FuncId]
+  std::vector<HeapMod> HeapMods;               ///< [FuncId]
+  std::vector<std::vector<AbsLocId>> SiteLocs; ///< [AllocSiteId]
+  std::vector<bool> ReceiverCtxFuncs;          ///< [FuncId]
+  IdSet EmptySet;
+  std::vector<FuncId> NoFuncs;
+  std::vector<CallEdge> NoEdges;
+};
+
+/// Runs the analysis on \p P.
+class PointsToAnalysis {
+public:
+  PointsToAnalysis(const Program &P, PTAOptions Opts = {});
+
+  /// Solves constraints to a fixed point and returns the result.
+  std::unique_ptr<PointsToResult> run();
+
+private:
+  struct Impl;
+  const Program &P;
+  PTAOptions Opts;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_PTA_POINTSTO_H

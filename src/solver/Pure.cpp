@@ -1,0 +1,259 @@
+#include "solver/Pure.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+using namespace thresher;
+
+namespace {
+
+constexpr int64_t Inf = std::numeric_limits<int64_t>::max() / 4;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Difference-bound closure
+//===----------------------------------------------------------------------===//
+
+/// Shortest-path closure over the variables mentioned by a constraint set.
+/// Node 0 is the distinguished Zero; others map dense ids to variables.
+struct PureConstraints::Closure {
+  std::unordered_map<uint32_t, size_t> Index; // Var -> dense node.
+  std::vector<std::vector<int64_t>> D;        // D[i][j]: i - j <= D[i][j].
+  bool Unsat = false;
+
+  explicit Closure(const std::vector<PurePrim> &Prims) {
+    Index[PurePrim::ZeroVar] = 0;
+    for (const PurePrim &Pr : Prims) {
+      if (!Index.count(Pr.X))
+        Index[Pr.X] = Index.size();
+      if (!Index.count(Pr.Y))
+        Index[Pr.Y] = Index.size();
+    }
+    size_t N = Index.size();
+    D.assign(N, std::vector<int64_t>(N, Inf));
+    for (size_t I = 0; I < N; ++I)
+      D[I][I] = 0;
+    for (const PurePrim &Pr : Prims) {
+      if (Pr.K != PurePrim::Kind::LE)
+        continue;
+      size_t X = Index[Pr.X], Y = Index[Pr.Y];
+      D[X][Y] = std::min(D[X][Y], Pr.C);
+    }
+    // Floyd-Warshall; the sets are tiny (a handful of variables).
+    for (size_t K = 0; K < N; ++K)
+      for (size_t I = 0; I < N; ++I) {
+        if (D[I][K] >= Inf)
+          continue;
+        for (size_t J = 0; J < N; ++J) {
+          if (D[K][J] >= Inf)
+            continue;
+          int64_t Via = D[I][K] + D[K][J];
+          if (Via < D[I][J])
+            D[I][J] = Via;
+        }
+      }
+    for (size_t I = 0; I < N; ++I)
+      if (D[I][I] < 0)
+        Unsat = true;
+    if (Unsat)
+      return;
+    // Disequality check: X - Y != C is violated iff the closure forces
+    // X - Y == C (both X - Y <= C and Y - X <= -C are tight).
+    for (const PurePrim &Pr : Prims) {
+      if (Pr.K != PurePrim::Kind::NE)
+        continue;
+      size_t X = Index[Pr.X], Y = Index[Pr.Y];
+      if (D[X][Y] <= Pr.C && D[Y][X] <= -Pr.C) {
+        Unsat = true;
+        return;
+      }
+    }
+  }
+
+  /// Bound on X - Y, or Inf.
+  int64_t bound(uint32_t X, uint32_t Y) const {
+    auto XI = Index.find(X);
+    auto YI = Index.find(Y);
+    if (XI == Index.end() || YI == Index.end())
+      return X == Y ? 0 : Inf;
+    return D[XI->second][YI->second];
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// PureConstraints
+//===----------------------------------------------------------------------===//
+
+void PureConstraints::addPrim(PurePrim Prim) {
+  // Normalize constraints on Zero alone away (they are ground facts).
+  if (Prim.X == Prim.Y) {
+    // X - X <= / != C.
+    if (Prim.K == PurePrim::Kind::LE && 0 <= Prim.C)
+      return; // Trivially true.
+    if (Prim.K == PurePrim::Kind::NE && Prim.C != 0)
+      return; // Trivially true.
+    // Trivially false: keep it so isSatisfiable() reports unsat.
+  }
+  for (const PurePrim &Existing : Prims)
+    if (Existing == Prim)
+      return;
+  Prims.push_back(Prim);
+}
+
+bool PureConstraints::addCmp(PureTerm L, RelOp Rel, PureTerm R, bool IsPath) {
+  // Normalize both sides into (var, offset): constants use ZeroVar.
+  uint32_t X = L.IsVar ? L.Var : PurePrim::ZeroVar;
+  uint32_t Y = R.IsVar ? R.Var : PurePrim::ZeroVar;
+  // L - R = (X + L.C) - (Y + R.C); constraint L Rel R becomes
+  // X - Y Rel (R.C - L.C).
+  int64_t C = R.C - L.C;
+
+  uint32_t Seq = IsPath ? NextPathSeq++ : 0;
+  auto LE = [&](uint32_t A, uint32_t B, int64_t K) {
+    PurePrim Pr;
+    Pr.K = PurePrim::Kind::LE;
+    Pr.X = A;
+    Pr.Y = B;
+    Pr.C = K;
+    Pr.IsPath = IsPath;
+    Pr.PathSeq = Seq;
+    addPrim(Pr);
+  };
+  auto NE = [&](uint32_t A, uint32_t B, int64_t K) {
+    PurePrim Pr;
+    Pr.K = PurePrim::Kind::NE;
+    Pr.X = A;
+    Pr.Y = B;
+    Pr.C = K;
+    Pr.IsPath = IsPath;
+    Pr.PathSeq = Seq;
+    addPrim(Pr);
+  };
+
+  switch (Rel) {
+  case RelOp::EQ:
+    LE(X, Y, C);
+    LE(Y, X, -C);
+    break;
+  case RelOp::NE:
+    NE(X, Y, C);
+    break;
+  case RelOp::LT:
+    LE(X, Y, C - 1); // Integer semantics: X - Y < C  <=>  X - Y <= C-1.
+    break;
+  case RelOp::LE:
+    LE(X, Y, C);
+    break;
+  case RelOp::GT:
+    LE(Y, X, -C - 1);
+    break;
+  case RelOp::GE:
+    LE(Y, X, -C);
+    break;
+  }
+  if (X == PurePrim::ZeroVar && Y == PurePrim::ZeroVar) {
+    // Ground comparison; report immediate contradiction.
+    return isSatisfiable();
+  }
+  return true;
+}
+
+bool PureConstraints::isSatisfiable() const {
+  if (Prims.empty())
+    return true;
+  return !Closure(Prims).Unsat;
+}
+
+bool PureConstraints::entails(const PureConstraints &Other) const {
+  if (Other.Prims.empty())
+    return true;
+  Closure Cl(Prims);
+  if (Cl.Unsat)
+    return true; // False entails everything.
+  for (const PurePrim &Pr : Other.Prims) {
+    switch (Pr.K) {
+    case PurePrim::Kind::LE:
+      if (Cl.bound(Pr.X, Pr.Y) > Pr.C)
+        return false;
+      break;
+    case PurePrim::Kind::NE:
+      // Entailed iff equality is impossible: X - Y < C or X - Y > C forced.
+      if (!(Cl.bound(Pr.X, Pr.Y) < Pr.C || Cl.bound(Pr.Y, Pr.X) < -Pr.C))
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+void PureConstraints::substitute(uint32_t From, uint32_t To) {
+  for (PurePrim &Pr : Prims) {
+    if (Pr.X == From)
+      Pr.X = To;
+    if (Pr.Y == From)
+      Pr.Y = To;
+  }
+}
+
+void PureConstraints::dropMentioning(
+    const std::function<bool(uint32_t)> &Drop) {
+  Prims.erase(std::remove_if(Prims.begin(), Prims.end(),
+                             [&](const PurePrim &Pr) {
+                               bool XHit = Pr.X != PurePrim::ZeroVar &&
+                                           Drop(Pr.X);
+                               bool YHit = Pr.Y != PurePrim::ZeroVar &&
+                                           Drop(Pr.Y);
+                               return XHit || YHit;
+                             }),
+              Prims.end());
+}
+
+size_t PureConstraints::pathCount() const {
+  std::set<uint32_t> Seqs;
+  for (const PurePrim &Pr : Prims)
+    if (Pr.IsPath)
+      Seqs.insert(Pr.PathSeq);
+  return Seqs.size();
+}
+
+void PureConstraints::dropOldestPath() {
+  uint32_t Oldest = ~0u;
+  for (const PurePrim &Pr : Prims)
+    if (Pr.IsPath && Pr.PathSeq < Oldest)
+      Oldest = Pr.PathSeq;
+  if (Oldest == ~0u)
+    return;
+  Prims.erase(std::remove_if(Prims.begin(), Prims.end(),
+                             [&](const PurePrim &Pr) {
+                               return Pr.IsPath && Pr.PathSeq == Oldest;
+                             }),
+              Prims.end());
+}
+
+bool PureConstraints::mentions(uint32_t Var) const {
+  for (const PurePrim &Pr : Prims)
+    if (Pr.X == Var || Pr.Y == Var)
+      return true;
+  return false;
+}
+
+std::string PureConstraints::toString(
+    const std::function<std::string(uint32_t)> &VarName) const {
+  std::ostringstream OS;
+  auto Name = [&](uint32_t V) {
+    return V == PurePrim::ZeroVar ? std::string("0") : VarName(V);
+  };
+  bool First = true;
+  for (const PurePrim &Pr : Prims) {
+    if (!First)
+      OS << " /\\ ";
+    First = false;
+    OS << Name(Pr.X) << " - " << Name(Pr.Y)
+       << (Pr.K == PurePrim::Kind::LE ? " <= " : " != ") << Pr.C;
+  }
+  return OS.str();
+}

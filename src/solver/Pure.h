@@ -1,0 +1,125 @@
+//===- Pure.h - Pure (non-heap) constraint solving --------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision procedure for the pure constraints of witness-refutation
+/// queries. The original tool hands these to Z3; the fragment Thresher
+/// actually generates — comparisons between integer-valued symbolic
+/// variables and constants arising from guards, constant assignments, and
+/// var-plus-constant arithmetic, with the path-constraint set capped at two
+/// (Sec. 4) — is difference logic plus disequalities, for which the
+/// difference-bound closure below is sound and complete over the integers.
+///
+/// Constraints are normalized to primitives:
+///   LE:  X - Y <= C      NE:  X - Y != C
+/// where X/Y are symbolic variable ids or the distinguished Zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SOLVER_PURE_H
+#define THRESHER_SOLVER_PURE_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// A pure term: a symbolic variable plus offset, or a plain constant.
+struct PureTerm {
+  bool IsVar = false;
+  uint32_t Var = 0; ///< Symbolic variable id (engine-assigned).
+  int64_t C = 0;    ///< Offset (IsVar) or constant value.
+
+  static PureTerm mkVar(uint32_t V, int64_t Off = 0) {
+    PureTerm T;
+    T.IsVar = true;
+    T.Var = V;
+    T.C = Off;
+    return T;
+  }
+  static PureTerm mkConst(int64_t V) {
+    PureTerm T;
+    T.C = V;
+    return T;
+  }
+};
+
+/// A primitive constraint. Var id ZeroVar denotes the constant 0.
+struct PurePrim {
+  enum class Kind : uint8_t { LE, NE };
+  static constexpr uint32_t ZeroVar = ~0u;
+
+  Kind K = Kind::LE;
+  uint32_t X = ZeroVar;
+  uint32_t Y = ZeroVar;
+  int64_t C = 0;
+  bool IsPath = false; ///< Came from a branch guard (subject to the cap).
+  /// Groups the primitives of one source-level constraint (an equality
+  /// expands to two LE primitives); the path cap counts groups.
+  uint32_t PathSeq = 0;
+
+  bool operator==(const PurePrim &O) const {
+    return K == O.K && X == O.X && Y == O.Y && C == O.C;
+  }
+};
+
+/// A conjunction of primitive pure constraints with a decision procedure.
+class PureConstraints {
+public:
+  /// Adds L Rel R. \p IsPath marks branch-guard provenance. Returns false
+  /// if the constraint is trivially contradictory on its own (e.g. 1 < 0).
+  bool addCmp(PureTerm L, RelOp Rel, PureTerm R, bool IsPath);
+
+  /// Whole-set satisfiability (integer difference-bound closure plus
+  /// disequality checks).
+  bool isSatisfiable() const;
+
+  /// True if this conjunction semantically entails every constraint in
+  /// \p Other (so Other is weaker-or-equal).
+  bool entails(const PureConstraints &Other) const;
+
+  /// Substitutes variable \p From by \p To everywhere (unification).
+  void substitute(uint32_t From, uint32_t To);
+
+  /// Removes all constraints mentioning any variable accepted by \p Drop
+  /// (loop widening / sound call skipping).
+  void dropMentioning(const std::function<bool(uint32_t)> &Drop);
+
+  /// Number of path-provenance constraints (source-level groups) held.
+  size_t pathCount() const;
+
+  /// Drops the oldest path-provenance constraint (the paper's size-two
+  /// path-constraint cap). No-op if none.
+  void dropOldestPath();
+
+  /// True if any constraint mentions \p Var.
+  bool mentions(uint32_t Var) const;
+
+  const std::vector<PurePrim> &prims() const { return Prims; }
+  bool empty() const { return Prims.empty(); }
+  size_t size() const { return Prims.size(); }
+
+  /// Renders the conjunction for diagnostics, mapping variable ids through
+  /// \p VarName.
+  std::string
+  toString(const std::function<std::string(uint32_t)> &VarName) const;
+
+private:
+  struct Closure;
+  void addPrim(PurePrim Prim);
+
+  std::vector<PurePrim> Prims;
+  uint32_t NextPathSeq = 1;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SOLVER_PURE_H

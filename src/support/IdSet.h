@@ -1,0 +1,129 @@
+//===- IdSet.h - Sorted small set of dense integer ids ----------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted-vector set of 32-bit ids. Points-to sets and instance-constraint
+/// regions are small in practice, so a sorted vector beats a hash set on both
+/// memory and iteration order determinism (which we rely on for reproducible
+/// analysis output).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_IDSET_H
+#define THRESHER_SUPPORT_IDSET_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace thresher {
+
+/// A deterministic set of dense 32-bit ids stored as a sorted vector.
+class IdSet {
+public:
+  IdSet() = default;
+  IdSet(std::initializer_list<uint32_t> Ids) : Elems(Ids) { normalize(); }
+  explicit IdSet(std::vector<uint32_t> Ids) : Elems(std::move(Ids)) {
+    normalize();
+  }
+
+  /// Returns true if \p Id is a member.
+  bool contains(uint32_t Id) const {
+    return std::binary_search(Elems.begin(), Elems.end(), Id);
+  }
+
+  /// Inserts \p Id; returns true if it was not already present.
+  bool insert(uint32_t Id) {
+    auto It = std::lower_bound(Elems.begin(), Elems.end(), Id);
+    if (It != Elems.end() && *It == Id)
+      return false;
+    Elems.insert(It, Id);
+    return true;
+  }
+
+  /// Inserts every element of \p Other; returns true if this set grew.
+  bool insertAll(const IdSet &Other) {
+    if (Other.empty())
+      return false;
+    size_t OldSize = Elems.size();
+    std::vector<uint32_t> Merged;
+    Merged.reserve(OldSize + Other.size());
+    std::set_union(Elems.begin(), Elems.end(), Other.Elems.begin(),
+                   Other.Elems.end(), std::back_inserter(Merged));
+    Elems = std::move(Merged);
+    return Elems.size() != OldSize;
+  }
+
+  /// Removes \p Id if present; returns true if it was removed.
+  bool erase(uint32_t Id) {
+    auto It = std::lower_bound(Elems.begin(), Elems.end(), Id);
+    if (It == Elems.end() || *It != Id)
+      return false;
+    Elems.erase(It);
+    return true;
+  }
+
+  /// Returns the intersection of this set and \p Other.
+  IdSet intersectWith(const IdSet &Other) const {
+    IdSet Result;
+    std::set_intersection(Elems.begin(), Elems.end(), Other.Elems.begin(),
+                          Other.Elems.end(),
+                          std::back_inserter(Result.Elems));
+    return Result;
+  }
+
+  /// Returns true if this set and \p Other share no element.
+  bool disjointWith(const IdSet &Other) const {
+    auto I = Elems.begin(), J = Other.Elems.begin();
+    while (I != Elems.end() && J != Other.Elems.end()) {
+      if (*I < *J)
+        ++I;
+      else if (*J < *I)
+        ++J;
+      else
+        return false;
+    }
+    return true;
+  }
+
+  /// Returns true if every element of this set is in \p Other.
+  bool subsetOf(const IdSet &Other) const {
+    return std::includes(Other.Elems.begin(), Other.Elems.end(),
+                         Elems.begin(), Elems.end());
+  }
+
+  bool empty() const { return Elems.empty(); }
+  size_t size() const { return Elems.size(); }
+
+  /// The sole element of a singleton set.
+  uint32_t singleElement() const {
+    assert(Elems.size() == 1 && "not a singleton set");
+    return Elems.front();
+  }
+
+  void clear() { Elems.clear(); }
+
+  using const_iterator = std::vector<uint32_t>::const_iterator;
+  const_iterator begin() const { return Elems.begin(); }
+  const_iterator end() const { return Elems.end(); }
+
+  bool operator==(const IdSet &Other) const { return Elems == Other.Elems; }
+  bool operator!=(const IdSet &Other) const { return Elems != Other.Elems; }
+
+private:
+  void normalize() {
+    std::sort(Elems.begin(), Elems.end());
+    Elems.erase(std::unique(Elems.begin(), Elems.end()), Elems.end());
+  }
+
+  std::vector<uint32_t> Elems;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_IDSET_H

@@ -1,0 +1,8 @@
+#include "support/Stats.h"
+
+using namespace thresher;
+
+void Stats::print(std::ostream &OS) const {
+  for (const auto &[Name, Value] : Counters)
+    OS << "  " << Name << " = " << Value << "\n";
+}

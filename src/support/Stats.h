@@ -1,0 +1,54 @@
+//===- Stats.h - Named analysis counters ------------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small registry of named counters used to report analysis effort
+/// (queries explored, refutations by kind, case splits, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_STATS_H
+#define THRESHER_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace thresher {
+
+/// Named monotonic counters for analysis effort reporting.
+class Stats {
+public:
+  /// Increments counter \p Name by \p Delta.
+  void bump(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Returns the value of counter \p Name (0 if never bumped).
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// Merges all counters from \p Other into this.
+  void mergeFrom(const Stats &Other) {
+    for (const auto &[Name, Value] : Other.Counters)
+      Counters[Name] += Value;
+  }
+
+  void clear() { Counters.clear(); }
+
+  /// Prints all counters, one per line, sorted by name.
+  void print(std::ostream &OS) const;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_STATS_H

@@ -1,0 +1,25 @@
+#include "support/StringPool.h"
+
+#include <cassert>
+
+using namespace thresher;
+
+NameId StringPool::intern(std::string_view Str) {
+  auto It = Index.find(Str);
+  if (It != Index.end())
+    return It->second;
+  Strings.emplace_back(Str);
+  NameId Id = static_cast<NameId>(Strings.size() - 1);
+  Index.emplace(std::string_view(Strings.back()), Id);
+  return Id;
+}
+
+const std::string &StringPool::str(NameId Id) const {
+  assert(Id < Strings.size() && "invalid name id");
+  return Strings[Id];
+}
+
+NameId StringPool::lookup(std::string_view Str) const {
+  auto It = Index.find(Str);
+  return It == Index.end() ? ~0u : It->second;
+}

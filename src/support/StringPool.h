@@ -1,0 +1,49 @@
+//===- StringPool.h - Interned strings --------------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings so the IR can refer to names by dense 32-bit ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_STRINGPOOL_H
+#define THRESHER_SUPPORT_STRINGPOOL_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace thresher {
+
+/// Dense id for an interned string.
+using NameId = uint32_t;
+
+/// Interns strings and hands out stable dense ids.
+class StringPool {
+public:
+  /// Interns \p Str, returning its id (existing or fresh).
+  NameId intern(std::string_view Str);
+
+  /// Returns the string for \p Id.
+  const std::string &str(NameId Id) const;
+
+  /// Returns the id for \p Str if interned, or ~0u otherwise.
+  NameId lookup(std::string_view Str) const;
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  // A deque keeps each stored std::string object (and thus any SSO buffer)
+  // at a stable address, so the string_view keys in Index stay valid.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, NameId> Index;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_STRINGPOOL_H

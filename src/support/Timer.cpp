@@ -1,0 +1,7 @@
+#include "support/Timer.h"
+
+using namespace thresher;
+
+double Timer::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}

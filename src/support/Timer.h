@@ -1,0 +1,35 @@
+//===- Timer.h - Wall-clock timing helpers ----------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_TIMER_H
+#define THRESHER_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace thresher {
+
+/// A simple wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  double seconds() const;
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_TIMER_H

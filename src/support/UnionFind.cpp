@@ -1,0 +1,41 @@
+#include "support/UnionFind.h"
+
+using namespace thresher;
+
+void UnionFind::growTo(uint32_t Id) {
+  while (Parent.size() <= Id) {
+    Parent.push_back(static_cast<uint32_t>(Parent.size()));
+    Rank.push_back(0);
+  }
+}
+
+uint32_t UnionFind::find(uint32_t Id) {
+  growTo(Id);
+  uint32_t Cur = Id;
+  while (Parent[Cur] != Cur) {
+    Parent[Cur] = Parent[Parent[Cur]]; // Path halving.
+    Cur = Parent[Cur];
+  }
+  return Cur;
+}
+
+uint32_t UnionFind::findConst(uint32_t Id) const {
+  if (Id >= Parent.size())
+    return Id;
+  uint32_t Cur = Id;
+  while (Parent[Cur] != Cur)
+    Cur = Parent[Cur];
+  return Cur;
+}
+
+uint32_t UnionFind::unite(uint32_t A, uint32_t B) {
+  uint32_t RA = find(A), RB = find(B);
+  if (RA == RB)
+    return RA;
+  if (Rank[RA] < Rank[RB])
+    std::swap(RA, RB);
+  Parent[RB] = RA;
+  if (Rank[RA] == Rank[RB])
+    ++Rank[RA];
+  return RA;
+}

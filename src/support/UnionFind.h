@@ -1,0 +1,51 @@
+//===- UnionFind.h - Disjoint-set forest ------------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Union-find over dense 32-bit ids with path halving and union by rank.
+/// Used by the pure-constraint solver's equality congruence and by query
+/// normalization when exact points-to constraints force two symbolic
+/// variables to denote the same instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_UNIONFIND_H
+#define THRESHER_SUPPORT_UNIONFIND_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace thresher {
+
+/// Disjoint-set forest over ids 0..N-1; grows on demand.
+class UnionFind {
+public:
+  /// Returns the representative of \p Id's class (grows the forest to
+  /// include \p Id if needed).
+  uint32_t find(uint32_t Id);
+
+  /// Const find: returns \p Id itself if it is beyond the current forest.
+  uint32_t findConst(uint32_t Id) const;
+
+  /// Merges the classes of \p A and \p B; returns the new representative.
+  uint32_t unite(uint32_t A, uint32_t B);
+
+  /// Returns true if \p A and \p B are known equal.
+  bool sameClass(uint32_t A, uint32_t B) { return find(A) == find(B); }
+
+  size_t size() const { return Parent.size(); }
+
+private:
+  void growTo(uint32_t Id);
+
+  std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_UNIONFIND_H

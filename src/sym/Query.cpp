@@ -1,0 +1,386 @@
+#include "sym/Query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace thresher;
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+std::string Region::toString(const Program &P, const AbsLocTable &T) const {
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  for (AbsLocId L : Locs) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << T.label(P, L);
+  }
+  if (HasData) {
+    if (!First)
+      OS << ",";
+    OS << "data";
+  }
+  OS << "}";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Bindings
+//===----------------------------------------------------------------------===//
+
+std::optional<ValRef> Query::getLocal(uint32_t Frame, VarId V) const {
+  auto It = Locals.find({Frame, V});
+  if (It == Locals.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void Query::setLocal(uint32_t Frame, VarId V, ValRef R) {
+  Locals[{Frame, V}] = R;
+}
+
+void Query::eraseLocal(uint32_t Frame, VarId V) { Locals.erase({Frame, V}); }
+
+std::optional<ValRef> Query::getGlobal(GlobalId G) const {
+  auto It = Globals.find(G);
+  if (It == Globals.end())
+    return std::nullopt;
+  return It->second;
+}
+
+Region &Query::regionOf(SymVarId S) {
+  auto It = Regions.find(S);
+  assert(It != Regions.end() && "unknown symbolic variable");
+  return It->second;
+}
+
+const Region &Query::regionOf(SymVarId S) const {
+  auto It = Regions.find(S);
+  assert(It != Regions.end() && "unknown symbolic variable");
+  return It->second;
+}
+
+void Query::narrowSymLocs(SymVarId S, const IdSet &Locs) {
+  Region &R = regionOf(S);
+  if (R.dataOnly())
+    return;
+  if (!R.narrowLocs(Locs))
+    Refuted = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Unification and substitution
+//===----------------------------------------------------------------------===//
+
+ValRef Query::unify(ValRef A, ValRef B) {
+  if (A == B)
+    return A;
+  if (A.isNull() || B.isNull()) {
+    // Null vs Sym: a Sym binding asserts a non-null instance.
+    Refuted = true;
+    return A;
+  }
+  // Merge B into A.
+  SymVarId Keep = A.Sym, Drop = B.Sym;
+  Region DropRegion = regionOf(Drop);
+  if (!regionOf(Keep).intersectWith(DropRegion)) {
+    Refuted = true;
+    return A;
+  }
+  substitute(Drop, Keep);
+  return A;
+}
+
+void Query::substitute(SymVarId From, SymVarId To) {
+  if (From == To)
+    return;
+  for (auto &[_, V] : Locals)
+    if (V.isSym() && V.Sym == From)
+      V.Sym = To;
+  for (auto &[_, V] : Globals)
+    if (V.isSym() && V.Sym == From)
+      V.Sym = To;
+  for (HeapCell &C : Cells) {
+    if (C.Base == From)
+      C.Base = To;
+    if (C.Target.isSym() && C.Target.Sym == From)
+      C.Target.Sym = To;
+  }
+  Pure.substitute(From, To);
+  // Merge region info if both existed, then drop From.
+  auto FromIt = Regions.find(From);
+  if (FromIt != Regions.end()) {
+    auto ToIt = Regions.find(To);
+    if (ToIt != Regions.end()) {
+      if (!ToIt->second.intersectWith(FromIt->second))
+        Refuted = true;
+    } else {
+      Regions.emplace(To, FromIt->second);
+    }
+    Regions.erase(FromIt);
+  }
+  normalizeCells();
+}
+
+void Query::normalizeCells() {
+  // Collapse exact duplicates; unify targets of duplicate (base, field)
+  // cells on ordinary fields. Iterate to a fixed point since target
+  // unification can substitute and create new duplicates.
+  bool Changed = true;
+  while (Changed && !Refuted) {
+    Changed = false;
+    for (size_t I = 0; I < Cells.size() && !Changed; ++I) {
+      for (size_t J = I + 1; J < Cells.size() && !Changed; ++J) {
+        if (Cells[I].Base != Cells[J].Base ||
+            Cells[I].Field != Cells[J].Field)
+          continue;
+        if (Cells[I] == Cells[J]) {
+          Cells.erase(Cells.begin() + static_cast<ptrdiff_t>(J));
+          Changed = true;
+          break;
+        }
+        if (Cells[I].Field == ElemsFieldCache)
+          continue; // @elems cells may share (base, field).
+        // Separation: one cell per (base, field) => targets must agree.
+        ValRef TI = Cells[I].Target, TJ = Cells[J].Target;
+        Cells.erase(Cells.begin() + static_cast<ptrdiff_t>(J));
+        unify(TI, TJ);
+        Changed = true;
+      }
+    }
+  }
+}
+
+ValRef Query::addCell(SymVarId Base, FieldId Field, ValRef Target,
+                      FieldId Elems) {
+  ElemsFieldCache = Elems;
+  if (Field != Elems) {
+    for (HeapCell &C : Cells) {
+      if (C.Base == Base && C.Field == Field) {
+        ValRef Merged = unify(C.Target, Target);
+        // Re-find is unnecessary: unify substitutes in place.
+        return Merged;
+      }
+    }
+  }
+  HeapCell C;
+  C.Base = Base;
+  C.Field = Field;
+  C.Target = Target;
+  Cells.push_back(C);
+  return Target;
+}
+
+std::vector<HeapCell *> Query::cellsWithBase(SymVarId Base) {
+  std::vector<HeapCell *> Out;
+  for (HeapCell &C : Cells)
+    if (C.Base == Base)
+      Out.push_back(&C);
+  return Out;
+}
+
+void Query::removeCell(const HeapCell &Target) {
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    if (Cells[I] == Target) {
+      Cells.erase(Cells.begin() + static_cast<ptrdiff_t>(I));
+      return;
+    }
+  }
+  assert(false && "cell to remove not found");
+}
+
+bool Query::symIsReferenced(SymVarId S) const {
+  for (const auto &[_, V] : Locals)
+    if (V.isSym() && V.Sym == S)
+      return true;
+  for (const auto &[_, V] : Globals)
+    if (V.isSym() && V.Sym == S)
+      return true;
+  for (const HeapCell &C : Cells)
+    if (C.Base == S || (C.Target.isSym() && C.Target.Sym == S))
+      return true;
+  if (Pure.mentions(S))
+    return true;
+  return false;
+}
+
+void Query::gcRegions() {
+  for (auto It = Regions.begin(); It != Regions.end();) {
+    if (!symIsReferenced(It->first))
+      It = Regions.erase(It);
+    else
+      ++It;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalization and printing
+//===----------------------------------------------------------------------===//
+
+std::map<SymVarId, uint32_t> Query::canonicalOrder() const {
+  std::map<SymVarId, uint32_t> Order;
+  auto Touch = [&](const ValRef &V) {
+    if (V.isSym() && !Order.count(V.Sym))
+      Order.emplace(V.Sym, static_cast<uint32_t>(Order.size()));
+  };
+  for (const auto &[_, V] : Locals) // std::map: sorted by key.
+    Touch(V);
+  for (const auto &[_, V] : Globals)
+    Touch(V);
+  // Cells: repeatedly pick cells whose base is already named, in sorted
+  // order, to get a deterministic traversal; then the rest.
+  std::vector<const HeapCell *> Pending;
+  for (const HeapCell &C : Cells)
+    Pending.push_back(&C);
+  auto CellLess = [&](const HeapCell *A, const HeapCell *B) {
+    auto Rank = [&](SymVarId S) {
+      auto It = Order.find(S);
+      return It == Order.end() ? ~0u : It->second;
+    };
+    if (Rank(A->Base) != Rank(B->Base))
+      return Rank(A->Base) < Rank(B->Base);
+    if (A->Field != B->Field)
+      return A->Field < B->Field;
+    return A->Base < B->Base;
+  };
+  while (!Pending.empty()) {
+    std::sort(Pending.begin(), Pending.end(), CellLess);
+    const HeapCell *C = Pending.front();
+    Pending.erase(Pending.begin());
+    if (!Order.count(C->Base))
+      Order.emplace(C->Base, static_cast<uint32_t>(Order.size()));
+    Touch(C->Target);
+  }
+  for (const PurePrim &Pr : Pure.prims()) {
+    for (SymVarId S : {Pr.X, Pr.Y})
+      if (S != PurePrim::ZeroVar && !Order.count(S))
+        Order.emplace(S, static_cast<uint32_t>(Order.size()));
+  }
+  return Order;
+}
+
+std::string Query::historySlot() const {
+  std::ostringstream OS;
+  OS << Pos.F << ":" << Pos.B << ":" << Pos.Idx << "|";
+  for (const QueryFrame &F : Frames) {
+    OS << F.Func;
+    if (F.Ctx != InvalidId)
+      OS << "#" << F.Ctx;
+    if (F.HasCallSite)
+      OS << "@" << F.CallAt.F << ":" << F.CallAt.B << ":" << F.CallAt.Idx;
+    OS << ";";
+  }
+  return OS.str();
+}
+
+std::string Query::canonicalKey() const {
+  std::map<SymVarId, uint32_t> Order = canonicalOrder();
+  auto Ren = [&](SymVarId S) {
+    auto It = Order.find(S);
+    return It == Order.end() ? ~0u : It->second;
+  };
+  auto RenVal = [&](const ValRef &V) -> std::string {
+    if (V.isNull())
+      return "null";
+    return "s" + std::to_string(Ren(V.Sym));
+  };
+  std::ostringstream OS;
+  OS << historySlot() << "||";
+  for (const auto &[K, V] : Locals)
+    OS << "L" << K.first << "." << K.second << "=" << RenVal(V) << ";";
+  for (const auto &[G, V] : Globals)
+    OS << "G" << G << "=" << RenVal(V) << ";";
+  // Cells sorted by renamed components.
+  std::vector<std::string> CellStrs;
+  for (const HeapCell &C : Cells) {
+    std::ostringstream CS;
+    CS << "s" << Ren(C.Base) << "." << C.Field << "=" << RenVal(C.Target);
+    CellStrs.push_back(CS.str());
+  }
+  std::sort(CellStrs.begin(), CellStrs.end());
+  for (const std::string &S : CellStrs)
+    OS << "C" << S << ";";
+  // Regions of referenced vars, in canonical order.
+  std::vector<std::pair<uint32_t, const Region *>> Regs;
+  for (const auto &[S, R] : Regions) {
+    auto It = Order.find(S);
+    if (It != Order.end())
+      Regs.push_back({It->second, &R});
+  }
+  std::sort(Regs.begin(), Regs.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  for (const auto &[Idx, R] : Regs) {
+    OS << "R" << Idx << "={";
+    for (AbsLocId L : R->Locs)
+      OS << L << ",";
+    if (R->HasData)
+      OS << "data";
+    OS << "};";
+  }
+  // Pure primitives, renamed and sorted.
+  std::vector<std::string> PureStrs;
+  for (const PurePrim &Pr : Pure.prims()) {
+    std::ostringstream PS;
+    auto N = [&](uint32_t V) {
+      return V == PurePrim::ZeroVar ? std::string("z")
+                                    : "s" + std::to_string(Ren(V));
+    };
+    PS << N(Pr.X) << (Pr.K == PurePrim::Kind::LE ? "<=" : "!=") << N(Pr.Y)
+       << ":" << Pr.C;
+    PureStrs.push_back(PS.str());
+  }
+  std::sort(PureStrs.begin(), PureStrs.end());
+  for (const std::string &S : PureStrs)
+    OS << "P" << S << ";";
+  return OS.str();
+}
+
+std::string Query::toString(const Program &P, const AbsLocTable &T) const {
+  std::ostringstream OS;
+  auto Val = [&](const ValRef &V) -> std::string {
+    if (V.isNull())
+      return "null";
+    return "v" + std::to_string(V.Sym);
+  };
+  OS << "@" << P.funcName(Pos.F) << "/bb" << Pos.B << "/" << Pos.Idx << " ";
+  if (Refuted) {
+    OS << "REFUTED";
+    return OS.str();
+  }
+  bool First = true;
+  auto Sep = [&]() {
+    if (!First)
+      OS << " * ";
+    First = false;
+  };
+  for (const auto &[K, V] : Locals) {
+    Sep();
+    const Function &Fn = P.Funcs[Frames[K.first].Func];
+    OS << Fn.varName(K.second) << "|->" << Val(V);
+  }
+  for (const auto &[G, V] : Globals) {
+    Sep();
+    OS << P.globalName(G) << "|->" << Val(V);
+  }
+  for (const HeapCell &C : Cells) {
+    Sep();
+    OS << "v" << C.Base << "." << P.fieldName(C.Field) << "|->"
+       << Val(C.Target);
+  }
+  for (const auto &[S, R] : Regions) {
+    if (!symIsReferenced(S))
+      continue;
+    OS << " /\\ v" << S << " from " << R.toString(P, T);
+  }
+  if (!Pure.empty())
+    OS << " /\\ "
+       << Pure.toString([](uint32_t V) { return "v" + std::to_string(V); });
+  if (First && Pure.empty())
+    OS << "any";
+  return OS.str();
+}

@@ -1,0 +1,210 @@
+//===- Query.h - Mixed symbolic-explicit queries ----------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mixed symbolic-explicit query representation of Sec. 3.1:
+///
+///   Q ::= M ∧ P
+///   M ::= any | x |-> v̂ | v̂·f |-> û | M1 * M2
+///   P ::= true | P1 ∧ P2 | v̂ from r̂ | pure comparisons
+///
+/// A query holds: local-variable bindings (per stack frame), static-field
+/// bindings, separated heap cells, a per-symbolic-variable instance
+/// constraint (Region), and a conjunction of pure constraints. The binding
+/// target is either Null or a symbolic variable; a symbolic-variable
+/// binding asserts a *non-null* value (instances are drawn from points-to
+/// regions, which never contain null).
+///
+/// The explicit call-stack abstraction of Sec. 3 lives here too: Frames
+/// records the call sites traversed backwards into callees; the bottom
+/// frame has no call site and represents an arbitrary calling context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SYM_QUERY_H
+#define THRESHER_SYM_QUERY_H
+
+#include "ir/Program.h"
+#include "solver/Pure.h"
+#include "sym/Region.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// Dense id of a symbolic variable within one query.
+using SymVarId = uint32_t;
+
+/// A binding target: null or a (non-null) symbolic instance / data value.
+struct ValRef {
+  enum class Kind : uint8_t { Null, Sym };
+  Kind K = Kind::Null;
+  SymVarId Sym = 0;
+
+  static ValRef mkNull() { return {}; }
+  static ValRef mkSym(SymVarId S) {
+    ValRef V;
+    V.K = Kind::Sym;
+    V.Sym = S;
+    return V;
+  }
+  bool isNull() const { return K == Kind::Null; }
+  bool isSym() const { return K == Kind::Sym; }
+
+  bool operator==(const ValRef &O) const {
+    return K == O.K && (K != Kind::Sym || Sym == O.Sym);
+  }
+};
+
+/// One separated heap cell: Base·Field |-> Target. Cells on the synthetic
+/// @elems field are index-summarized: several @elems cells may share a
+/// base (distinct indices), whereas ordinary field cells are unique per
+/// (Base, Field).
+struct HeapCell {
+  SymVarId Base = 0;
+  FieldId Field = InvalidId;
+  ValRef Target;
+
+  bool operator==(const HeapCell &O) const {
+    return Base == O.Base && Field == O.Field && Target == O.Target;
+  }
+};
+
+/// A backwards-call-stack frame. Frames.back() is the active function; a
+/// frame entered by stepping backwards into a callee records the call
+/// instruction position in its parent. Ctx is the receiver heap context of
+/// the frame's analysis unit (the paper's tool executes over WALA call
+/// graph nodes, which are (method, context) pairs; this is our analogue).
+struct QueryFrame {
+  FuncId Func = InvalidId;
+  uint32_t Ctx = InvalidId; ///< AbsLocId of the receiver context.
+  /// Call instruction position in the parent frame; invalid for the bottom
+  /// frame (arbitrary calling context).
+  ProgramPoint CallAt{InvalidId, InvalidId, 0};
+  bool HasCallSite = false;
+
+  bool operator==(const QueryFrame &O) const {
+    return Func == O.Func && Ctx == O.Ctx && HasCallSite == O.HasCallSite &&
+           (!HasCallSite || CallAt == O.CallAt);
+  }
+};
+
+/// A mixed symbolic-explicit query (one disjunct of a refutation state R).
+/// Engine code mutates queries through the helpers here; once `Refuted` is
+/// set the query must be discarded.
+class Query {
+public:
+  // --- Position and stack. ---
+  ProgramPoint Pos;
+  std::vector<QueryFrame> Frames;
+
+  // --- Constraints. ---
+  /// Local bindings, keyed by (frame index, variable).
+  std::map<std::pair<uint32_t, VarId>, ValRef> Locals;
+  /// Static-field bindings.
+  std::map<GlobalId, ValRef> Globals;
+  /// Separated heap cells.
+  std::vector<HeapCell> Cells;
+  /// Instance constraints: region of each live symbolic variable.
+  std::map<SymVarId, Region> Regions;
+  /// Pure constraints (symbolic variable ids shared with Regions).
+  PureConstraints Pure;
+
+  bool Refuted = false;
+  /// Loop-head crossing counts for hard-widening (engine bookkeeping).
+  std::map<std::pair<FuncId, BlockId>, uint32_t> LoopCrossings;
+  /// Optional execution trail for witness reporting (newest first).
+  std::vector<ProgramPoint> Trail;
+  /// Optional per-step query snapshots (debugging aid, newest first).
+  std::vector<std::string> TrailQueries;
+
+  // --- Construction helpers. ---
+  SymVarId freshSym(Region R) {
+    SymVarId S = NextSym++;
+    Regions.emplace(S, std::move(R));
+    return S;
+  }
+
+  uint32_t curFrame() const {
+    return static_cast<uint32_t>(Frames.size() - 1);
+  }
+
+  // --- Binding access. ---
+  std::optional<ValRef> getLocal(uint32_t Frame, VarId V) const;
+  void setLocal(uint32_t Frame, VarId V, ValRef R);
+  void eraseLocal(uint32_t Frame, VarId V);
+  std::optional<ValRef> getGlobal(GlobalId G) const;
+
+  // --- Region access. ---
+  Region &regionOf(SymVarId S);
+  const Region &regionOf(SymVarId S) const;
+
+  /// Narrows the region of \p S by intersecting its location part with
+  /// \p Locs; marks the query refuted on emptiness. Data-only regions are
+  /// left alone (the heap-flow rules only narrow addresses).
+  void narrowSymLocs(SymVarId S, const IdSet &Locs);
+
+  // --- Structural operations. ---
+  /// Unifies two binding targets (separation-driven): Null/Null succeeds,
+  /// Null/Sym refutes (a Sym binding asserts non-null), Sym/Sym merges the
+  /// variables and intersects their regions. Marks Refuted on failure.
+  /// Returns the merged value.
+  ValRef unify(ValRef A, ValRef B);
+
+  /// Substitutes symbolic variable \p From by \p To everywhere and
+  /// re-normalizes cells (duplicate (base, field) cells on ordinary fields
+  /// unify their targets; exact duplicates collapse).
+  void substitute(SymVarId From, SymVarId To);
+
+  /// Adds cell Base·Field |-> Target. On an ordinary field with an
+  /// existing cell for (Base, Field), unifies the targets instead (the
+  /// separation rule: one cell per location). Returns the resulting
+  /// target value.
+  ValRef addCell(SymVarId Base, FieldId Field, ValRef Target, FieldId Elems);
+
+  /// All cells with the given base.
+  std::vector<HeapCell *> cellsWithBase(SymVarId Base);
+
+  /// Removes the (unique) cell equal to \p C.
+  void removeCell(const HeapCell &C);
+
+  /// True if \p S appears anywhere (bindings, cells, pure constraints).
+  bool symIsReferenced(SymVarId S) const;
+
+  /// Drops region entries for symbolic variables no longer referenced.
+  void gcRegions();
+
+  /// True when the query has become `any`: no memory constraints remain
+  /// and the pure part is satisfiable (checked by the engine).
+  bool memoryEmpty() const {
+    return Locals.empty() && Globals.empty() && Cells.empty();
+  }
+
+  /// A canonical fingerprint: symbolic variables renamed in first-use
+  /// order over the sorted constraint sets, rendered to a string. Used as
+  /// the exact-match layer of the query-history subsumption check.
+  std::string canonicalKey() const;
+
+  /// Position+stack signature used to index query histories.
+  std::string historySlot() const;
+
+  /// Pretty form for diagnostics.
+  std::string toString(const Program &P, const AbsLocTable &T) const;
+
+private:
+  void normalizeCells();
+  std::map<SymVarId, uint32_t> canonicalOrder() const;
+
+  SymVarId NextSym = 0;
+  FieldId ElemsFieldCache = InvalidId; // Set by addCell for normalization.
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SYM_QUERY_H

@@ -1,0 +1,82 @@
+//===- Region.h - Points-to regions for instance constraints ----*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A points-to region r̂ (Sec. 3.1): a set of abstract locations, possibly
+/// extended with the distinguished `data` region for non-address values.
+/// Instance constraints `v̂ from r̂` attach a Region to each symbolic
+/// variable; intersections drive the early refutations of Fig. 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SYM_REGION_H
+#define THRESHER_SYM_REGION_H
+
+#include "pta/AbsLoc.h"
+#include "support/IdSet.h"
+
+#include <string>
+
+namespace thresher {
+
+/// A points-to region: abstract locations plus optionally `data`.
+struct Region {
+  IdSet Locs;
+  bool HasData = false;
+
+  static Region ofLocs(IdSet L) {
+    Region R;
+    R.Locs = std::move(L);
+    return R;
+  }
+  static Region data() {
+    Region R;
+    R.HasData = true;
+    return R;
+  }
+
+  /// Empty region: `v̂ from ∅ <=> false` (axiom 1 of Sec. 3.2).
+  bool empty() const { return !HasData && Locs.empty(); }
+
+  /// True if the region admits heap instances.
+  bool hasLocs() const { return !Locs.empty(); }
+
+  /// True if the region is data-only (no heap instance possible).
+  bool dataOnly() const { return HasData && Locs.empty(); }
+
+  /// Intersects with \p Other in place (axiom 2). Returns false if the
+  /// result is empty (a refutation).
+  bool intersectWith(const Region &Other) {
+    Locs = Locs.intersectWith(Other.Locs);
+    HasData = HasData && Other.HasData;
+    return !empty();
+  }
+
+  /// Intersects the location part with \p L (data status unchanged by the
+  /// heap-flow rules, which only narrow addresses). Returns false if empty.
+  bool narrowLocs(const IdSet &L) {
+    Locs = Locs.intersectWith(L);
+    return !empty();
+  }
+
+  /// Region inclusion, used by the `from`-constraint entailment (Eq. § of
+  /// Sec. 3.3): this ⊆ Other.
+  bool subsetOf(const Region &Other) const {
+    if (HasData && !Other.HasData)
+      return false;
+    return Locs.subsetOf(Other.Locs);
+  }
+
+  bool operator==(const Region &O) const {
+    return HasData == O.HasData && Locs == O.Locs;
+  }
+
+  std::string toString(const Program &P, const AbsLocTable &T) const;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SYM_REGION_H

@@ -1,0 +1,1550 @@
+#include "sym/WitnessSearch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace thresher;
+
+namespace {
+
+/// Result of resolving a local to a symbolic variable.
+struct SymOrRefuted {
+  bool Refuted = false;
+  SymVarId Sym = 0;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// One search run (per producing statement)
+//===----------------------------------------------------------------------===//
+
+class WitnessSearch::Run {
+public:
+  Run(WitnessSearch &WS, uint64_t &Budget)
+      : P(WS.P), PTA(WS.PTA), Opts(WS.Opts), S(WS.S), Budget(Budget) {}
+
+  SearchOutcome run(Query Init, EdgeSearchResult &Out) {
+    push(std::move(Init));
+    while (!Worklist.empty()) {
+      if (StepsUsed >= Budget) {
+        S.bump("sym.budgetExhausted");
+        Out.StepsUsed = StepsUsed;
+        return SearchOutcome::BudgetExhausted;
+      }
+      Query Q = std::move(Worklist.back());
+      Worklist.pop_back();
+      ++StepsUsed;
+      step(std::move(Q));
+      if (Witnessed) {
+        Out.StepsUsed = StepsUsed;
+        Out.WitnessTrail.assign(WitnessQ.Trail.rbegin(),
+                                WitnessQ.Trail.rend());
+        Out.WitnessTrailQueries.assign(WitnessQ.TrailQueries.rbegin(),
+                                       WitnessQ.TrailQueries.rend());
+        return SearchOutcome::Witnessed;
+      }
+    }
+    Out.StepsUsed = StepsUsed;
+    Out.DeepestRefutedTrail.assign(DeepestRefuted.rbegin(),
+                                   DeepestRefuted.rend());
+    return SearchOutcome::Refuted;
+  }
+
+  uint64_t stepsUsed() const { return StepsUsed; }
+
+private:
+  //--- Worklist management -------------------------------------------------
+
+  void refute(Query &Q, const char *Why) {
+    Q.Refuted = true;
+    S.bump(std::string("sym.refute.") + Why);
+    if (Opts.RecordTrails && Q.Trail.size() > DeepestRefuted.size())
+      DeepestRefuted = Q.Trail;
+  }
+
+  void push(Query Q) {
+    if (Q.Refuted) {
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    if (Opts.RecordTrails) {
+      Q.Trail.push_back(Q.Pos);
+      if (Opts.RecordTrailQueries)
+        Q.TrailQueries.push_back(Q.toString(P, PTA.Locs));
+    }
+    if (Opts.Repr == Representation::FullyExplicit && explodeAndPush(Q))
+      return;
+    Worklist.push_back(std::move(Q));
+  }
+
+  /// Fully explicit mode: split the first multi-location region into
+  /// singleton cases. Returns true if a split happened (cases pushed).
+  bool explodeAndPush(Query &Q) {
+    for (const auto &[Sym, R] : Q.Regions) {
+      size_t Cases = R.Locs.size() + (R.HasData ? 1 : 0);
+      if (Cases <= 1 || !Q.symIsReferenced(Sym))
+        continue;
+      S.bump("sym.explicitSplits");
+      for (AbsLocId L : R.Locs) {
+        Query Q2 = Q;
+        Region &R2 = Q2.regionOf(Sym);
+        R2.HasData = false;
+        R2.Locs = IdSet{L};
+        push(std::move(Q2));
+      }
+      if (R.HasData) {
+        Query Q2 = Q;
+        Q2.regionOf(Sym) = Region::data();
+        push(std::move(Q2));
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void markWitness(Query Q) {
+    Witnessed = true;
+    WitnessQ = std::move(Q);
+    S.bump("sym.witnesses");
+  }
+
+  //--- Main step -----------------------------------------------------------
+
+  void step(Query Q) {
+    S.bump("sym.queriesProcessed");
+    if (Q.Refuted) {
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    if (!Q.Pure.isSatisfiable()) {
+      refute(Q, "pure");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    if (Q.memoryEmpty()) {
+      markWitness(std::move(Q));
+      return;
+    }
+    const Function &Fn = P.Funcs[Q.Pos.F];
+    if (Q.Pos.Idx > 0) {
+      const Instruction &I = Fn.Blocks[Q.Pos.B].Insts[Q.Pos.Idx - 1];
+      Q.Pos.Idx -= 1;
+      transfer(std::move(Q), I);
+      return;
+    }
+    if (Q.Pos.B == Fn.Entry) {
+      atFunctionEntry(std::move(Q));
+      return;
+    }
+    atBlockStart(std::move(Q));
+  }
+
+  //--- Block starts, loops, assumes ----------------------------------------
+
+  /// Exact-duplicate merging at block starts: two backwards paths whose
+  /// queries became identical (e.g. after an irrelevant branch's guard
+  /// constraints were discharged) are collapsed. This plays the role of
+  /// the paper's "add guard constraints only when the queries on the two
+  /// sides of the branch differ" optimization (Sec. 3.2, after ESP/PSE):
+  /// it cuts the exponential blowup of irrelevant path sensitivity with
+  /// no precision loss.
+  bool duplicateAtBlockStart(const Query &Q) {
+    if (!Opts.QuerySimplification)
+      return false;
+    std::string Key = Q.historySlot() + "##" + Q.canonicalKey();
+    if (!BlockDedup.insert(std::move(Key)).second) {
+      S.bump("sym.pathsMerged");
+      return true;
+    }
+    return false;
+  }
+
+  void atBlockStart(Query Q) {
+    if (duplicateAtBlockStart(Q))
+      return;
+    const Function &Fn = P.Funcs[Q.Pos.F];
+    BlockId B = Q.Pos.B;
+    bool IsHead = Fn.isLoopHeader(B);
+    const LoopInfo *L = IsHead ? &Fn.loopAt(B) : nullptr;
+    if (IsHead) {
+      uint32_t &Cross = Q.LoopCrossings[{Q.Pos.F, B}];
+      ++Cross;
+      if (Opts.Loop == LoopMode::DropAll) {
+        widenDropAll(Q, *L);
+      } else {
+        if (Cross > 1)
+          widenPure(Q, *L);
+        if (Cross > Opts.MaxLoopCrossings) {
+          widenDropAll(Q, *L);
+          S.bump("sym.hardWiden");
+        }
+      }
+      if (historySubsumed(Q)) {
+        S.bump("sym.subsumedAtLoopHead");
+        return;
+      }
+      if (Q.memoryEmpty()) {
+        // Widening weakened the query to `any`: nothing left to refute.
+        markWitness(std::move(Q));
+        return;
+      }
+    }
+    const std::vector<BlockId> &Preds = Fn.Preds[B];
+    if (Preds.empty()) {
+      // Unreachable block (should not happen for frontend output).
+      refute(Q, "unreachableBlock");
+      return;
+    }
+    for (BlockId Pd : Preds) {
+      if (IsHead && Opts.Loop == LoopMode::DropAll && L->Body.contains(Pd))
+        continue; // DropAll skips the loop body entirely.
+      Query Q2 = Q;
+      Q2.Pos.B = Pd;
+      Q2.Pos.Idx = static_cast<uint32_t>(Fn.Blocks[Pd].Insts.size());
+      applyAssume(Q2, Fn, Pd, B);
+      if (Q2.Refuted) {
+        S.bump("sym.pathsRefuted");
+        continue;
+      }
+      push(std::move(Q2));
+    }
+  }
+
+  /// Heap-granular mod summary of a loop body including callees (cached
+  /// per (function, context, loop)). Bases are points-to filtered, like
+  /// WALA's ModRef, so e.g. a loop writing HashMap tables does not count
+  /// as modifying Vec arrays even though both use @elems.
+  const PointsToResult::HeapMod &loopHeapMod(FuncId F, AbsLocId Ctx,
+                                             const LoopInfo &L) {
+    auto Key = std::make_tuple(F, Ctx, L.Header);
+    auto It = LoopModCache.find(Key);
+    if (It != LoopModCache.end())
+      return It->second;
+    PointsToResult::HeapMod M;
+    const Function &Fn = P.Funcs[F];
+    for (uint32_t B : L.Body) {
+      const BasicBlock &BB = Fn.Blocks[B];
+      for (uint32_t Idx = 0; Idx < BB.Insts.size(); ++Idx) {
+        const Instruction &I = BB.Insts[Idx];
+        switch (I.Op) {
+        case Opcode::Store:
+          M.FieldBases[I.Field].insertAll(PTA.ptVarCtx(F, Ctx, I.Dst));
+          break;
+        case Opcode::ArrayStore:
+          M.FieldBases[P.ElemsField].insertAll(
+              PTA.ptVarCtx(F, Ctx, I.Dst));
+          break;
+        case Opcode::StoreStatic:
+          M.Globals.insert(I.Global);
+          break;
+        case Opcode::Call:
+          for (FuncId Callee : PTA.calleesAt({F, B, Idx}))
+            M.mergeFrom(PTA.heapModOf(Callee));
+          break;
+        default:
+          break;
+        }
+      }
+    }
+    return LoopModCache.emplace(Key, std::move(M)).first->second;
+  }
+
+  /// May the summarized writes affect cell \p C of query \p Q?
+  bool cellAffected(const Query &Q, const PointsToResult::HeapMod &M,
+                    const HeapCell &C) const {
+    return M.mayWriteField(C.Field, Q.regionOf(C.Base).Locs);
+  }
+
+  /// Drops pure constraints on values the loop body may modify
+  /// (Sec. 3.3's trivial widening for the pure base domain).
+  void widenPure(Query &Q, const LoopInfo &L) {
+    const PointsToResult::HeapMod &M =
+        loopHeapMod(Q.Pos.F, Q.Frames.back().Ctx, L);
+    std::vector<SymVarId> Mutable;
+    uint32_t Fi = Q.curFrame();
+    for (const auto &[K, V] : Q.Locals)
+      if (K.first == Fi && L.VarsWritten.contains(K.second) && V.isSym())
+        Mutable.push_back(V.Sym);
+    for (const HeapCell &C : Q.Cells)
+      if (cellAffected(Q, M, C) && C.Target.isSym())
+        Mutable.push_back(C.Target.Sym);
+    for (const auto &[G, V] : Q.Globals)
+      if (M.Globals.contains(G) && V.isSym())
+        Mutable.push_back(V.Sym);
+    Q.Pure.dropMentioning([&](uint32_t V) {
+      return std::find(Mutable.begin(), Mutable.end(), V) != Mutable.end();
+    });
+  }
+
+  /// Drops every constraint the loop may touch (LoopMode::DropAll, and the
+  /// hard-widening fallback of the full mode).
+  void widenDropAll(Query &Q, const LoopInfo &L) {
+    const PointsToResult::HeapMod &M =
+        loopHeapMod(Q.Pos.F, Q.Frames.back().Ctx, L);
+    uint32_t Fi = Q.curFrame();
+    for (auto It = Q.Locals.begin(); It != Q.Locals.end();) {
+      if (It->first.first == Fi && L.VarsWritten.contains(It->first.second))
+        It = Q.Locals.erase(It);
+      else
+        ++It;
+    }
+    Q.Cells.erase(std::remove_if(Q.Cells.begin(), Q.Cells.end(),
+                                 [&](const HeapCell &C) {
+                                   return cellAffected(Q, M, C);
+                                 }),
+                  Q.Cells.end());
+    for (auto It = Q.Globals.begin(); It != Q.Globals.end();) {
+      if (M.Globals.contains(It->first))
+        It = Q.Globals.erase(It);
+      else
+        ++It;
+    }
+    Q.Pure.dropMentioning(
+        [&](uint32_t V) { return !Q.symIsReferenced(V); });
+    Q.gcRegions();
+  }
+
+  //--- Query history / simplification --------------------------------------
+
+  struct HistoryEntry {
+    std::string CanonKey;
+    Query Q;
+  };
+
+  bool historySubsumed(Query &Q) {
+    if (!Opts.QuerySimplification)
+      return false; // Ablation: no history at all (paper hypothesis 2).
+    std::string Slot = Q.historySlot();
+    std::string Key = Q.canonicalKey();
+    std::vector<HistoryEntry> &Entries = History[Slot];
+    for (const HistoryEntry &E : Entries) {
+      if (E.CanonKey == Key)
+        return true;
+      if (weakerThan(E.Q, Q))
+        return true;
+    }
+    HistoryEntry NE;
+    NE.CanonKey = std::move(Key);
+    NE.Q = Q;
+    NE.Q.Trail.clear();
+    Entries.push_back(std::move(NE));
+    return false;
+  }
+
+  /// True if \p Weak is semantically weaker than (entailed by) \p Strong:
+  /// refuting Weak refutes Strong, so Strong can be dropped when Weak has
+  /// already been recorded. Conservative (may say false).
+  bool weakerThan(const Query &Weak, const Query &Strong) {
+    // Build a mapping from Weak's symbolic variables to Strong's by
+    // walking the shared anchors (locals, globals), then cells.
+    std::map<SymVarId, SymVarId> Map;
+    auto MatchVal = [&](const ValRef &W, const ValRef &St) -> bool {
+      if (W.isNull() || St.isNull())
+        return W.K == St.K;
+      auto It = Map.find(W.Sym);
+      if (It != Map.end())
+        return It->second == St.Sym;
+      Map.emplace(W.Sym, St.Sym);
+      return true;
+    };
+    for (const auto &[K, V] : Weak.Locals) {
+      auto It = Strong.Locals.find(K);
+      if (It == Strong.Locals.end() || !MatchVal(V, It->second))
+        return false;
+    }
+    for (const auto &[G, V] : Weak.Globals) {
+      auto It = Strong.Globals.find(G);
+      if (It == Strong.Globals.end() || !MatchVal(V, It->second))
+        return false;
+    }
+    // Cells: iteratively match cells whose base is mapped.
+    std::vector<const HeapCell *> Pending;
+    for (const HeapCell &C : Weak.Cells)
+      Pending.push_back(&C);
+    std::vector<bool> StrongUsed(Strong.Cells.size(), false);
+    bool Progress = true;
+    while (!Pending.empty() && Progress) {
+      Progress = false;
+      for (size_t I = 0; I < Pending.size(); ++I) {
+        const HeapCell *WC = Pending[I];
+        auto BIt = Map.find(WC->Base);
+        if (BIt == Map.end())
+          continue;
+        bool Found = false;
+        for (size_t J = 0; J < Strong.Cells.size(); ++J) {
+          if (StrongUsed[J])
+            continue;
+          const HeapCell &SC = Strong.Cells[J];
+          if (SC.Base != BIt->second || SC.Field != WC->Field)
+            continue;
+          if (!MatchVal(WC->Target, SC.Target))
+            continue;
+          StrongUsed[J] = true;
+          Found = true;
+          break;
+        }
+        if (!Found)
+          return false;
+        Pending.erase(Pending.begin() + static_cast<ptrdiff_t>(I));
+        Progress = true;
+        break;
+      }
+    }
+    if (!Pending.empty())
+      return false; // Cells with unanchored bases: give up.
+    // Instance-constraint entailment (Eq. § of Sec. 3.3):
+    // Strong's region must be included in Weak's. The fully symbolic
+    // representation cannot perform this check; require equality there.
+    for (const auto &[WSym, SSym] : Map) {
+      const Region &WR = Weak.regionOf(WSym);
+      const Region &SR = Strong.regionOf(SSym);
+      if (Opts.Repr == Representation::FullySymbolic) {
+        if (!(WR == SR))
+          return false;
+      } else if (!SR.subsetOf(WR)) {
+        return false;
+      }
+    }
+    // Pure entailment: map Weak's pure constraints into Strong's ids.
+    PureConstraints Mapped;
+    for (PurePrim Pr : Weak.Pure.prims()) {
+      auto MapVar = [&](uint32_t V, bool &Ok) -> uint32_t {
+        if (V == PurePrim::ZeroVar)
+          return V;
+        auto It = Map.find(V);
+        if (It == Map.end()) {
+          Ok = false;
+          return V;
+        }
+        return It->second;
+      };
+      bool Ok = true;
+      Pr.X = MapVar(Pr.X, Ok);
+      Pr.Y = MapVar(Pr.Y, Ok);
+      if (!Ok)
+        return false; // Unanchored pure variable: give up.
+      PureTerm L = Pr.X == PurePrim::ZeroVar ? PureTerm::mkConst(0)
+                                             : PureTerm::mkVar(Pr.X);
+      PureTerm R = Pr.Y == PurePrim::ZeroVar ? PureTerm::mkConst(Pr.C)
+                                             : PureTerm::mkVar(Pr.Y, Pr.C);
+      Mapped.addCmp(L, Pr.K == PurePrim::Kind::LE ? RelOp::LE : RelOp::NE, R,
+                    false);
+    }
+    return Strong.Pure.entails(Mapped);
+  }
+
+  //--- Assume handling ------------------------------------------------------
+
+  void applyAssume(Query &Q, const Function &Fn, BlockId Pred, BlockId B) {
+    const Terminator &T = Fn.Blocks[Pred].Term;
+    if (T.Kind != TermKind::If)
+      return;
+    if (T.Then == T.Else)
+      return; // Both edges reach B: no constraint.
+    RelOp Rel = (T.Then == B) ? T.Rel : negateRelOp(T.Rel);
+    uint32_t Fi = Q.curFrame();
+    switch (T.RhsKind) {
+    case CondRhsKind::Null:
+      assumeNullCompare(Q, Fi, T.Lhs, Rel);
+      return;
+    case CondRhsKind::IntConst: {
+      SymOrRefuted L = getOrCreateDataSym(Q, Fi, T.Lhs);
+      if (L.Refuted)
+        return;
+      addPathConstraint(Q, PureTerm::mkVar(L.Sym), Rel,
+                        PureTerm::mkConst(T.RhsConst));
+      return;
+    }
+    case CondRhsKind::Var:
+      break;
+    }
+    // Var-var comparison: decide reference vs data.
+    bool IsData = Rel == RelOp::LT || Rel == RelOp::LE || Rel == RelOp::GT ||
+                  Rel == RelOp::GE;
+    if (!IsData) {
+      auto Classify = [&](VarId V) -> int {
+        // 1 = ref, -1 = data, 0 = unknown.
+        auto Bd = Q.getLocal(Fi, V);
+        if (Bd) {
+          if (Bd->isNull())
+            return 1;
+          const Region &R = Q.regionOf(Bd->Sym);
+          if (R.dataOnly())
+            return -1;
+          if (R.hasLocs())
+            return 1;
+        }
+        return 0;
+      };
+      int CL = Classify(T.Lhs), CR = Classify(T.Rhs);
+      if (CL == -1 || CR == -1)
+        IsData = true;
+      else if (CL == 0 && CR == 0)
+        IsData = ptLocal(Q, Fi, T.Lhs).empty() &&
+                 ptLocal(Q, Fi, T.Rhs).empty();
+    }
+    if (IsData) {
+      SymOrRefuted L = getOrCreateDataSym(Q, Fi, T.Lhs);
+      if (L.Refuted)
+        return;
+      SymOrRefuted R = getOrCreateDataSym(Q, Fi, T.Rhs);
+      if (R.Refuted)
+        return;
+      addPathConstraint(Q, PureTerm::mkVar(L.Sym), Rel,
+                        PureTerm::mkVar(R.Sym));
+      return;
+    }
+    // Reference equality / disequality.
+    auto LB = Q.getLocal(Fi, T.Lhs);
+    auto RB = Q.getLocal(Fi, T.Rhs);
+    if (Rel == RelOp::EQ) {
+      if (!LB && !RB) {
+        // x == y with neither constrained: two cases — both null, or both
+        // the same (non-null) instance drawn from pt(x) ∩ pt(y). The
+        // both-null case is pushed as a separate query (the query's
+        // position is already at the predecessor block).
+        Query NullCase = Q;
+        NullCase.setLocal(Fi, T.Lhs, ValRef::mkNull());
+        NullCase.setLocal(Fi, T.Rhs, ValRef::mkNull());
+        push(std::move(NullCase));
+        IdSet Common = ptLocal(Q, Fi, T.Lhs)
+                           .intersectWith(ptLocal(Q, Fi, T.Rhs));
+        if (Common.empty()) {
+          // Only the both-null case was possible.
+          refute(Q, "aliasAssume");
+          return;
+        }
+        SymVarId Shared = Q.freshSym(Region::ofLocs(Common));
+        Q.setLocal(Fi, T.Lhs, ValRef::mkSym(Shared));
+        Q.setLocal(Fi, T.Rhs, ValRef::mkSym(Shared));
+        return;
+      }
+      ValRef LV = LB ? *LB : ValRef();
+      if (!LB) {
+        // Mirror y's value onto x.
+        bindLocalToVal(Q, Fi, T.Lhs, *RB, ptLocal(Q, Fi, T.Lhs));
+        return;
+      }
+      if (!RB) {
+        bindLocalToVal(Q, Fi, T.Rhs, LV, ptLocal(Q, Fi, T.Rhs));
+        return;
+      }
+      Q.unify(*LB, *RB);
+      if (Q.Refuted)
+        S.bump("sym.refute.aliasAssume");
+      return;
+    }
+    // Rel == NE.
+    if (LB && RB) {
+      if (LB->isNull() && RB->isNull()) {
+        refute(Q, "nullDisequality");
+        return;
+      }
+      if (LB->isSym() && RB->isSym() && LB->Sym == RB->Sym) {
+        refute(Q, "selfDisequality");
+        return;
+      }
+      if (LB->isSym() && RB->isSym() &&
+          Q.regionOf(LB->Sym).Locs.disjointWith(Q.regionOf(RB->Sym).Locs))
+        return; // Already disaliased by instance constraints.
+    }
+    // Disequalities are dropped after the local check (query normal form,
+    // Sec. 3.3); separation and `from` constraints retain the useful part.
+  }
+
+  void assumeNullCompare(Query &Q, uint32_t Fi, VarId V, RelOp Rel) {
+    auto B = Q.getLocal(Fi, V);
+    if (Rel == RelOp::EQ) { // Assume V == null.
+      if (!B) {
+        Q.setLocal(Fi, V, ValRef::mkNull());
+        return;
+      }
+      if (B->isSym())
+        refute(Q, "nonNullVsNull");
+      return;
+    }
+    // Assume V != null.
+    if (B) {
+      if (B->isNull())
+        refute(Q, "nullVsNonNull");
+      return;
+    }
+    const IdSet &Pt = ptLocal(Q, Fi, V);
+    if (Pt.empty()) {
+      // The variable can never hold a heap reference; in reference context
+      // it is always null, so the guard is unsatisfiable.
+      refute(Q, "emptyPtNonNull");
+      return;
+    }
+    SymVarId Sym = Q.freshSym(Region::ofLocs(Pt));
+    Q.setLocal(Fi, V, ValRef::mkSym(Sym));
+  }
+
+  void addPathConstraint(Query &Q, PureTerm L, RelOp Rel, PureTerm R) {
+    Q.Pure.addCmp(L, Rel, R, /*IsPath=*/true);
+    while (Q.Pure.pathCount() > Opts.PathConstraintCap)
+      Q.Pure.dropOldestPath();
+    if (!Q.Pure.isSatisfiable())
+      refute(Q, "pure");
+  }
+
+  //--- Binding helpers -------------------------------------------------------
+
+  bool flowNarrowing() const {
+    return Opts.Repr != Representation::FullySymbolic;
+  }
+
+  /// Context-qualified pt() of local \p V in frame \p Fi of \p Q.
+  const IdSet &ptLocal(const Query &Q, uint32_t Fi, VarId V) const {
+    const QueryFrame &Fr = Q.Frames[Fi];
+    return PTA.ptVarCtx(Fr.Func, Fr.Ctx, V);
+  }
+
+  /// Materializes the receiver constraint implied by a frame's heap
+  /// context: in analysis unit (F, Ctx), `this` is an instance of Ctx.
+  void bindFrameReceiver(Query &Q, uint32_t Fi) {
+    const QueryFrame &Fr = Q.Frames[Fi];
+    if (Fr.Ctx == InvalidId)
+      return;
+    const Function &Fn = P.Funcs[Fr.Func];
+    if (Fn.IsStatic || Fn.NumParams == 0)
+      return;
+    SymVarId Recv = Q.freshSym(Region::ofLocs(IdSet{Fr.Ctx}));
+    bindLocalToSym(Q, Fi, /*this slot=*/0, Recv,
+                   PTA.ptVarCtx(Fr.Func, Fr.Ctx, 0));
+  }
+
+  /// Binds local \p V to existing symbolic value \p Sym, unifying with any
+  /// existing binding and (mixed mode) narrowing by \p Pt.
+  void bindLocalToSym(Query &Q, uint32_t Fi, VarId V, SymVarId Sym,
+                      const IdSet &Pt) {
+    bindLocalToVal(Q, Fi, V, ValRef::mkSym(Sym), Pt);
+  }
+
+  void bindLocalToVal(Query &Q, uint32_t Fi, VarId V, ValRef Val,
+                      const IdSet &Pt) {
+    auto B = Q.getLocal(Fi, V);
+    ValRef Merged = Val;
+    if (B) {
+      Merged = Q.unify(*B, Val);
+      if (Q.Refuted) {
+        S.bump("sym.refute.separation");
+        return;
+      }
+    } else {
+      Q.setLocal(Fi, V, Val);
+    }
+    if (Merged.isSym() && flowNarrowing()) {
+      Q.narrowSymLocs(Merged.Sym, Pt);
+      if (Q.Refuted)
+        S.bump("sym.refute.instance");
+    }
+  }
+
+  /// Gets the symbolic value bound to local \p V, creating a fresh one
+  /// with region pt(V) if unbound. Refutes on null (callers use this in
+  /// dereference positions) or empty region.
+  SymOrRefuted getOrCreateRefSym(Query &Q, uint32_t Fi, VarId V) {
+    SymOrRefuted R;
+    auto B = Q.getLocal(Fi, V);
+    if (B) {
+      if (B->isNull()) {
+        refute(Q, "nullDeref");
+        R.Refuted = true;
+        return R;
+      }
+      if (flowNarrowing()) {
+        Q.narrowSymLocs(B->Sym, ptLocal(Q, Fi, V));
+        if (Q.Refuted) {
+          S.bump("sym.refute.instance");
+          R.Refuted = true;
+          return R;
+        }
+      }
+      R.Sym = B->Sym;
+      return R;
+    }
+    const IdSet &Pt = ptLocal(Q, Fi, V);
+    if (Pt.empty()) {
+      refute(Q, "emptyPtDeref");
+      R.Refuted = true;
+      return R;
+    }
+    R.Sym = Q.freshSym(Region::ofLocs(Pt));
+    Q.setLocal(Fi, V, ValRef::mkSym(R.Sym));
+    return R;
+  }
+
+  /// Gets the data symbolic variable for local \p V, creating if needed.
+  SymOrRefuted getOrCreateDataSym(Query &Q, uint32_t Fi, VarId V) {
+    SymOrRefuted R;
+    auto B = Q.getLocal(Fi, V);
+    if (B) {
+      if (B->isNull()) {
+        refute(Q, "nullAsData");
+        R.Refuted = true;
+        return R;
+      }
+      Region &Reg = Q.regionOf(B->Sym);
+      if (!Reg.HasData) {
+        refute(Q, "refAsData");
+        R.Refuted = true;
+        return R;
+      }
+      Reg = Region::data(); // Used as an integer: value is in data.
+      R.Sym = B->Sym;
+      return R;
+    }
+    R.Sym = Q.freshSym(Region::data());
+    Q.setLocal(Fi, V, ValRef::mkSym(R.Sym));
+    return R;
+  }
+
+  //--- Instruction transfers --------------------------------------------------
+
+  void transfer(Query Q, const Instruction &I) {
+    uint32_t Fi = Q.curFrame();
+    switch (I.Op) {
+    case Opcode::Assign: {
+      auto B = Q.getLocal(Fi, I.Dst);
+      if (!B) {
+        push(std::move(Q));
+        return;
+      }
+      ValRef Val = *B;
+      Q.eraseLocal(Fi, I.Dst);
+      bindLocalToVal(Q, Fi, I.Src, Val, ptLocal(Q, Fi, I.Src));
+      push(std::move(Q));
+      return;
+    }
+    case Opcode::ConstInt:
+      transferConstInt(std::move(Q), I);
+      return;
+    case Opcode::ConstNull: {
+      auto B = Q.getLocal(Fi, I.Dst);
+      if (B) {
+        if (B->isSym()) {
+          refute(Q, "constNull");
+          S.bump("sym.pathsRefuted");
+          return;
+        }
+        Q.eraseLocal(Fi, I.Dst);
+      }
+      push(std::move(Q));
+      return;
+    }
+    case Opcode::Havoc: {
+      auto B = Q.getLocal(Fi, I.Dst);
+      if (B) {
+        if (B->isSym() && !Q.regionOf(B->Sym).HasData) {
+          refute(Q, "havocRef");
+          S.bump("sym.pathsRefuted");
+          return;
+        }
+        Q.eraseLocal(Fi, I.Dst);
+        if (B->isSym()) {
+          // The havoc'd value is arbitrary, so any constraint on it is
+          // satisfiable by choice: drop them (existential elimination).
+          // This keeps harness nondeterminism guards from consuming the
+          // path-constraint budget.
+          SymVarId V = B->Sym;
+          Q.Pure.dropMentioning([&](uint32_t S2) { return S2 == V; });
+          Q.gcRegions();
+        }
+      }
+      push(std::move(Q));
+      return;
+    }
+    case Opcode::New:
+    case Opcode::NewArray:
+      transferNew(std::move(Q), I);
+      return;
+    case Opcode::Load:
+      transferLoad(std::move(Q), I, I.Field);
+      return;
+    case Opcode::ArrayLoad:
+      transferLoad(std::move(Q), I, P.ElemsField);
+      return;
+    case Opcode::Store:
+      transferStore(std::move(Q), I, /*IsArray=*/false);
+      return;
+    case Opcode::ArrayStore:
+      transferStore(std::move(Q), I, /*IsArray=*/true);
+      return;
+    case Opcode::LoadStatic:
+      transferLoadStatic(std::move(Q), I);
+      return;
+    case Opcode::StoreStatic:
+      transferStoreStatic(std::move(Q), I);
+      return;
+    case Opcode::ArrayLen:
+      transferArrayLen(std::move(Q), I);
+      return;
+    case Opcode::Binop:
+      transferBinop(std::move(Q), I);
+      return;
+    case Opcode::Call:
+      transferCall(std::move(Q), I);
+      return;
+    }
+  }
+
+  void transferConstInt(Query Q, const Instruction &I) {
+    uint32_t Fi = Q.curFrame();
+    auto B = Q.getLocal(Fi, I.Dst);
+    if (!B) {
+      push(std::move(Q));
+      return;
+    }
+    if (B->isNull()) {
+      refute(Q, "intVsNull");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    Region &R = Q.regionOf(B->Sym);
+    if (!R.HasData) {
+      refute(Q, "intVsRef");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    Q.Pure.addCmp(PureTerm::mkVar(B->Sym), RelOp::EQ,
+                  PureTerm::mkConst(I.IntVal), /*IsPath=*/false);
+    Q.eraseLocal(Fi, I.Dst);
+    if (!Q.Pure.isSatisfiable()) {
+      refute(Q, "pure");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    push(std::move(Q));
+  }
+
+  void transferNew(Query Q, const Instruction &I) {
+    uint32_t Fi = Q.curFrame();
+    auto B = Q.getLocal(Fi, I.Dst);
+    if (!B) {
+      push(std::move(Q));
+      return;
+    }
+    if (B->isNull()) {
+      refute(Q, "newVsNull");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    SymVarId V = B->Sym;
+    // WitNew: the bound instance must be THE location this allocation
+    // creates under the current frame's context (the frame context makes
+    // the allocation's abstract location exact, as in the original tool's
+    // execution over context-qualified call graph nodes).
+    AbsLocId AllocCtx = PTA.allocContextFor(Q.Pos.F, Q.Frames[Fi].Ctx);
+    AbsLocId L = PTA.Locs.find(I.Alloc, AllocCtx);
+    if (L == InvalidId) {
+      // This (site, context) combination was never realized.
+      refute(Q, "witNew");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    Q.narrowSymLocs(V, IdSet{L});
+    if (Q.Refuted) {
+      S.bump("sym.refute.witNew");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    finishFreshDischarge(std::move(Q), Fi, I.Dst, V);
+  }
+
+  /// Completes WitNew for the fresh instance \p V bound to \p Dst: fields
+  /// are null-initialized and nothing can reference the object before its
+  /// allocation.
+  void finishFreshDischarge(Query Q, uint32_t Fi, VarId Dst, SymVarId V) {
+    Q.eraseLocal(Fi, Dst);
+    for (HeapCell *C : Q.cellsWithBase(V)) {
+      if (!C->Target.isNull()) {
+        refute(Q, "freshFieldNonNull");
+        S.bump("sym.pathsRefuted");
+        return;
+      }
+    }
+    Q.Cells.erase(std::remove_if(Q.Cells.begin(), Q.Cells.end(),
+                                 [&](const HeapCell &C) {
+                                   return C.Base == V;
+                                 }),
+                  Q.Cells.end());
+    if (Q.symIsReferenced(V)) {
+      refute(Q, "refBeforeAlloc");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    Q.gcRegions();
+    push(std::move(Q));
+  }
+
+  void transferLoad(Query Q, const Instruction &I, FieldId Fld) {
+    uint32_t Fi = Q.curFrame();
+    auto B = Q.getLocal(Fi, I.Dst);
+    if (!B) {
+      push(std::move(Q));
+      return;
+    }
+    ValRef Loaded = *B;
+    Q.eraseLocal(Fi, I.Dst);
+    SymOrRefuted Base = getOrCreateRefSym(Q, Fi, I.Src);
+    if (Base.Refuted) {
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    // Narrow the loaded value by pt over the base's region (WitRead).
+    if (Loaded.isSym() && flowNarrowing()) {
+      IdSet FieldPt;
+      for (AbsLocId L : Q.regionOf(Base.Sym).Locs)
+        FieldPt.insertAll(PTA.ptField(L, Fld));
+      Q.narrowSymLocs(Loaded.Sym, FieldPt);
+      if (Q.Refuted) {
+        S.bump("sym.refute.instance");
+        S.bump("sym.pathsRefuted");
+        return;
+      }
+    }
+    if (Fld != P.ElemsField) {
+      Q.addCell(Base.Sym, Fld, Loaded, P.ElemsField);
+      if (Q.Refuted) {
+        S.bump("sym.refute.separation");
+        S.bump("sym.pathsRefuted");
+        return;
+      }
+      push(std::move(Q));
+      return;
+    }
+    // Array load: the read cell may coincide with an existing @elems cell
+    // on the same base (same index) or be a distinct one. Case split.
+    std::vector<HeapCell> Existing;
+    for (HeapCell *C : Q.cellsWithBase(Base.Sym))
+      if (C->Field == Fld)
+        Existing.push_back(*C);
+    for (const HeapCell &C : Existing) {
+      Query Q2 = Q;
+      Q2.unify(C.Target, Loaded);
+      if (Q2.Refuted) {
+        S.bump("sym.pathsRefuted");
+        continue;
+      }
+      push(std::move(Q2));
+    }
+    Q.addCell(Base.Sym, Fld, Loaded, P.ElemsField);
+    push(std::move(Q));
+  }
+
+  void transferStore(Query Q, const Instruction &I, bool IsArray) {
+    uint32_t Fi = Q.curFrame();
+    FieldId Fld = IsArray ? P.ElemsField : I.Field;
+    VarId BaseVar = I.Dst;
+    VarId SrcVar = I.Src;
+    // Collect matching cells (by field).
+    std::vector<HeapCell> Matching;
+    for (const HeapCell &C : Q.Cells)
+      if (C.Field == Fld)
+        Matching.push_back(C);
+    if (Matching.empty()) {
+      push(std::move(Q)); // Frame rule: the write cannot affect the query.
+      return;
+    }
+    // Produced cases (WitWrite, one per matching cell).
+    for (const HeapCell &C : Matching) {
+      Query Q2 = Q;
+      Q2.removeCell(C);
+      bindLocalToSym(Q2, Fi, BaseVar, C.Base, ptLocal(Q2, Fi, BaseVar));
+      if (Q2.Refuted) {
+        S.bump("sym.pathsRefuted");
+        continue;
+      }
+      bindLocalToVal(Q2, Fi, SrcVar, C.Target,
+                     ptLocal(Q2, Fi, SrcVar));
+      if (Q2.Refuted) {
+        S.bump("sym.pathsRefuted");
+        continue;
+      }
+      S.bump("sym.producedCases");
+      push(std::move(Q2));
+    }
+    // Not-produced case: the written cell differs from every matching cell.
+    SymOrRefuted WrittenBase = getOrCreateRefSym(Q, Fi, BaseVar);
+    if (WrittenBase.Refuted) {
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    if (!IsArray) {
+      for (const HeapCell &C : Matching) {
+        if (C.Base == WrittenBase.Sym) {
+          // The write targets exactly this cell: it must have produced it.
+          refute(Q, "mustProduce");
+          S.bump("sym.pathsRefuted");
+          return;
+        }
+        // Disequality WrittenBase != C.Base is checked here and then
+        // dropped (query normal form, Sec. 3.3); separation plus the
+        // instance constraints keep the useful disaliasing information.
+      }
+    }
+    S.bump("sym.notProducedCases");
+    push(std::move(Q));
+  }
+
+  void transferLoadStatic(Query Q, const Instruction &I) {
+    uint32_t Fi = Q.curFrame();
+    auto B = Q.getLocal(Fi, I.Dst);
+    if (!B) {
+      push(std::move(Q));
+      return;
+    }
+    ValRef Loaded = *B;
+    Q.eraseLocal(Fi, I.Dst);
+    ValRef Merged = Loaded;
+    auto G = Q.getGlobal(I.Global);
+    if (G) {
+      Merged = Q.unify(*G, Loaded);
+      if (Q.Refuted) {
+        S.bump("sym.refute.separation");
+        S.bump("sym.pathsRefuted");
+        return;
+      }
+    } else {
+      Q.Globals[I.Global] = Loaded;
+    }
+    if (Merged.isSym() && flowNarrowing()) {
+      Q.narrowSymLocs(Merged.Sym, PTA.ptGlobal(I.Global));
+      if (Q.Refuted) {
+        S.bump("sym.refute.instance");
+        S.bump("sym.pathsRefuted");
+        return;
+      }
+    }
+    push(std::move(Q));
+  }
+
+  void transferStoreStatic(Query Q, const Instruction &I) {
+    uint32_t Fi = Q.curFrame();
+    auto G = Q.getGlobal(I.Global);
+    if (!G) {
+      push(std::move(Q));
+      return;
+    }
+    ValRef Val = *G;
+    Q.Globals.erase(I.Global);
+    // Static cells admit strong updates: this store produced the binding.
+    bindLocalToVal(Q, Fi, I.Src, Val, ptLocal(Q, Fi, I.Src));
+    if (Q.Refuted) {
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    push(std::move(Q));
+  }
+
+  void transferArrayLen(Query Q, const Instruction &I) {
+    uint32_t Fi = Q.curFrame();
+    auto B = Q.getLocal(Fi, I.Dst);
+    if (!B) {
+      push(std::move(Q));
+      return;
+    }
+    if (B->isNull()) {
+      refute(Q, "lenVsNull");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    Region &R = Q.regionOf(B->Sym);
+    if (!R.HasData) {
+      refute(Q, "lenVsRef");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    // Array lengths are non-negative; keep that fact about the value.
+    Q.Pure.addCmp(PureTerm::mkVar(B->Sym), RelOp::GE, PureTerm::mkConst(0),
+                  /*IsPath=*/false);
+    Q.eraseLocal(Fi, I.Dst);
+    if (!Q.Pure.isSatisfiable()) {
+      refute(Q, "pure");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    push(std::move(Q));
+  }
+
+  void transferBinop(Query Q, const Instruction &I) {
+    uint32_t Fi = Q.curFrame();
+    auto B = Q.getLocal(Fi, I.Dst);
+    if (!B) {
+      push(std::move(Q));
+      return;
+    }
+    if (B->isNull()) {
+      refute(Q, "binopVsNull");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    SymVarId V = B->Sym;
+    if (!Q.regionOf(V).HasData) {
+      refute(Q, "binopVsRef");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    Q.eraseLocal(Fi, I.Dst);
+    bool Linear = (I.BK == BinopKind::Add || I.BK == BinopKind::Sub) &&
+                  I.RhsIsConst;
+    if (Linear) {
+      SymOrRefuted Src = getOrCreateDataSym(Q, Fi, I.Src);
+      if (Src.Refuted) {
+        S.bump("sym.pathsRefuted");
+        return;
+      }
+      int64_t Off = I.BK == BinopKind::Add ? I.IntVal : -I.IntVal;
+      Q.Pure.addCmp(PureTerm::mkVar(V), RelOp::EQ,
+                    PureTerm::mkVar(Src.Sym, Off), /*IsPath=*/false);
+      if (!Q.Pure.isSatisfiable()) {
+        refute(Q, "pure");
+        S.bump("sym.pathsRefuted");
+        return;
+      }
+    }
+    // Non-linear results stay existentially unconstrained (havoc).
+    push(std::move(Q));
+  }
+
+  //--- Calls -----------------------------------------------------------------
+
+  void transferCall(Query Q, const Instruction &I) {
+    uint32_t Fi = Q.curFrame();
+    ProgramPoint CallAt = Q.Pos; // Already decremented to the call index.
+    std::vector<CallEdge> Edges =
+        PTA.calleesAtCtx(CallAt, Q.Frames[Fi].Ctx);
+    if (Edges.empty()) {
+      // The call can never execute under this context (no resolvable
+      // callee / empty receiver points-to set): no forward execution of
+      // this analysis unit passes this point.
+      refute(Q, "noCallees");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    // Relevance: can the call affect the query at all? Points-to
+    // filtered, like WALA ModRef: field AND base region must intersect.
+    PointsToResult::HeapMod Mods;
+    for (const CallEdge &E : Edges)
+      Mods.mergeFrom(PTA.heapModOf(E.Callee));
+    bool DstBound = I.Dst != NoVar && Q.getLocal(Fi, I.Dst).has_value();
+    bool Relevant = DstBound;
+    if (!Relevant)
+      for (const HeapCell &C : Q.Cells)
+        if (cellAffected(Q, Mods, C)) {
+          Relevant = true;
+          break;
+        }
+    if (!Relevant)
+      for (const auto &[G, _] : Q.Globals)
+        if (Mods.Globals.contains(G)) {
+          Relevant = true;
+          break;
+        }
+    if (!Relevant) {
+      S.bump("sym.callsSkippedIrrelevant");
+      push(std::move(Q));
+      return;
+    }
+    if (Q.Frames.size() > Opts.MaxCallStackDepth) {
+      skipCallWithHavoc(std::move(Q), I, Mods);
+      return;
+    }
+    // Enter each possible callee at each of its return points.
+    ValRef DstVal;
+    if (DstBound) {
+      DstVal = *Q.getLocal(Fi, I.Dst);
+      Q.eraseLocal(Fi, I.Dst);
+    }
+    for (const CallEdge &E : Edges) {
+      FuncId Callee = E.Callee;
+      const Function &CFn = P.Funcs[Callee];
+      for (BlockId B = 0; B < CFn.Blocks.size(); ++B) {
+        const Terminator &T = CFn.Blocks[B].Term;
+        if (T.Kind != TermKind::Return)
+          continue;
+        Query Q2 = Q;
+        QueryFrame Frame;
+        Frame.Func = Callee;
+        Frame.Ctx = E.CalleeCtx;
+        Frame.CallAt = CallAt;
+        Frame.HasCallSite = true;
+        Q2.Frames.push_back(Frame);
+        uint32_t NewFi = Q2.curFrame();
+        bindFrameReceiver(Q2, NewFi);
+        if (Q2.Refuted) {
+          S.bump("sym.pathsRefuted");
+          continue;
+        }
+        if (DstBound) {
+          if (T.HasRetVal) {
+            bindLocalToVal(Q2, NewFi, T.RetVal, DstVal,
+                           PTA.ptVarCtx(Callee, E.CalleeCtx, T.RetVal));
+            if (Q2.Refuted) {
+              S.bump("sym.pathsRefuted");
+              continue;
+            }
+          } else if (DstVal.isSym()) {
+            // Void calls return null; a Sym binding cannot be satisfied.
+            S.bump("sym.refute.voidReturn");
+            S.bump("sym.pathsRefuted");
+            continue;
+          }
+        }
+        Q2.Pos = ProgramPoint{Callee, B,
+                              static_cast<uint32_t>(CFn.Blocks[B].Insts.size())};
+        S.bump("sym.calleesEntered");
+        push(std::move(Q2));
+      }
+    }
+  }
+
+  void skipCallWithHavoc(Query Q, const Instruction &I,
+                         const PointsToResult::HeapMod &Mods) {
+    uint32_t Fi = Q.curFrame();
+    S.bump("sym.callsSkippedDepth");
+    if (I.Dst != NoVar)
+      Q.eraseLocal(Fi, I.Dst);
+    Q.Cells.erase(std::remove_if(Q.Cells.begin(), Q.Cells.end(),
+                                 [&](const HeapCell &C) {
+                                   return cellAffected(Q, Mods, C);
+                                 }),
+                  Q.Cells.end());
+    for (auto It = Q.Globals.begin(); It != Q.Globals.end();) {
+      if (Mods.Globals.contains(It->first))
+        It = Q.Globals.erase(It);
+      else
+        ++It;
+    }
+    Q.Pure.dropMentioning([&](uint32_t V) { return !Q.symIsReferenced(V); });
+    Q.gcRegions();
+    push(std::move(Q));
+  }
+
+  //--- Function entries -------------------------------------------------------
+
+  void atFunctionEntry(Query Q) {
+    const Function &Fn = P.Funcs[Q.Pos.F];
+    uint32_t Fi = Q.curFrame();
+    // Non-parameter locals are null at entry.
+    for (auto It = Q.Locals.begin(); It != Q.Locals.end();) {
+      if (It->first.first == Fi && It->first.second >= Fn.NumParams) {
+        if (It->second.isSym()) {
+          refute(Q, "localNullInit");
+          S.bump("sym.pathsRefuted");
+          return;
+        }
+        It = Q.Locals.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    // Procedure-boundary query history (simplification).
+    if (historySubsumed(Q)) {
+      S.bump("sym.subsumedAtEntry");
+      return;
+    }
+    if (Q.memoryEmpty()) {
+      markWitness(std::move(Q));
+      return;
+    }
+    if (Q.Frames.size() > 1) {
+      popFrame(std::move(Q));
+      return;
+    }
+    if (Q.Pos.F == P.EntryFunc) {
+      atProgramStart(std::move(Q));
+      return;
+    }
+    // Arbitrary calling context: expand to every caller of this analysis
+    // unit (function, context).
+    std::vector<CallEdge> Callers =
+        PTA.callersOfCtx(Q.Pos.F, Q.Frames[0].Ctx);
+    if (Callers.empty()) {
+      refute(Q, "noCallers");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    for (const CallEdge &E : Callers) {
+      Query Q2 = Q;
+      expandToCaller(Q2, E);
+      if (Q2.Refuted) {
+        S.bump("sym.pathsRefuted");
+        continue;
+      }
+      push(std::move(Q2));
+    }
+  }
+
+  /// Translates parameter bindings of the active frame into argument
+  /// bindings at call instruction \p I in the parent frame \p ParentFi
+  /// (whose QueryFrame must already be in place). \p CalleeF/\p CalleeCtx
+  /// identify the analysis unit being exited.
+  bool translateParams(Query &Q, uint32_t Fi, uint32_t ParentFi,
+                       FuncId CalleeF, AbsLocId CalleeCtx,
+                       const Instruction &I) {
+    const Function &CalleeFn = P.Funcs[CalleeF];
+    (void)CalleeFn;
+    // Collect then erase, since binding into the parent may not alias the
+    // callee frame's key space.
+    std::vector<std::pair<VarId, ValRef>> Params;
+    for (auto It = Q.Locals.begin(); It != Q.Locals.end();) {
+      if (It->first.first == Fi) {
+        assert(It->first.second < CalleeFn.NumParams &&
+               "non-param local survived entry handling");
+        Params.push_back({It->first.second, It->second});
+        It = Q.Locals.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    for (auto &[ParamV, Val] : Params) {
+      if (ParamV >= I.Args.size())
+        continue; // Arity mismatch (should not happen).
+      VarId ArgVar = I.Args[ParamV];
+      bindLocalToVal(Q, ParentFi, ArgVar, Val,
+                     ptLocal(Q, ParentFi, ArgVar));
+      if (Q.Refuted)
+        return false;
+      // Receiver narrowing: the callee context / virtual dispatch must be
+      // consistent with the receiver instance.
+      if (ParamV == 0 && Val.isSym() && flowNarrowing()) {
+        auto RB = Q.getLocal(ParentFi, ArgVar);
+        if (!RB || !RB->isSym())
+          continue;
+        if (CalleeCtx != InvalidId) {
+          Q.narrowSymLocs(RB->Sym, IdSet{CalleeCtx});
+        } else if (I.IsVirtual) {
+          IdSet DispatchLocs;
+          for (AbsLocId L : ptLocal(Q, ParentFi, ArgVar)) {
+            const AllocSiteInfo &Site = P.AllocSites[PTA.Locs.site(L)];
+            if (!Site.IsArray &&
+                P.resolveVirtual(Site.Class, I.Method) == CalleeF)
+              DispatchLocs.insert(L);
+          }
+          Q.narrowSymLocs(RB->Sym, DispatchLocs);
+        }
+        if (Q.Refuted) {
+          S.bump("sym.refute.dispatch");
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void popFrame(Query Q) {
+    QueryFrame Popped = Q.Frames.back();
+    uint32_t Fi = Q.curFrame();
+    uint32_t ParentFi = Fi - 1;
+    const Instruction &I =
+        P.Funcs[Popped.CallAt.F].Blocks[Popped.CallAt.B]
+            .Insts[Popped.CallAt.Idx];
+    if (!translateParams(Q, Fi, ParentFi, Popped.Func, Popped.Ctx, I)) {
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    Q.Frames.pop_back();
+    Q.Pos = Popped.CallAt;
+    push(std::move(Q));
+  }
+
+  void expandToCaller(Query &Q, const CallEdge &E) {
+    const Instruction &I =
+        P.Funcs[E.At.F].Blocks[E.At.B].Insts[E.At.Idx];
+    FuncId CalleeF = Q.Frames[0].Func;
+    AbsLocId CalleeCtx = Q.Frames[0].Ctx;
+    // The bottom frame becomes the caller (still arbitrary context). The
+    // frame index stays 0, so parameter translation maps into index 0.
+    QueryFrame NewBottom;
+    NewBottom.Func = E.Caller;
+    NewBottom.Ctx = E.CallerCtx;
+    // Temporarily there are conceptually two frames sharing index 0; we
+    // translate by collecting params first (translateParams erases frame-0
+    // entries before inserting caller bindings at the same index).
+    Q.Frames[0] = NewBottom;
+    if (!translateParams(Q, 0, 0, CalleeF, CalleeCtx, I))
+      return;
+    bindFrameReceiver(Q, 0);
+    if (Q.Refuted)
+      return;
+    Q.Pos = E.At;
+    S.bump("sym.callerExpansions");
+  }
+
+  void atProgramStart(Query Q) {
+    // Initial state: empty heap, all statics null, no locals.
+    for (const auto &[G, V] : Q.Globals) {
+      (void)G;
+      if (V.isSym()) {
+        refute(Q, "globalNullInit");
+        S.bump("sym.pathsRefuted");
+        return;
+      }
+    }
+    if (!Q.Cells.empty()) {
+      refute(Q, "emptyInitialHeap");
+      S.bump("sym.pathsRefuted");
+      return;
+    }
+    // Remaining constraints are satisfied by the initial state: witness.
+    markWitness(std::move(Q));
+  }
+
+  //--- Members ---------------------------------------------------------------
+
+  const Program &P;
+  const PointsToResult &PTA;
+  const SymOptions &Opts;
+  Stats &S;
+  uint64_t &Budget;
+  uint64_t StepsUsed = 0;
+  std::vector<Query> Worklist;
+  std::unordered_map<std::string, std::vector<HistoryEntry>> History;
+  std::unordered_set<std::string> BlockDedup;
+  struct LoopKeyHash {
+    size_t operator()(
+        const std::tuple<FuncId, AbsLocId, BlockId> &K) const {
+      return (static_cast<size_t>(std::get<0>(K)) << 40) ^
+             (static_cast<size_t>(std::get<1>(K)) << 20) ^ std::get<2>(K);
+    }
+  };
+  std::unordered_map<std::tuple<FuncId, AbsLocId, BlockId>,
+                     PointsToResult::HeapMod, LoopKeyHash>
+      LoopModCache;
+  bool Witnessed = false;
+  Query WitnessQ;
+  std::vector<ProgramPoint> DeepestRefuted;
+};
+
+//===----------------------------------------------------------------------===//
+// WitnessSearch API
+//===----------------------------------------------------------------------===//
+
+WitnessSearch::WitnessSearch(const Program &P, const PointsToResult &PTA,
+                             SymOptions Opts)
+    : P(P), PTA(PTA), Opts(std::move(Opts)) {}
+
+EdgeSearchResult WitnessSearch::searchFieldEdgeAt(AbsLocId Base, FieldId Fld,
+                                                  AbsLocId Target,
+                                                  const ProducerSite &Site,
+                                                  uint64_t &Budget) {
+  const ProgramPoint &At = Site.At;
+  const Instruction &I = P.Funcs[At.F].Blocks[At.B].Insts[At.Idx];
+  assert((I.Op == Opcode::Store || I.Op == Opcode::ArrayStore) &&
+         "field-edge producer must be a store");
+  assert((I.Op == Opcode::ArrayStore ? P.ElemsField : I.Field) == Fld &&
+         "producer writes a different field");
+  (void)Fld;
+  Query Q;
+  QueryFrame Frame;
+  Frame.Func = At.F;
+  Frame.Ctx = Site.Ctx;
+  Q.Frames.push_back(Frame);
+  Q.Pos = At; // Before the store: the produced-case bindings come next.
+  SymVarId B = Q.freshSym(Region::ofLocs(IdSet{Base}));
+  Q.setLocal(0, I.Dst, ValRef::mkSym(B));
+  // Target binding: x.f = x patterns route through unification.
+  if (I.Src == I.Dst) {
+    // Same variable: base and target instance must coincide.
+    SymVarId T = Q.freshSym(Region::ofLocs(IdSet{Target}));
+    Q.unify(ValRef::mkSym(B), ValRef::mkSym(T));
+  } else {
+    SymVarId T = Q.freshSym(Region::ofLocs(IdSet{Target}));
+    Q.setLocal(0, I.Src, ValRef::mkSym(T));
+  }
+  EdgeSearchResult Out;
+  if (Q.Refuted) {
+    Out.Outcome = SearchOutcome::Refuted;
+    return Out;
+  }
+  Run R(*this, Budget);
+  Out.Outcome = R.run(std::move(Q), Out);
+  Budget -= std::min(Budget, Out.StepsUsed);
+  return Out;
+}
+
+EdgeSearchResult WitnessSearch::searchGlobalEdgeAt(GlobalId G,
+                                                   AbsLocId Target,
+                                                   const ProducerSite &Site,
+                                                   uint64_t &Budget) {
+  const ProgramPoint &At = Site.At;
+  const Instruction &I = P.Funcs[At.F].Blocks[At.B].Insts[At.Idx];
+  assert(I.Op == Opcode::StoreStatic && "global-edge producer must be a "
+                                        "static store");
+  assert(I.Global == G && "producer writes a different static field");
+  (void)G;
+  Query Q;
+  QueryFrame Frame;
+  Frame.Func = At.F;
+  Frame.Ctx = Site.Ctx;
+  Q.Frames.push_back(Frame);
+  Q.Pos = At;
+  SymVarId T = Q.freshSym(Region::ofLocs(IdSet{Target}));
+  Q.setLocal(0, I.Src, ValRef::mkSym(T));
+  EdgeSearchResult Out;
+  Run R(*this, Budget);
+  Out.Outcome = R.run(std::move(Q), Out);
+  Budget -= std::min(Budget, Out.StepsUsed);
+  return Out;
+}
+
+namespace {
+
+/// Shared producer loop for both edge kinds.
+template <typename SearchOne>
+EdgeSearchResult
+searchOverProducers(const std::vector<ProducerSite> &Producers,
+                    uint64_t Budget, SearchOne &&One) {
+  EdgeSearchResult Agg;
+  Agg.Outcome = SearchOutcome::Refuted;
+  for (const ProducerSite &At : Producers) {
+    if (Budget == 0) {
+      Agg.Outcome = SearchOutcome::BudgetExhausted;
+      Agg.Note = "budget exhausted before trying all producers";
+      return Agg;
+    }
+    EdgeSearchResult R = One(At, Budget);
+    Agg.StepsUsed += R.StepsUsed;
+    if (R.Outcome == SearchOutcome::Witnessed) {
+      Agg.Outcome = SearchOutcome::Witnessed;
+      Agg.WitnessTrail = std::move(R.WitnessTrail);
+      Agg.WitnessTrailQueries = std::move(R.WitnessTrailQueries);
+      Agg.Note = R.Note;
+      return Agg;
+    }
+    if (R.Outcome == SearchOutcome::BudgetExhausted) {
+      Agg.Outcome = SearchOutcome::BudgetExhausted;
+      return Agg;
+    }
+    if (R.DeepestRefutedTrail.size() > Agg.DeepestRefutedTrail.size())
+      Agg.DeepestRefutedTrail = std::move(R.DeepestRefutedTrail);
+  }
+  return Agg;
+}
+
+} // namespace
+
+EdgeSearchResult WitnessSearch::searchFieldEdge(AbsLocId Base, FieldId Fld,
+                                                AbsLocId Target) {
+  std::vector<ProducerSite> Producers =
+      PTA.producersOfFieldEdge(Base, Fld, Target);
+  uint64_t Budget = Opts.EdgeBudget;
+  return searchOverProducers(
+      Producers, Budget, [&](const ProducerSite &At, uint64_t &B) {
+        return searchFieldEdgeAt(Base, Fld, Target, At, B);
+      });
+}
+
+EdgeSearchResult WitnessSearch::searchGlobalEdge(GlobalId G,
+                                                 AbsLocId Target) {
+  std::vector<ProducerSite> Producers = PTA.producersOfGlobalEdge(G, Target);
+  uint64_t Budget = Opts.EdgeBudget;
+  return searchOverProducers(
+      Producers, Budget, [&](const ProducerSite &At, uint64_t &B) {
+        return searchGlobalEdgeAt(G, Target, At, B);
+      });
+}

@@ -1,0 +1,149 @@
+//===- WitnessSearch.h - Backwards witness-refutation search ----*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The path-program-by-path-program backwards symbolic execution of Sec. 3:
+/// given a points-to edge and the statements that may produce it, search
+/// for an over-approximate path program witness. A failed search (all
+/// paths refuted) soundly refutes the edge; finding a path program whose
+/// query weakens to `any` (or survives to the program's initial state)
+/// witnesses it; exhausting the exploration budget is reported as such and
+/// treated by clients as "not refuted".
+///
+/// The three ablation axes of the evaluation are options here:
+///  - Representation: Mixed (default) vs FullySymbolic vs FullyExplicit
+///    (Table 2 and Sec. 2.2).
+///  - QuerySimplification: entailment-based history joins at loop heads
+///    and procedure boundaries (hypothesis 2).
+///  - Loop mode: on-the-fly invariant inference vs drop-everything
+///    (hypothesis 3, Sec. 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SYM_WITNESSSEARCH_H
+#define THRESHER_SYM_WITNESSSEARCH_H
+
+#include "pta/PointsTo.h"
+#include "support/Stats.h"
+#include "sym/Query.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace thresher {
+
+/// Query state representation (Sec. 2.2 / Table 2).
+enum class Representation : uint8_t {
+  /// Instance constraints narrowed at every flow step (the paper's system).
+  Mixed,
+  /// Points-to facts only used as an aliasing oracle and at allocations
+  /// (PSE-style); no flow narrowing, no region-based subsumption.
+  FullySymbolic,
+  /// Symbolic variables eagerly case-split over their points-to region.
+  FullyExplicit,
+};
+
+/// Loop handling (Sec. 3.3).
+enum class LoopMode : uint8_t {
+  /// Per-path invariant inference: iterate the body to a fixed point over
+  /// points-to constraints, dropping loop-modified pure constraints.
+  FullInference,
+  /// Baseline: drop every constraint the loop body may touch and skip the
+  /// body entirely.
+  DropAll,
+};
+
+/// Engine options.
+struct SymOptions {
+  Representation Repr = Representation::Mixed;
+  /// Query simplification (Sec. 3.3): path collapsing via exact-duplicate
+  /// merging plus entailment-based history joins at loop heads and
+  /// procedure boundaries. Disabling it (hypothesis 2's ablation) removes
+  /// every merge, so loops and redundant paths are re-explored until the
+  /// edge budget runs out (the paper's un-simplified runs blew up in time
+  /// or memory; ours are bounded by the budget).
+  bool QuerySimplification = true;
+  LoopMode Loop = LoopMode::FullInference;
+  /// Exploration budget per edge, in processed query states.
+  uint64_t EdgeBudget = 10000;
+  /// Callee-entry depth bound; deeper calls are skipped soundly by
+  /// dropping constraints in the callee's mod set (Sec. 4).
+  uint32_t MaxCallStackDepth = 3;
+  /// Maximum retained branch-guard constraints (Sec. 4: "at most two").
+  uint32_t PathConstraintCap = 2;
+  /// Loop-head crossings before hard widening (materialization bound).
+  uint32_t MaxLoopCrossings = 12;
+  /// Record per-query trails for witness reporting (costs memory).
+  bool RecordTrails = false;
+  /// Additionally snapshot the query text at each trail point (debugging).
+  bool RecordTrailQueries = false;
+};
+
+/// Outcome of one edge (or statement) search.
+enum class SearchOutcome : uint8_t { Refuted, Witnessed, BudgetExhausted };
+
+/// Result of an edge search.
+struct EdgeSearchResult {
+  SearchOutcome Outcome = SearchOutcome::Refuted;
+  uint64_t StepsUsed = 0;
+  /// For Witnessed with RecordTrails: the witnessing path program,
+  /// oldest-first program points.
+  std::vector<ProgramPoint> WitnessTrail;
+  /// Query snapshots matching WitnessTrail (with RecordTrailQueries).
+  std::vector<std::string> WitnessTrailQueries;
+  /// For Refuted with RecordTrails: the deepest path program explored
+  /// before refutation, oldest-first. The paper's StandupTimer case shows
+  /// these are useful triage artifacts even when the alarm is refuted
+  /// (they reveal "almost-leaks").
+  std::vector<ProgramPoint> DeepestRefutedTrail;
+  /// Human-readable note (e.g. which statement was witnessed).
+  std::string Note;
+};
+
+/// The witness-refutation search engine.
+class WitnessSearch {
+public:
+  WitnessSearch(const Program &P, const PointsToResult &PTA,
+                SymOptions Opts = {});
+
+  /// Witness or refute the heap points-to edge Base·Fld -> Target, trying
+  /// every producing statement under a shared budget.
+  EdgeSearchResult searchFieldEdge(AbsLocId Base, FieldId Fld,
+                                   AbsLocId Target);
+
+  /// Witness or refute the static-field edge G -> Target.
+  EdgeSearchResult searchGlobalEdge(GlobalId G, AbsLocId Target);
+
+  /// Search a single producing statement (with its method context);
+  /// \p Budget is decremented by the steps used.
+  EdgeSearchResult searchFieldEdgeAt(AbsLocId Base, FieldId Fld,
+                                     AbsLocId Target,
+                                     const ProducerSite &Site,
+                                     uint64_t &Budget);
+
+  /// Search a single producing statement for a global edge.
+  EdgeSearchResult searchGlobalEdgeAt(GlobalId G, AbsLocId Target,
+                                      const ProducerSite &Site,
+                                      uint64_t &Budget);
+
+  /// Cumulative counters (queries processed, refutations by kind, ...).
+  const Stats &stats() const { return S; }
+  Stats &stats() { return S; }
+
+private:
+  class Run;
+  friend class Run;
+
+  const Program &P;
+  const PointsToResult &PTA;
+  SymOptions Opts;
+  Stats S;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SYM_WITNESSSEARCH_H

@@ -1,0 +1,92 @@
+//===- TestPrograms.h - Shared mini-Java fixtures for tests ----*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_TESTS_TESTPROGRAMS_H
+#define THRESHER_TESTS_TESTPROGRAMS_H
+
+namespace thresher {
+namespace testprogs {
+
+/// The running example of the paper (Fig. 1): Act objects pushed into a
+/// per-activity Vec, strings pushed into a static Vec; the shared EMPTY
+/// array makes the flow-insensitive analysis report a false leak. Uses the
+/// library Vec from AndroidModel.h (compile with compileAndroidApp).
+inline const char *figure1App() {
+  return R"MJ(
+class Act extends Activity {
+  static var objs = new Vec() @vec0;
+  onCreate() {
+    var acts = new Vec() @vec1;
+    acts.push(this);
+    var o = Act.objs;
+    o.push("hello");
+  }
+}
+fun main() {
+  var a = new Act() @act0;
+  a.onCreate();
+}
+)MJ";
+}
+
+/// The K9Mail singleton leak (Fig. 5): getInstance retains the creating
+/// Activity through the CursorAdapter chain.
+inline const char *figure5App() {
+  return R"MJ(
+class EmailAddressAdapter extends ResourceCursorAdapter {
+  static var sInstance;
+  EmailAddressAdapter(context) { super(context); }
+  static getInstance(context) {
+    if (EmailAddressAdapter.sInstance == null) {
+      EmailAddressAdapter.sInstance =
+          new EmailAddressAdapter(context) @adr0;
+    }
+    return EmailAddressAdapter.sInstance;
+  }
+}
+class MailAct extends Activity {
+  onCreate() {
+    EmailAddressAdapter.getInstance(this);
+  }
+}
+fun main() {
+  var a = new MailAct() @act0;
+  if (*) { a.onCreate(); }
+  if (*) { a.onDestroy(); }
+}
+)MJ";
+}
+
+/// StandupTimer's latent leak: the cache store is guarded by a flag that
+/// is never enabled, so the alarm is refutable — but flipping the flag
+/// would make it real.
+inline const char *latentFlagApp() {
+  return R"MJ(
+class DAO {
+  static var cachedInstance;
+  static var cacheDAOInstances = 0;
+  static cache(obj) {
+    if (DAO.cacheDAOInstances != 0) {
+      DAO.cachedInstance = obj;
+    }
+  }
+}
+class TimerAct extends Activity {
+  onCreate() {
+    DAO.cache(this);
+  }
+}
+fun main() {
+  var a = new TimerAct() @act0;
+  if (*) { a.onCreate(); }
+}
+)MJ";
+}
+
+} // namespace testprogs
+} // namespace thresher
+
+#endif // THRESHER_TESTS_TESTPROGRAMS_H

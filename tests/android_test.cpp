@@ -1,0 +1,128 @@
+//===- android_test.cpp - Android model and benchmark generator tests -----===//
+
+#include "android/Benchmarks.h"
+
+#include "interp/Interp.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace thresher;
+
+TEST(AndroidModelTest, LibraryCompilesStandalone) {
+  // The library alone has no entry point; compiling with a trivial main
+  // must succeed and verify.
+  CompileResult R = compileAndroidApp("fun main() { }");
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  EXPECT_TRUE(verifyProgram(*R.Prog).empty());
+  // Well-known classes present.
+  for (const char *Cls : {"Activity", "Context", "View", "ViewGroup",
+                          "CursorAdapter", "ResourceCursorAdapter", "Vec",
+                          "HashMap", "MapEntry"})
+    EXPECT_NE(R.Prog->findClass(Cls), InvalidId) << Cls;
+  // The paper's two null-object statics.
+  EXPECT_NE(R.Prog->findGlobal("Vec", "EMPTY"), InvalidId);
+  EXPECT_NE(R.Prog->findGlobal("HashMap", "EMPTY_TABLE"), InvalidId);
+}
+
+TEST(AndroidModelTest, ActivityIsAContext) {
+  CompileResult R = compileAndroidApp("fun main() { }");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Prog->isSubclassOf(R.Prog->findClass("Activity"),
+                                   R.Prog->findClass("Context")));
+}
+
+TEST(AndroidModelTest, CollectionsAreContainers) {
+  CompileResult R = compileAndroidApp("fun main() { }");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Prog->Classes[R.Prog->findClass("Vec")].isContainer());
+  EXPECT_TRUE(R.Prog->Classes[R.Prog->findClass("HashMap")].isContainer());
+}
+
+TEST(BenchmarkGenTest, EmptySpecStillBuilds) {
+  AppSpec S;
+  S.Name = "Empty";
+  BenchmarkApp App = buildBenchmarkApp(S);
+  ASSERT_NE(App.Prog, nullptr);
+  EXPECT_TRUE(App.TrueLeaks.empty());
+  Interpreter I(*App.Prog);
+  EXPECT_TRUE(I.run().Completed);
+}
+
+TEST(BenchmarkGenTest, GenerationIsDeterministic) {
+  for (const AppSpec &S : paperBenchmarks())
+    EXPECT_EQ(generateAppSource(S), generateAppSource(S)) << S.Name;
+}
+
+TEST(BenchmarkGenTest, AllAppsInterpretCleanly) {
+  // Every generated app must run without runtime errors under a few
+  // harness schedules (a prerequisite for the ground-truth claims).
+  std::mt19937 Rng(99);
+  for (const AppSpec &S : paperBenchmarks()) {
+    BenchmarkApp App = buildBenchmarkApp(S);
+    for (int Trial = 0; Trial < 3; ++Trial) {
+      InterpOptions O;
+      O.HavocProvider = [&]() { return static_cast<int64_t>(Rng() % 2); };
+      O.RecordWrites = false;
+      Interpreter I(*App.Prog, O);
+      InterpResult R = I.run();
+      EXPECT_TRUE(R.Completed) << S.Name << ": " << R.Error;
+    }
+  }
+}
+
+TEST(BenchmarkGenTest, TrueLeaksAreConcretelyRealizable) {
+  // Every seeded singleton leak pair is reachable under SOME schedule.
+  // A singleton captures only the first Activity whose handler runs, so
+  // the pairs need different schedules: run one schedule per activity
+  // slot in which only that slot's onCreate executes, and take the union
+  // of reached (field, activity) pairs.
+  for (const AppSpec &S : paperBenchmarks()) {
+    if (S.SingletonLeaks == 0)
+      continue;
+    BenchmarkApp App = buildBenchmarkApp(S);
+    std::set<std::pair<GlobalId, std::string>> Union;
+    for (int Slot = 0; Slot < std::max(1, S.Activities); ++Slot) {
+      // Harness guards come in pairs (onCreate, onDestroy) per slot; the
+      // guard lowers to "$nd == 0" so returning 0 takes the branch.
+      int GuardIdx = 0;
+      InterpOptions O;
+      O.HavocProvider = [&GuardIdx, Slot]() {
+        int This = GuardIdx++;
+        return This == 2 * Slot ? 0 : 1;
+      };
+      O.RecordWrites = false;
+      Interpreter I(*App.Prog, O);
+      ASSERT_TRUE(I.run().Completed) << S.Name;
+      for (const auto &[RG, Site] : I.reachableActivities(App.ActivityBase))
+        Union.insert({RG, App.Prog->allocLabel(Site)});
+    }
+    for (const auto &[G, Label] : App.TrueLeaks)
+      EXPECT_TRUE(Union.count({G, Label}))
+          << S.Name << ": " << App.Prog->globalName(G) << " ~> " << Label;
+  }
+}
+
+TEST(BenchmarkGenTest, FalseAlarmPatternsNeverLeakConcretely) {
+  // An app with only refutable / conflation patterns must never have an
+  // Activity reachable from a static under any schedule.
+  AppSpec S;
+  S.Name = "FalseOnly";
+  S.Activities = 2;
+  S.LatentFlagAlarms = 2;
+  S.VecFalseAlarms = 2;
+  S.ConflationFalseAlarms = 2;
+  BenchmarkApp App = buildBenchmarkApp(S);
+  std::mt19937 Rng(7);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    InterpOptions O;
+    O.HavocProvider = [&]() { return static_cast<int64_t>(Rng() % 2); };
+    O.RecordWrites = false;
+    Interpreter I(*App.Prog, O);
+    ASSERT_TRUE(I.run().Completed);
+    EXPECT_FALSE(I.activityReachableFromStatic(App.ActivityBase));
+  }
+}

@@ -1,0 +1,167 @@
+//===- corpus_test.cpp - File-driven regression corpus --------------------===//
+//
+// Runs every .mj file under tests/corpus/ and checks the expectations
+// embedded in its comments:
+//
+//   // ANDROID                              prepend the Android library
+//   // CHECK-EDGE-GLOBAL Cls.field label {WITNESSED|REFUTED|TIMEOUT}
+//   // CHECK-EDGE-FIELD  baseLabel field targetLabel {...}
+//   // CHECK-ALARMS <total> REFUTED <n>     run the leak client
+//
+// The corpus is the place to drop regressions: a self-contained program
+// plus the verdicts that must hold.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "leak/LeakChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct EdgeCheck {
+  bool IsGlobal = false;
+  std::string A, B, C; // Global: (Cls.field, label). Field: (base, f, tgt).
+  std::string Expect;
+};
+
+struct CorpusCase {
+  std::string Path;
+  bool Android = false;
+  std::vector<EdgeCheck> Edges;
+  bool HasAlarmCheck = false;
+  uint32_t ExpectAlarms = 0, ExpectRefuted = 0;
+};
+
+CorpusCase parseCase(const std::string &Path) {
+  CorpusCase C;
+  C.Path = Path;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream LS(Line);
+    std::string Tok0, Tok1;
+    LS >> Tok0 >> Tok1;
+    if (Tok0 != "//")
+      continue;
+    if (Tok1 == "ANDROID") {
+      C.Android = true;
+    } else if (Tok1 == "CHECK-EDGE-GLOBAL") {
+      EdgeCheck E;
+      E.IsGlobal = true;
+      LS >> E.A >> E.B >> E.Expect;
+      C.Edges.push_back(E);
+    } else if (Tok1 == "CHECK-EDGE-FIELD") {
+      EdgeCheck E;
+      LS >> E.A >> E.B >> E.C >> E.Expect;
+      C.Edges.push_back(E);
+    } else if (Tok1 == "CHECK-ALARMS") {
+      std::string Kw;
+      LS >> C.ExpectAlarms >> Kw >> C.ExpectRefuted;
+      C.HasAlarmCheck = true;
+    }
+  }
+  return C;
+}
+
+std::vector<CorpusCase> allCases() {
+  std::vector<CorpusCase> Cases;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() == ".mj")
+      Cases.push_back(parseCase(Entry.path().string()));
+  }
+  std::sort(Cases.begin(), Cases.end(),
+            [](const CorpusCase &A, const CorpusCase &B) {
+              return A.Path < B.Path;
+            });
+  return Cases;
+}
+
+std::string outcomeName(SearchOutcome O) {
+  switch (O) {
+  case SearchOutcome::Refuted:
+    return "REFUTED";
+  case SearchOutcome::Witnessed:
+    return "WITNESSED";
+  case SearchOutcome::BudgetExhausted:
+    return "TIMEOUT";
+  }
+  return "?";
+}
+
+class CorpusTest : public ::testing::TestWithParam<CorpusCase> {};
+
+} // namespace
+
+TEST_P(CorpusTest, ExpectationsHold) {
+  const CorpusCase &C = GetParam();
+  SCOPED_TRACE(C.Path);
+  std::ifstream In(C.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  CompileResult CR = C.Android ? compileAndroidApp(SS.str())
+                               : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+
+  auto Loc = [&](const std::string &Label) {
+    for (AbsLocId L = 0; L < PTA->Locs.size(); ++L)
+      if (PTA->Locs.label(P, L) == Label)
+        return L;
+    ADD_FAILURE() << "no location labelled " << Label;
+    return InvalidId;
+  };
+
+  WitnessSearch WS(P, *PTA);
+  for (const EdgeCheck &E : C.Edges) {
+    SearchOutcome O;
+    if (E.IsGlobal) {
+      size_t Dot = E.A.find('.');
+      ASSERT_NE(Dot, std::string::npos) << E.A;
+      GlobalId G = P.findGlobal(E.A.substr(0, Dot), E.A.substr(Dot + 1));
+      ASSERT_NE(G, InvalidId) << E.A;
+      O = WS.searchGlobalEdge(G, Loc(E.B)).Outcome;
+      EXPECT_EQ(outcomeName(O), E.Expect) << E.A << " -> " << E.B;
+    } else {
+      FieldId F = E.B == "@elems" ? P.ElemsField : P.findFieldByName(E.B);
+      ASSERT_NE(F, InvalidId) << E.B;
+      O = WS.searchFieldEdge(Loc(E.A), F, Loc(E.C)).Outcome;
+      EXPECT_EQ(outcomeName(O), E.Expect)
+          << E.A << "." << E.B << " -> " << E.C;
+    }
+  }
+
+  if (C.HasAlarmCheck) {
+    ClassId Act = activityBaseClass(P);
+    ASSERT_NE(Act, InvalidId) << "CHECK-ALARMS needs the Android library";
+    LeakChecker LC(P, *PTA, Act);
+    LeakReport R = LC.run();
+    EXPECT_EQ(R.NumAlarms, C.ExpectAlarms);
+    EXPECT_EQ(R.RefutedAlarms, C.ExpectRefuted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, CorpusTest, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<CorpusCase> &Info) {
+      std::string Name =
+          std::filesystem::path(Info.param.Path).stem().string();
+      for (char &Ch : Name)
+        if (!isalnum(static_cast<unsigned char>(Ch)))
+          Ch = '_';
+      return Name;
+    });

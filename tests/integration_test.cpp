@@ -1,0 +1,235 @@
+//===- integration_test.cpp - End-to-end pipeline tests -------------------===//
+//
+// Full pipeline: mini-Java -> IR -> points-to -> leak client -> report,
+// plus the refutation-soundness property test against the concrete
+// interpreter (Theorem 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/Benchmarks.h"
+#include "interp/Interp.h"
+#include "leak/LeakChecker.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace thresher;
+
+namespace {
+
+struct Pipeline {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<PointsToResult> PTA;
+  ClassId ActBase = InvalidId;
+};
+
+Pipeline pipeline(const char *AppSrc, PTAOptions PtaOpts = {}) {
+  Pipeline P;
+  CompileResult R = compileAndroidApp(AppSrc);
+  EXPECT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  P.Prog = std::move(R.Prog);
+  P.PTA = PointsToAnalysis(*P.Prog, PtaOpts).run();
+  P.ActBase = activityBaseClass(*P.Prog);
+  return P;
+}
+
+} // namespace
+
+TEST(IntegrationTest, Figure1AllAlarmsRefuted) {
+  Pipeline P = pipeline(testprogs::figure1App());
+  LeakChecker LC(*P.Prog, *P.PTA, P.ActBase);
+  LeakReport R = LC.run();
+  EXPECT_GT(R.NumAlarms, 0u) << "the false alarm must exist pre-threshing";
+  EXPECT_EQ(R.RefutedAlarms, R.NumAlarms);
+  EXPECT_EQ(R.RefutedFields, R.Fields);
+  EXPECT_EQ(R.TimeoutEdges, 0u);
+  EXPECT_GT(R.RefutedEdges, 0u);
+}
+
+TEST(IntegrationTest, Figure5LeakReported) {
+  Pipeline P = pipeline(testprogs::figure5App());
+  LeakChecker LC(*P.Prog, *P.PTA, P.ActBase);
+  LeakReport R = LC.run();
+  ASSERT_EQ(R.NumAlarms, 1u);
+  EXPECT_EQ(R.RefutedAlarms, 0u);
+  EXPECT_EQ(R.Alarms[0].Status, AlarmStatus::Witnessed);
+  EXPECT_EQ(P.Prog->globalName(R.Alarms[0].Source),
+            "EmailAddressAdapter.sInstance");
+  uint32_t True = R.countTrue(*P.Prog, P.PTA->Locs,
+                              {{R.Alarms[0].Source, "act0"}});
+  EXPECT_EQ(True, 1u);
+}
+
+TEST(IntegrationTest, LatentFlagAlarmRefuted) {
+  Pipeline P = pipeline(testprogs::latentFlagApp());
+  LeakChecker LC(*P.Prog, *P.PTA, P.ActBase);
+  LeakReport R = LC.run();
+  ASSERT_EQ(R.NumAlarms, 1u);
+  EXPECT_EQ(R.RefutedAlarms, 1u);
+}
+
+TEST(IntegrationTest, ConflationAlarmSurvivesAsFalseAlarm) {
+  // Clear-before-publish: every edge individually realizable, so edge-wise
+  // refutation cannot filter the alarm — and the interpreter confirms it
+  // never concretely leaks. This is the FalA population of Table 1.
+  const char *App = R"MJ(
+class Holder { var item; }
+class Pub {
+  static var current;
+  static wrap(x) {
+    var h = new Holder() @hold0;
+    h.item = x;
+    return h;
+  }
+  static publish(act) {
+    var w = Pub.wrap(act);
+    w.item = null;
+    Pub.current = w;
+  }
+}
+class PAct extends Activity {
+  onCreate() { Pub.publish(this); }
+}
+fun main() {
+  var a = new PAct() @act0;
+  if (*) { a.onCreate(); }
+}
+)MJ";
+  Pipeline P = pipeline(App);
+  LeakChecker LC(*P.Prog, *P.PTA, P.ActBase);
+  LeakReport R = LC.run();
+  ASSERT_EQ(R.NumAlarms, 1u);
+  EXPECT_EQ(R.RefutedAlarms, 0u);
+  // Concretely it never leaks.
+  for (int64_t C = 0; C < 2; ++C) {
+    InterpOptions O;
+    O.HavocProvider = [&]() { return C; };
+    Interpreter I(*P.Prog, O);
+    ASSERT_TRUE(I.run().Completed);
+    EXPECT_FALSE(I.activityReachableFromStatic(P.ActBase));
+  }
+}
+
+TEST(IntegrationTest, AnnotationRemovesHashMapAlarms) {
+  const char *App = R"MJ(
+class MapHolder {
+  static var registry = new HashMap() @map0;
+}
+class MAct extends Activity {
+  onCreate() {
+    var m = new HashMap() @map1;
+    m.put("k", this);
+    var r = MapHolder.registry;
+    r.put("k", "v");
+  }
+}
+fun main() {
+  var a = new MAct() @act0;
+  if (*) { a.onCreate(); }
+}
+)MJ";
+  // Without annotation: alarms exist (EMPTY_TABLE pollution).
+  Pipeline PN = pipeline(App);
+  LeakChecker LCN(*PN.Prog, *PN.PTA, PN.ActBase);
+  LeakReport RN = LCN.run();
+  EXPECT_GT(RN.NumAlarms, 0u);
+  // With annotation: the registry-side alarms disappear entirely.
+  PTAOptions AnnOpts;
+  {
+    CompileResult CR = compileAndroidApp(App);
+    ASSERT_TRUE(CR.ok());
+    annotateHashMapEmptyTable(*CR.Prog, AnnOpts);
+  }
+  Pipeline PY = pipeline(App, AnnOpts);
+  LeakChecker LCY(*PY.Prog, *PY.PTA, PY.ActBase);
+  LeakReport RY = LCY.run();
+  EXPECT_LT(RY.NumAlarms, RN.NumAlarms);
+}
+
+TEST(IntegrationTest, BenchmarkAppsCompileAndGroundTruthResolves) {
+  for (const AppSpec &Spec : paperBenchmarks()) {
+    BenchmarkApp App = buildBenchmarkApp(Spec);
+    ASSERT_NE(App.Prog, nullptr) << Spec.Name;
+    EXPECT_EQ(static_cast<int>(App.TrueLeaks.size()),
+              Spec.SingletonLeaks * std::max(1, Spec.SingletonFanout))
+        << Spec.Name;
+    EXPECT_NE(App.ActivityBase, InvalidId);
+  }
+}
+
+TEST(IntegrationTest, SmallBenchmarkEndToEnd) {
+  // DroidLife (pure true leaks) end to end: every alarm witnessed, none
+  // refuted, and the ground truth matches.
+  AppSpec Spec;
+  Spec.Name = "DroidLife";
+  Spec.Activities = 3;
+  Spec.SingletonLeaks = 3;
+  BenchmarkApp App = buildBenchmarkApp(Spec);
+  auto PTA = PointsToAnalysis(*App.Prog, {}).run();
+  LeakChecker LC(*App.Prog, *PTA, App.ActivityBase);
+  LeakReport R = LC.run();
+  EXPECT_EQ(R.NumAlarms, 3u);
+  EXPECT_EQ(R.RefutedAlarms, 0u);
+  EXPECT_EQ(R.countTrue(*App.Prog, PTA->Locs, App.TrueLeaks), 3u);
+}
+
+// Refutation soundness (Theorem 1): for random harness schedules, any
+// (base-site, field, target-site) heap write the interpreter performs at
+// statement s must not have been refuted by a witness search started at s.
+TEST(IntegrationTest, RefutationSoundnessProperty) {
+  const char *Apps[] = {testprogs::figure1App(), testprogs::figure5App(),
+                        testprogs::latentFlagApp()};
+  std::mt19937 Rng(2024);
+  for (const char *AppSrc : Apps) {
+    Pipeline P = pipeline(AppSrc);
+    WitnessSearch WS(*P.Prog, *P.PTA);
+    // Gather concrete write events over several schedules.
+    std::vector<WriteEvent> AllWrites;
+    for (int Trial = 0; Trial < 8; ++Trial) {
+      InterpOptions O;
+      O.HavocProvider = [&]() { return static_cast<int64_t>(Rng() % 2); };
+      Interpreter I(*P.Prog, O);
+      InterpResult R = I.run();
+      ASSERT_TRUE(R.Completed) << R.Error;
+      for (const WriteEvent &E : R.Writes)
+        AllWrites.push_back(E);
+    }
+    // For every concrete event with a heap target, the corresponding edge
+    // must not be refutable.
+    for (const WriteEvent &E : AllWrites) {
+      if (E.TargetSite == InvalidId)
+        continue; // Null/int store: no points-to edge.
+      if (E.IsStatic) {
+        for (AbsLocId T : P.PTA->locsOfSite(E.TargetSite)) {
+          if (!P.PTA->ptGlobal(E.Global).contains(T))
+            continue;
+          EdgeSearchResult R = WS.searchGlobalEdge(E.Global, T);
+          // At least one location variant of the site must be witnessable.
+          if (R.Outcome != SearchOutcome::Refuted)
+            goto nextEvent;
+        }
+        ADD_FAILURE() << "concrete static write refuted: "
+                      << P.Prog->globalName(E.Global) << " <- site "
+                      << P.Prog->allocLabel(E.TargetSite);
+      } else {
+        for (AbsLocId B : P.PTA->locsOfSite(E.BaseSite)) {
+          for (AbsLocId T : P.PTA->locsOfSite(E.TargetSite)) {
+            if (!P.PTA->ptField(B, E.Field).contains(T))
+              continue;
+            EdgeSearchResult R = WS.searchFieldEdge(B, E.Field, T);
+            if (R.Outcome != SearchOutcome::Refuted)
+              goto nextEvent;
+          }
+        }
+        ADD_FAILURE() << "concrete field write refuted: site "
+                      << P.Prog->allocLabel(E.BaseSite) << "."
+                      << P.Prog->fieldName(E.Field) << " <- site "
+                      << P.Prog->allocLabel(E.TargetSite);
+      }
+    nextEvent:;
+    }
+  }
+}

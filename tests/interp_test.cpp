@@ -1,0 +1,352 @@
+//===- interp_test.cpp - Concrete interpreter tests -----------------------===//
+
+#include "interp/Interp.h"
+
+#include "TestPrograms.h"
+#include "android/AndroidModel.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace thresher;
+
+namespace {
+
+std::unique_ptr<Program> compileOk(const std::string &Src) {
+  CompileResult R = compileMJ(Src);
+  EXPECT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  return std::move(R.Prog);
+}
+
+} // namespace
+
+TEST(InterpTest, ArithmeticAndControlFlow) {
+  auto P = compileOk("class Box { var v; }\n"
+                     "fun main() {\n"
+                     "  var sum = 0;\n"
+                     "  var i = 0;\n"
+                     "  while (i < 10) { sum = sum + i; i = i + 1; }\n"
+                     "  var b = new Box() @b0;\n"
+                     "  if (sum == 45) { b.v = b; }\n"
+                     "}\n");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  EXPECT_TRUE(R.Completed) << R.Error;
+  // The field write must have happened (sum == 45).
+  bool SawWrite = false;
+  for (const WriteEvent &E : R.Writes)
+    if (!E.IsStatic)
+      SawWrite = true;
+  EXPECT_TRUE(SawWrite);
+}
+
+TEST(InterpTest, VirtualDispatch) {
+  auto P = compileOk("class A { m() { return 1; } }\n"
+                     "class B extends A { m() { return 2; } }\n"
+                     "class Out { static var r; }\n"
+                     "fun main() {\n"
+                     "  var a = new A() @a0;\n"
+                     "  var b = new B() @b0;\n"
+                     "  var x = a.m();\n"
+                     "  var y = b.m();\n"
+                     "  if (x == 1 && y == 2) { Out.r = b; }\n"
+                     "}\n");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Completed) << R.Error;
+  GlobalId G = P->findGlobal("Out", "r");
+  ASSERT_NE(G, InvalidId);
+  EXPECT_TRUE(I.globals()[G].isRef());
+}
+
+TEST(InterpTest, NullDereferenceFails) {
+  auto P = compileOk("class C { var f; }\n"
+                     "fun main() { var c = null; var x = c.f; }\n");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("null dereference"), std::string::npos);
+}
+
+TEST(InterpTest, ArraysAndBounds) {
+  auto P = compileOk("fun main() {\n"
+                     "  var a = new Object[3] @arr;\n"
+                     "  var i = 0;\n"
+                     "  while (i < a.length) { a[i] = a; i = i + 1; }\n"
+                     "}\n");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  EXPECT_TRUE(R.Completed) << R.Error;
+
+  auto P2 = compileOk("fun main() {\n"
+                      "  var a = new Object[2] @arr;\n"
+                      "  a[5] = a;\n"
+                      "}\n");
+  Interpreter I2(*P2);
+  InterpResult R2 = I2.run();
+  EXPECT_FALSE(R2.Completed);
+  EXPECT_NE(R2.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpTest, HavocDrivesNondeterminism) {
+  auto P = compileOk("class Out { static var hit; }\n"
+                     "fun main() {\n"
+                     "  if (*) { Out.hit = new Object() @o0; }\n"
+                     "}\n");
+  GlobalId G = P->findGlobal("Out", "hit");
+  // Havoc == 0 takes the then-branch (condition is $nd == 0).
+  {
+    InterpOptions O;
+    O.HavocProvider = []() { return 0; };
+    Interpreter I(*P, O);
+    ASSERT_TRUE(I.run().Completed);
+    EXPECT_TRUE(I.globals()[G].isRef());
+  }
+  {
+    InterpOptions O;
+    O.HavocProvider = []() { return 1; };
+    Interpreter I(*P, O);
+    ASSERT_TRUE(I.run().Completed);
+    EXPECT_TRUE(I.globals()[G].isNull());
+  }
+}
+
+TEST(InterpTest, StepBudgetStopsInfiniteLoops) {
+  auto P = compileOk("fun main() { var i = 0; while (i < 1) { i = 0; } }\n");
+  InterpOptions O;
+  O.MaxSteps = 1000;
+  Interpreter I(*P, O);
+  InterpResult R = I.run();
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+TEST(InterpTest, Figure1NeverLeaksConcretely) {
+  // Ground truth for the paper's running example: under every schedule the
+  // Activity is never reachable from a static field.
+  CompileResult R = compileAndroidApp(testprogs::figure1App());
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  ClassId ActBase = activityBaseClass(*R.Prog);
+  std::mt19937 Rng(123);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    InterpOptions O;
+    O.HavocProvider = [&]() { return static_cast<int64_t>(Rng() % 2); };
+    Interpreter I(*R.Prog, O);
+    InterpResult Res = I.run();
+    ASSERT_TRUE(Res.Completed) << Res.Error;
+    EXPECT_FALSE(I.activityReachableFromStatic(ActBase));
+  }
+}
+
+TEST(InterpTest, Figure5LeaksConcretely) {
+  CompileResult R = compileAndroidApp(testprogs::figure5App());
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  ClassId ActBase = activityBaseClass(*R.Prog);
+  // Schedule where onCreate runs (both havocs 0 = take then-branches).
+  InterpOptions O;
+  O.HavocProvider = []() { return 0; };
+  Interpreter I(*R.Prog, O);
+  ASSERT_TRUE(I.run().Completed);
+  EXPECT_TRUE(I.activityReachableFromStatic(ActBase));
+  auto Pairs = I.reachableActivities(ActBase);
+  ASSERT_FALSE(Pairs.empty());
+  EXPECT_EQ(R.Prog->globalName(Pairs[0].first),
+            "EmailAddressAdapter.sInstance");
+}
+
+TEST(InterpTest, LatentFlagNeverLeaksConcretely) {
+  CompileResult R = compileAndroidApp(testprogs::latentFlagApp());
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  ClassId ActBase = activityBaseClass(*R.Prog);
+  for (int64_t Choice = 0; Choice < 2; ++Choice) {
+    InterpOptions O;
+    O.HavocProvider = [&]() { return Choice; };
+    Interpreter I(*R.Prog, O);
+    ASSERT_TRUE(I.run().Completed);
+    EXPECT_FALSE(I.activityReachableFromStatic(ActBase));
+  }
+}
+
+TEST(InterpTest, WriteEventsRecordAbstractIdentities) {
+  auto P = compileOk("class C { var f; }\n"
+                     "class S { static var g; }\n"
+                     "fun main() {\n"
+                     "  var c = new C() @c0;\n"
+                     "  var d = new C() @d0;\n"
+                     "  c.f = d;\n"
+                     "  S.g = c;\n"
+                     "}\n");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.Completed) << R.Error;
+  ASSERT_EQ(R.Writes.size(), 2u);
+  EXPECT_FALSE(R.Writes[0].IsStatic);
+  EXPECT_EQ(P->allocLabel(R.Writes[0].BaseSite), "c0");
+  EXPECT_EQ(P->allocLabel(R.Writes[0].TargetSite), "d0");
+  EXPECT_TRUE(R.Writes[1].IsStatic);
+  EXPECT_EQ(P->allocLabel(R.Writes[1].TargetSite), "c0");
+}
+
+//===----------------------------------------------------------------------===//
+// Additional interpreter semantics
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, SuperConstructorChain) {
+  auto P = compileOk("class A { var fa; A(v) { fa = v; } }\n"
+                     "class B extends A { var fb; B(v) { super(v); fb = v; "
+                     "} }\n"
+                     "class Out { static var r; }\n"
+                     "fun main() {\n"
+                     "  var o = new Object() @o0;\n"
+                     "  var b = new B(o) @b0;\n"
+                     "  Out.r = b.fa;\n"
+                     "}\n");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Completed);
+  GlobalId G = P->findGlobal("Out", "r");
+  ASSERT_TRUE(I.globals()[G].isRef());
+  EXPECT_EQ(P->allocLabel(I.heap()[I.globals()[G].Obj].Site), "o0");
+}
+
+TEST(InterpTest, RecursionWithinDepthBound) {
+  auto P = compileOk("class Out { static var n; }\n"
+                     "fun count(i) {\n"
+                     "  if (i > 0) { count(i - 1); }\n"
+                     "  return null;\n"
+                     "}\n"
+                     "fun main() { count(50); }\n");
+  Interpreter I(*P);
+  EXPECT_TRUE(I.run().Completed);
+}
+
+TEST(InterpTest, RunawayRecursionFailsCleanly) {
+  auto P = compileOk("fun spin(x) { spin(x); }\n"
+                     "fun main() { spin(null); }\n");
+  InterpOptions O;
+  O.MaxCallDepth = 100;
+  Interpreter I(*P, O);
+  InterpResult R = I.run();
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("call depth"), std::string::npos);
+}
+
+TEST(InterpTest, DivisionAndRemainder) {
+  auto P = compileOk("class Out { static var ok; }\n"
+                     "fun main() {\n"
+                     "  var a = 17; var b = 5;\n"
+                     "  var q = a / b; var r = a % b;\n"
+                     "  if (q == 3 && r == 2) { Out.ok = new Object() @y; "
+                     "}\n"
+                     "}\n");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Completed);
+  EXPECT_TRUE(I.globals()[P->findGlobal("Out", "ok")].isRef());
+}
+
+TEST(InterpTest, DivisionByZeroFails) {
+  auto P = compileOk("fun main() { var a = 1; var b = 0; var c = a / b; }\n");
+  Interpreter I(*P);
+  InterpResult R = I.run();
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(InterpTest, FieldsDefaultToNull) {
+  auto P = compileOk("class C { var f; }\n"
+                     "class Out { static var isNull; }\n"
+                     "fun main() {\n"
+                     "  var c = new C() @c0;\n"
+                     "  var v = c.f;\n"
+                     "  if (v == null) { Out.isNull = c; }\n"
+                     "}\n");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Completed);
+  EXPECT_TRUE(I.globals()[P->findGlobal("Out", "isNull")].isRef());
+}
+
+TEST(InterpTest, ReferenceEqualitySemantics) {
+  auto P = compileOk("class Out { static var same; static var diff; }\n"
+                     "fun main() {\n"
+                     "  var a = new Object() @a0;\n"
+                     "  var b = a;\n"
+                     "  var c = new Object() @c0;\n"
+                     "  if (a == b) { Out.same = a; }\n"
+                     "  if (a != c) { Out.diff = c; }\n"
+                     "}\n");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Completed);
+  EXPECT_TRUE(I.globals()[P->findGlobal("Out", "same")].isRef());
+  EXPECT_TRUE(I.globals()[P->findGlobal("Out", "diff")].isRef());
+}
+
+TEST(InterpTest, NestedLoopExecution) {
+  auto P = compileOk("class Out { static var ok; }\n"
+                     "fun main() {\n"
+                     "  var total = 0;\n"
+                     "  var i = 0;\n"
+                     "  while (i < 4) {\n"
+                     "    var j = 0;\n"
+                     "    while (j < 3) { total = total + 1; j = j + 1; }\n"
+                     "    i = i + 1;\n"
+                     "  }\n"
+                     "  if (total == 12) { Out.ok = new Object() @y; }\n"
+                     "}\n");
+  Interpreter I(*P);
+  ASSERT_TRUE(I.run().Completed);
+  EXPECT_TRUE(I.globals()[P->findGlobal("Out", "ok")].isRef());
+}
+
+TEST(InterpTest, VecLibraryBehaviour) {
+  // Push three elements through the resize machinery and read them back.
+  CompileResult R = compileAndroidApp(R"MJ(
+class Out { static var e0; static var e1; static var e2; }
+fun main() {
+  var v = new Vec() @v0;
+  var a = new Object() @a0;
+  var b = new Object() @b0;
+  var c = new Object() @c0;
+  v.push(a);
+  v.push(b);
+  v.push(c);
+  Out.e0 = v.get(0);
+  Out.e1 = v.get(1);
+  Out.e2 = v.get(2);
+}
+)MJ");
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  Interpreter I(*R.Prog);
+  InterpResult Res = I.run();
+  ASSERT_TRUE(Res.Completed) << Res.Error;
+  auto LabelOf = [&](const char *Cls, const char *Fld) {
+    GlobalId G = R.Prog->findGlobal(Cls, Fld);
+    return R.Prog->allocLabel(I.heap()[I.globals()[G].Obj].Site);
+  };
+  EXPECT_EQ(LabelOf("Out", "e0"), "a0");
+  EXPECT_EQ(LabelOf("Out", "e1"), "b0");
+  EXPECT_EQ(LabelOf("Out", "e2"), "c0");
+}
+
+TEST(InterpTest, HashMapLibraryBehaviour) {
+  CompileResult R = compileAndroidApp(R"MJ(
+class Out { static var hit; static var miss; }
+fun main() {
+  var m = new HashMap() @m0;
+  var k = "key";
+  var v = new Object() @v0;
+  m.put(k, v);
+  Out.hit = m.get(k);
+  Out.miss = m.get("other");
+}
+)MJ");
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  Interpreter I(*R.Prog);
+  InterpResult Res = I.run();
+  ASSERT_TRUE(Res.Completed) << Res.Error;
+  GlobalId Hit = R.Prog->findGlobal("Out", "hit");
+  GlobalId Miss = R.Prog->findGlobal("Out", "miss");
+  ASSERT_TRUE(I.globals()[Hit].isRef());
+  EXPECT_EQ(R.Prog->allocLabel(I.heap()[I.globals()[Hit].Obj].Site), "v0");
+  EXPECT_TRUE(I.globals()[Miss].isNull());
+}

@@ -1,0 +1,169 @@
+//===- ir_test.cpp - Unit tests for the IR layer --------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace thresher;
+
+namespace {
+
+/// Builds: fun f() { x = new C; loop { x.f = x; } return }
+std::unique_ptr<Program> buildLoopProgram() {
+  ProgramBuilder PB;
+  ClassId C = PB.addClass("C");
+  FieldId F = PB.addField(C, "f");
+  FunctionBuilder FB = PB.beginFunc("f", 0);
+  VarId X = FB.newVar("x");
+  VarId I = FB.newVar("i");
+  BlockId Head = FB.newBlock();
+  BlockId Body = FB.newBlock();
+  BlockId Exit = FB.newBlock();
+  FB.newObj(X, C, "c0");
+  FB.constInt(I, 0);
+  FB.jump(Head);
+  FB.setBlock(Head);
+  FB.branchConst(I, RelOp::LT, 10, Body, Exit);
+  FB.setBlock(Body);
+  FB.store(X, F, X);
+  FB.binopConst(I, I, BinopKind::Add, 1);
+  FB.jump(Head);
+  FB.setBlock(Exit);
+  FB.retVoid();
+  FuncId Fn = FB.finish();
+  PB.setEntry(Fn);
+  return PB.take();
+}
+
+} // namespace
+
+TEST(IRTest, BuilderCreatesWellKnownClasses) {
+  ProgramBuilder PB;
+  auto P = PB.take();
+  EXPECT_NE(P->ObjectClass, InvalidId);
+  EXPECT_NE(P->StringClass, InvalidId);
+  EXPECT_NE(P->ElemsField, InvalidId);
+  EXPECT_EQ(P->className(P->ObjectClass), "Object");
+  EXPECT_EQ(P->Classes[P->ObjectClass].Super, InvalidId);
+  EXPECT_EQ(P->Classes[P->StringClass].Super, P->ObjectClass);
+}
+
+TEST(IRTest, SubclassAndDispatch) {
+  ProgramBuilder PB;
+  ClassId A = PB.addClass("A");
+  ClassId B = PB.addClass("B", A);
+  ClassId C = PB.addClass("C", B);
+  {
+    FunctionBuilder FB = PB.beginFunc("m", 1, A, /*IsStatic=*/false);
+    FB.retVoid();
+    FB.finish();
+  }
+  FuncId BM;
+  {
+    FunctionBuilder FB = PB.beginFunc("m", 1, B, /*IsStatic=*/false);
+    FB.retVoid();
+    BM = FB.finish();
+  }
+  auto P = PB.take();
+  EXPECT_TRUE(P->isSubclassOf(C, A));
+  EXPECT_TRUE(P->isSubclassOf(B, B));
+  EXPECT_FALSE(P->isSubclassOf(A, B));
+  NameId M = P->Names.lookup("m");
+  // C inherits B's override; A keeps its own.
+  EXPECT_EQ(P->resolveVirtual(C, M), BM);
+  EXPECT_EQ(P->resolveVirtual(B, M), BM);
+  EXPECT_NE(P->resolveVirtual(A, M), BM);
+  EXPECT_NE(P->resolveVirtual(A, M), InvalidId);
+}
+
+TEST(IRTest, LoopAnalysisFindsNaturalLoop) {
+  auto P = buildLoopProgram();
+  const Function &Fn = P->Funcs[P->EntryFunc];
+  ASSERT_TRUE(Fn.Analyzed);
+  // Block 1 (Head) is the loop header; body = {Head, Body}.
+  EXPECT_TRUE(Fn.isLoopHeader(1));
+  EXPECT_FALSE(Fn.isLoopHeader(0));
+  EXPECT_FALSE(Fn.isLoopHeader(3));
+  const LoopInfo &L = Fn.loopAt(1);
+  EXPECT_TRUE(L.Body.contains(1));
+  EXPECT_TRUE(L.Body.contains(2));
+  EXPECT_FALSE(L.Body.contains(0));
+  EXPECT_FALSE(L.Body.contains(3));
+  // The loop writes field f and variable i (and x? no; x written outside).
+  FieldId F = P->findField(P->findClass("C"), "f");
+  EXPECT_TRUE(L.Mods.Fields.contains(F));
+  EXPECT_TRUE(L.VarsWritten.contains(1)); // i
+  EXPECT_FALSE(L.VarsWritten.contains(0)); // x
+}
+
+TEST(IRTest, PredecessorsComputed) {
+  auto P = buildLoopProgram();
+  const Function &Fn = P->Funcs[P->EntryFunc];
+  // Head (1) has preds {entry (0), body (2)}.
+  ASSERT_EQ(Fn.Preds[1].size(), 2u);
+  EXPECT_EQ(Fn.Preds[0].size(), 0u);
+  ASSERT_EQ(Fn.Preds[3].size(), 1u);
+  EXPECT_EQ(Fn.Preds[3][0], 1u);
+}
+
+TEST(IRTest, VerifierAcceptsGoodProgram) {
+  auto P = buildLoopProgram();
+  EXPECT_TRUE(verifyProgram(*P).empty());
+}
+
+TEST(IRTest, VerifierCatchesBadOperands) {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunc("f", 0);
+  VarId X = FB.newVar("x");
+  FB.assign(X, 77); // 77 out of range.
+  FB.retVoid();
+  FB.finish();
+  PB.setEntry(0);
+  auto P = PB.take();
+  auto Problems = verifyProgram(*P);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("src"), std::string::npos);
+}
+
+TEST(IRTest, VerifierCatchesEntryWithParams) {
+  ProgramBuilder PB;
+  FunctionBuilder FB = PB.beginFunc("f", 2);
+  FB.retVoid();
+  FuncId F = FB.finish();
+  PB.setEntry(F);
+  auto P = PB.take();
+  auto Problems = verifyProgram(*P);
+  ASSERT_FALSE(Problems.empty());
+}
+
+TEST(IRTest, PrinterRoundTripsInstructionShapes) {
+  auto P = buildLoopProgram();
+  std::ostringstream OS;
+  printProgram(OS, *P);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("x = new C @c0"), std::string::npos);
+  EXPECT_NE(Text.find("x.f = x"), std::string::npos);
+  EXPECT_NE(Text.find("if i < 10"), std::string::npos);
+  EXPECT_NE(Text.find("entry: f"), std::string::npos);
+}
+
+TEST(IRTest, RelOpHelpers) {
+  EXPECT_EQ(negateRelOp(RelOp::LT), RelOp::GE);
+  EXPECT_EQ(negateRelOp(RelOp::EQ), RelOp::NE);
+  EXPECT_EQ(negateRelOp(RelOp::GE), RelOp::LT);
+  EXPECT_EQ(swapRelOp(RelOp::LT), RelOp::GT);
+  EXPECT_EQ(swapRelOp(RelOp::LE), RelOp::GE);
+  EXPECT_EQ(swapRelOp(RelOp::EQ), RelOp::EQ);
+}
+
+TEST(IRTest, SuccessorsOfTerminators) {
+  auto P = buildLoopProgram();
+  const Function &Fn = P->Funcs[P->EntryFunc];
+  EXPECT_EQ(Fn.successors(0), std::vector<BlockId>{1});
+  EXPECT_EQ(Fn.successors(1), (std::vector<BlockId>{2, 3}));
+  EXPECT_TRUE(Fn.successors(3).empty());
+}

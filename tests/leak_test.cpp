@@ -1,0 +1,283 @@
+//===- leak_test.cpp - Activity-leak client tests --------------------------===//
+
+#include "leak/LeakChecker.h"
+
+#include "TestPrograms.h"
+#include "android/AndroidModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace thresher;
+
+namespace {
+
+struct Env {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<PointsToResult> PTA;
+  ClassId ActBase = InvalidId;
+};
+
+Env mk(const char *AppSrc, PTAOptions PtaOpts = {}) {
+  Env E;
+  CompileResult R = compileAndroidApp(AppSrc);
+  EXPECT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  E.Prog = std::move(R.Prog);
+  E.PTA = PointsToAnalysis(*E.Prog, PtaOpts).run();
+  E.ActBase = activityBaseClass(*E.Prog);
+  return E;
+}
+
+} // namespace
+
+TEST(LeakTest, ActivityInLocalStructureOnly) {
+  // The Activity is stored only into a local object's field: no static
+  // field can reach it, so there is no alarm. (Note: pushing into a
+  // library Vec WOULD alarm via the shared Vec.EMPTY pollution — that is
+  // the Fig. 1 scenario, covered elsewhere.)
+  Env E = mk(R"MJ(
+class Node { var next; }
+class QuietAct extends Activity {
+  onCreate() { var n = new Node() @n0; n.next = this; }
+}
+fun main() { var a = new QuietAct() @act0; if (*) { a.onCreate(); } }
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  EXPECT_EQ(R.NumAlarms, 0u);
+  EXPECT_EQ(R.Fields, 0u);
+}
+
+TEST(LeakTest, DirectLeakOneAlarmOneField) {
+  Env E = mk(R"MJ(
+class Keeper { static var held; }
+class KAct extends Activity {
+  onCreate() { Keeper.held = this; }
+}
+fun main() { var a = new KAct() @act0; if (*) { a.onCreate(); } }
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  ASSERT_EQ(R.NumAlarms, 1u);
+  EXPECT_EQ(R.Fields, 1u);
+  EXPECT_EQ(R.Alarms[0].Status, AlarmStatus::Witnessed);
+  ASSERT_EQ(R.Alarms[0].PathDescription.size(), 1u);
+  EXPECT_EQ(R.Alarms[0].PathDescription[0], "Keeper.held -> act0");
+}
+
+TEST(LeakTest, MultiHopPathReported) {
+  Env E = mk(R"MJ(
+class Box { var inner; }
+class Keeper { static var box; }
+class KAct extends Activity {
+  onCreate() {
+    var b = new Box() @box0;
+    b.inner = this;
+    Keeper.box = b;
+  }
+}
+fun main() { var a = new KAct() @act0; if (*) { a.onCreate(); } }
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  ASSERT_EQ(R.NumAlarms, 1u);
+  ASSERT_EQ(R.Alarms[0].PathDescription.size(), 2u);
+  EXPECT_EQ(R.Alarms[0].PathDescription[0], "Keeper.box -> box0");
+  EXPECT_EQ(R.Alarms[0].PathDescription[1], "box0.inner -> act0");
+}
+
+TEST(LeakTest, RefutingOneEdgeTriggersPathReSearch) {
+  // Two routes into the activity: a dead guarded one (refutable edge) and
+  // a live one. The alarm must survive via the live route.
+  Env E = mk(R"MJ(
+class Keeper { static var slot; }
+class KAct extends Activity {
+  onCreate() {
+    var dead = 0;
+    if (dead != 0) { Keeper.slot = this; }
+    var b = new Box() @box0;
+    b.inner = this;
+    Keeper.slot = b;
+  }
+}
+class Box { var inner; }
+fun main() { var a = new KAct() @act0; if (*) { a.onCreate(); } }
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  ASSERT_EQ(R.NumAlarms, 1u);
+  EXPECT_EQ(R.Alarms[0].Status, AlarmStatus::Witnessed);
+  // The direct Keeper.slot -> act0 edge was refuted along the way.
+  EXPECT_GE(R.RefutedEdges, 1u);
+  ASSERT_EQ(R.Alarms[0].PathDescription.size(), 2u);
+}
+
+TEST(LeakTest, AllRoutesRefutedDisconnects) {
+  Env E = mk(R"MJ(
+class Keeper { static var slot; }
+class KAct extends Activity {
+  onCreate() {
+    var dead = 0;
+    if (dead != 0) { Keeper.slot = this; }
+  }
+}
+fun main() { var a = new KAct() @act0; if (*) { a.onCreate(); } }
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  ASSERT_EQ(R.NumAlarms, 1u);
+  EXPECT_EQ(R.RefutedAlarms, 1u);
+  EXPECT_EQ(R.RefutedFields, 1u);
+}
+
+TEST(LeakTest, EdgeResultsAreCachedAcrossAlarms) {
+  // Two activities through the same singleton field: the shared edge is
+  // searched once.
+  Env E = mk(R"MJ(
+class Keeper { static var slot; }
+class A1 extends Activity { onCreate() { Keeper.slot = this; } }
+class A2 extends Activity { onCreate() { Keeper.slot = this; } }
+fun main() {
+  var a = new A1() @act1;
+  var b = new A2() @act2;
+  if (*) { a.onCreate(); }
+  if (*) { b.onCreate(); }
+}
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  EXPECT_EQ(R.NumAlarms, 2u);
+  // Distinct targets: two edges, both witnessed.
+  EXPECT_EQ(R.WitnessedEdges, 2u);
+  EXPECT_EQ(LC.edgesWithOutcome(SearchOutcome::Witnessed).size(), 2u);
+  EXPECT_TRUE(LC.edgesWithOutcome(SearchOutcome::Refuted).empty());
+}
+
+TEST(LeakTest, TimeoutMarksAlarm) {
+  Env E = mk(testprogs::figure1App());
+  SymOptions Opts;
+  Opts.EdgeBudget = 5; // Force budget exhaustion.
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase, Opts);
+  LeakReport R = LC.run();
+  EXPECT_GT(R.NumAlarms, 0u);
+  EXPECT_GT(R.TimeoutEdges, 0u);
+  bool SawTimeoutAlarm = false;
+  for (const AlarmResult &A : R.Alarms)
+    SawTimeoutAlarm |= A.Status == AlarmStatus::Timeout;
+  EXPECT_TRUE(SawTimeoutAlarm);
+}
+
+TEST(LeakTest, CountTrueMatchesGroundTruth) {
+  Env E = mk(testprogs::figure5App());
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  GlobalId G = E.Prog->findGlobal("EmailAddressAdapter", "sInstance");
+  EXPECT_EQ(R.countTrue(*E.Prog, E.PTA->Locs, {{G, "act0"}}), 1u);
+  EXPECT_EQ(R.countTrue(*E.Prog, E.PTA->Locs, {{G, "wrongLabel"}}), 0u);
+  EXPECT_EQ(R.countTrue(*E.Prog, E.PTA->Locs, {}), 0u);
+}
+
+TEST(LeakTest, SubclassActivitiesCount) {
+  Env E = mk(R"MJ(
+class BaseAct extends Activity { }
+class DerivedAct extends BaseAct {
+  onCreate() { Keeper.slot = this; }
+}
+class Keeper { static var slot; }
+fun main() { var a = new DerivedAct() @act0; if (*) { a.onCreate(); } }
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  EXPECT_EQ(R.NumAlarms, 1u);
+}
+
+TEST(LeakTest, NonActivityObjectsIgnored) {
+  Env E = mk(R"MJ(
+class Plain { }
+class Keeper { static var slot; }
+class PAct extends Activity {
+  onCreate() { Keeper.slot = new Plain() @plain0; }
+}
+fun main() { var a = new PAct() @act0; if (*) { a.onCreate(); } }
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  EXPECT_EQ(R.NumAlarms, 0u);
+}
+
+TEST(LeakTest, ParallelMatchesSequentialVerdicts) {
+  // The parallel prefetch must not change any alarm verdict.
+  Env E = mk(testprogs::figure1App());
+  LeakChecker Seq(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport RS = Seq.run();
+  LeakChecker Par(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport RP = Par.run(/*Threads=*/4);
+  ASSERT_EQ(RS.NumAlarms, RP.NumAlarms);
+  EXPECT_EQ(RS.RefutedAlarms, RP.RefutedAlarms);
+  EXPECT_EQ(RS.RefutedFields, RP.RefutedFields);
+  for (size_t I = 0; I < RS.Alarms.size(); ++I) {
+    EXPECT_EQ(RS.Alarms[I].Source, RP.Alarms[I].Source);
+    EXPECT_EQ(RS.Alarms[I].Status, RP.Alarms[I].Status);
+  }
+}
+
+TEST(LeakTest, ParallelMatchesSequentialOnLeak) {
+  Env E = mk(testprogs::figure5App());
+  LeakChecker Par(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = Par.run(/*Threads=*/3);
+  ASSERT_EQ(R.NumAlarms, 1u);
+  EXPECT_EQ(R.Alarms[0].Status, AlarmStatus::Witnessed);
+}
+
+TEST(LeakTest, ViewHierarchyLeak) {
+  // The paper: "Sub-components of Activitys (such as Adapters, Cursors,
+  // and Views) typically keep pointers to their parent Activity, meaning
+  // that any persistent reference to an element in the Activity's
+  // hierarchy can potentially create a leak." A cached root View retains
+  // its Activity through mContext.
+  Env E = mk(R"MJ(
+class Cache { static var rootView; }
+class VAct extends Activity {
+  onCreate() {
+    var v = new View(this) @view0;
+    Cache.rootView = v;
+  }
+}
+fun main() { var a = new VAct() @act0; if (*) { a.onCreate(); } }
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  ASSERT_EQ(R.NumAlarms, 1u);
+  EXPECT_EQ(R.Alarms[0].Status, AlarmStatus::Witnessed);
+  ASSERT_EQ(R.Alarms[0].PathDescription.size(), 2u);
+  EXPECT_EQ(R.Alarms[0].PathDescription[1], "view0.mContext -> act0");
+}
+
+TEST(LeakTest, ViewGroupChildChainLeak) {
+  // Deeper: the cached ViewGroup holds children (via the library Vec)
+  // whose mContext is the Activity.
+  Env E = mk(R"MJ(
+class Cache { static var panel; }
+class VAct extends Activity {
+  onCreate() {
+    var g = new ViewGroup(this) @group0;
+    var child = new View(this) @child0;
+    g.addView(child);
+    Cache.panel = g;
+  }
+}
+fun main() { var a = new VAct() @act0; if (*) { a.onCreate(); } }
+)MJ");
+  LeakChecker LC(*E.Prog, *E.PTA, E.ActBase);
+  LeakReport R = LC.run();
+  // Two alarms: the real one through Cache.panel, and a Fig. 1-style
+  // false one through the library Vec's shared EMPTY array (the child is
+  // pushed into the ViewGroup's children Vec). The real one is witnessed,
+  // the pollution one refuted.
+  ASSERT_EQ(R.NumAlarms, 2u);
+  EXPECT_EQ(R.RefutedAlarms, 1u);
+  bool PanelWitnessed = false;
+  for (const AlarmResult &A : R.Alarms)
+    if (E.Prog->globalName(A.Source) == "Cache.panel")
+      PanelWitnessed = A.Status == AlarmStatus::Witnessed;
+  EXPECT_TRUE(PanelWitnessed);
+}

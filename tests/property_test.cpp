@@ -1,0 +1,362 @@
+//===- property_test.cpp - Randomized soundness properties ----------------===//
+//
+// A random program generator plus the invariants that must hold for every
+// generated program:
+//
+//  P1  The generated source compiles and verifies.
+//  P2  The concrete interpreter completes under any havoc schedule
+//      (programs are constructed with bounded loops and no null derefs).
+//  P3  The points-to analysis over-approximates the interpreter: every
+//      concrete heap write is covered by a points-to edge.
+//  P4  Refutation soundness (Theorem 1): no witness search refutes an edge
+//      the interpreter realizes.
+//  P5  The witness search is deterministic: re-running a search yields the
+//      same outcome and step count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "ir/Verifier.h"
+#include "sym/WitnessSearch.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <sstream>
+
+using namespace thresher;
+
+namespace {
+
+/// Generates a random but always-valid mini-Java program. Object-typed
+/// locals are partitioned into definitely-non-null ones (initialized by
+/// allocation; safe to dereference) and maybe-null ones (loaded from
+/// fields/statics; only used as store sources).
+class ProgramGen {
+public:
+  explicit ProgramGen(uint32_t Seed) : Rng(Seed) {}
+
+  std::string generate() {
+    Out << "class Node { var f; var g; }\n";
+    Out << "class Holder { static var s0; static var s1; static var s2; "
+           "}\n";
+    int NumHelpers = 1 + static_cast<int>(Rng() % 3);
+    for (int I = 0; I < NumHelpers; ++I)
+      genHelper(I);
+    Out << "fun main() {\n";
+    Indent = "  ";
+    Scope S = freshScope(/*WithParams=*/false);
+    genBody(S, /*Depth=*/0, 6 + static_cast<int>(Rng() % 8));
+    Out << "}\n";
+    return Out.str();
+  }
+
+private:
+  struct Scope {
+    std::vector<std::string> NonNullObjs; ///< Safe to dereference.
+    std::vector<std::string> MaybeObjs;   ///< Store sources only.
+    std::vector<std::string> Ints;
+    int NextVar = 0;
+  };
+
+  uint32_t pick(uint32_t N) { return Rng() % N; }
+
+  std::string freshName(Scope &S) {
+    return "v" + std::to_string(S.NextVar++);
+  }
+
+  Scope freshScope(bool WithParams) {
+    Scope S;
+    if (WithParams) {
+      S.NonNullObjs.push_back("p0");
+      S.Ints.push_back("p1");
+    }
+    return S;
+  }
+
+  void genHelper(int I) {
+    // The helper may only call helpers generated before it, so the static
+    // call graph is acyclic and every execution terminates.
+    Out << "fun helper" << I << "(p0, p1) {\n";
+    Indent = "  ";
+    Scope S = freshScope(/*WithParams=*/true);
+    genBody(S, /*Depth=*/1, 2 + static_cast<int>(Rng() % 4));
+    Out << "}\n";
+    Helpers.push_back("helper" + std::to_string(I));
+  }
+
+  std::string randField() { return pick(2) == 0 ? "f" : "g"; }
+  std::string randStatic() {
+    return "Holder.s" + std::to_string(pick(3));
+  }
+
+  void genBody(Scope &S, int Depth, int NumStmts) {
+    // Seed the scope with one allocation and one int so statements always
+    // have operands.
+    std::string V = freshName(S);
+    Out << Indent << "var " << V << " = new Node() @site" << SiteCount++
+        << ";\n";
+    S.NonNullObjs.push_back(V);
+    std::string N = freshName(S);
+    Out << Indent << "var " << N << " = " << pick(10) << ";\n";
+    S.Ints.push_back(N);
+    for (int I = 0; I < NumStmts; ++I)
+      genStmt(S, Depth);
+  }
+
+  void genStmt(Scope &S, int Depth) {
+    switch (pick(11)) {
+    case 0: { // Allocation.
+      std::string V = freshName(S);
+      Out << Indent << "var " << V << " = new Node() @site" << SiteCount++
+          << ";\n";
+      S.NonNullObjs.push_back(V);
+      break;
+    }
+    case 1: { // Copy between object vars.
+      if (S.NonNullObjs.size() < 2)
+        break;
+      std::string A = S.NonNullObjs[pick(S.NonNullObjs.size())];
+      std::string B = S.NonNullObjs[pick(S.NonNullObjs.size())];
+      Out << Indent << A << " = " << B << ";\n";
+      break;
+    }
+    case 2: { // Field store (base must be non-null).
+      std::string Base = S.NonNullObjs[pick(S.NonNullObjs.size())];
+      std::string Src = anyObj(S);
+      Out << Indent << Base << "." << randField() << " = " << Src << ";\n";
+      break;
+    }
+    case 3: { // Field load (result is maybe-null).
+      std::string Base = S.NonNullObjs[pick(S.NonNullObjs.size())];
+      std::string V = freshName(S);
+      Out << Indent << "var " << V << " = " << Base << "." << randField()
+          << ";\n";
+      S.MaybeObjs.push_back(V);
+      break;
+    }
+    case 4: // Static store.
+      Out << Indent << randStatic() << " = " << anyObj(S) << ";\n";
+      break;
+    case 5: { // Static load.
+      std::string V = freshName(S);
+      Out << Indent << "var " << V << " = " << randStatic() << ";\n";
+      S.MaybeObjs.push_back(V);
+      break;
+    }
+    case 6: { // Integer arithmetic.
+      std::string A = S.Ints[pick(S.Ints.size())];
+      std::string V = freshName(S);
+      Out << Indent << "var " << V << " = " << A
+          << (pick(2) == 0 ? " + " : " - ") << (1 + pick(5)) << ";\n";
+      S.Ints.push_back(V);
+      break;
+    }
+    case 7: { // Guarded block.
+      if (Depth >= 3)
+        break;
+      std::string Cond;
+      switch (pick(3)) {
+      case 0:
+        Cond = S.Ints[pick(S.Ints.size())] + relOp() +
+               std::to_string(pick(10));
+        break;
+      case 1: {
+        const std::string &V = S.MaybeObjs.empty()
+                                   ? S.NonNullObjs[pick(
+                                         S.NonNullObjs.size())]
+                                   : S.MaybeObjs[pick(S.MaybeObjs.size())];
+        Cond = V + (pick(2) == 0 ? " == null" : " != null");
+        break;
+      }
+      default:
+        Cond = "*";
+        break;
+      }
+      Out << Indent << "if (" << Cond << ") {\n";
+      nested(S, Depth);
+      Out << Indent << "}\n";
+      break;
+    }
+    case 8: { // Bounded loop.
+      if (Depth >= 2)
+        break;
+      std::string I = freshName(S);
+      Out << Indent << "var " << I << " = 0;\n";
+      Out << Indent << "while (" << I << " < " << (1 + pick(3)) << ") {\n";
+      {
+        std::string SavedIndent = Indent;
+        Indent += "  ";
+        Scope Inner = S; // Locals declared inside stay inside.
+        for (int K = 0, E2 = 1 + static_cast<int>(pick(3)); K < E2; ++K)
+          genStmt(Inner, Depth + 2);
+        Out << Indent << I << " = " << I << " + 1;\n";
+        Indent = SavedIndent;
+      }
+      Out << Indent << "}\n";
+      S.Ints.push_back(I);
+      break;
+    }
+    case 9: { // Helper call.
+      if (Helpers.empty() || Depth >= 2)
+        break;
+      const std::string &H = Helpers[pick(Helpers.size())];
+      Out << Indent << H << "("
+          << S.NonNullObjs[pick(S.NonNullObjs.size())] << ", "
+          << S.Ints[pick(S.Ints.size())] << ");\n";
+      break;
+    }
+    default: { // Copy maybe-null into a store.
+      if (S.MaybeObjs.empty())
+        break;
+      std::string Base = S.NonNullObjs[pick(S.NonNullObjs.size())];
+      Out << Indent << Base << "." << randField() << " = "
+          << S.MaybeObjs[pick(S.MaybeObjs.size())] << ";\n";
+      break;
+    }
+    }
+  }
+
+  void nested(Scope &S, int Depth) {
+    std::string SavedIndent = Indent;
+    Indent += "  ";
+    Scope Inner = S;
+    for (int K = 0, E = 1 + static_cast<int>(pick(3)); K < E; ++K)
+      genStmt(Inner, Depth + 1);
+    Indent = SavedIndent;
+  }
+
+  std::string anyObj(Scope &S) {
+    if (!S.MaybeObjs.empty() && pick(3) == 0)
+      return S.MaybeObjs[pick(S.MaybeObjs.size())];
+    return S.NonNullObjs[pick(S.NonNullObjs.size())];
+  }
+
+  std::string relOp() {
+    const char *Ops[] = {" < ", " <= ", " > ", " >= ", " == ", " != "};
+    return Ops[pick(6)];
+  }
+
+  std::mt19937 Rng;
+  std::ostringstream Out;
+  std::string Indent;
+  std::vector<std::string> Helpers;
+  int SiteCount = 0;
+};
+
+class RandomProgramTest : public ::testing::TestWithParam<uint32_t> {};
+
+} // namespace
+
+TEST_P(RandomProgramTest, GeneratedProgramSoundness) {
+  uint32_t Seed = GetParam();
+  ProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+  SCOPED_TRACE("seed " + std::to_string(Seed) + "\n" + Src);
+
+  // P1: compiles and verifies.
+  CompileResult CR = compileMJ(Src);
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  EXPECT_TRUE(verifyProgram(*CR.Prog).empty());
+  const Program &P = *CR.Prog;
+
+  // P2: interpreter completes under several schedules; collect writes.
+  std::mt19937 Sched(Seed * 31 + 7);
+  std::vector<WriteEvent> Writes;
+  for (int Trial = 0; Trial < 6; ++Trial) {
+    InterpOptions IO;
+    IO.HavocProvider = [&]() { return static_cast<int64_t>(Sched() % 2); };
+    Interpreter I(P, IO);
+    InterpResult R = I.run();
+    ASSERT_TRUE(R.Completed) << R.Error;
+    for (const WriteEvent &E : R.Writes)
+      Writes.push_back(E);
+  }
+
+  auto PTA = PointsToAnalysis(P).run();
+
+  // P3: points-to over-approximation of every concrete heap write.
+  for (const WriteEvent &E : Writes) {
+    if (E.TargetSite == InvalidId)
+      continue; // Null store: no points-to edge expected.
+    bool Covered = false;
+    if (E.IsStatic) {
+      for (AbsLocId T : PTA->locsOfSite(E.TargetSite))
+        Covered |= PTA->ptGlobal(E.Global).contains(T);
+      EXPECT_TRUE(Covered) << "uncovered static write to "
+                           << P.globalName(E.Global);
+    } else {
+      for (AbsLocId B : PTA->locsOfSite(E.BaseSite))
+        for (AbsLocId T : PTA->locsOfSite(E.TargetSite))
+          Covered |= PTA->ptField(B, E.Field).contains(T);
+      EXPECT_TRUE(Covered) << "uncovered field write "
+                           << P.allocLabel(E.BaseSite) << "."
+                           << P.fieldName(E.Field) << " <- "
+                           << P.allocLabel(E.TargetSite);
+    }
+  }
+
+  // P4: refutation soundness on a sample of realized writes (dedup first;
+  // each edge search is bounded).
+  WitnessSearch WS(P, *PTA);
+  std::set<std::string> Checked;
+  int Budgeted = 0;
+  for (const WriteEvent &E : Writes) {
+    if (E.TargetSite == InvalidId || Budgeted > 25)
+      break;
+    std::ostringstream KeyS;
+    KeyS << E.IsStatic << ":" << E.Global << ":" << E.BaseSite << ":"
+         << E.Field << ":" << E.TargetSite;
+    if (!Checked.insert(KeyS.str()).second)
+      continue;
+    ++Budgeted;
+    bool SomeNotRefuted = false;
+    if (E.IsStatic) {
+      for (AbsLocId T : PTA->locsOfSite(E.TargetSite)) {
+        if (!PTA->ptGlobal(E.Global).contains(T))
+          continue;
+        if (WS.searchGlobalEdge(E.Global, T).Outcome !=
+            SearchOutcome::Refuted)
+          SomeNotRefuted = true;
+      }
+      EXPECT_TRUE(SomeNotRefuted)
+          << "soundness: concrete static write refuted: "
+          << P.globalName(E.Global) << " <- "
+          << P.allocLabel(E.TargetSite);
+    } else {
+      for (AbsLocId B : PTA->locsOfSite(E.BaseSite)) {
+        for (AbsLocId T : PTA->locsOfSite(E.TargetSite)) {
+          if (!PTA->ptField(B, E.Field).contains(T))
+            continue;
+          if (WS.searchFieldEdge(B, E.Field, T).Outcome !=
+              SearchOutcome::Refuted)
+            SomeNotRefuted = true;
+        }
+      }
+      EXPECT_TRUE(SomeNotRefuted)
+          << "soundness: concrete field write refuted: "
+          << P.allocLabel(E.BaseSite) << "." << P.fieldName(E.Field)
+          << " <- " << P.allocLabel(E.TargetSite);
+    }
+  }
+
+  // P5: determinism of a representative search.
+  if (!Writes.empty() && Writes[0].IsStatic &&
+      Writes[0].TargetSite != InvalidId) {
+    const WriteEvent &E = Writes[0];
+    for (AbsLocId T : PTA->locsOfSite(E.TargetSite)) {
+      if (!PTA->ptGlobal(E.Global).contains(T))
+        continue;
+      WitnessSearch W1(P, *PTA), W2(P, *PTA);
+      EdgeSearchResult R1 = W1.searchGlobalEdge(E.Global, T);
+      EdgeSearchResult R2 = W2.searchGlobalEdge(E.Global, T);
+      EXPECT_EQ(R1.Outcome, R2.Outcome);
+      EXPECT_EQ(R1.StepsUsed, R2.StepsUsed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range(0u, 30u));

@@ -1,0 +1,428 @@
+//===- pta_test.cpp - Points-to analysis tests ----------------------------===//
+
+#include "pta/PointsTo.h"
+
+#include "TestPrograms.h"
+#include "android/AndroidModel.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace thresher;
+
+namespace {
+
+struct Analyzed {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<PointsToResult> PTA;
+};
+
+Analyzed analyze(const std::string &Src, PTAOptions Opts = {}) {
+  Analyzed A;
+  CompileResult R = compileMJ(Src);
+  EXPECT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  A.Prog = std::move(R.Prog);
+  A.PTA = PointsToAnalysis(*A.Prog, Opts).run();
+  return A;
+}
+
+Analyzed analyzeApp(const char *AppSrc, PTAOptions Opts = {}) {
+  Analyzed A;
+  CompileResult R = compileAndroidApp(AppSrc);
+  EXPECT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  A.Prog = std::move(R.Prog);
+  A.PTA = PointsToAnalysis(*A.Prog, Opts).run();
+  return A;
+}
+
+/// pt(local named VName in function FName) rendered as labels.
+std::set<std::string> ptOf(const Analyzed &A, const std::string &FName,
+                           const std::string &VName) {
+  std::set<std::string> Out;
+  FuncId F = A.Prog->findFunc(FName);
+  EXPECT_NE(F, InvalidId) << FName;
+  const Function &Fn = A.Prog->Funcs[F];
+  for (VarId V = 0; V < Fn.NumVars; ++V) {
+    if (Fn.varName(V) != VName)
+      continue;
+    for (AbsLocId L : A.PTA->ptVar(F, V))
+      Out.insert(A.PTA->Locs.label(*A.Prog, L));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(PTATest, DirectAssignmentFlow) {
+  Analyzed A = analyze("fun main() {\n"
+                       "  var x = new Object() @o1;\n"
+                       "  var y = x;\n"
+                       "  var z = y;\n"
+                       "}\n");
+  EXPECT_EQ(ptOf(A, "main", "z"), (std::set<std::string>{"o1"}));
+}
+
+TEST(PTATest, FieldFlow) {
+  Analyzed A = analyze("class C { var f; }\n"
+                       "fun main() {\n"
+                       "  var c = new C() @c0;\n"
+                       "  var o = new Object() @o0;\n"
+                       "  c.f = o;\n"
+                       "  var r = c.f;\n"
+                       "}\n");
+  EXPECT_EQ(ptOf(A, "main", "r"), (std::set<std::string>{"o0"}));
+}
+
+TEST(PTATest, FieldsAreLocationSensitive) {
+  Analyzed A = analyze("class C { var f; }\n"
+                       "fun main() {\n"
+                       "  var c1 = new C() @c1;\n"
+                       "  var c2 = new C() @c2;\n"
+                       "  c1.f = new Object() @o1;\n"
+                       "  c2.f = new Object() @o2;\n"
+                       "  var r = c1.f;\n"
+                       "}\n");
+  EXPECT_EQ(ptOf(A, "main", "r"), (std::set<std::string>{"o1"}));
+}
+
+TEST(PTATest, VirtualDispatchResolvesByClass) {
+  Analyzed A = analyze("class A { m() { return new Object() @fromA; } }\n"
+                       "class B extends A { m() { return new Object() "
+                       "@fromB; } }\n"
+                       "fun main() {\n"
+                       "  var b = new B() @b0;\n"
+                       "  var r = b.m();\n"
+                       "}\n");
+  EXPECT_EQ(ptOf(A, "main", "r"), (std::set<std::string>{"fromB"}));
+}
+
+TEST(PTATest, CallGraphIsOnTheFly) {
+  // A.m unreachable since only B instances flow to the call site.
+  Analyzed A = analyze("class A { m() { return new Object() @fromA; } }\n"
+                       "class B extends A { m() { return new Object() "
+                       "@fromB; } }\n"
+                       "fun main() {\n"
+                       "  var b = new B() @b0;\n"
+                       "  var r = b.m();\n"
+                       "}\n");
+  FuncId AM = A.Prog->findMethod(A.Prog->findClass("A"), "m");
+  FuncId BM = A.Prog->findMethod(A.Prog->findClass("B"), "m");
+  ASSERT_NE(AM, InvalidId);
+  ASSERT_NE(BM, InvalidId);
+  EXPECT_FALSE(A.PTA->isReachable(AM));
+  EXPECT_TRUE(A.PTA->isReachable(BM));
+  EXPECT_FALSE(A.PTA->callersOf(BM).empty());
+}
+
+TEST(PTATest, GlobalsFlow) {
+  Analyzed A = analyze("class S { static var g; }\n"
+                       "fun main() {\n"
+                       "  S.g = new Object() @o0;\n"
+                       "  var r = S.g;\n"
+                       "}\n");
+  GlobalId G = A.Prog->findGlobal("S", "g");
+  ASSERT_NE(G, InvalidId);
+  ASSERT_EQ(A.PTA->ptGlobal(G).size(), 1u);
+  EXPECT_EQ(ptOf(A, "main", "r"), (std::set<std::string>{"o0"}));
+}
+
+TEST(PTATest, ArraysSummarizeElements) {
+  Analyzed A = analyze("fun main() {\n"
+                       "  var a = new Object[2] @arr;\n"
+                       "  var i = 0;\n"
+                       "  a[i] = new Object() @o0;\n"
+                       "  var r = a[i];\n"
+                       "}\n");
+  EXPECT_EQ(ptOf(A, "main", "r"), (std::set<std::string>{"o0"}));
+}
+
+TEST(PTATest, ContainerCFAClonesAllocations) {
+  // Two Vecs: their internal tbl arrays must be distinguished (vec0.vecTbl
+  // vs vec1.vecTbl), as in Fig. 2 of the paper.
+  Analyzed A = analyzeApp(testprogs::figure1App());
+  // The Act.objs static Vec is vec0; the local one vec1.
+  GlobalId Objs = A.Prog->findGlobal("Act", "objs");
+  ASSERT_NE(Objs, InvalidId);
+  ASSERT_EQ(A.PTA->ptGlobal(Objs).size(), 1u);
+  AbsLocId Vec0 = *A.PTA->ptGlobal(Objs).begin();
+  EXPECT_EQ(A.PTA->Locs.label(*A.Prog, Vec0), "vec0");
+  FieldId Tbl = A.Prog->findField(A.Prog->findClass("Vec"), "tbl");
+  ASSERT_NE(Tbl, InvalidId);
+  std::set<std::string> TblLabels;
+  for (AbsLocId L : A.PTA->ptField(Vec0, Tbl))
+    TblLabels.insert(A.PTA->Locs.label(*A.Prog, L));
+  // vec0's table: the shared EMPTY array plus vec0's own clone.
+  EXPECT_TRUE(TblLabels.count("vecEmpty"));
+  EXPECT_TRUE(TblLabels.count("vec0.vecTbl"));
+  EXPECT_FALSE(TblLabels.count("vec1.vecTbl"));
+}
+
+TEST(PTATest, Figure1PollutionIsPresent) {
+  // The flow-insensitive analysis must (imprecisely) claim the EMPTY array
+  // can contain the Activity — that is the false alarm Thresher refutes.
+  Analyzed A = analyzeApp(testprogs::figure1App());
+  GlobalId Empty = A.Prog->findGlobal("Vec", "EMPTY");
+  ASSERT_NE(Empty, InvalidId);
+  ASSERT_EQ(A.PTA->ptGlobal(Empty).size(), 1u);
+  AbsLocId Arr0 = *A.PTA->ptGlobal(Empty).begin();
+  std::set<std::string> Elems;
+  for (AbsLocId L : A.PTA->ptField(Arr0, A.Prog->ElemsField))
+    Elems.insert(A.PTA->Locs.label(*A.Prog, L));
+  EXPECT_TRUE(Elems.count("act0"));
+}
+
+TEST(PTATest, InsensitivePolicyConflatesClones) {
+  PTAOptions Opts;
+  Opts.Policy = CtxPolicy::Insensitive;
+  Analyzed A = analyzeApp(testprogs::figure1App(), Opts);
+  GlobalId Objs = A.Prog->findGlobal("Act", "objs");
+  AbsLocId Vec0 = *A.PTA->ptGlobal(Objs).begin();
+  FieldId Tbl = A.Prog->findField(A.Prog->findClass("Vec"), "tbl");
+  std::set<std::string> TblLabels;
+  for (AbsLocId L : A.PTA->ptField(Vec0, Tbl))
+    TblLabels.insert(A.PTA->Locs.label(*A.Prog, L));
+  // Without container context there is a single conflated vecTbl.
+  EXPECT_TRUE(TblLabels.count("vecTbl"));
+}
+
+TEST(PTATest, AnnotationEmptiesGlobal) {
+  PTAOptions Opts;
+  CompileResult R = compileAndroidApp(testprogs::figure1App());
+  ASSERT_TRUE(R.ok());
+  annotateHashMapEmptyTable(*R.Prog, Opts);
+  auto PTA = PointsToAnalysis(*R.Prog, Opts).run();
+  GlobalId G = R.Prog->findGlobal("HashMap", "EMPTY_TABLE");
+  ASSERT_NE(G, InvalidId);
+  EXPECT_TRUE(PTA->ptGlobal(G).empty());
+}
+
+TEST(PTATest, ProducersOfGlobalEdge) {
+  Analyzed A = analyze("class S { static var g; }\n"
+                       "fun main() {\n"
+                       "  var o = new Object() @o0;\n"
+                       "  S.g = o;\n"
+                       "}\n");
+  GlobalId G = A.Prog->findGlobal("S", "g");
+  AbsLocId O0 = *A.PTA->ptGlobal(G).begin();
+  auto Producers = A.PTA->producersOfGlobalEdge(G, O0);
+  ASSERT_EQ(Producers.size(), 1u);
+  const ProgramPoint &At = Producers[0].At;
+  const Instruction &I = A.Prog->Funcs[At.F].Blocks[At.B].Insts[At.Idx];
+  EXPECT_EQ(I.Op, Opcode::StoreStatic);
+}
+
+TEST(PTATest, ProducersOfFieldEdge) {
+  Analyzed A = analyze("class C { var f; }\n"
+                       "fun main() {\n"
+                       "  var c = new C() @c0;\n"
+                       "  var o = new Object() @o0;\n"
+                       "  c.f = o;\n"
+                       "}\n");
+  FieldId F = A.Prog->findField(A.Prog->findClass("C"), "f");
+  FuncId Main = A.Prog->findFunc("main");
+  const Function &Fn = A.Prog->Funcs[Main];
+  AbsLocId C0 = InvalidId, O0 = InvalidId;
+  for (VarId V = 0; V < Fn.NumVars; ++V) {
+    for (AbsLocId L : A.PTA->ptVar(Main, V)) {
+      if (A.PTA->Locs.label(*A.Prog, L) == "c0")
+        C0 = L;
+      if (A.PTA->Locs.label(*A.Prog, L) == "o0")
+        O0 = L;
+    }
+  }
+  ASSERT_NE(C0, InvalidId);
+  ASSERT_NE(O0, InvalidId);
+  auto Producers = A.PTA->producersOfFieldEdge(C0, F, O0);
+  EXPECT_EQ(Producers.size(), 1u);
+}
+
+TEST(PTATest, ModSetsAreTransitive) {
+  Analyzed A = analyze("class C { var f; }\n"
+                       "class S { static var g; }\n"
+                       "fun leaf(c) { c.f = c; S.g = c; }\n"
+                       "fun mid(c) { leaf(c); }\n"
+                       "fun main() { var c = new C() @c0; mid(c); }\n");
+  FuncId Mid = A.Prog->findFunc("mid");
+  const ModSet &M = A.PTA->modSetOf(Mid);
+  FieldId F = A.Prog->findField(A.Prog->findClass("C"), "f");
+  GlobalId G = A.Prog->findGlobal("S", "g");
+  EXPECT_TRUE(M.Fields.contains(F));
+  EXPECT_TRUE(M.Globals.contains(G));
+}
+
+//===----------------------------------------------------------------------===//
+// Context sensitivity and mod/ref summaries
+//===----------------------------------------------------------------------===//
+
+TEST(PTATest, CtxQualifiedVarPts) {
+  // Per-context parameter points-to: in (push, vec-A) the val parameter
+  // holds only what was pushed into A.
+  Analyzed A = analyzeApp(testprogs::figure1App());
+  FuncId Push = A.Prog->findMethod(A.Prog->findClass("Vec"), "push");
+  ASSERT_NE(Push, InvalidId);
+  AbsLocId Vec0 = InvalidId, Vec1 = InvalidId;
+  for (AbsLocId L = 0; L < A.PTA->Locs.size(); ++L) {
+    if (A.PTA->Locs.label(*A.Prog, L) == "vec0")
+      Vec0 = L;
+    if (A.PTA->Locs.label(*A.Prog, L) == "vec1")
+      Vec1 = L;
+  }
+  ASSERT_NE(Vec0, InvalidId);
+  ASSERT_NE(Vec1, InvalidId);
+  // Parameter slot 1 = val.
+  std::set<std::string> V0, V1;
+  for (AbsLocId L : A.PTA->ptVarCtx(Push, Vec0, 1))
+    V0.insert(A.PTA->Locs.label(*A.Prog, L));
+  for (AbsLocId L : A.PTA->ptVarCtx(Push, Vec1, 1))
+    V1.insert(A.PTA->Locs.label(*A.Prog, L));
+  EXPECT_TRUE(V0.count("str\"hello\"")); // objs.push("hello")
+  EXPECT_FALSE(V0.count("act0"));
+  EXPECT_TRUE(V1.count("act0"));         // acts.push(this)
+  EXPECT_FALSE(V1.count("str\"hello\""));
+  // The union view sees both.
+  std::set<std::string> U;
+  for (AbsLocId L : A.PTA->ptVar(Push, 1))
+    U.insert(A.PTA->Locs.label(*A.Prog, L));
+  EXPECT_TRUE(U.count("act0"));
+  EXPECT_TRUE(U.count("str\"hello\""));
+}
+
+TEST(PTATest, CtxQualifiedCallEdges) {
+  Analyzed A = analyzeApp(testprogs::figure1App());
+  FuncId Push = A.Prog->findMethod(A.Prog->findClass("Vec"), "push");
+  AbsLocId Vec0 = InvalidId;
+  for (AbsLocId L = 0; L < A.PTA->Locs.size(); ++L)
+    if (A.PTA->Locs.label(*A.Prog, L) == "vec0")
+      Vec0 = L;
+  // Exactly one call edge targets (push, vec0): the objs.push site.
+  auto Callers = A.PTA->callersOfCtx(Push, Vec0);
+  ASSERT_EQ(Callers.size(), 1u);
+  EXPECT_EQ(Callers[0].CalleeCtx, Vec0);
+  // And from that caller's site, calleesAtCtx resolves back.
+  auto Edges = A.PTA->calleesAtCtx(Callers[0].At, Callers[0].CallerCtx);
+  bool Found = false;
+  for (const CallEdge &E : Edges)
+    Found |= E.Callee == Push && E.CalleeCtx == Vec0;
+  EXPECT_TRUE(Found);
+}
+
+TEST(PTATest, ReceiverIsHeapContext) {
+  Analyzed A = analyzeApp(testprogs::figure1App());
+  FuncId Push = A.Prog->findMethod(A.Prog->findClass("Vec"), "push");
+  FuncId Main = A.Prog->findFunc("main");
+  EXPECT_TRUE(A.PTA->receiverIsHeapContext(Push));
+  EXPECT_FALSE(A.PTA->receiverIsHeapContext(Main));
+}
+
+TEST(PTATest, AllocContextForRespectsDepthCap) {
+  Analyzed A = analyzeApp(testprogs::figure1App());
+  FuncId Push = A.Prog->findMethod(A.Prog->findClass("Vec"), "push");
+  AbsLocId Vec0 = InvalidId;
+  for (AbsLocId L = 0; L < A.PTA->Locs.size(); ++L)
+    if (A.PTA->Locs.label(*A.Prog, L) == "vec0")
+      Vec0 = L;
+  EXPECT_EQ(A.PTA->allocContextFor(Push, Vec0), Vec0);
+  EXPECT_EQ(A.PTA->allocContextFor(Push, InvalidId), InvalidId);
+  FuncId Main = A.Prog->findFunc("main");
+  EXPECT_EQ(A.PTA->allocContextFor(Main, Vec0), InvalidId);
+}
+
+TEST(PTATest, HeapModsArePointsToFiltered) {
+  // Vec.push writes @elems only on Vec arrays, never on HashMap tables.
+  Analyzed A = analyzeApp(testprogs::figure1App());
+  FuncId Push = A.Prog->findMethod(A.Prog->findClass("Vec"), "push");
+  const PointsToResult::HeapMod &M = A.PTA->heapModOf(Push);
+  AbsLocId VecEmpty = InvalidId, HmEmpty = InvalidId;
+  for (AbsLocId L = 0; L < A.PTA->Locs.size(); ++L) {
+    if (A.PTA->Locs.label(*A.Prog, L) == "vecEmpty")
+      VecEmpty = L;
+    if (A.PTA->Locs.label(*A.Prog, L) == "hmEmpty")
+      HmEmpty = L;
+  }
+  ASSERT_NE(VecEmpty, InvalidId);
+  EXPECT_TRUE(M.mayWriteField(A.Prog->ElemsField, IdSet{VecEmpty}));
+  if (HmEmpty != InvalidId) {
+    EXPECT_FALSE(M.mayWriteField(A.Prog->ElemsField, IdSet{HmEmpty}));
+  }
+}
+
+TEST(PTATest, HeapModsTransitiveThroughWrappers) {
+  Analyzed A = analyze("class C { var f; }\n"
+                       "class S { static var g; }\n"
+                       "fun leaf(c) { c.f = c; S.g = c; }\n"
+                       "fun w1(c) { leaf(c); }\n"
+                       "fun w2(c) { w1(c); }\n"
+                       "fun main() { var c = new C() @c0; w2(c); }\n");
+  FuncId W2 = A.Prog->findFunc("w2");
+  const PointsToResult::HeapMod &M = A.PTA->heapModOf(W2);
+  GlobalId G = A.Prog->findGlobal("S", "g");
+  EXPECT_TRUE(M.Globals.contains(G));
+  FieldId F = A.Prog->findFieldByName("f");
+  AbsLocId C0 = InvalidId;
+  for (AbsLocId L = 0; L < A.PTA->Locs.size(); ++L)
+    if (A.PTA->Locs.label(*A.Prog, L) == "c0")
+      C0 = L;
+  EXPECT_TRUE(M.mayWriteField(F, IdSet{C0}));
+}
+
+TEST(PTATest, ProducersCarryContexts) {
+  Analyzed A = analyzeApp(testprogs::figure1App());
+  GlobalId Empty = A.Prog->findGlobal("Vec", "EMPTY");
+  AbsLocId Arr0 = *A.PTA->ptGlobal(Empty).begin();
+  AbsLocId Act0 = InvalidId;
+  for (AbsLocId L = 0; L < A.PTA->Locs.size(); ++L)
+    if (A.PTA->Locs.label(*A.Prog, L) == "act0")
+      Act0 = L;
+  auto Producers =
+      A.PTA->producersOfFieldEdge(Arr0, A.Prog->ElemsField, Act0);
+  ASSERT_FALSE(Producers.empty());
+  // Every producer is a statement in Vec.push under a Vec context. The
+  // direct push of act0 happens under vec1; the copy loop can also
+  // (abstractly) re-copy the polluted contents under vec0.
+  FuncId Push = A.Prog->findMethod(A.Prog->findClass("Vec"), "push");
+  bool SawVec1 = false;
+  for (const ProducerSite &PS : Producers) {
+    EXPECT_EQ(PS.At.F, Push);
+    std::string Ctx = A.PTA->Locs.label(*A.Prog, PS.Ctx);
+    EXPECT_TRUE(Ctx == "vec0" || Ctx == "vec1") << Ctx;
+    SawVec1 |= Ctx == "vec1";
+  }
+  EXPECT_TRUE(SawVec1);
+}
+
+TEST(PTATest, AllObjSensPolicy) {
+  PTAOptions Opts;
+  Opts.Policy = CtxPolicy::AllObjSens;
+  Analyzed A = analyze("class C {\n"
+                       "  var f;\n"
+                       "  set(v) { f = v; }\n"
+                       "}\n"
+                       "fun main() {\n"
+                       "  var c1 = new C() @c1;\n"
+                       "  var c2 = new C() @c2;\n"
+                       "  c1.set(new Object() @o1);\n"
+                       "  c2.set(new Object() @o2);\n"
+                       "  var r = c1.f;\n"
+                       "}\n",
+                       Opts);
+  // With all-object sensitivity the two receivers don't conflate.
+  EXPECT_EQ(ptOf(A, "main", "r"), (std::set<std::string>{"o1"}));
+}
+
+TEST(PTATest, InsensitivePolicyConflatesParams) {
+  PTAOptions Opts;
+  Opts.Policy = CtxPolicy::Insensitive;
+  Analyzed A = analyze("class C {\n"
+                       "  var f;\n"
+                       "  set(v) { f = v; }\n"
+                       "}\n"
+                       "fun main() {\n"
+                       "  var c1 = new C() @c1;\n"
+                       "  var c2 = new C() @c2;\n"
+                       "  c1.set(new Object() @o1);\n"
+                       "  c2.set(new Object() @o2);\n"
+                       "  var r = c1.f;\n"
+                       "}\n",
+                       Opts);
+  EXPECT_EQ(ptOf(A, "main", "r"), (std::set<std::string>{"o1", "o2"}));
+}

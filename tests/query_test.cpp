@@ -1,0 +1,323 @@
+//===- query_test.cpp - Unit tests for the query representation -----------===//
+
+#include "sym/Query.h"
+
+#include <gtest/gtest.h>
+
+using namespace thresher;
+
+namespace {
+
+/// A query over a dummy frame with ElemsField = 99.
+constexpr FieldId Elems = 99;
+constexpr FieldId FldA = 1, FldB = 2;
+
+Query mkQuery() {
+  Query Q;
+  QueryFrame F;
+  F.Func = 0;
+  Q.Frames.push_back(F);
+  Q.Pos = {0, 0, 0};
+  return Q;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+TEST(RegionTest, EmptinessAndKinds) {
+  Region R;
+  EXPECT_TRUE(R.empty());
+  R.Locs = IdSet{1, 2};
+  EXPECT_FALSE(R.empty());
+  EXPECT_TRUE(R.hasLocs());
+  EXPECT_FALSE(R.dataOnly());
+  Region D = Region::data();
+  EXPECT_TRUE(D.dataOnly());
+  EXPECT_FALSE(D.empty());
+}
+
+TEST(RegionTest, IntersectWith) {
+  Region A = Region::ofLocs(IdSet{1, 2, 3});
+  A.HasData = true;
+  Region B = Region::ofLocs(IdSet{2, 3, 4});
+  EXPECT_TRUE(A.intersectWith(B));
+  EXPECT_EQ(A.Locs, (IdSet{2, 3}));
+  EXPECT_FALSE(A.HasData); // B had no data.
+  Region C = Region::ofLocs(IdSet{9});
+  EXPECT_FALSE(A.intersectWith(C)); // Empty result.
+}
+
+TEST(RegionTest, NarrowLocsKeepsData) {
+  Region A = Region::data();
+  EXPECT_TRUE(A.narrowLocs(IdSet{1})); // Data-only survives loc narrowing.
+  Region B = Region::ofLocs(IdSet{1, 2});
+  EXPECT_TRUE(B.narrowLocs(IdSet{2, 3}));
+  EXPECT_EQ(B.Locs, (IdSet{2}));
+  EXPECT_FALSE(B.narrowLocs(IdSet{7}));
+}
+
+TEST(RegionTest, SubsetOf) {
+  Region A = Region::ofLocs(IdSet{1, 2});
+  Region B = Region::ofLocs(IdSet{1, 2, 3});
+  EXPECT_TRUE(A.subsetOf(B));
+  EXPECT_FALSE(B.subsetOf(A));
+  Region D = Region::data();
+  EXPECT_FALSE(D.subsetOf(A));
+  Region BD = B;
+  BD.HasData = true;
+  EXPECT_TRUE(D.subsetOf(BD));
+}
+
+//===----------------------------------------------------------------------===//
+// Bindings and unification
+//===----------------------------------------------------------------------===//
+
+TEST(QueryTest, LocalBindings) {
+  Query Q = mkQuery();
+  EXPECT_FALSE(Q.getLocal(0, 3).has_value());
+  SymVarId V = Q.freshSym(Region::ofLocs(IdSet{1}));
+  Q.setLocal(0, 3, ValRef::mkSym(V));
+  ASSERT_TRUE(Q.getLocal(0, 3).has_value());
+  EXPECT_EQ(Q.getLocal(0, 3)->Sym, V);
+  Q.eraseLocal(0, 3);
+  EXPECT_FALSE(Q.getLocal(0, 3).has_value());
+}
+
+TEST(QueryTest, UnifyNullWithNull) {
+  Query Q = mkQuery();
+  ValRef R = Q.unify(ValRef::mkNull(), ValRef::mkNull());
+  EXPECT_TRUE(R.isNull());
+  EXPECT_FALSE(Q.Refuted);
+}
+
+TEST(QueryTest, UnifyNullWithSymRefutes) {
+  Query Q = mkQuery();
+  SymVarId V = Q.freshSym(Region::ofLocs(IdSet{1}));
+  Q.unify(ValRef::mkNull(), ValRef::mkSym(V));
+  EXPECT_TRUE(Q.Refuted);
+}
+
+TEST(QueryTest, UnifySymsIntersectsRegions) {
+  Query Q = mkQuery();
+  SymVarId A = Q.freshSym(Region::ofLocs(IdSet{1, 2}));
+  SymVarId B = Q.freshSym(Region::ofLocs(IdSet{2, 3}));
+  Q.setLocal(0, 0, ValRef::mkSym(A));
+  Q.setLocal(0, 1, ValRef::mkSym(B));
+  ValRef R = Q.unify(ValRef::mkSym(A), ValRef::mkSym(B));
+  EXPECT_FALSE(Q.Refuted);
+  EXPECT_EQ(R.Sym, A);
+  EXPECT_EQ(Q.regionOf(A).Locs, (IdSet{2}));
+  // The local bound to B now refers to A.
+  EXPECT_EQ(Q.getLocal(0, 1)->Sym, A);
+}
+
+TEST(QueryTest, UnifyDisjointRegionsRefutes) {
+  Query Q = mkQuery();
+  SymVarId A = Q.freshSym(Region::ofLocs(IdSet{1}));
+  SymVarId B = Q.freshSym(Region::ofLocs(IdSet{2}));
+  Q.unify(ValRef::mkSym(A), ValRef::mkSym(B));
+  EXPECT_TRUE(Q.Refuted);
+}
+
+TEST(QueryTest, SubstituteUpdatesEverything) {
+  Query Q = mkQuery();
+  SymVarId A = Q.freshSym(Region::ofLocs(IdSet{1, 2}));
+  SymVarId B = Q.freshSym(Region::ofLocs(IdSet{1, 2, 3}));
+  SymVarId T = Q.freshSym(Region::ofLocs(IdSet{5}));
+  Q.setLocal(0, 0, ValRef::mkSym(A));
+  Q.Globals[7] = ValRef::mkSym(A);
+  Q.addCell(A, FldA, ValRef::mkSym(T), Elems);
+  Q.Pure.addCmp(PureTerm::mkVar(A), RelOp::LT, PureTerm::mkConst(3), false);
+  Q.substitute(A, B);
+  EXPECT_EQ(Q.getLocal(0, 0)->Sym, B);
+  EXPECT_EQ(Q.Globals[7].Sym, B);
+  ASSERT_EQ(Q.Cells.size(), 1u);
+  EXPECT_EQ(Q.Cells[0].Base, B);
+  EXPECT_TRUE(Q.Pure.mentions(B));
+  EXPECT_FALSE(Q.Pure.mentions(A));
+  // Regions merged: {1,2} ∩ {1,2,3} = {1,2}.
+  EXPECT_EQ(Q.regionOf(B).Locs, (IdSet{1, 2}));
+}
+
+//===----------------------------------------------------------------------===//
+// Cells and separation
+//===----------------------------------------------------------------------===//
+
+TEST(QueryTest, AddCellOrdinaryFieldUnifiesTargets) {
+  Query Q = mkQuery();
+  SymVarId Base = Q.freshSym(Region::ofLocs(IdSet{1}));
+  SymVarId T1 = Q.freshSym(Region::ofLocs(IdSet{2, 3}));
+  SymVarId T2 = Q.freshSym(Region::ofLocs(IdSet{3, 4}));
+  Q.addCell(Base, FldA, ValRef::mkSym(T1), Elems);
+  Q.addCell(Base, FldA, ValRef::mkSym(T2), Elems);
+  ASSERT_EQ(Q.Cells.size(), 1u);
+  EXPECT_FALSE(Q.Refuted);
+  // Targets unified; surviving region is the intersection.
+  EXPECT_EQ(Q.regionOf(Q.Cells[0].Target.Sym).Locs, (IdSet{3}));
+}
+
+TEST(QueryTest, AddCellSeparationRefutation) {
+  Query Q = mkQuery();
+  SymVarId Base = Q.freshSym(Region::ofLocs(IdSet{1}));
+  SymVarId T1 = Q.freshSym(Region::ofLocs(IdSet{2}));
+  SymVarId T2 = Q.freshSym(Region::ofLocs(IdSet{4}));
+  Q.addCell(Base, FldA, ValRef::mkSym(T1), Elems);
+  Q.addCell(Base, FldA, ValRef::mkSym(T2), Elems);
+  // One cell cannot point to instances from disjoint regions.
+  EXPECT_TRUE(Q.Refuted);
+}
+
+TEST(QueryTest, AddCellElemsAllowsMultiple) {
+  Query Q = mkQuery();
+  SymVarId Base = Q.freshSym(Region::ofLocs(IdSet{1}));
+  SymVarId T1 = Q.freshSym(Region::ofLocs(IdSet{2}));
+  SymVarId T2 = Q.freshSym(Region::ofLocs(IdSet{4}));
+  Q.addCell(Base, Elems, ValRef::mkSym(T1), Elems);
+  Q.addCell(Base, Elems, ValRef::mkSym(T2), Elems);
+  EXPECT_FALSE(Q.Refuted); // Array cells with distinct indices coexist.
+  EXPECT_EQ(Q.Cells.size(), 2u);
+}
+
+TEST(QueryTest, AddCellDistinctFieldsCoexist) {
+  Query Q = mkQuery();
+  SymVarId Base = Q.freshSym(Region::ofLocs(IdSet{1}));
+  Q.addCell(Base, FldA, ValRef::mkNull(), Elems);
+  Q.addCell(Base, FldB, ValRef::mkNull(), Elems);
+  EXPECT_EQ(Q.Cells.size(), 2u);
+  EXPECT_FALSE(Q.Refuted);
+}
+
+TEST(QueryTest, NullTargetsUnify) {
+  Query Q = mkQuery();
+  SymVarId Base = Q.freshSym(Region::ofLocs(IdSet{1}));
+  Q.addCell(Base, FldA, ValRef::mkNull(), Elems);
+  Q.addCell(Base, FldA, ValRef::mkNull(), Elems);
+  EXPECT_EQ(Q.Cells.size(), 1u);
+  EXPECT_FALSE(Q.Refuted);
+  // Null target vs Sym target on the same cell refutes.
+  SymVarId T = Q.freshSym(Region::ofLocs(IdSet{2}));
+  Q.addCell(Base, FldA, ValRef::mkSym(T), Elems);
+  EXPECT_TRUE(Q.Refuted);
+}
+
+TEST(QueryTest, RemoveCell) {
+  Query Q = mkQuery();
+  SymVarId Base = Q.freshSym(Region::ofLocs(IdSet{1}));
+  Q.addCell(Base, FldA, ValRef::mkNull(), Elems);
+  HeapCell C = Q.Cells[0];
+  Q.removeCell(C);
+  EXPECT_TRUE(Q.Cells.empty());
+}
+
+TEST(QueryTest, CellsWithBase) {
+  Query Q = mkQuery();
+  SymVarId A = Q.freshSym(Region::ofLocs(IdSet{1}));
+  SymVarId B = Q.freshSym(Region::ofLocs(IdSet{2}));
+  Q.addCell(A, FldA, ValRef::mkNull(), Elems);
+  Q.addCell(B, FldA, ValRef::mkNull(), Elems);
+  Q.addCell(A, FldB, ValRef::mkNull(), Elems);
+  EXPECT_EQ(Q.cellsWithBase(A).size(), 2u);
+  EXPECT_EQ(Q.cellsWithBase(B).size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reference tracking and GC
+//===----------------------------------------------------------------------===//
+
+TEST(QueryTest, SymIsReferenced) {
+  Query Q = mkQuery();
+  SymVarId A = Q.freshSym(Region::ofLocs(IdSet{1}));
+  SymVarId B = Q.freshSym(Region::ofLocs(IdSet{2}));
+  SymVarId C = Q.freshSym(Region::data());
+  EXPECT_FALSE(Q.symIsReferenced(A));
+  Q.setLocal(0, 0, ValRef::mkSym(A));
+  EXPECT_TRUE(Q.symIsReferenced(A));
+  Q.addCell(B, FldA, ValRef::mkNull(), Elems);
+  EXPECT_TRUE(Q.symIsReferenced(B));
+  Q.Pure.addCmp(PureTerm::mkVar(C), RelOp::GE, PureTerm::mkConst(0), false);
+  EXPECT_TRUE(Q.symIsReferenced(C));
+}
+
+TEST(QueryTest, GcRegionsDropsUnreferenced) {
+  Query Q = mkQuery();
+  SymVarId A = Q.freshSym(Region::ofLocs(IdSet{1}));
+  SymVarId B = Q.freshSym(Region::ofLocs(IdSet{2}));
+  Q.setLocal(0, 0, ValRef::mkSym(A));
+  (void)B;
+  Q.gcRegions();
+  EXPECT_EQ(Q.Regions.count(A), 1u);
+  EXPECT_EQ(Q.Regions.count(B), 0u);
+}
+
+TEST(QueryTest, MemoryEmpty) {
+  Query Q = mkQuery();
+  EXPECT_TRUE(Q.memoryEmpty());
+  SymVarId A = Q.freshSym(Region::ofLocs(IdSet{1}));
+  Q.setLocal(0, 0, ValRef::mkSym(A));
+  EXPECT_FALSE(Q.memoryEmpty());
+  Q.eraseLocal(0, 0);
+  EXPECT_TRUE(Q.memoryEmpty());
+  Q.Globals[0] = ValRef::mkNull();
+  EXPECT_FALSE(Q.memoryEmpty());
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalization
+//===----------------------------------------------------------------------===//
+
+TEST(QueryTest, CanonicalKeyInvariantUnderSymRenaming) {
+  // Build the same query twice with different symbolic variable creation
+  // orders; the canonical keys must agree.
+  auto Build = [](bool Swap) {
+    Query Q = mkQuery();
+    SymVarId First = Q.freshSym(Region::ofLocs(IdSet{1}));
+    SymVarId Second = Q.freshSym(Region::ofLocs(IdSet{2}));
+    SymVarId A = Swap ? Second : First;
+    SymVarId B = Swap ? First : Second;
+    // Re-normalize regions to match roles.
+    Q.regionOf(A) = Region::ofLocs(IdSet{1});
+    Q.regionOf(B) = Region::ofLocs(IdSet{2});
+    Q.setLocal(0, 0, ValRef::mkSym(A));
+    Q.addCell(A, FldA, ValRef::mkSym(B), Elems);
+    return Q.canonicalKey();
+  };
+  EXPECT_EQ(Build(false), Build(true));
+}
+
+TEST(QueryTest, CanonicalKeyDistinguishesStructure) {
+  Query Q1 = mkQuery();
+  SymVarId A1 = Q1.freshSym(Region::ofLocs(IdSet{1}));
+  Q1.setLocal(0, 0, ValRef::mkSym(A1));
+
+  Query Q2 = mkQuery();
+  SymVarId A2 = Q2.freshSym(Region::ofLocs(IdSet{1}));
+  Q2.setLocal(0, 1, ValRef::mkSym(A2)); // Different variable slot.
+  EXPECT_NE(Q1.canonicalKey(), Q2.canonicalKey());
+
+  Query Q3 = mkQuery();
+  SymVarId A3 = Q3.freshSym(Region::ofLocs(IdSet{2})); // Different region.
+  Q3.setLocal(0, 0, ValRef::mkSym(A3));
+  EXPECT_NE(Q1.canonicalKey(), Q3.canonicalKey());
+}
+
+TEST(QueryTest, HistorySlotReflectsPositionAndStack) {
+  Query Q1 = mkQuery();
+  Query Q2 = mkQuery();
+  EXPECT_EQ(Q1.historySlot(), Q2.historySlot());
+  Q2.Pos.Idx = 5;
+  EXPECT_NE(Q1.historySlot(), Q2.historySlot());
+  Query Q3 = mkQuery();
+  QueryFrame F;
+  F.Func = 3;
+  F.Ctx = 7;
+  F.HasCallSite = true;
+  F.CallAt = {0, 0, 1};
+  Q3.Frames.push_back(F);
+  EXPECT_NE(Q1.historySlot(), Q3.historySlot());
+  Query Q4 = Q3;
+  Q4.Frames.back().Ctx = 8; // Same function, different context.
+  EXPECT_NE(Q3.historySlot(), Q4.historySlot());
+}

@@ -1,0 +1,124 @@
+//===- reachability_test.cpp - General reachability assertion tests -------===//
+
+#include "leak/ReachabilityAssert.h"
+
+#include "frontend/Frontend.h"
+#include "pta/PointsTo.h"
+
+#include <gtest/gtest.h>
+
+using namespace thresher;
+
+namespace {
+
+struct Env {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<PointsToResult> PTA;
+};
+
+Env mk(const std::string &Src) {
+  Env E;
+  CompileResult R = compileMJ(Src);
+  EXPECT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors[0]);
+  E.Prog = std::move(R.Prog);
+  E.PTA = PointsToAnalysis(*E.Prog, {}).run();
+  return E;
+}
+
+AllocSiteId site(const Program &P, const std::string &Label) {
+  for (AllocSiteId S = 0; S < P.AllocSites.size(); ++S)
+    if (P.allocLabel(S) == Label)
+      return S;
+  ADD_FAILURE() << "no allocation site labelled " << Label;
+  return InvalidId;
+}
+
+} // namespace
+
+TEST(ReachabilityTest, ProvenWhenTrulyUnreachable) {
+  Env E = mk("class Secret { }\n"
+             "class Pub { static var out; }\n"
+             "fun main() {\n"
+             "  var s = new Secret() @sec0;\n"
+             "  Pub.out = new Object() @pub0;\n"
+             "}\n");
+  ReachabilityChecker RC(*E.Prog, *E.PTA);
+  GlobalId Out = E.Prog->findGlobal("Pub", "out");
+  AssertResult A =
+      RC.assertUnreachableClass(Out, E.Prog->findClass("Secret"));
+  EXPECT_EQ(A.Verdict, AssertVerdict::Proven);
+  EXPECT_EQ(A.EdgesRefuted, 0u); // Not even flow-insensitively connected.
+}
+
+TEST(ReachabilityTest, ProvenViaRefutation) {
+  Env E = mk("class Secret { }\n"
+             "class Pub { static var out; }\n"
+             "fun main() {\n"
+             "  var dead = 0;\n"
+             "  var s = new Secret() @sec0;\n"
+             "  if (dead != 0) { Pub.out = s; }\n"
+             "}\n");
+  ReachabilityChecker RC(*E.Prog, *E.PTA);
+  GlobalId Out = E.Prog->findGlobal("Pub", "out");
+  // The flow-insensitive graph claims reachability...
+  EXPECT_FALSE(E.PTA->ptGlobal(Out).empty());
+  // ...and the checker proves it away.
+  AssertResult A =
+      RC.assertUnreachableClass(Out, E.Prog->findClass("Secret"));
+  EXPECT_EQ(A.Verdict, AssertVerdict::Proven);
+  EXPECT_GE(A.EdgesRefuted, 1u);
+}
+
+TEST(ReachabilityTest, ViolationGivesCounterexamplePath) {
+  Env E = mk("class Secret { }\n"
+             "class Box { var inner; }\n"
+             "class Pub { static var out; }\n"
+             "fun main() {\n"
+             "  var s = new Secret() @sec0;\n"
+             "  var b = new Box() @box0;\n"
+             "  b.inner = s;\n"
+             "  Pub.out = b;\n"
+             "}\n");
+  ReachabilityChecker RC(*E.Prog, *E.PTA);
+  GlobalId Out = E.Prog->findGlobal("Pub", "out");
+  AssertResult A =
+      RC.assertUnreachableClass(Out, E.Prog->findClass("Secret"));
+  ASSERT_EQ(A.Verdict, AssertVerdict::Violated);
+  ASSERT_EQ(A.CounterexamplePath.size(), 2u);
+  EXPECT_EQ(A.CounterexamplePath[0], "Pub.out -> box0");
+  EXPECT_EQ(A.CounterexamplePath[1], "box0.inner -> sec0");
+}
+
+TEST(ReachabilityTest, SiteGranularAssertions) {
+  Env E = mk("class Secret { }\n"
+             "class Pub { static var out; }\n"
+             "fun main() {\n"
+             "  var a = new Secret() @sec0;\n"
+             "  var b = new Secret() @sec1;\n"
+             "  Pub.out = b;\n"
+             "}\n");
+  ReachabilityChecker RC(*E.Prog, *E.PTA);
+  GlobalId Out = E.Prog->findGlobal("Pub", "out");
+  // sec0 never escapes; sec1 does.
+  EXPECT_EQ(RC.assertUnreachableSite(Out, site(*E.Prog, "sec0")).Verdict,
+            AssertVerdict::Proven);
+  EXPECT_EQ(RC.assertUnreachableSite(Out, site(*E.Prog, "sec1")).Verdict,
+            AssertVerdict::Violated);
+}
+
+TEST(ReachabilityTest, InconclusiveOnBudget) {
+  Env E = mk("class Secret { }\n"
+             "class Pub { static var out; }\n"
+             "fun main() {\n"
+             "  var s = new Secret() @sec0;\n"
+             "  Pub.out = s;\n"
+             "}\n");
+  SymOptions Opts;
+  Opts.EdgeBudget = 0;
+  ReachabilityChecker RC(*E.Prog, *E.PTA, Opts);
+  GlobalId Out = E.Prog->findGlobal("Pub", "out");
+  AssertResult A =
+      RC.assertUnreachableClass(Out, E.Prog->findClass("Secret"));
+  EXPECT_EQ(A.Verdict, AssertVerdict::Inconclusive);
+  EXPECT_GE(A.EdgeTimeouts, 1u);
+}

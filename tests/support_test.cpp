@@ -1,0 +1,116 @@
+//===- support_test.cpp - Unit tests for support utilities ---------------===//
+
+#include "support/IdSet.h"
+#include "support/Stats.h"
+#include "support/StringPool.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace thresher;
+
+TEST(IdSetTest, InsertContainsErase) {
+  IdSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_TRUE(S.insert(5));
+  EXPECT_FALSE(S.insert(5));
+  EXPECT_TRUE(S.insert(1));
+  EXPECT_TRUE(S.insert(9));
+  EXPECT_TRUE(S.contains(5));
+  EXPECT_FALSE(S.contains(2));
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.erase(5));
+  EXPECT_FALSE(S.erase(5));
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(IdSetTest, InitializerListDedupsAndSorts) {
+  IdSet S = {3, 1, 3, 2, 1};
+  EXPECT_EQ(S.size(), 3u);
+  std::vector<uint32_t> Elems(S.begin(), S.end());
+  EXPECT_EQ(Elems, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(IdSetTest, SetOperations) {
+  IdSet A = {1, 2, 3, 4};
+  IdSet B = {3, 4, 5};
+  IdSet I = A.intersectWith(B);
+  EXPECT_EQ(I, (IdSet{3, 4}));
+  EXPECT_FALSE(A.disjointWith(B));
+  EXPECT_TRUE(A.disjointWith(IdSet{7, 8}));
+  EXPECT_TRUE(I.subsetOf(A));
+  EXPECT_FALSE(A.subsetOf(I));
+  IdSet C = A;
+  EXPECT_TRUE(C.insertAll(B));
+  EXPECT_EQ(C, (IdSet{1, 2, 3, 4, 5}));
+  EXPECT_FALSE(C.insertAll(B));
+}
+
+TEST(IdSetTest, PropertyAgainstStdSet) {
+  std::mt19937 Rng(42);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    IdSet S;
+    std::set<uint32_t> Ref;
+    for (int I = 0; I < 100; ++I) {
+      uint32_t V = Rng() % 30;
+      if (Rng() % 3 == 0) {
+        EXPECT_EQ(S.erase(V), Ref.erase(V) > 0);
+      } else {
+        EXPECT_EQ(S.insert(V), Ref.insert(V).second);
+      }
+    }
+    EXPECT_EQ(S.size(), Ref.size());
+    for (uint32_t V : Ref)
+      EXPECT_TRUE(S.contains(V));
+  }
+}
+
+TEST(StringPoolTest, InternIsIdempotent) {
+  StringPool SP;
+  NameId A = SP.intern("hello");
+  NameId B = SP.intern("world");
+  NameId C = SP.intern("hello");
+  EXPECT_EQ(A, C);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SP.str(A), "hello");
+  EXPECT_EQ(SP.lookup("world"), B);
+  EXPECT_EQ(SP.lookup("missing"), ~0u);
+}
+
+TEST(StringPoolTest, ManyStringsStayValid) {
+  // Regression guard for the SSO/string_view stability issue.
+  StringPool SP;
+  std::vector<NameId> Ids;
+  for (int I = 0; I < 1000; ++I)
+    Ids.push_back(SP.intern("name" + std::to_string(I)));
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_EQ(SP.str(Ids[I]), "name" + std::to_string(I));
+    EXPECT_EQ(SP.lookup("name" + std::to_string(I)), Ids[I]);
+  }
+}
+
+TEST(UnionFindTest, BasicUnions) {
+  UnionFind UF;
+  EXPECT_FALSE(UF.sameClass(1, 2));
+  UF.unite(1, 2);
+  EXPECT_TRUE(UF.sameClass(1, 2));
+  UF.unite(3, 4);
+  EXPECT_FALSE(UF.sameClass(2, 3));
+  UF.unite(2, 3);
+  EXPECT_TRUE(UF.sameClass(1, 4));
+  EXPECT_EQ(UF.find(1), UF.find(4));
+}
+
+TEST(StatsTest, BumpAndMerge) {
+  Stats A, B;
+  A.bump("x");
+  A.bump("x", 4);
+  B.bump("y", 2);
+  EXPECT_EQ(A.get("x"), 5u);
+  EXPECT_EQ(A.get("missing"), 0u);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.get("y"), 2u);
+}

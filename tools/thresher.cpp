@@ -1,0 +1,347 @@
+//===- thresher.cpp - Command-line driver ---------------------------------===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+// The command-line face of the library: compile mini-Java sources, then
+// dump IR, dump points-to facts, interpret, query a single heap edge, or
+// run the full Activity-leak client.
+//
+//   thresher check  [opts] file.mj...   leak analysis (the default)
+//   thresher ir     [opts] file.mj...   dump the compiled IR
+//   thresher pta    [opts] file.mj...   dump points-to facts
+//                   (--dot renders the Fig. 2-style Graphviz graph)
+//   thresher run    [opts] file.mj...   interpret the program
+//   thresher edge   [opts] --from Cls.field --to label file.mj...
+//                                       witness/refute one static edge
+//
+// Options:
+//   --android              prepend the modelled Android library
+//   --annotate-hashmap     Ann?=Y configuration (HashMap.EMPTY_TABLE empty)
+//   --budget N             per-edge exploration budget (default 10000)
+//   --depth N              callee-entry stack depth bound (default 3)
+//   --threads N            parallel edge threshing for 'check' 
+//   --repr mixed|symbolic|explicit
+//   --loop full|drop       loop invariant inference mode
+//   --no-simplify          disable query simplification
+//   --trails               print witness path programs
+//   --entry NAME           entry function name (default "main")
+//   --activity CLASS       Activity base class (default "Activity")
+//   --stats                print engine counters
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+#include "pta/GraphExport.h"
+#include "leak/LeakChecker.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace thresher;
+
+namespace {
+
+struct CliOptions {
+  std::string Command = "check";
+  std::vector<std::string> Files;
+  bool Android = false;
+  bool AnnotateHashMap = false;
+  bool Dot = false;
+  bool Trails = false;
+  bool PrintStats = false;
+  std::string Entry = "main";
+  std::string ActivityClass = "Activity";
+  std::string EdgeFrom, EdgeTo;
+  unsigned Threads = 1;
+  SymOptions Sym;
+};
+
+int usage() {
+  std::cerr << "usage: thresher <check|ir|pta|run|edge> [options] "
+               "file.mj...\n"
+               "run 'head -40 tools/thresher.cpp' for the option list\n";
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  int I = 1;
+  if (I < Argc && Argv[I][0] != '-') {
+    std::string Cmd = Argv[I];
+    if (Cmd == "check" || Cmd == "ir" || Cmd == "pta" || Cmd == "run" ||
+        Cmd == "edge") {
+      O.Command = Cmd;
+      ++I;
+    }
+  }
+  for (; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (A == "--android") {
+      O.Android = true;
+    } else if (A == "--dot") {
+      O.Dot = true;
+    } else if (A == "--annotate-hashmap") {
+      O.AnnotateHashMap = true;
+    } else if (A == "--trails") {
+      O.Trails = true;
+      O.Sym.RecordTrails = true;
+    } else if (A == "--stats") {
+      O.PrintStats = true;
+    } else if (A == "--no-simplify") {
+      O.Sym.QuerySimplification = false;
+    } else if (A == "--budget") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Sym.EdgeBudget = std::strtoull(V, nullptr, 10);
+    } else if (A == "--depth") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Sym.MaxCallStackDepth =
+          static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
+    } else if (A == "--threads") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (A == "--repr") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string S = V;
+      if (S == "mixed")
+        O.Sym.Repr = Representation::Mixed;
+      else if (S == "symbolic")
+        O.Sym.Repr = Representation::FullySymbolic;
+      else if (S == "explicit")
+        O.Sym.Repr = Representation::FullyExplicit;
+      else
+        return false;
+    } else if (A == "--loop") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string S = V;
+      if (S == "full")
+        O.Sym.Loop = LoopMode::FullInference;
+      else if (S == "drop")
+        O.Sym.Loop = LoopMode::DropAll;
+      else
+        return false;
+    } else if (A == "--entry") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Entry = V;
+    } else if (A == "--activity") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.ActivityClass = V;
+    } else if (A == "--from") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.EdgeFrom = V;
+    } else if (A == "--to") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.EdgeTo = V;
+    } else if (A[0] == '-') {
+      std::cerr << "unknown option '" << A << "'\n";
+      return false;
+    } else {
+      O.Files.push_back(A);
+    }
+  }
+  return !O.Files.empty();
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "error: cannot open '" << Path << "'\n";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+void printWitnessTrail(const Program &P, const EdgeSearchResult &R) {
+  for (const ProgramPoint &PP : R.WitnessTrail) {
+    const Function &Fn = P.Funcs[PP.F];
+    std::cout << "    " << P.funcName(PP.F) << " bb" << PP.B;
+    if (PP.Idx < Fn.Blocks[PP.B].Insts.size())
+      std::cout << ": "
+                << printInstruction(P, Fn, Fn.Blocks[PP.B].Insts[PP.Idx]);
+    std::cout << "\n";
+  }
+}
+
+int runCheck(const CliOptions &O, const Program &P,
+             const PointsToResult &PTA) {
+  ClassId ActBase = P.findClass(O.ActivityClass);
+  if (ActBase == InvalidId) {
+    std::cerr << "error: no class named '" << O.ActivityClass << "'\n";
+    return 1;
+  }
+  LeakChecker LC(P, PTA, ActBase, O.Sym);
+  LeakReport R = LC.run(O.Threads);
+  std::cout << "alarms: " << R.NumAlarms << "  refuted: " << R.RefutedAlarms
+            << "  fields: " << R.Fields << "  refuted fields: "
+            << R.RefutedFields << "\nedges refuted: " << R.RefutedEdges
+            << "  witnessed: " << R.WitnessedEdges
+            << "  timeouts: " << R.TimeoutEdges << "  time: " << R.Seconds
+            << "s\n";
+  for (const AlarmResult &A : R.Alarms) {
+    if (A.Status == AlarmStatus::Refuted)
+      continue;
+    std::cout << "LEAK"
+              << (A.Status == AlarmStatus::Timeout ? " (timeout)" : "")
+              << ": " << P.globalName(A.Source) << " ~> "
+              << PTA.Locs.label(P, A.Activity) << "\n";
+    for (const std::string &E : A.PathDescription)
+      std::cout << "    " << E << "\n";
+  }
+  if (O.PrintStats)
+    LC.stats().print(std::cout);
+  return R.NumAlarms == R.RefutedAlarms ? 0 : 1;
+}
+
+int runEdge(const CliOptions &O, const Program &P,
+            const PointsToResult &PTA) {
+  size_t Dot = O.EdgeFrom.find('.');
+  if (Dot == std::string::npos || O.EdgeTo.empty()) {
+    std::cerr << "edge mode needs --from Class.field and --to <label>\n";
+    return 2;
+  }
+  GlobalId G = P.findGlobal(O.EdgeFrom.substr(0, Dot),
+                            O.EdgeFrom.substr(Dot + 1));
+  if (G == InvalidId) {
+    std::cerr << "error: no static field '" << O.EdgeFrom << "'\n";
+    return 1;
+  }
+  AbsLocId Target = InvalidId;
+  for (AbsLocId L = 0; L < PTA.Locs.size(); ++L)
+    if (PTA.Locs.label(P, L) == O.EdgeTo)
+      Target = L;
+  if (Target == InvalidId) {
+    std::cerr << "error: no abstract location labelled '" << O.EdgeTo
+              << "'\n";
+    return 1;
+  }
+  WitnessSearch WS(P, PTA, O.Sym);
+  EdgeSearchResult R = WS.searchGlobalEdge(G, Target);
+  const char *Verdict = R.Outcome == SearchOutcome::Refuted ? "REFUTED"
+                        : R.Outcome == SearchOutcome::Witnessed
+                            ? "WITNESSED"
+                            : "BUDGET EXHAUSTED";
+  std::cout << O.EdgeFrom << " -> " << O.EdgeTo << ": " << Verdict << " ("
+            << R.StepsUsed << " states)\n";
+  if (O.Trails && R.Outcome == SearchOutcome::Witnessed) {
+    std::cout << "  witnessing path program:\n";
+    printWitnessTrail(P, R);
+  }
+  if (O.Trails && R.Outcome == SearchOutcome::Refuted &&
+      !R.DeepestRefutedTrail.empty()) {
+    // Even refuted path programs help triage (the paper's StandupTimer
+    // almost-leak was found this way).
+    std::cout << "  deepest refuted path program:\n";
+    for (const ProgramPoint &PP : R.DeepestRefutedTrail) {
+      const Function &Fn = P.Funcs[PP.F];
+      std::cout << "    " << P.funcName(PP.F) << " bb" << PP.B;
+      if (PP.Idx < Fn.Blocks[PP.B].Insts.size())
+        std::cout << ": "
+                  << printInstruction(P, Fn, Fn.Blocks[PP.B].Insts[PP.Idx]);
+      std::cout << "\n";
+    }
+  }
+  if (O.PrintStats)
+    WS.stats().print(std::cout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions O;
+  if (!parseArgs(Argc, Argv, O))
+    return usage();
+
+  std::vector<std::string> Sources;
+  if (O.Android)
+    Sources.push_back(androidLibrarySource());
+  for (const std::string &F : O.Files) {
+    std::string Text;
+    if (!readFile(F, Text))
+      return 1;
+    Sources.push_back(std::move(Text));
+  }
+  CompileResult CR = compileMJ(Sources, O.Entry);
+  if (!CR.ok()) {
+    for (const std::string &E : CR.Errors)
+      std::cerr << "error: " << E << "\n";
+    return 1;
+  }
+  const Program &P = *CR.Prog;
+
+  if (O.Command == "ir") {
+    printProgram(std::cout, P);
+    return 0;
+  }
+  if (O.Command == "run") {
+    Interpreter I(P);
+    InterpResult R = I.run();
+    if (!R.Completed) {
+      std::cerr << "runtime error: " << R.Error << "\n";
+      return 1;
+    }
+    std::cout << "completed in " << R.Steps << " steps, " << I.heap().size()
+              << " objects allocated\n";
+    return 0;
+  }
+
+  PTAOptions PtaOpts;
+  if (O.AnnotateHashMap)
+    annotateHashMapEmptyTable(P, PtaOpts);
+  auto PTA = PointsToAnalysis(P, PtaOpts).run();
+
+  if (O.Command == "pta") {
+    if (O.Dot) {
+      GraphExportOptions GO;
+      ClassId Act = P.findClass(O.ActivityClass);
+      if (Act != InvalidId)
+        GO.HighlightClass = Act;
+      exportPointsToDot(std::cout, P, *PTA, GO);
+      return 0;
+    }
+    for (GlobalId G = 0; G < P.Globals.size(); ++G) {
+      if (PTA->ptGlobal(G).empty())
+        continue;
+      std::cout << P.globalName(G) << " ->";
+      for (AbsLocId L : PTA->ptGlobal(G))
+        std::cout << " " << PTA->Locs.label(P, L);
+      std::cout << "\n";
+    }
+    for (AbsLocId L = 0; L < PTA->Locs.size(); ++L)
+      for (auto [Fld, T] : PTA->fieldEdges(L))
+        std::cout << PTA->Locs.label(P, L) << "." << P.fieldName(Fld)
+                  << " -> " << PTA->Locs.label(P, T) << "\n";
+    std::cout << "(" << PTA->numEdges() << " points-to edges, "
+              << PTA->reachableFuncs().size() << " reachable functions)\n";
+    return 0;
+  }
+  if (O.Command == "edge")
+    return runEdge(O, P, *PTA);
+  return runCheck(O, P, *PTA);
+}
