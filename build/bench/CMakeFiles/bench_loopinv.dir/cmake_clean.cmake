@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loopinv.dir/bench_loopinv.cpp.o"
+  "CMakeFiles/bench_loopinv.dir/bench_loopinv.cpp.o.d"
+  "bench_loopinv"
+  "bench_loopinv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loopinv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

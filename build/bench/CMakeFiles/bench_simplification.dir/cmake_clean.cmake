@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simplification.dir/bench_simplification.cpp.o"
+  "CMakeFiles/bench_simplification.dir/bench_simplification.cpp.o.d"
+  "bench_simplification"
+  "bench_simplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

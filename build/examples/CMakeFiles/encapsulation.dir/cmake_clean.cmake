@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encapsulation.dir/encapsulation.cpp.o"
+  "CMakeFiles/encapsulation.dir/encapsulation.cpp.o.d"
+  "encapsulation"
+  "encapsulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encapsulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

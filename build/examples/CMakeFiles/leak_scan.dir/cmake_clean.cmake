@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_scan.dir/leak_scan.cpp.o"
+  "CMakeFiles/leak_scan.dir/leak_scan.cpp.o.d"
+  "leak_scan"
+  "leak_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

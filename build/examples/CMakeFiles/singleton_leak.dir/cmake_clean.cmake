@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/singleton_leak.dir/singleton_leak.cpp.o"
+  "CMakeFiles/singleton_leak.dir/singleton_leak.cpp.o.d"
+  "singleton_leak"
+  "singleton_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/singleton_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

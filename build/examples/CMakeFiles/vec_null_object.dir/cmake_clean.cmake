@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_null_object.dir/vec_null_object.cpp.o"
+  "CMakeFiles/vec_null_object.dir/vec_null_object.cpp.o.d"
+  "vec_null_object"
+  "vec_null_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_null_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

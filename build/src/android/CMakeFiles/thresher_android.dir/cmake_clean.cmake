@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher_android.dir/AndroidModel.cpp.o"
+  "CMakeFiles/thresher_android.dir/AndroidModel.cpp.o.d"
+  "CMakeFiles/thresher_android.dir/Benchmarks.cpp.o"
+  "CMakeFiles/thresher_android.dir/Benchmarks.cpp.o.d"
+  "libthresher_android.a"
+  "libthresher_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/thresher_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/thresher_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/thresher_frontend.dir/Lower.cpp.o.d"
+  "CMakeFiles/thresher_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/thresher_frontend.dir/Parser.cpp.o.d"
+  "libthresher_frontend.a"
+  "libthresher_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher_interp.dir/Interp.cpp.o"
+  "CMakeFiles/thresher_interp.dir/Interp.cpp.o.d"
+  "libthresher_interp.a"
+  "libthresher_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher_ir.dir/Function.cpp.o"
+  "CMakeFiles/thresher_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/thresher_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/thresher_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/thresher_ir.dir/Printer.cpp.o"
+  "CMakeFiles/thresher_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/thresher_ir.dir/Program.cpp.o"
+  "CMakeFiles/thresher_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/thresher_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/thresher_ir.dir/Verifier.cpp.o.d"
+  "libthresher_ir.a"
+  "libthresher_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/leak/LeakChecker.cpp" "src/leak/CMakeFiles/thresher_leak.dir/LeakChecker.cpp.o" "gcc" "src/leak/CMakeFiles/thresher_leak.dir/LeakChecker.cpp.o.d"
+  "/root/repo/src/leak/ReachabilityAssert.cpp" "src/leak/CMakeFiles/thresher_leak.dir/ReachabilityAssert.cpp.o" "gcc" "src/leak/CMakeFiles/thresher_leak.dir/ReachabilityAssert.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sym/CMakeFiles/thresher_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/pta/CMakeFiles/thresher_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/thresher_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/thresher_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/thresher_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

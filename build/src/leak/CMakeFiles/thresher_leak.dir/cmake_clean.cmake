@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher_leak.dir/LeakChecker.cpp.o"
+  "CMakeFiles/thresher_leak.dir/LeakChecker.cpp.o.d"
+  "CMakeFiles/thresher_leak.dir/ReachabilityAssert.cpp.o"
+  "CMakeFiles/thresher_leak.dir/ReachabilityAssert.cpp.o.d"
+  "libthresher_leak.a"
+  "libthresher_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pta/AbsLoc.cpp" "src/pta/CMakeFiles/thresher_pta.dir/AbsLoc.cpp.o" "gcc" "src/pta/CMakeFiles/thresher_pta.dir/AbsLoc.cpp.o.d"
+  "/root/repo/src/pta/GraphExport.cpp" "src/pta/CMakeFiles/thresher_pta.dir/GraphExport.cpp.o" "gcc" "src/pta/CMakeFiles/thresher_pta.dir/GraphExport.cpp.o.d"
+  "/root/repo/src/pta/PointsTo.cpp" "src/pta/CMakeFiles/thresher_pta.dir/PointsTo.cpp.o" "gcc" "src/pta/CMakeFiles/thresher_pta.dir/PointsTo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/thresher_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/thresher_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher_pta.dir/AbsLoc.cpp.o"
+  "CMakeFiles/thresher_pta.dir/AbsLoc.cpp.o.d"
+  "CMakeFiles/thresher_pta.dir/GraphExport.cpp.o"
+  "CMakeFiles/thresher_pta.dir/GraphExport.cpp.o.d"
+  "CMakeFiles/thresher_pta.dir/PointsTo.cpp.o"
+  "CMakeFiles/thresher_pta.dir/PointsTo.cpp.o.d"
+  "libthresher_pta.a"
+  "libthresher_pta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher_pta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for thresher_pta.
+# This may be replaced when dependencies are built.

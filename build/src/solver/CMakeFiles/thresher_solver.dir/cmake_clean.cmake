@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher_solver.dir/Pure.cpp.o"
+  "CMakeFiles/thresher_solver.dir/Pure.cpp.o.d"
+  "libthresher_solver.a"
+  "libthresher_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher_support.dir/Stats.cpp.o"
+  "CMakeFiles/thresher_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/thresher_support.dir/StringPool.cpp.o"
+  "CMakeFiles/thresher_support.dir/StringPool.cpp.o.d"
+  "CMakeFiles/thresher_support.dir/Timer.cpp.o"
+  "CMakeFiles/thresher_support.dir/Timer.cpp.o.d"
+  "CMakeFiles/thresher_support.dir/UnionFind.cpp.o"
+  "CMakeFiles/thresher_support.dir/UnionFind.cpp.o.d"
+  "libthresher_support.a"
+  "libthresher_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher_sym.dir/Query.cpp.o"
+  "CMakeFiles/thresher_sym.dir/Query.cpp.o.d"
+  "CMakeFiles/thresher_sym.dir/WitnessSearch.cpp.o"
+  "CMakeFiles/thresher_sym.dir/WitnessSearch.cpp.o.d"
+  "libthresher_sym.a"
+  "libthresher_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_test.dir/leak_test.cpp.o"
+  "CMakeFiles/leak_test.dir/leak_test.cpp.o.d"
+  "leak_test"
+  "leak_test.pdb"
+  "leak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

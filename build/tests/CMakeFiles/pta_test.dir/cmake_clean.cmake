@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_test.dir/pta_test.cpp.o"
+  "CMakeFiles/pta_test.dir/pta_test.cpp.o.d"
+  "pta_test"
+  "pta_test.pdb"
+  "pta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sym_transfer_test.cpp" "tests/CMakeFiles/sym_transfer_test.dir/sym_transfer_test.cpp.o" "gcc" "tests/CMakeFiles/sym_transfer_test.dir/sym_transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/thresher_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/leak/CMakeFiles/thresher_leak.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/thresher_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/pta/CMakeFiles/thresher_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/thresher_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/thresher_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/thresher_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/thresher_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/thresher_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sym_transfer_test.dir/sym_transfer_test.cpp.o"
+  "CMakeFiles/sym_transfer_test.dir/sym_transfer_test.cpp.o.d"
+  "sym_transfer_test"
+  "sym_transfer_test.pdb"
+  "sym_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sym_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

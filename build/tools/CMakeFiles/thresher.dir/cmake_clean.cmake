@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thresher.dir/thresher.cpp.o"
+  "CMakeFiles/thresher.dir/thresher.cpp.o.d"
+  "thresher"
+  "thresher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thresher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
