@@ -2,7 +2,9 @@
 
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <set>
@@ -10,10 +12,37 @@
 
 using namespace thresher;
 
+const char *thresher::alarmStatusName(AlarmStatus S) {
+  switch (S) {
+  case AlarmStatus::Refuted:
+    return "REFUTED";
+  case AlarmStatus::Witnessed:
+    return "LEAK";
+  case AlarmStatus::Timeout:
+    return "LEAK_TIMEOUT";
+  }
+  return "?";
+}
+
+namespace {
+
+uint64_t nanosSince(std::chrono::steady_clock::time_point T0) {
+  auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+  return static_cast<uint64_t>(Ns < 0 ? 0 : Ns);
+}
+
+} // namespace
+
 LeakChecker::LeakChecker(const Program &P, const PointsToResult &PTA,
                          ClassId ActivityBase, SymOptions Opts)
     : P(P), PTA(PTA), ActivityBase(ActivityBase), Opts(Opts),
-      WS(P, PTA, Opts) {}
+      WS(P, PTA, Opts) {
+  // Fold the points-to phase's effort into the engine registry so reports
+  // and --stats cover every analysis phase.
+  WS.stats().mergeFrom(PTA.Effort);
+}
 
 std::string LeakChecker::edgeLabel(const EdgeKey &E) const {
   if (E.IsGlobal)
@@ -23,22 +52,36 @@ std::string LeakChecker::edgeLabel(const EdgeKey &E) const {
 }
 
 SearchOutcome LeakChecker::checkEdge(const EdgeKey &E) {
+  auto CIt = Consulted.find(E);
+  if (CIt != Consulted.end())
+    return CIt->second.Outcome;
+  EdgeInfo Info;
   auto It = EdgeResults.find(E);
-  if (It != EdgeResults.end())
-    return It->second;
-  EdgeSearchResult R = E.IsGlobal
-                           ? WS.searchGlobalEdge(E.G, E.Target)
-                           : WS.searchFieldEdge(E.Base, E.Fld, E.Target);
-  EdgeResults.emplace(E, R.Outcome);
-  return R.Outcome;
+  if (It != EdgeResults.end()) {
+    Info = It->second;
+  } else {
+    auto T0 = std::chrono::steady_clock::now();
+    EdgeSearchResult R = E.IsGlobal
+                             ? WS.searchGlobalEdge(E.G, E.Target)
+                             : WS.searchFieldEdge(E.Base, E.Fld, E.Target);
+    Info.Outcome = R.Outcome;
+    Info.Steps = R.StepsUsed;
+    Info.Nanos = nanosSince(T0);
+    EdgeResults.emplace(E, Info);
+  }
+  Consulted.emplace(E, Info);
+  return Info.Outcome;
 }
 
 bool LeakChecker::findPath(GlobalId G, AbsLocId Target,
                            std::vector<EdgeKey> &Path) {
-  // BFS over points-to graph nodes (locations), skipping refuted edges.
+  // BFS over points-to graph nodes (locations), skipping edges refuted by
+  // a consulted search. The prefetch cache is never read here: treating a
+  // prefetched-but-unconsulted refutation as deleted would change the
+  // exploration order relative to the sequential run.
   auto Refuted = [&](const EdgeKey &E) {
-    auto It = EdgeResults.find(E);
-    return It != EdgeResults.end() && It->second == SearchOutcome::Refuted;
+    auto It = Consulted.find(E);
+    return It != Consulted.end() && It->second.Outcome == SearchOutcome::Refuted;
   };
   std::map<AbsLocId, std::pair<AbsLocId, EdgeKey>> Parent; // loc -> (pred, edge)
   std::deque<AbsLocId> Work;
@@ -160,21 +203,29 @@ void LeakChecker::prefetchEdgesParallel(
   std::atomic<size_t> NextIdx{0};
   auto Worker = [&]() {
     WitnessSearch LocalWS(P, PTA, Opts);
-    std::vector<std::pair<EdgeKey, SearchOutcome>> LocalResults;
+    VectorTraceSink LocalTrace;
+    LocalWS.setTraceSink(&LocalTrace);
+    std::vector<std::pair<EdgeKey, EdgeInfo>> LocalResults;
     while (true) {
       size_t I = NextIdx.fetch_add(1);
       if (I >= Candidates.size())
         break;
       const EdgeKey &E = Candidates[I];
+      auto T0 = std::chrono::steady_clock::now();
       EdgeSearchResult R =
           E.IsGlobal ? LocalWS.searchGlobalEdge(E.G, E.Target)
                      : LocalWS.searchFieldEdge(E.Base, E.Fld, E.Target);
-      LocalResults.push_back({E, R.Outcome});
+      EdgeInfo Info;
+      Info.Outcome = R.Outcome;
+      Info.Steps = R.StepsUsed;
+      Info.Nanos = nanosSince(T0);
+      LocalResults.push_back({E, Info});
     }
     std::lock_guard<std::mutex> Lock(M);
-    for (auto &[E, O] : LocalResults)
-      EdgeResults.emplace(E, O);
+    for (auto &[E, Info] : LocalResults)
+      EdgeResults.emplace(E, Info);
     WS.stats().mergeFrom(LocalWS.stats());
+    TraceBuffers.push_back(std::move(LocalTrace.events()));
   };
   std::vector<std::thread> Pool;
   for (unsigned I = 0; I < Threads; ++I)
@@ -184,12 +235,27 @@ void LeakChecker::prefetchEdgesParallel(
 }
 
 LeakReport LeakChecker::run(unsigned Threads) {
+  // Allow repeated runs on one checker: verdict caches may be reused, but
+  // the consulted set and trace belong to a single run.
+  Consulted.clear();
+  TraceBuffers.clear();
+  Trace.clear();
+
   LeakReport Report;
+  Report.Threads = Threads;
   Timer T;
-  std::vector<std::pair<GlobalId, AbsLocId>> AlarmPairs =
-      enumerateAlarms();
-  if (Threads > 1)
+  VectorTraceSink SeqTrace;
+  WS.setTraceSink(&SeqTrace);
+
+  std::vector<std::pair<GlobalId, AbsLocId>> AlarmPairs;
+  {
+    ScopedTimer ST(WS.stats(), "hist.leak.enumerateAlarmsNanos");
+    AlarmPairs = enumerateAlarms();
+  }
+  if (Threads > 1) {
+    ScopedTimer ST(WS.stats(), "hist.leak.prefetchNanos");
     prefetchEdgesParallel(AlarmPairs, Threads);
+  }
 
   Report.NumAlarms = static_cast<uint32_t>(AlarmPairs.size());
   std::set<GlobalId> AlarmFields;
@@ -202,46 +268,59 @@ LeakReport LeakChecker::run(unsigned Threads) {
   Report.Fields = static_cast<uint32_t>(AlarmFields.size());
 
   // Thresh each alarm.
-  for (auto [G, Act] : AlarmPairs) {
-    AlarmResult AR;
-    AR.Source = G;
-    AR.Activity = Act;
-    while (true) {
-      std::vector<EdgeKey> Path;
-      if (!findPath(G, Act, Path)) {
-        AR.Status = AlarmStatus::Refuted;
-        ++Report.RefutedAlarms;
-        ++FieldRefutedCount[G];
-        break;
-      }
-      bool RefutedOne = false;
-      bool SawTimeout = false;
-      for (const EdgeKey &E : Path) {
-        SearchOutcome R = checkEdge(E);
-        if (R == SearchOutcome::Refuted) {
-          RefutedOne = true;
+  {
+    ScopedTimer ST(WS.stats(), "hist.leak.threshNanos");
+    for (auto [G, Act] : AlarmPairs) {
+      AlarmResult AR;
+      AR.Source = G;
+      AR.Activity = Act;
+      while (true) {
+        std::vector<EdgeKey> Path;
+        if (!findPath(G, Act, Path)) {
+          AR.Status = AlarmStatus::Refuted;
+          ++Report.RefutedAlarms;
+          ++FieldRefutedCount[G];
           break;
         }
-        if (R == SearchOutcome::BudgetExhausted)
-          SawTimeout = true;
+        bool RefutedOne = false;
+        bool SawTimeout = false;
+        for (const EdgeKey &E : Path) {
+          SearchOutcome R = checkEdge(E);
+          if (R == SearchOutcome::Refuted) {
+            RefutedOne = true;
+            break;
+          }
+          if (R == SearchOutcome::BudgetExhausted)
+            SawTimeout = true;
+        }
+        if (RefutedOne)
+          continue; // Edge deleted (via cache); look for another path.
+        AR.Status = SawTimeout ? AlarmStatus::Timeout : AlarmStatus::Witnessed;
+        for (const EdgeKey &E : Path)
+          AR.PathDescription.push_back(edgeLabel(E));
+        break;
       }
-      if (RefutedOne)
-        continue; // Edge deleted (via cache); look for another path.
-      AR.Status = SawTimeout ? AlarmStatus::Timeout : AlarmStatus::Witnessed;
-      for (const EdgeKey &E : Path)
-        AR.PathDescription.push_back(edgeLabel(E));
-      break;
+      Report.Alarms.push_back(std::move(AR));
     }
-    Report.Alarms.push_back(std::move(AR));
   }
+  WS.setTraceSink(nullptr);
+  TraceBuffers.push_back(std::move(SeqTrace.events()));
+  Trace = mergeTraceEvents(std::move(TraceBuffers));
+  TraceBuffers.clear();
 
   for (GlobalId G : AlarmFields)
     if (FieldRefutedCount[G] == FieldAlarmCount[G])
       ++Report.RefutedFields;
 
-  for (const auto &[E, R] : EdgeResults) {
-    (void)E;
-    switch (R) {
+  for (const auto &[E, Info] : Consulted) {
+    EdgeVerdict V;
+    V.Label = edgeLabel(E);
+    V.IsGlobal = E.IsGlobal;
+    V.Outcome = Info.Outcome;
+    V.Steps = Info.Steps;
+    V.Nanos = Info.Nanos;
+    Report.Edges.push_back(std::move(V));
+    switch (Info.Outcome) {
     case SearchOutcome::Refuted:
       ++Report.RefutedEdges;
       break;
@@ -253,15 +332,27 @@ LeakReport LeakChecker::run(unsigned Threads) {
       break;
     }
   }
+  std::stable_sort(Report.Edges.begin(), Report.Edges.end(),
+                   [](const EdgeVerdict &A, const EdgeVerdict &B) {
+                     return A.Label < B.Label;
+                   });
+  Report.PrefetchedEdges = EdgeResults.size();
   Report.Seconds = T.seconds();
+  WS.stats().bump("leak.runs");
+  WS.stats().bump("leak.consultedEdges", Consulted.size());
   return Report;
+}
+
+void LeakChecker::writeTraceJsonl(std::ostream &OS) const {
+  for (const TraceEvent &Ev : Trace)
+    OS << traceEventToJson(Ev) << "\n";
 }
 
 std::vector<std::string>
 LeakChecker::edgesWithOutcome(SearchOutcome O) const {
   std::vector<std::string> Out;
-  for (const auto &[E, R] : EdgeResults)
-    if (R == O)
+  for (const auto &[E, Info] : Consulted)
+    if (Info.Outcome == O)
       Out.push_back(edgeLabel(E));
   return Out;
 }

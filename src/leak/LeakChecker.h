@@ -16,11 +16,18 @@
 /// is refuted, and if some path has every edge witnessed (or timed out,
 /// which is soundly treated as not-refuted) the alarm is reported.
 ///
+/// Observability: the checker exposes a versioned machine-readable JSON
+/// report (writeJsonReport), deterministic per-edge trace events
+/// (traceEvents / writeTraceJsonl), and effort counters and histograms
+/// (stats). See docs/OBSERVABILITY.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef THRESHER_LEAK_LEAKCHECKER_H
 #define THRESHER_LEAK_LEAKCHECKER_H
 
+#include "support/Json.h"
+#include "support/Trace.h"
 #include "sym/WitnessSearch.h"
 
 #include <map>
@@ -36,6 +43,9 @@ enum class AlarmStatus : uint8_t {
   Timeout,   ///< Some path survived only because edges timed out.
 };
 
+/// Canonical name for \p S: "REFUTED", "LEAK", or "LEAK_TIMEOUT".
+const char *alarmStatusName(AlarmStatus S);
+
 /// One alarm and its verdict.
 struct AlarmResult {
   GlobalId Source = InvalidId;
@@ -45,7 +55,21 @@ struct AlarmResult {
   std::vector<std::string> PathDescription;
 };
 
-/// Aggregate report mirroring the columns of Table 1.
+/// Verdict for one consulted points-to edge (deterministic across thread
+/// counts; Nanos is wall-clock and therefore volatile).
+struct EdgeVerdict {
+  std::string Label;
+  bool IsGlobal = false;
+  SearchOutcome Outcome = SearchOutcome::Refuted;
+  uint64_t Steps = 0;  ///< Budget consumed by the search.
+  uint64_t Nanos = 0;  ///< Search wall-clock (volatile; 0 on cache hits).
+};
+
+/// Aggregate report mirroring the columns of Table 1. The edge counts
+/// cover exactly the edges the (deterministic, sequential) threshing
+/// algorithm consulted, so they are identical for every thread count;
+/// PrefetchedEdges additionally counts edges the parallel mode threshed
+/// eagerly (equal to the consulted count when Threads == 1).
 struct LeakReport {
   std::vector<AlarmResult> Alarms;
   uint32_t NumAlarms = 0;      ///< Alrms
@@ -56,6 +80,10 @@ struct LeakReport {
   uint32_t WitnessedEdges = 0; ///< WitEdg
   uint32_t TimeoutEdges = 0;   ///< TO
   double Seconds = 0.0;        ///< T(s): symbolic execution time.
+  unsigned Threads = 1;        ///< Thread count the report was produced with.
+  uint64_t PrefetchedEdges = 0; ///< Edges threshed eagerly (>= consulted).
+  /// Per-edge verdicts for every consulted edge, sorted by label.
+  std::vector<EdgeVerdict> Edges;
 
   /// Splits surviving alarms into true/false using a ground-truth set of
   /// seeded leaks (pairs of global and allocation-site label).
@@ -64,9 +92,22 @@ struct LeakReport {
                          &TrueLeaks) const;
 };
 
+/// Serialization options for the JSON report.
+struct ReportJsonOptions {
+  /// Omit wall-clock timings and effort-dependent sections (counters,
+  /// histograms, prefetch totals), leaving only fields that are identical
+  /// for every thread count. The differential tests compare this form.
+  bool DeterministicOnly = false;
+  /// Pretty-print indent; negative for compact one-line output.
+  int Indent = 2;
+};
+
 /// The leak checker.
 class LeakChecker {
 public:
+  /// Version tag stamped into every JSON report ("schema" member).
+  static constexpr const char *ReportSchemaVersion = "thresher-report/v1";
+
   /// \p ActivityBase is the class whose (transitive) instances count as
   /// Activities.
   LeakChecker(const Program &P, const PointsToResult &PTA,
@@ -78,16 +119,36 @@ public:
   /// implementation was sequential — this realizes it): every edge
   /// reachable from an alarmed static field is dispatched to a worker
   /// with its own WitnessSearch, then the sequential path/re-search
-  /// algorithm runs entirely against the cache. The parallel mode may
-  /// thresh edges the sequential order would have skipped (edges off the
-  /// currently chosen paths), so WitEdg/RefEdg counts can be higher;
-  /// alarm verdicts are identical.
+  /// algorithm runs entirely against the cache. The sequential algorithm
+  /// consults the cache exactly as it would consult live searches, so
+  /// alarm verdicts, per-edge verdicts, and the report's edge counts are
+  /// identical for every thread count (pinned by
+  /// tests/parallel_diff_test.cpp); only wall-clock fields and the
+  /// PrefetchedEdges total vary.
   LeakReport run(unsigned Threads = 1);
 
-  /// The underlying search engine's counters.
+  /// The underlying search engine's counters and histograms (includes the
+  /// points-to phase's `pta.*` effort and, after run() with Threads > 1,
+  /// the merged worker counters).
   const Stats &stats() const { return WS.stats(); }
 
-  /// After run(): labels of edges in each outcome class (diagnostics).
+  /// After run(): deterministically ordered per-edge trace events (sorted
+  /// by edge label, Seq assigned after the parallel merge).
+  const std::vector<TraceEvent> &traceEvents() const { return Trace; }
+
+  /// Writes traceEvents() as JSON Lines, one event per line.
+  void writeTraceJsonl(std::ostream &OS) const;
+
+  /// Builds the versioned machine-readable report document.
+  JsonValue buildJsonReport(const LeakReport &R,
+                            const ReportJsonOptions &O = {}) const;
+
+  /// Serializes buildJsonReport() (with a trailing newline).
+  void writeJsonReport(std::ostream &OS, const LeakReport &R,
+                       const ReportJsonOptions &O = {}) const;
+
+  /// After run(): labels of edges in each outcome class (diagnostics,
+  /// consulted edges only).
   std::vector<std::string> edgesWithOutcome(SearchOutcome O) const;
 
 private:
@@ -103,9 +164,20 @@ private:
     }
   };
 
+  /// A cached edge-search result (outcome is deterministic; Nanos is the
+  /// wall-clock of the search that produced it).
+  struct EdgeInfo {
+    SearchOutcome Outcome = SearchOutcome::Refuted;
+    uint64_t Steps = 0;
+    uint64_t Nanos = 0;
+  };
+
   std::string edgeLabel(const EdgeKey &E) const;
   SearchOutcome checkEdge(const EdgeKey &E);
-  /// BFS for a path of non-refuted edges from \p G to \p Target.
+  /// BFS for a path of edges not yet refuted *by a consulted search* from
+  /// \p G to \p Target (prefetched-but-unconsulted refutations are
+  /// deliberately ignored so the exploration order matches the purely
+  /// sequential run).
   bool findPath(GlobalId G, AbsLocId Target, std::vector<EdgeKey> &Path);
   /// All (static field, Activity location) pairs in the points-to graph.
   std::vector<std::pair<GlobalId, AbsLocId>> enumerateAlarms() const;
@@ -119,7 +191,14 @@ private:
   ClassId ActivityBase;
   SymOptions Opts;
   WitnessSearch WS;
-  std::map<EdgeKey, SearchOutcome> EdgeResults;
+  /// Results of every search performed (prefetch fills this eagerly).
+  std::map<EdgeKey, EdgeInfo> EdgeResults;
+  /// The subset of EdgeResults the sequential algorithm consulted.
+  std::map<EdgeKey, EdgeInfo> Consulted;
+  /// Per-worker trace buffers awaiting the deterministic merge.
+  std::vector<std::vector<TraceEvent>> TraceBuffers;
+  /// Merged, deterministically ordered trace of the last run().
+  std::vector<TraceEvent> Trace;
 };
 
 } // namespace thresher

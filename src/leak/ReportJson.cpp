@@ -1,0 +1,149 @@
+//===- ReportJson.cpp - Machine-readable leak report --------------------===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Builds the versioned JSON report document for LeakChecker::run. The
+// document is split into deterministic sections (config, summary, alarms,
+// per-edge verdicts — identical for every thread count) and an "effort"
+// section (wall-clock, counters, histograms, prefetch totals) that is
+// omitted under ReportJsonOptions::DeterministicOnly so differential tests
+// can byte-compare reports across thread counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "leak/LeakChecker.h"
+
+using namespace thresher;
+
+namespace {
+
+const char *representationName(Representation R) {
+  switch (R) {
+  case Representation::Mixed:
+    return "mixed";
+  case Representation::FullySymbolic:
+    return "fully-symbolic";
+  case Representation::FullyExplicit:
+    return "fully-explicit";
+  }
+  return "?";
+}
+
+const char *loopModeName(LoopMode L) {
+  switch (L) {
+  case LoopMode::FullInference:
+    return "full-inference";
+  case LoopMode::DropAll:
+    return "drop-all";
+  }
+  return "?";
+}
+
+JsonValue histogramToJson(const Histogram &H) {
+  JsonValue O = JsonValue::makeObject();
+  O.set("count", JsonValue::makeUint(H.count()));
+  O.set("sum", JsonValue::makeUint(H.sum()));
+  O.set("min", JsonValue::makeUint(H.min()));
+  O.set("max", JsonValue::makeUint(H.max()));
+  O.set("mean", JsonValue::makeDouble(H.mean()));
+  O.set("p50", JsonValue::makeUint(H.quantile(0.5)));
+  O.set("p90", JsonValue::makeUint(H.quantile(0.9)));
+  O.set("p99", JsonValue::makeUint(H.quantile(0.99)));
+  JsonValue Buckets = JsonValue::makeArray();
+  // Sparse form: [bucketLowerBound, count] for non-empty buckets only.
+  for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+    if (H.buckets()[B] == 0)
+      continue;
+    JsonValue Pair = JsonValue::makeArray();
+    Pair.append(JsonValue::makeUint(Histogram::bucketLo(B)));
+    Pair.append(JsonValue::makeUint(H.buckets()[B]));
+    Buckets.append(std::move(Pair));
+  }
+  O.set("buckets", std::move(Buckets));
+  return O;
+}
+
+} // namespace
+
+JsonValue LeakChecker::buildJsonReport(const LeakReport &R,
+                                       const ReportJsonOptions &O) const {
+  JsonValue Doc = JsonValue::makeObject();
+  Doc.set("schema", JsonValue::makeString(ReportSchemaVersion));
+
+  JsonValue Config = JsonValue::makeObject();
+  Config.set("representation",
+             JsonValue::makeString(representationName(Opts.Repr)));
+  Config.set("loopMode", JsonValue::makeString(loopModeName(Opts.Loop)));
+  Config.set("querySimplification",
+             JsonValue::makeBool(Opts.QuerySimplification));
+  Config.set("edgeBudget", JsonValue::makeUint(Opts.EdgeBudget));
+  Config.set("maxCallStackDepth", JsonValue::makeUint(Opts.MaxCallStackDepth));
+  Config.set("pathConstraintCap", JsonValue::makeUint(Opts.PathConstraintCap));
+  Config.set("maxLoopCrossings", JsonValue::makeUint(Opts.MaxLoopCrossings));
+  Doc.set("config", std::move(Config));
+
+  JsonValue Summary = JsonValue::makeObject();
+  Summary.set("alarms", JsonValue::makeUint(R.NumAlarms));
+  Summary.set("refutedAlarms", JsonValue::makeUint(R.RefutedAlarms));
+  Summary.set("fields", JsonValue::makeUint(R.Fields));
+  Summary.set("refutedFields", JsonValue::makeUint(R.RefutedFields));
+  JsonValue EdgeTotals = JsonValue::makeObject();
+  EdgeTotals.set("consulted", JsonValue::makeUint(R.Edges.size()));
+  EdgeTotals.set("refuted", JsonValue::makeUint(R.RefutedEdges));
+  EdgeTotals.set("witnessed", JsonValue::makeUint(R.WitnessedEdges));
+  EdgeTotals.set("timeout", JsonValue::makeUint(R.TimeoutEdges));
+  Summary.set("edges", std::move(EdgeTotals));
+  Doc.set("summary", std::move(Summary));
+
+  JsonValue Alarms = JsonValue::makeArray();
+  for (const AlarmResult &A : R.Alarms) {
+    JsonValue AO = JsonValue::makeObject();
+    AO.set("source", JsonValue::makeString(P.globalName(A.Source)));
+    AO.set("activity", JsonValue::makeString(PTA.Locs.label(P, A.Activity)));
+    AO.set("status", JsonValue::makeString(alarmStatusName(A.Status)));
+    JsonValue Path = JsonValue::makeArray();
+    for (const std::string &EdgeLabel : A.PathDescription)
+      Path.append(JsonValue::makeString(EdgeLabel));
+    AO.set("path", std::move(Path));
+    Alarms.append(std::move(AO));
+  }
+  Doc.set("alarms", std::move(Alarms));
+
+  JsonValue Edges = JsonValue::makeArray();
+  for (const EdgeVerdict &V : R.Edges) {
+    JsonValue EO = JsonValue::makeObject();
+    EO.set("edge", JsonValue::makeString(V.Label));
+    EO.set("kind", JsonValue::makeString(V.IsGlobal ? "global" : "field"));
+    EO.set("verdict", JsonValue::makeString(outcomeName(V.Outcome)));
+    EO.set("steps", JsonValue::makeUint(V.Steps));
+    if (!O.DeterministicOnly)
+      EO.set("nanos", JsonValue::makeUint(V.Nanos));
+    Edges.append(std::move(EO));
+  }
+  Doc.set("edges", std::move(Edges));
+
+  if (!O.DeterministicOnly) {
+    JsonValue Effort = JsonValue::makeObject();
+    Effort.set("seconds", JsonValue::makeDouble(R.Seconds));
+    Effort.set("threads", JsonValue::makeUint(R.Threads));
+    Effort.set("prefetchedEdges", JsonValue::makeUint(R.PrefetchedEdges));
+    JsonValue Counters = JsonValue::makeObject();
+    for (const auto &[Name, Value] : stats().counterSnapshot())
+      Counters.set(Name, JsonValue::makeUint(Value));
+    Effort.set("counters", std::move(Counters));
+    JsonValue Hists = JsonValue::makeObject();
+    for (const auto &[Name, H] : stats().histogramSnapshot())
+      Hists.set(Name, histogramToJson(H));
+    Effort.set("histograms", std::move(Hists));
+    Doc.set("effort", std::move(Effort));
+  }
+  return Doc;
+}
+
+void LeakChecker::writeJsonReport(std::ostream &OS, const LeakReport &R,
+                                  const ReportJsonOptions &O) const {
+  buildJsonReport(R, O).write(OS, O.Indent);
+  OS << "\n";
+}

@@ -503,8 +503,19 @@ PointsToAnalysis::PointsToAnalysis(const Program &P, PTAOptions Opts)
 
 std::unique_ptr<PointsToResult> PointsToAnalysis::run() {
   Impl I(P, Opts);
-  I.solve();
-  I.finalize();
+  {
+    ScopedTimer ST(I.R->Effort, "hist.pta.solveNanos");
+    I.solve();
+    I.finalize();
+  }
+  PointsToResult &R = *I.R;
+  R.Effort.bump("pta.absLocs", R.Locs.size());
+  R.Effort.bump("pta.edges", R.numEdges());
+  R.Effort.bump("pta.reachableFuncs", R.reachableFuncs().size());
+  uint64_t CallEdges = 0;
+  for (const auto &Cs : R.Callers)
+    CallEdges += Cs.size();
+  R.Effort.bump("pta.callEdges", CallEdges);
   return std::move(I.R);
 }
 

@@ -25,6 +25,7 @@
 
 #include "pta/AbsLoc.h"
 #include "support/IdSet.h"
+#include "support/Stats.h"
 
 #include <map>
 #include <memory>
@@ -74,6 +75,11 @@ struct ProducerSite {
 class PointsToResult {
 public:
   AbsLocTable Locs;
+
+  /// Analysis-effort counters (`pta.*`: abstract locations, graph edges,
+  /// reachable functions, call edges, solve time). The leak checker folds
+  /// these into its own registry so the JSON report covers every phase.
+  Stats Effort;
 
   /// pt(x): locations local \p V of function \p F may point to, unioned
   /// over all analysis contexts of \p F.

@@ -1,0 +1,392 @@
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace thresher;
+
+//===----------------------------------------------------------------------===//
+// Building and lookup
+//===----------------------------------------------------------------------===//
+
+JsonValue &JsonValue::set(const std::string &Key, JsonValue V) {
+  K = Kind::Object;
+  for (auto &[Name, Val] : Members)
+    if (Name == Key) {
+      Val = std::move(V);
+      return Val;
+    }
+  Members.emplace_back(Key, std::move(V));
+  return Members.back().second;
+}
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (!isObject())
+    return nullptr;
+  for (const auto &[Name, Val] : Members)
+    if (Name == Key)
+      return &Val;
+  return nullptr;
+}
+
+const JsonValue *JsonValue::findPath(const std::string &DottedPath) const {
+  const JsonValue *Cur = this;
+  size_t Pos = 0;
+  while (Cur && Pos <= DottedPath.size()) {
+    size_t Dot = DottedPath.find('.', Pos);
+    std::string Key = DottedPath.substr(
+        Pos, Dot == std::string::npos ? std::string::npos : Dot - Pos);
+    Cur = Cur->find(Key);
+    if (Dot == std::string::npos)
+      return Cur;
+    Pos = Dot + 1;
+  }
+  return Cur;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+void thresher::writeJsonString(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        OS << Buf;
+      } else {
+        OS << Ch;
+      }
+    }
+  }
+  OS << '"';
+}
+
+void JsonValue::writeImpl(std::ostream &OS, int Indent, int Depth) const {
+  auto NL = [&](int D) {
+    if (Indent < 0)
+      return;
+    OS << '\n';
+    for (int I2 = 0; I2 < Indent * D; ++I2)
+      OS << ' ';
+  };
+  switch (K) {
+  case Kind::Null:
+    OS << "null";
+    return;
+  case Kind::Bool:
+    OS << (B ? "true" : "false");
+    return;
+  case Kind::Int:
+    OS << I;
+    return;
+  case Kind::Double: {
+    if (std::isfinite(D)) {
+      char Buf[40];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+      OS << Buf;
+    } else {
+      OS << "null"; // JSON has no inf/nan.
+    }
+    return;
+  }
+  case Kind::String:
+    writeJsonString(OS, S);
+    return;
+  case Kind::Array: {
+    OS << '[';
+    for (size_t I2 = 0; I2 < Items.size(); ++I2) {
+      if (I2)
+        OS << ',';
+      NL(Depth + 1);
+      Items[I2].writeImpl(OS, Indent, Depth + 1);
+    }
+    if (!Items.empty())
+      NL(Depth);
+    OS << ']';
+    return;
+  }
+  case Kind::Object: {
+    OS << '{';
+    for (size_t I2 = 0; I2 < Members.size(); ++I2) {
+      if (I2)
+        OS << ',';
+      NL(Depth + 1);
+      writeJsonString(OS, Members[I2].first);
+      OS << (Indent < 0 ? ":" : ": ");
+      Members[I2].second.writeImpl(OS, Indent, Depth + 1);
+    }
+    if (!Members.empty())
+      NL(Depth);
+    OS << '}';
+    return;
+  }
+  }
+}
+
+void JsonValue::write(std::ostream &OS, int Indent) const {
+  writeImpl(OS, Indent, 0);
+}
+
+std::string JsonValue::toString(int Indent) const {
+  std::ostringstream SS;
+  write(SS, Indent);
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text) : Text(Text) {}
+
+  bool parse(JsonValue &Out, std::string &Error) {
+    if (!value(Out) || (skipWs(), Pos != Text.size())) {
+      Error = Err.empty() ? "trailing content" : Err;
+      return false;
+    }
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return fail(std::string("expected '") + C + "'");
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = std::string(Lit).size();
+    if (Text.compare(Pos, N, Lit) == 0) {
+      Pos += N;
+      return true;
+    }
+    return fail(std::string("expected ") + Lit);
+  }
+
+  bool stringBody(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("bad escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("bad \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        // UTF-8 encode the BMP code point (no surrogate-pair handling;
+        // the reports never emit them).
+        if (Code < 0x80) {
+          Out.push_back(char(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(char(0xC0 | (Code >> 6)));
+          Out.push_back(char(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(char(0xE0 | (Code >> 12)));
+          Out.push_back(char(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(char(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool value(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out = JsonValue::makeObject();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        std::string Key;
+        if (!stringBody(Key) || !consume(':'))
+          return false;
+        JsonValue V;
+        if (!value(V))
+          return false;
+        Out.set(Key, std::move(V));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          skipWs();
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out = JsonValue::makeArray();
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        JsonValue V;
+        if (!value(V))
+          return false;
+        Out.append(std::move(V));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (C == '"') {
+      std::string S;
+      if (!stringBody(S))
+        return false;
+      Out = JsonValue::makeString(std::move(S));
+      return true;
+    }
+    if (C == 't') {
+      Out = JsonValue::makeBool(true);
+      return literal("true");
+    }
+    if (C == 'f') {
+      Out = JsonValue::makeBool(false);
+      return literal("false");
+    }
+    if (C == 'n') {
+      Out = JsonValue();
+      return literal("null");
+    }
+    // Number.
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    bool IsDouble = false;
+    while (Pos < Text.size()) {
+      char D = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(D))) {
+        ++Pos;
+      } else if (D == '.' || D == 'e' || D == 'E' || D == '-' || D == '+') {
+        if (D == '.' || D == 'e' || D == 'E')
+          IsDouble = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start)
+      return fail("unexpected character");
+    std::string Num = Text.substr(Start, Pos - Start);
+    if (IsDouble)
+      Out = JsonValue::makeDouble(std::strtod(Num.c_str(), nullptr));
+    else
+      Out = JsonValue::makeInt(std::strtoll(Num.c_str(), nullptr, 10));
+    return true;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+bool thresher::parseJson(const std::string &Text, JsonValue &Out,
+                         std::string *Error) {
+  std::string Err;
+  Parser Ps(Text);
+  if (Ps.parse(Out, Err))
+    return true;
+  if (Error)
+    *Error = Err;
+  return false;
+}

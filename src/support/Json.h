@@ -1,0 +1,129 @@
+//===- Json.h - Minimal JSON document model ---------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON value (build, serialize, parse) used by the
+/// observability layer: the machine-readable leak report, the JSONL trace
+/// backend, and the tests/benches that consume them. Object members keep
+/// insertion order so that serialization is deterministic and reports are
+/// byte-comparable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_JSON_H
+#define THRESHER_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace thresher {
+
+/// One JSON value: null, bool, integer, double, string, array, or object.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  static JsonValue makeBool(bool B) {
+    JsonValue V;
+    V.K = Kind::Bool;
+    V.B = B;
+    return V;
+  }
+  static JsonValue makeInt(int64_t I) {
+    JsonValue V;
+    V.K = Kind::Int;
+    V.I = I;
+    return V;
+  }
+  static JsonValue makeUint(uint64_t U) {
+    return makeInt(static_cast<int64_t>(U));
+  }
+  static JsonValue makeDouble(double D) {
+    JsonValue V;
+    V.K = Kind::Double;
+    V.D = D;
+    return V;
+  }
+  static JsonValue makeString(std::string S) {
+    JsonValue V;
+    V.K = Kind::String;
+    V.S = std::move(S);
+    return V;
+  }
+  static JsonValue makeArray() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue makeObject() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  int64_t asInt() const { return K == Kind::Double ? int64_t(D) : I; }
+  uint64_t asUint() const { return static_cast<uint64_t>(asInt()); }
+  double asDouble() const { return K == Kind::Int ? double(I) : D; }
+  const std::string &asString() const { return S; }
+
+  // --- Array interface. ---
+  const std::vector<JsonValue> &items() const { return Items; }
+  JsonValue &append(JsonValue V) {
+    Items.push_back(std::move(V));
+    return Items.back();
+  }
+  size_t size() const { return isObject() ? Members.size() : Items.size(); }
+
+  // --- Object interface (insertion-ordered). ---
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+  /// Adds or replaces member \p Key.
+  JsonValue &set(const std::string &Key, JsonValue V);
+  /// Member lookup; nullptr when missing or not an object.
+  const JsonValue *find(const std::string &Key) const;
+  /// Path lookup ("a.b.c"); nullptr when any hop is missing.
+  const JsonValue *findPath(const std::string &DottedPath) const;
+
+  /// Serializes compactly when \p Indent < 0, else pretty-printed.
+  void write(std::ostream &OS, int Indent = -1) const;
+  std::string toString(int Indent = -1) const;
+
+private:
+  void writeImpl(std::ostream &OS, int Indent, int Depth) const;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Writes \p S with JSON escaping (including the surrounding quotes).
+void writeJsonString(std::ostream &OS, const std::string &S);
+
+/// Parses \p Text; returns false (and sets \p Error) on malformed input.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string *Error = nullptr);
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_JSON_H

@@ -2,7 +2,32 @@
 
 using namespace thresher;
 
+uint64_t Histogram::quantile(double Q) const {
+  if (N == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  uint64_t Rank = static_cast<uint64_t>(Q * double(N - 1));
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen > Rank)
+      return bucketLo(B);
+  }
+  return Hi;
+}
+
 void Stats::print(std::ostream &OS) const {
-  for (const auto &[Name, Value] : Counters)
+  auto C = counterSnapshot();
+  auto H = histogramSnapshot();
+  for (const auto &[Name, Value] : C)
     OS << "  " << Name << " = " << Value << "\n";
+  for (const auto &[Name, Hist] : H) {
+    OS << "  " << Name << ": n=" << Hist.count() << " sum=" << Hist.sum()
+       << " min=" << Hist.min() << " mean=" << Hist.mean()
+       << " p50=" << Hist.quantile(0.5) << " p90=" << Hist.quantile(0.9)
+       << " max=" << Hist.max() << "\n";
+  }
 }

@@ -1,52 +1,194 @@
-//===- Stats.h - Named analysis counters ------------------------*- C++ -*-===//
+//===- Stats.h - Named analysis counters and histograms ---------*- C++ -*-===//
 //
 // Part of the Thresher reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small registry of named counters used to report analysis effort
-/// (queries explored, refutations by kind, case splits, ...).
+/// A thread-safe registry of named monotonic counters and log-scaled
+/// histograms used to report analysis effort (queries explored,
+/// refutations by kind, states per edge, subsumption-check latency, ...),
+/// plus a scoped RAII timer that records elapsed nanoseconds into a
+/// histogram. See docs/OBSERVABILITY.md for the naming conventions and the
+/// full list of counters the engine emits.
+///
+/// The registry is internally synchronized so that it is safe to bump from
+/// concurrent workers; the intended discipline is still per-worker
+/// registries merged once via mergeFrom (no contention on the hot path),
+/// and the lock makes accidental sharing safe rather than fast.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef THRESHER_SUPPORT_STATS_H
 #define THRESHER_SUPPORT_STATS_H
 
+#include <array>
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 
 namespace thresher {
 
-/// Named monotonic counters for analysis effort reporting.
+/// A log2-bucketed histogram of unsigned samples (latencies in
+/// nanoseconds, states per edge, loop crossings, ...). Bucket B counts
+/// samples whose bit width is B, i.e. values in [2^(B-1), 2^B); bucket 0
+/// counts zero samples. 64 buckets cover the full uint64_t range, so
+/// recording never saturates.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 65;
+
+  /// Bucket index for value \p V (0 for 0, else bit_width(V)).
+  static unsigned bucketFor(uint64_t V) {
+    unsigned B = 0;
+    while (V) {
+      ++B;
+      V >>= 1;
+    }
+    return B;
+  }
+
+  /// Inclusive lower bound of bucket \p B.
+  static uint64_t bucketLo(unsigned B) {
+    return B == 0 ? 0 : uint64_t(1) << (B - 1);
+  }
+
+  void record(uint64_t V) {
+    ++Buckets[bucketFor(V)];
+    ++N;
+    Total += V;
+    if (N == 1 || V < Lo)
+      Lo = V;
+    if (V > Hi)
+      Hi = V;
+  }
+
+  void mergeFrom(const Histogram &O) {
+    if (O.N == 0)
+      return;
+    if (N == 0 || O.Lo < Lo)
+      Lo = O.Lo;
+    if (O.Hi > Hi)
+      Hi = O.Hi;
+    N += O.N;
+    Total += O.Total;
+    for (unsigned B = 0; B < NumBuckets; ++B)
+      Buckets[B] += O.Buckets[B];
+  }
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Total; }
+  uint64_t min() const { return N ? Lo : 0; }
+  uint64_t max() const { return Hi; }
+  double mean() const { return N ? double(Total) / double(N) : 0.0; }
+  const std::array<uint64_t, NumBuckets> &buckets() const { return Buckets; }
+
+  /// Approximate quantile (\p Q in [0,1]) from the bucket boundaries:
+  /// returns the lower bound of the bucket containing the Q-th sample.
+  uint64_t quantile(double Q) const;
+
+private:
+  uint64_t N = 0;
+  uint64_t Total = 0;
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  std::array<uint64_t, NumBuckets> Buckets{};
+};
+
+/// Thread-safe registry of named monotonic counters and histograms.
 class Stats {
 public:
+  Stats() = default;
+  Stats(const Stats &) = delete;
+  Stats &operator=(const Stats &) = delete;
+
   /// Increments counter \p Name by \p Delta.
   void bump(const std::string &Name, uint64_t Delta = 1) {
+    std::lock_guard<std::mutex> Lock(M);
     Counters[Name] += Delta;
   }
 
   /// Returns the value of counter \p Name (0 if never bumped).
   uint64_t get(const std::string &Name) const {
+    std::lock_guard<std::mutex> Lock(M);
     auto It = Counters.find(Name);
     return It == Counters.end() ? 0 : It->second;
   }
 
-  /// Merges all counters from \p Other into this.
-  void mergeFrom(const Stats &Other) {
-    for (const auto &[Name, Value] : Other.Counters)
-      Counters[Name] += Value;
+  /// Records sample \p Value into histogram \p Name.
+  void record(const std::string &Name, uint64_t Value) {
+    std::lock_guard<std::mutex> Lock(M);
+    Histograms[Name].record(Value);
   }
 
-  void clear() { Counters.clear(); }
+  /// Returns a copy of histogram \p Name (empty if never recorded).
+  Histogram histogram(const std::string &Name) const {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Histograms.find(Name);
+    return It == Histograms.end() ? Histogram() : It->second;
+  }
 
-  /// Prints all counters, one per line, sorted by name.
+  /// Name-sorted snapshots, for reporting and serialization.
+  std::map<std::string, uint64_t> counterSnapshot() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Counters;
+  }
+  std::map<std::string, Histogram> histogramSnapshot() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Histograms;
+  }
+
+  /// Merges all counters and histograms from \p Other into this.
+  void mergeFrom(const Stats &Other) {
+    // Snapshot first so the two registry locks are never held together.
+    auto OC = Other.counterSnapshot();
+    auto OH = Other.histogramSnapshot();
+    std::lock_guard<std::mutex> Lock(M);
+    for (const auto &[Name, Value] : OC)
+      Counters[Name] += Value;
+    for (const auto &[Name, H] : OH)
+      Histograms[Name].mergeFrom(H);
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Counters.clear();
+    Histograms.clear();
+  }
+
+  /// Prints all counters (one per line, sorted by name), then histogram
+  /// summaries (count/sum/min/mean/p50/p90/max).
   void print(std::ostream &OS) const;
 
 private:
+  mutable std::mutex M;
   std::map<std::string, uint64_t> Counters;
+  std::map<std::string, Histogram> Histograms;
+};
+
+/// RAII helper: records the scope's elapsed wall-clock nanoseconds into
+/// histogram \p Name of \p S on destruction.
+class ScopedTimer {
+public:
+  ScopedTimer(Stats &S, std::string Name)
+      : S(S), Name(std::move(Name)), Start(Clock::now()) {}
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+  ~ScopedTimer() {
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - Start)
+                  .count();
+    S.record(Name, static_cast<uint64_t>(Ns < 0 ? 0 : Ns));
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Stats &S;
+  std::string Name;
+  Clock::time_point Start;
 };
 
 } // namespace thresher

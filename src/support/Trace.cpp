@@ -1,0 +1,60 @@
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+
+using namespace thresher;
+
+TraceSink::~TraceSink() = default;
+
+std::string thresher::traceEventToJson(const TraceEvent &Ev) {
+  JsonValue O = JsonValue::makeObject();
+  O.set("seq", JsonValue::makeUint(Ev.Seq));
+  O.set("edge", JsonValue::makeString(Ev.Edge));
+  O.set("kind", JsonValue::makeString(Ev.IsGlobal ? "global" : "field"));
+  O.set("verdict", JsonValue::makeString(Ev.Verdict));
+  O.set("producersTried", JsonValue::makeUint(Ev.ProducersTried));
+  if (!Ev.Producer.empty())
+    O.set("producer", JsonValue::makeString(Ev.Producer));
+  O.set("steps", JsonValue::makeUint(Ev.Steps));
+  O.set("budget", JsonValue::makeUint(Ev.Budget));
+  if (!Ev.RefuteKinds.empty()) {
+    JsonValue RK = JsonValue::makeObject();
+    for (const auto &[Kind, N] : Ev.RefuteKinds)
+      RK.set(Kind, JsonValue::makeUint(N));
+    O.set("refuteKinds", std::move(RK));
+  }
+  JsonValue Ph = JsonValue::makeObject();
+  Ph.set("enumNanos", JsonValue::makeUint(Ev.EnumNanos));
+  Ph.set("searchNanos", JsonValue::makeUint(Ev.SearchNanos));
+  O.set("phases", std::move(Ph));
+  if (!Ev.Note.empty())
+    O.set("note", JsonValue::makeString(Ev.Note));
+  return O.toString();
+}
+
+void JsonlTraceSink::emit(const TraceEvent &Ev) {
+  OS << traceEventToJson(Ev) << "\n";
+}
+
+std::vector<TraceEvent>
+thresher::mergeTraceEvents(std::vector<std::vector<TraceEvent>> Buffers) {
+  std::vector<TraceEvent> All;
+  for (std::vector<TraceEvent> &B : Buffers) {
+    All.insert(All.end(), std::make_move_iterator(B.begin()),
+               std::make_move_iterator(B.end()));
+    B.clear();
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (A.Edge != B.Edge)
+                       return A.Edge < B.Edge;
+                     if (A.ProducersTried != B.ProducersTried)
+                       return A.ProducersTried < B.ProducersTried;
+                     return A.Steps < B.Steps;
+                   });
+  for (size_t I = 0; I < All.size(); ++I)
+    All[I].Seq = I;
+  return All;
+}

@@ -1,0 +1,100 @@
+//===- Trace.h - Structured per-edge trace events ---------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured tracing for the witness-refutation engine: every edge search
+/// emits one TraceEvent carrying the edge identity, the statement that
+/// witnessed it (when one did), the verdict, the budget consumed, the
+/// refutation kinds encountered, and per-phase nanosecond timings. Sinks
+/// decide what to do with events: collect them (VectorTraceSink, used by
+/// the parallel leak-checker workers so that merged traces are
+/// deterministic) or stream them as JSON Lines (JsonlTraceSink, the
+/// `thresher check --trace` backend). See docs/OBSERVABILITY.md for the
+/// event schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_TRACE_H
+#define THRESHER_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// One structured trace event for a completed edge search.
+struct TraceEvent {
+  /// Deterministic sequence number, assigned after merging (events are
+  /// ordered by edge label, not by wall-clock completion order).
+  uint64_t Seq = 0;
+  /// Human-readable edge identity ("Cls.field -> label" or
+  /// "label.f -> label"), also the deterministic merge key.
+  std::string Edge;
+  bool IsGlobal = false;
+  /// Verdict: "REFUTED", "WITNESSED", or "TIMEOUT".
+  std::string Verdict;
+  /// Number of producing statements the search tried.
+  uint32_t ProducersTried = 0;
+  /// The producing statement that was witnessed (empty unless WITNESSED).
+  std::string Producer;
+  /// Query states consumed out of the per-edge budget.
+  uint64_t Steps = 0;
+  /// The per-edge budget in effect.
+  uint64_t Budget = 0;
+  /// Refutation kinds hit during the search (kind -> path count).
+  std::map<std::string, uint64_t> RefuteKinds;
+  /// Per-phase wall-clock nanoseconds.
+  uint64_t EnumNanos = 0;   ///< Producer-site enumeration.
+  uint64_t SearchNanos = 0; ///< Backwards symbolic execution.
+  /// Free-form note from the engine (e.g. budget-exhaustion cause).
+  std::string Note;
+};
+
+/// Abstract consumer of trace events. Implementations must tolerate
+/// emit() being called from the thread that owns the sink only; use one
+/// VectorTraceSink per worker and merge for concurrent producers.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+  virtual void emit(const TraceEvent &Ev) = 0;
+};
+
+/// Collects events in memory (per-worker buffer, test inspection).
+class VectorTraceSink : public TraceSink {
+public:
+  void emit(const TraceEvent &Ev) override { Events.push_back(Ev); }
+  std::vector<TraceEvent> &events() { return Events; }
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+private:
+  std::vector<TraceEvent> Events;
+};
+
+/// Streams each event as one JSON object per line (JSON Lines).
+class JsonlTraceSink : public TraceSink {
+public:
+  explicit JsonlTraceSink(std::ostream &OS) : OS(OS) {}
+  void emit(const TraceEvent &Ev) override;
+
+private:
+  std::ostream &OS;
+};
+
+/// Serializes \p Ev as a single-line JSON object (no trailing newline).
+std::string traceEventToJson(const TraceEvent &Ev);
+
+/// Deterministically merges per-worker event buffers: concatenates,
+/// sorts by (edge label, producers tried, steps), and assigns Seq.
+std::vector<TraceEvent>
+mergeTraceEvents(std::vector<std::vector<TraceEvent>> Buffers);
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_TRACE_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <unordered_set>
 
 using namespace thresher;
@@ -31,6 +32,7 @@ public:
       if (StepsUsed >= Budget) {
         S.bump("sym.budgetExhausted");
         Out.StepsUsed = StepsUsed;
+        Out.RefuteKinds = std::move(RefuteKinds);
         return SearchOutcome::BudgetExhausted;
       }
       Query Q = std::move(Worklist.back());
@@ -39,6 +41,7 @@ public:
       step(std::move(Q));
       if (Witnessed) {
         Out.StepsUsed = StepsUsed;
+        Out.RefuteKinds = std::move(RefuteKinds);
         Out.WitnessTrail.assign(WitnessQ.Trail.rbegin(),
                                 WitnessQ.Trail.rend());
         Out.WitnessTrailQueries.assign(WitnessQ.TrailQueries.rbegin(),
@@ -47,6 +50,7 @@ public:
       }
     }
     Out.StepsUsed = StepsUsed;
+    Out.RefuteKinds = std::move(RefuteKinds);
     Out.DeepestRefutedTrail.assign(DeepestRefuted.rbegin(),
                                    DeepestRefuted.rend());
     return SearchOutcome::Refuted;
@@ -60,6 +64,7 @@ private:
   void refute(Query &Q, const char *Why) {
     Q.Refuted = true;
     S.bump(std::string("sym.refute.") + Why);
+    ++RefuteKinds[Why];
     if (Opts.RecordTrails && Q.Trail.size() > DeepestRefuted.size())
       DeepestRefuted = Q.Trail;
   }
@@ -118,7 +123,12 @@ private:
       S.bump("sym.pathsRefuted");
       return;
     }
-    if (!Q.Pure.isSatisfiable()) {
+    bool PureSat;
+    {
+      ScopedTimer ST(S, "hist.pureSatNanos"); // SMT-discharge latency.
+      PureSat = Q.Pure.isSatisfiable();
+    }
+    if (!PureSat) {
       refute(Q, "pure");
       S.bump("sym.pathsRefuted");
       return;
@@ -171,6 +181,8 @@ private:
     if (IsHead) {
       uint32_t &Cross = Q.LoopCrossings[{Q.Pos.F, B}];
       ++Cross;
+      // Loop-invariant iteration depth: how often paths re-cross heads.
+      S.record("hist.loopCrossings", Cross);
       if (Opts.Loop == LoopMode::DropAll) {
         widenDropAll(Q, *L);
       } else {
@@ -316,6 +328,7 @@ private:
   bool historySubsumed(Query &Q) {
     if (!Opts.QuerySimplification)
       return false; // Ablation: no history at all (paper hypothesis 2).
+    ScopedTimer ST(S, "hist.subsumeNanos"); // Subsumption-check latency.
     std::string Slot = Q.historySlot();
     std::string Key = Q.canonicalKey();
     std::vector<HistoryEntry> &Entries = History[Slot];
@@ -1418,15 +1431,74 @@ private:
   bool Witnessed = false;
   Query WitnessQ;
   std::vector<ProgramPoint> DeepestRefuted;
+  std::map<std::string, uint64_t> RefuteKinds;
 };
 
 //===----------------------------------------------------------------------===//
 // WitnessSearch API
 //===----------------------------------------------------------------------===//
 
+const char *thresher::outcomeName(SearchOutcome O) {
+  switch (O) {
+  case SearchOutcome::Refuted:
+    return "REFUTED";
+  case SearchOutcome::Witnessed:
+    return "WITNESSED";
+  case SearchOutcome::BudgetExhausted:
+    return "TIMEOUT";
+  }
+  return "?";
+}
+
+namespace {
+
+uint64_t nanosSince(std::chrono::steady_clock::time_point T0) {
+  auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+  return static_cast<uint64_t>(Ns < 0 ? 0 : Ns);
+}
+
+} // namespace
+
 WitnessSearch::WitnessSearch(const Program &P, const PointsToResult &PTA,
                              SymOptions Opts)
     : P(P), PTA(PTA), Opts(std::move(Opts)) {}
+
+std::string WitnessSearch::describeSite(const ProducerSite &Site) const {
+  std::string Out = P.funcName(Site.At.F);
+  Out += "@bb";
+  Out += std::to_string(Site.At.B);
+  Out += ":";
+  Out += std::to_string(Site.At.Idx);
+  if (Site.Ctx != InvalidId) {
+    Out += " ctx=";
+    Out += PTA.Locs.label(P, Site.Ctx);
+  }
+  return Out;
+}
+
+void WitnessSearch::emitEdgeTrace(std::string EdgeLabel, bool IsGlobal,
+                                  const EdgeSearchResult &R,
+                                  uint64_t EnumNanos, uint64_t SearchNanos) {
+  S.record("hist.edgeStates", R.StepsUsed);
+  S.record("hist.edgeNanos", EnumNanos + SearchNanos);
+  if (!Trace)
+    return;
+  TraceEvent Ev;
+  Ev.Edge = std::move(EdgeLabel);
+  Ev.IsGlobal = IsGlobal;
+  Ev.Verdict = outcomeName(R.Outcome);
+  Ev.ProducersTried = R.ProducersTried;
+  Ev.Producer = R.WitnessProducer;
+  Ev.Steps = R.StepsUsed;
+  Ev.Budget = Opts.EdgeBudget;
+  Ev.RefuteKinds = R.RefuteKinds;
+  Ev.EnumNanos = EnumNanos;
+  Ev.SearchNanos = SearchNanos;
+  Ev.Note = R.Note;
+  Trace->emit(Ev);
+}
 
 EdgeSearchResult WitnessSearch::searchFieldEdgeAt(AbsLocId Base, FieldId Fld,
                                                   AbsLocId Target,
@@ -1509,8 +1581,12 @@ searchOverProducers(const std::vector<ProducerSite> &Producers,
     }
     EdgeSearchResult R = One(At, Budget);
     Agg.StepsUsed += R.StepsUsed;
+    ++Agg.ProducersTried;
+    for (const auto &[Kind, N] : R.RefuteKinds)
+      Agg.RefuteKinds[Kind] += N;
     if (R.Outcome == SearchOutcome::Witnessed) {
       Agg.Outcome = SearchOutcome::Witnessed;
+      Agg.WitnessProducer = std::move(R.WitnessProducer);
       Agg.WitnessTrail = std::move(R.WitnessTrail);
       Agg.WitnessTrailQueries = std::move(R.WitnessTrailQueries);
       Agg.Note = R.Note;
@@ -1530,21 +1606,40 @@ searchOverProducers(const std::vector<ProducerSite> &Producers,
 
 EdgeSearchResult WitnessSearch::searchFieldEdge(AbsLocId Base, FieldId Fld,
                                                 AbsLocId Target) {
+  auto T0 = std::chrono::steady_clock::now();
   std::vector<ProducerSite> Producers =
       PTA.producersOfFieldEdge(Base, Fld, Target);
+  uint64_t EnumNanos = nanosSince(T0);
   uint64_t Budget = Opts.EdgeBudget;
-  return searchOverProducers(
+  auto T1 = std::chrono::steady_clock::now();
+  EdgeSearchResult R = searchOverProducers(
       Producers, Budget, [&](const ProducerSite &At, uint64_t &B) {
-        return searchFieldEdgeAt(Base, Fld, Target, At, B);
+        EdgeSearchResult One = searchFieldEdgeAt(Base, Fld, Target, At, B);
+        if (One.Outcome == SearchOutcome::Witnessed)
+          One.WitnessProducer = describeSite(At);
+        return One;
       });
+  emitEdgeTrace(PTA.Locs.label(P, Base) + "." + P.fieldName(Fld) + " -> " +
+                    PTA.Locs.label(P, Target),
+                /*IsGlobal=*/false, R, EnumNanos, nanosSince(T1));
+  return R;
 }
 
 EdgeSearchResult WitnessSearch::searchGlobalEdge(GlobalId G,
                                                  AbsLocId Target) {
+  auto T0 = std::chrono::steady_clock::now();
   std::vector<ProducerSite> Producers = PTA.producersOfGlobalEdge(G, Target);
+  uint64_t EnumNanos = nanosSince(T0);
   uint64_t Budget = Opts.EdgeBudget;
-  return searchOverProducers(
+  auto T1 = std::chrono::steady_clock::now();
+  EdgeSearchResult R = searchOverProducers(
       Producers, Budget, [&](const ProducerSite &At, uint64_t &B) {
-        return searchGlobalEdgeAt(G, Target, At, B);
+        EdgeSearchResult One = searchGlobalEdgeAt(G, Target, At, B);
+        if (One.Outcome == SearchOutcome::Witnessed)
+          One.WitnessProducer = describeSite(At);
+        return One;
       });
+  emitEdgeTrace(P.globalName(G) + " -> " + PTA.Locs.label(P, Target),
+                /*IsGlobal=*/true, R, EnumNanos, nanosSince(T1));
+  return R;
 }

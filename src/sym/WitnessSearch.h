@@ -28,8 +28,10 @@
 
 #include "pta/PointsTo.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 #include "sym/Query.h"
 
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -86,10 +88,21 @@ struct SymOptions {
 /// Outcome of one edge (or statement) search.
 enum class SearchOutcome : uint8_t { Refuted, Witnessed, BudgetExhausted };
 
+/// Canonical name for \p O: "REFUTED", "WITNESSED", or "TIMEOUT" (used by
+/// trace events, the JSON report, and the corpus expectations).
+const char *outcomeName(SearchOutcome O);
+
 /// Result of an edge search.
 struct EdgeSearchResult {
   SearchOutcome Outcome = SearchOutcome::Refuted;
   uint64_t StepsUsed = 0;
+  /// Number of producing statements tried before the verdict.
+  uint32_t ProducersTried = 0;
+  /// The producing statement that was witnessed ("func@bb:idx"; empty
+  /// unless Outcome is Witnessed).
+  std::string WitnessProducer;
+  /// Refutation kinds hit while exploring (kind -> refuted path count).
+  std::map<std::string, uint64_t> RefuteKinds;
   /// For Witnessed with RecordTrails: the witnessing path program,
   /// oldest-first program points.
   std::vector<ProgramPoint> WitnessTrail;
@@ -130,18 +143,30 @@ public:
                                       const ProducerSite &Site,
                                       uint64_t &Budget);
 
-  /// Cumulative counters (queries processed, refutations by kind, ...).
+  /// Cumulative counters and histograms (queries processed, refutations
+  /// by kind, states per edge, subsumption latency, ...).
   const Stats &stats() const { return S; }
   Stats &stats() { return S; }
+
+  /// Installs a sink receiving one structured TraceEvent per edge search
+  /// (nullptr disables tracing). Not owned; must outlive the searches.
+  void setTraceSink(TraceSink *Sink) { Trace = Sink; }
 
 private:
   class Run;
   friend class Run;
 
+  /// "func@bb:idx" description of a producing statement.
+  std::string describeSite(const ProducerSite &Site) const;
+  void emitEdgeTrace(std::string EdgeLabel, bool IsGlobal,
+                     const EdgeSearchResult &R, uint64_t EnumNanos,
+                     uint64_t SearchNanos);
+
   const Program &P;
   const PointsToResult &PTA;
   SymOptions Opts;
   Stats S;
+  TraceSink *Trace = nullptr;
 };
 
 } // namespace thresher

@@ -1,0 +1,161 @@
+//===- ablation_test.cpp - Cross-configuration precision invariants -------===//
+//
+// Exercises the ablation axes of the evaluation (Sec. 2.2 / Sec. 3.3)
+// against every points-to edge of every corpus program and checks the
+// precision lattice the paper relies on:
+//
+//  * Mixed refutes a superset of what FullySymbolic refutes: flow-step
+//    narrowing only ever adds constraints, so anything the PSE-style
+//    configuration kills, the paper's system must kill too.
+//
+//  * DropAll never refutes an edge FullInference witnesses: dropping every
+//    loop-touched constraint over-approximates, so it can lose refutations
+//    (that is the hypothesis-3 ablation) but must not invent one.
+//
+// Violations of either invariant are soundness/precision bugs in the
+// engine, not test flakiness: all three configurations are deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "sym/WitnessSearch.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct CorpusProgram {
+  std::string Path;
+  bool Android = false;
+};
+
+std::vector<CorpusProgram> allPrograms() {
+  std::vector<CorpusProgram> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".mj")
+      continue;
+    CorpusProgram CP;
+    CP.Path = Entry.path().string();
+    std::ifstream In(CP.Path);
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.rfind("// ANDROID", 0) == 0)
+        CP.Android = true;
+    Out.push_back(CP);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const CorpusProgram &A, const CorpusProgram &B) {
+              return A.Path < B.Path;
+            });
+  return Out;
+}
+
+struct Edge {
+  bool IsGlobal = false;
+  GlobalId G = InvalidId;
+  AbsLocId Base = InvalidId;
+  FieldId Fld = InvalidId;
+  AbsLocId Target = InvalidId;
+};
+
+/// Every edge of the points-to graph.
+std::vector<Edge> allEdges(const Program &P, const PointsToResult &PTA) {
+  std::vector<Edge> Out;
+  for (GlobalId G = 0; G < P.Globals.size(); ++G)
+    for (AbsLocId L : PTA.ptGlobal(G)) {
+      Edge E;
+      E.IsGlobal = true;
+      E.G = G;
+      E.Target = L;
+      Out.push_back(E);
+    }
+  for (AbsLocId L = 0; L < PTA.Locs.size(); ++L)
+    for (auto [Fld, T] : PTA.fieldEdges(L)) {
+      Edge E;
+      E.Base = L;
+      E.Fld = Fld;
+      E.Target = T;
+      Out.push_back(E);
+    }
+  return Out;
+}
+
+SearchOutcome searchEdge(WitnessSearch &WS, const Edge &E) {
+  return (E.IsGlobal ? WS.searchGlobalEdge(E.G, E.Target)
+                     : WS.searchFieldEdge(E.Base, E.Fld, E.Target))
+      .Outcome;
+}
+
+std::string edgeLabel(const Program &P, const PointsToResult &PTA,
+                      const Edge &E) {
+  if (E.IsGlobal)
+    return P.globalName(E.G) + " -> " + PTA.Locs.label(P, E.Target);
+  return PTA.Locs.label(P, E.Base) + "." + P.fieldName(E.Fld) + " -> " +
+         PTA.Locs.label(P, E.Target);
+}
+
+class AblationTest : public ::testing::TestWithParam<CorpusProgram> {};
+
+} // namespace
+
+TEST_P(AblationTest, PrecisionLatticeHolds) {
+  const CorpusProgram &CP = GetParam();
+  SCOPED_TRACE(CP.Path);
+  std::ifstream In(CP.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  CompileResult CR =
+      CP.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+
+  SymOptions MixedOpts; // The paper's system: Mixed + FullInference.
+  SymOptions SymbolicOpts;
+  SymbolicOpts.Repr = Representation::FullySymbolic;
+  SymOptions DropAllOpts;
+  DropAllOpts.Loop = LoopMode::DropAll;
+
+  WitnessSearch Mixed(P, *PTA, MixedOpts);
+  WitnessSearch Symbolic(P, *PTA, SymbolicOpts);
+  WitnessSearch DropAll(P, *PTA, DropAllOpts);
+
+  for (const Edge &E : allEdges(P, *PTA)) {
+    SCOPED_TRACE(edgeLabel(P, *PTA, E));
+    SearchOutcome OMixed = searchEdge(Mixed, E);
+    SearchOutcome OSymbolic = searchEdge(Symbolic, E);
+    SearchOutcome ODropAll = searchEdge(DropAll, E);
+
+    if (OSymbolic == SearchOutcome::Refuted) {
+      EXPECT_EQ(OMixed, SearchOutcome::Refuted)
+          << "FullySymbolic refuted an edge Mixed could not";
+    }
+    if (OMixed == SearchOutcome::Witnessed) {
+      EXPECT_NE(ODropAll, SearchOutcome::Refuted)
+          << "DropAll refuted an edge FullInference witnessed";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, AblationTest, ::testing::ValuesIn(allPrograms()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      std::string Name =
+          std::filesystem::path(Info.param.Path).stem().string();
+      for (char &Ch : Name)
+        if (!isalnum(static_cast<unsigned char>(Ch)))
+          Ch = '_';
+      return Name;
+    });

@@ -89,18 +89,6 @@ std::vector<CorpusCase> allCases() {
   return Cases;
 }
 
-std::string outcomeName(SearchOutcome O) {
-  switch (O) {
-  case SearchOutcome::Refuted:
-    return "REFUTED";
-  case SearchOutcome::Witnessed:
-    return "WITNESSED";
-  case SearchOutcome::BudgetExhausted:
-    return "TIMEOUT";
-  }
-  return "?";
-}
-
 class CorpusTest : public ::testing::TestWithParam<CorpusCase> {};
 
 } // namespace

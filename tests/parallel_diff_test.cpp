@@ -1,0 +1,177 @@
+//===- parallel_diff_test.cpp - 1-vs-N thread differential harness --------===//
+//
+// Runs the leak checker with 1, 2, and 4 threads over every corpus program
+// and requires bit-identical observable behaviour: the same alarm verdicts,
+// the same per-edge verdicts (label, kind, outcome, steps), and the same
+// deterministic-form JSON report, byte for byte. The parallel mode may
+// thresh MORE edges (prefetch), but everything the report exposes as
+// deterministic must not depend on the thread count.
+//
+// This is the pin that keeps the parallel extension honest: any scheduling
+// leak into verdicts, exploration order, or serialization shows up as a
+// string diff here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "leak/LeakChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct CorpusProgram {
+  std::string Path;
+  bool Android = false;
+};
+
+std::vector<CorpusProgram> allPrograms() {
+  std::vector<CorpusProgram> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".mj")
+      continue;
+    CorpusProgram CP;
+    CP.Path = Entry.path().string();
+    std::ifstream In(CP.Path);
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.rfind("// ANDROID", 0) == 0)
+        CP.Android = true;
+    Out.push_back(CP);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const CorpusProgram &A, const CorpusProgram &B) {
+              return A.Path < B.Path;
+            });
+  return Out;
+}
+
+/// One thread-count run's observable outputs.
+struct RunObservation {
+  LeakReport Report;
+  std::string DeterministicJson;
+  /// Deterministic trace fields keyed by edge label (the trace may cover
+  /// more edges under prefetch; the consulted subset must agree).
+  std::map<std::string, std::tuple<std::string, uint32_t, uint64_t, uint64_t>>
+      TraceByEdge;
+};
+
+class ParallelDiffTest : public ::testing::TestWithParam<CorpusProgram> {};
+
+} // namespace
+
+TEST_P(ParallelDiffTest, ThreadCountInvariance) {
+  const CorpusProgram &CP = GetParam();
+  SCOPED_TRACE(CP.Path);
+  std::ifstream In(CP.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  CompileResult CR =
+      CP.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+
+  // Android programs check the real Activity sink. Plain programs have no
+  // Activity class, but the thread-count invariance must hold regardless
+  // of the sink, so pick the class that produces the most alarms (falling
+  // back to class 0 — even an alarm-free report must be identical).
+  ClassId Act = activityBaseClass(P);
+  if (Act == InvalidId) {
+    ASSERT_GT(P.Classes.size(), 0u);
+    Act = 0;
+    uint32_t BestAlarms = 0;
+    for (ClassId C = 0; C < P.Classes.size(); ++C) {
+      LeakChecker Probe(P, *PTA, C);
+      uint32_t N = Probe.run(1).NumAlarms;
+      if (N > BestAlarms) {
+        BestAlarms = N;
+        Act = C;
+      }
+    }
+  }
+
+  const unsigned ThreadCounts[] = {1, 2, 4};
+  std::vector<RunObservation> Obs;
+  for (unsigned T : ThreadCounts) {
+    LeakChecker LC(P, *PTA, Act);
+    RunObservation O;
+    O.Report = LC.run(T);
+    ReportJsonOptions JO;
+    JO.DeterministicOnly = true;
+    O.DeterministicJson = LC.buildJsonReport(O.Report, JO).toString(2);
+    for (const TraceEvent &Ev : LC.traceEvents())
+      O.TraceByEdge.emplace(
+          Ev.Edge, std::make_tuple(Ev.Verdict, Ev.ProducersTried, Ev.Steps,
+                                   Ev.Budget));
+    Obs.push_back(std::move(O));
+  }
+
+  const RunObservation &Base = Obs[0];
+  EXPECT_EQ(Base.Report.PrefetchedEdges, Base.Report.Edges.size())
+      << "sequential run must not thresh edges it never consults";
+  for (size_t I = 1; I < Obs.size(); ++I) {
+    const RunObservation &O = Obs[I];
+    SCOPED_TRACE("threads=" + std::to_string(ThreadCounts[I]));
+
+    // Alarm verdicts.
+    ASSERT_EQ(O.Report.Alarms.size(), Base.Report.Alarms.size());
+    for (size_t A = 0; A < O.Report.Alarms.size(); ++A) {
+      EXPECT_EQ(O.Report.Alarms[A].Source, Base.Report.Alarms[A].Source);
+      EXPECT_EQ(O.Report.Alarms[A].Activity, Base.Report.Alarms[A].Activity);
+      EXPECT_EQ(O.Report.Alarms[A].Status, Base.Report.Alarms[A].Status);
+      EXPECT_EQ(O.Report.Alarms[A].PathDescription,
+                Base.Report.Alarms[A].PathDescription);
+    }
+
+    // Per-edge verdicts, including the consulted-edge totals.
+    ASSERT_EQ(O.Report.Edges.size(), Base.Report.Edges.size());
+    for (size_t E = 0; E < O.Report.Edges.size(); ++E) {
+      EXPECT_EQ(O.Report.Edges[E].Label, Base.Report.Edges[E].Label);
+      EXPECT_EQ(O.Report.Edges[E].IsGlobal, Base.Report.Edges[E].IsGlobal);
+      EXPECT_EQ(O.Report.Edges[E].Outcome, Base.Report.Edges[E].Outcome)
+          << O.Report.Edges[E].Label;
+      EXPECT_EQ(O.Report.Edges[E].Steps, Base.Report.Edges[E].Steps)
+          << O.Report.Edges[E].Label;
+    }
+    EXPECT_EQ(O.Report.RefutedEdges, Base.Report.RefutedEdges);
+    EXPECT_EQ(O.Report.WitnessedEdges, Base.Report.WitnessedEdges);
+    EXPECT_EQ(O.Report.TimeoutEdges, Base.Report.TimeoutEdges);
+    EXPECT_GE(O.Report.PrefetchedEdges, O.Report.Edges.size());
+
+    // The deterministic JSON form must be byte-identical.
+    EXPECT_EQ(O.DeterministicJson, Base.DeterministicJson);
+
+    // Trace events for every consulted edge must carry the same
+    // deterministic fields (the prefetch trace is a superset).
+    for (const auto &[Edge, Fields] : Base.TraceByEdge) {
+      auto It = O.TraceByEdge.find(Edge);
+      ASSERT_NE(It, O.TraceByEdge.end()) << Edge;
+      EXPECT_EQ(It->second, Fields) << Edge;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, ParallelDiffTest, ::testing::ValuesIn(allPrograms()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      std::string Name =
+          std::filesystem::path(Info.param.Path).stem().string();
+      for (char &Ch : Name)
+        if (!isalnum(static_cast<unsigned char>(Ch)))
+          Ch = '_';
+      return Name;
+    });

@@ -1,0 +1,210 @@
+//===- report_test.cpp - JSON report schema and consistency ---------------===//
+//
+// Pins the machine-readable report (schema thresher-report/v1) three ways:
+//
+//  1. A golden *type skeleton* snapshot: the report document with every
+//     scalar replaced by its type name and every array collapsed to one
+//     element, checked against tests/golden/report_schema.json. Open-ended
+//     maps (effort.counters, effort.histograms) are collapsed to a "*"
+//     member so adding a counter does not churn the schema. Regenerate with
+//     THRESHER_UPDATE_GOLDEN=1 after an intentional schema change.
+//
+//  2. Consistency: the counters serialized into the report equal the live
+//     Stats registry, and the summary totals equal the LeakReport fields.
+//
+//  3. Round-tripping: parse(serialize(doc)) reserializes byte-identically,
+//     and the deterministic form omits the volatile sections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "leak/LeakChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+#ifndef THRESHER_GOLDEN_DIR
+#error "THRESHER_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace {
+
+/// Replaces scalars by their type names and collapses arrays to one
+/// element; object members under a wildcard path collapse to "*".
+JsonValue skeletonize(const JsonValue &V, const std::string &Path,
+                      const std::set<std::string> &WildcardPaths) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    return JsonValue::makeString("null");
+  case JsonValue::Kind::Bool:
+    return JsonValue::makeString("bool");
+  case JsonValue::Kind::Int:
+    return JsonValue::makeString("int");
+  case JsonValue::Kind::Double:
+    return JsonValue::makeString("double");
+  case JsonValue::Kind::String:
+    return JsonValue::makeString("string");
+  case JsonValue::Kind::Array: {
+    JsonValue A = JsonValue::makeArray();
+    if (!V.items().empty())
+      A.append(skeletonize(V.items().front(), Path + ".[]", WildcardPaths));
+    return A;
+  }
+  case JsonValue::Kind::Object: {
+    JsonValue O = JsonValue::makeObject();
+    if (WildcardPaths.count(Path)) {
+      if (!V.members().empty())
+        O.set("*", skeletonize(V.members().front().second, Path + ".*",
+                               WildcardPaths));
+      return O;
+    }
+    for (const auto &[Key, Member] : V.members())
+      O.set(Key, skeletonize(Member, Path.empty() ? Key : Path + "." + Key,
+                             WildcardPaths));
+    return O;
+  }
+  }
+  return JsonValue();
+}
+
+struct ReportFixture {
+  std::unique_ptr<CompileResult> CR;
+  std::unique_ptr<PointsToResult> PTA;
+  std::unique_ptr<LeakChecker> LC;
+  LeakReport Report;
+
+  ReportFixture() {
+    std::ifstream In(std::string(THRESHER_CORPUS_DIR) +
+                     "/android_vec_figure1.mj");
+    std::stringstream SS;
+    SS << In.rdbuf();
+    CR = std::make_unique<CompileResult>(compileAndroidApp(SS.str()));
+    EXPECT_TRUE(CR->ok());
+    PTA = PointsToAnalysis(*CR->Prog).run();
+    LC = std::make_unique<LeakChecker>(*CR->Prog, *PTA,
+                                       activityBaseClass(*CR->Prog));
+    Report = LC->run();
+  }
+};
+
+} // namespace
+
+TEST(ReportTest, GoldenSchemaSnapshot) {
+  ReportFixture F;
+  JsonValue Doc = F.LC->buildJsonReport(F.Report);
+  JsonValue Skeleton = skeletonize(
+      Doc, "", {"effort.counters", "effort.histograms"});
+  std::string Got = Skeleton.toString(2) + "\n";
+
+  std::string GoldenPath =
+      std::string(THRESHER_GOLDEN_DIR) + "/report_schema.json";
+  if (std::getenv("THRESHER_UPDATE_GOLDEN")) {
+    std::ofstream Out(GoldenPath);
+    Out << Got;
+    GTEST_SKIP() << "wrote " << GoldenPath;
+  }
+  std::ifstream In(GoldenPath);
+  ASSERT_TRUE(In) << "missing golden " << GoldenPath
+                  << " (run with THRESHER_UPDATE_GOLDEN=1 to create)";
+  std::stringstream Want;
+  Want << In.rdbuf();
+  EXPECT_EQ(Got, Want.str())
+      << "report schema changed; if intentional, bump ReportSchemaVersion "
+         "and regenerate with THRESHER_UPDATE_GOLDEN=1";
+}
+
+TEST(ReportTest, SchemaVersionStamped) {
+  ReportFixture F;
+  JsonValue Doc = F.LC->buildJsonReport(F.Report);
+  ASSERT_NE(Doc.find("schema"), nullptr);
+  EXPECT_EQ(Doc.find("schema")->asString(),
+            LeakChecker::ReportSchemaVersion);
+  EXPECT_STREQ(LeakChecker::ReportSchemaVersion, "thresher-report/v1");
+}
+
+TEST(ReportTest, SummaryMatchesReportFields) {
+  ReportFixture F;
+  JsonValue Doc = F.LC->buildJsonReport(F.Report);
+  EXPECT_EQ(Doc.findPath("summary.alarms")->asUint(), F.Report.NumAlarms);
+  EXPECT_EQ(Doc.findPath("summary.refutedAlarms")->asUint(),
+            F.Report.RefutedAlarms);
+  EXPECT_EQ(Doc.findPath("summary.fields")->asUint(), F.Report.Fields);
+  EXPECT_EQ(Doc.findPath("summary.refutedFields")->asUint(),
+            F.Report.RefutedFields);
+  EXPECT_EQ(Doc.findPath("summary.edges.consulted")->asUint(),
+            F.Report.Edges.size());
+  EXPECT_EQ(Doc.findPath("summary.edges.refuted")->asUint(),
+            F.Report.RefutedEdges);
+  EXPECT_EQ(Doc.findPath("summary.edges.witnessed")->asUint(),
+            F.Report.WitnessedEdges);
+  EXPECT_EQ(Doc.findPath("summary.edges.timeout")->asUint(),
+            F.Report.TimeoutEdges);
+  EXPECT_EQ(Doc.findPath("alarms")->size(), F.Report.Alarms.size());
+  EXPECT_EQ(Doc.findPath("edges")->size(), F.Report.Edges.size());
+  // Edge verdict totals partition the consulted edges.
+  EXPECT_EQ(F.Report.RefutedEdges + F.Report.WitnessedEdges +
+                F.Report.TimeoutEdges,
+            F.Report.Edges.size());
+}
+
+TEST(ReportTest, CountersMatchStatsRegistry) {
+  ReportFixture F;
+  JsonValue Doc = F.LC->buildJsonReport(F.Report);
+  const JsonValue *Counters = Doc.findPath("effort.counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_TRUE(Counters->isObject());
+  EXPECT_FALSE(Counters->members().empty());
+  for (const auto &[Name, Value] : Counters->members())
+    EXPECT_EQ(Value.asUint(), F.LC->stats().get(Name)) << Name;
+  // Every registry counter is serialized (same cardinality both ways).
+  EXPECT_EQ(Counters->size(), F.LC->stats().counterSnapshot().size());
+  // The points-to phase's effort was folded in (tentpole wiring).
+  EXPECT_GT(F.LC->stats().get("pta.absLocs"), 0u);
+  EXPECT_GT(F.LC->stats().get("pta.edges"), 0u);
+  // Histograms likewise.
+  const JsonValue *Hists = Doc.findPath("effort.histograms");
+  ASSERT_NE(Hists, nullptr);
+  for (const auto &[Name, H] : Hists->members()) {
+    Histogram Live = F.LC->stats().histogram(Name);
+    EXPECT_EQ(H.find("count")->asUint(), Live.count()) << Name;
+    EXPECT_EQ(H.find("sum")->asUint(), Live.sum()) << Name;
+  }
+  EXPECT_GT(F.LC->stats().histogram("hist.edgeStates").count(), 0u);
+}
+
+TEST(ReportTest, RoundTripsThroughParser) {
+  ReportFixture F;
+  JsonValue Doc = F.LC->buildJsonReport(F.Report);
+  for (int Indent : {-1, 0, 2, 4}) {
+    std::string Wire = Doc.toString(Indent);
+    JsonValue Back;
+    std::string Error;
+    ASSERT_TRUE(parseJson(Wire, Back, &Error)) << Error;
+    EXPECT_EQ(Back.toString(Indent), Wire);
+  }
+}
+
+TEST(ReportTest, DeterministicFormOmitsVolatileSections) {
+  ReportFixture F;
+  ReportJsonOptions JO;
+  JO.DeterministicOnly = true;
+  JsonValue Doc = F.LC->buildJsonReport(F.Report, JO);
+  EXPECT_EQ(Doc.find("effort"), nullptr);
+  const JsonValue *Edges = Doc.find("edges");
+  ASSERT_NE(Edges, nullptr);
+  for (const JsonValue &E : Edges->items())
+    EXPECT_EQ(E.find("nanos"), nullptr);
+  // The full form has both.
+  JsonValue Full = F.LC->buildJsonReport(F.Report);
+  EXPECT_NE(Full.find("effort"), nullptr);
+  EXPECT_NE(Full.findPath("effort.prefetchedEdges"), nullptr);
+}

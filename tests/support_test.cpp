@@ -1,14 +1,17 @@
 //===- support_test.cpp - Unit tests for support utilities ---------------===//
 
 #include "support/IdSet.h"
+#include "support/Json.h"
 #include "support/Stats.h"
 #include "support/StringPool.h"
+#include "support/Trace.h"
 #include "support/UnionFind.h"
 
 #include <gtest/gtest.h>
 
 #include <random>
 #include <set>
+#include <thread>
 
 using namespace thresher;
 
@@ -113,4 +116,201 @@ TEST(StatsTest, BumpAndMerge) {
   EXPECT_EQ(A.get("missing"), 0u);
   A.mergeFrom(B);
   EXPECT_EQ(A.get("y"), 2u);
+}
+
+TEST(StatsTest, HistogramRecordAndMerge) {
+  Stats S;
+  S.record("h", 0);
+  S.record("h", 1);
+  S.record("h", 7);
+  S.record("h", 1000);
+  Histogram H = S.histogram("h");
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 1008u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1000u);
+  EXPECT_DOUBLE_EQ(H.mean(), 252.0);
+
+  Stats T;
+  T.record("h", 3);
+  S.mergeFrom(T);
+  EXPECT_EQ(S.histogram("h").count(), 5u);
+  EXPECT_EQ(S.histogram("h").sum(), 1011u);
+  EXPECT_EQ(S.histogram("missing").count(), 0u);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFor(2), 2u);
+  EXPECT_EQ(Histogram::bucketFor(3), 2u);
+  EXPECT_EQ(Histogram::bucketFor(4), 3u);
+  EXPECT_EQ(Histogram::bucketFor(UINT64_MAX), 64u);
+  for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+    uint64_t Lo = Histogram::bucketLo(B);
+    EXPECT_EQ(Histogram::bucketFor(Lo), B) << B;
+  }
+}
+
+TEST(HistogramTest, QuantileFromBuckets) {
+  Histogram H;
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  for (int I = 0; I < 50; ++I)
+    H.record(4); // bucket 3, lower bound 4
+  for (int I = 0; I < 50; ++I)
+    H.record(1024); // bucket 11, lower bound 1024
+  EXPECT_EQ(H.quantile(0.0), 4u);
+  EXPECT_EQ(H.quantile(0.25), 4u);
+  EXPECT_EQ(H.quantile(0.75), 1024u);
+  EXPECT_EQ(H.quantile(1.0), 1024u);
+}
+
+// TSan-able: concurrent bump/record/read/merge on one shared registry must
+// be free of data races and lose no updates. The CI thread-sanitizer job
+// runs this with real interleavings.
+TEST(StatsTest, ConcurrentBumpRecordMerge) {
+  Stats Shared;
+  constexpr int Threads = 8;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T) {
+    Pool.emplace_back([&Shared, T]() {
+      Stats Local;
+      for (int I = 0; I < PerThread; ++I) {
+        Shared.bump("shared.counter");
+        Shared.record("shared.hist", static_cast<uint64_t>(I));
+        Local.bump("local.counter");
+        if (I % 100 == 0) {
+          // Concurrent readers on the shared registry.
+          (void)Shared.get("shared.counter");
+          (void)Shared.histogram("shared.hist");
+          (void)Shared.counterSnapshot();
+        }
+      }
+      Local.bump("thread." + std::to_string(T));
+      Shared.mergeFrom(Local);
+    });
+  }
+  for (std::thread &Th : Pool)
+    Th.join();
+  EXPECT_EQ(Shared.get("shared.counter"),
+            static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(Shared.get("local.counter"),
+            static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(Shared.histogram("shared.hist").count(),
+            static_cast<uint64_t>(Threads) * PerThread);
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(Shared.get("thread." + std::to_string(T)), 1u);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedNanos) {
+  Stats S;
+  {
+    ScopedTimer T(S, "hist.elapsed");
+    volatile int Sink = 0;
+    for (int I = 0; I < 1000; ++I)
+      Sink = Sink + I;
+  }
+  Histogram H = S.histogram("hist.elapsed");
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_GT(H.sum(), 0u);
+}
+
+TEST(JsonTest, BuildSerializeParse) {
+  JsonValue O = JsonValue::makeObject();
+  O.set("b", JsonValue::makeBool(true));
+  O.set("i", JsonValue::makeInt(-3));
+  O.set("u", JsonValue::makeUint(42));
+  O.set("d", JsonValue::makeDouble(1.5));
+  O.set("s", JsonValue::makeString("he \"quoted\"\n"));
+  JsonValue A = JsonValue::makeArray();
+  A.append(JsonValue::makeInt(1));
+  A.append(JsonValue());
+  O.set("a", std::move(A));
+
+  std::string Wire = O.toString();
+  JsonValue Back;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Wire, Back, &Error)) << Error;
+  EXPECT_EQ(Back.toString(), Wire);
+  EXPECT_EQ(Back.findPath("u")->asUint(), 42u);
+  EXPECT_EQ(Back.findPath("s")->asString(), "he \"quoted\"\n");
+  EXPECT_TRUE(Back.findPath("a")->items()[1].isNull());
+  EXPECT_EQ(Back.findPath("missing.hop"), nullptr);
+}
+
+TEST(JsonTest, InsertionOrderIsPreserved) {
+  JsonValue O = JsonValue::makeObject();
+  O.set("zzz", JsonValue::makeInt(1));
+  O.set("aaa", JsonValue::makeInt(2));
+  O.set("mmm", JsonValue::makeInt(3));
+  EXPECT_EQ(O.toString(), "{\"zzz\":1,\"aaa\":2,\"mmm\":3}");
+  O.set("zzz", JsonValue::makeInt(9)); // Replace keeps the slot.
+  EXPECT_EQ(O.toString(), "{\"zzz\":9,\"aaa\":2,\"mmm\":3}");
+}
+
+TEST(JsonTest, ParserRejectsMalformed) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(parseJson("{", V, &Error));
+  EXPECT_FALSE(parseJson("[1,]", V, &Error));
+  EXPECT_FALSE(parseJson("\"unterminated", V, &Error));
+  EXPECT_FALSE(parseJson("{\"a\":1} trailing", V, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(TraceTest, DeterministicMergeAcrossBuffers) {
+  auto Ev = [](const std::string &Edge, uint64_t Steps) {
+    TraceEvent E;
+    E.Edge = Edge;
+    E.Steps = Steps;
+    E.Verdict = "REFUTED";
+    return E;
+  };
+  // Two "worker" buffers in arbitrary completion order, plus a duplicate
+  // edge label disambiguated by steps.
+  std::vector<std::vector<TraceEvent>> A = {{Ev("b", 2), Ev("a", 1)},
+                                            {Ev("c", 3), Ev("b", 1)}};
+  std::vector<std::vector<TraceEvent>> B = {{Ev("b", 1), Ev("c", 3)},
+                                            {Ev("a", 1), Ev("b", 2)}};
+  std::vector<TraceEvent> MA = mergeTraceEvents(std::move(A));
+  std::vector<TraceEvent> MB = mergeTraceEvents(std::move(B));
+  ASSERT_EQ(MA.size(), 4u);
+  ASSERT_EQ(MB.size(), 4u);
+  for (size_t I = 0; I < MA.size(); ++I) {
+    EXPECT_EQ(MA[I].Seq, I);
+    EXPECT_EQ(MA[I].Edge, MB[I].Edge);
+    EXPECT_EQ(MA[I].Steps, MB[I].Steps);
+  }
+  EXPECT_EQ(MA[0].Edge, "a");
+  EXPECT_EQ(MA[1].Edge, "b");
+  EXPECT_EQ(MA[1].Steps, 1u);
+  EXPECT_EQ(MA[2].Steps, 2u);
+  EXPECT_EQ(MA[3].Edge, "c");
+}
+
+TEST(TraceTest, EventJsonShape) {
+  TraceEvent E;
+  E.Seq = 7;
+  E.Edge = "F.g -> loc";
+  E.IsGlobal = true;
+  E.Verdict = "WITNESSED";
+  E.ProducersTried = 2;
+  E.Producer = "main@bb0:1";
+  E.Steps = 12;
+  E.Budget = 100;
+  E.RefuteKinds["pure"] = 3;
+  E.EnumNanos = 10;
+  E.SearchNanos = 20;
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(parseJson(traceEventToJson(E), V, &Error)) << Error;
+  EXPECT_EQ(V.findPath("seq")->asUint(), 7u);
+  EXPECT_EQ(V.findPath("edge")->asString(), "F.g -> loc");
+  EXPECT_EQ(V.findPath("kind")->asString(), "global");
+  EXPECT_EQ(V.findPath("verdict")->asString(), "WITNESSED");
+  EXPECT_EQ(V.findPath("producer")->asString(), "main@bb0:1");
+  EXPECT_EQ(V.findPath("refuteKinds.pure")->asUint(), 3u);
+  EXPECT_EQ(V.findPath("phases.enumNanos")->asUint(), 10u);
+  EXPECT_EQ(V.findPath("phases.searchNanos")->asUint(), 20u);
 }

@@ -27,6 +27,13 @@
 //   --entry NAME           entry function name (default "main")
 //   --activity CLASS       Activity base class (default "Activity")
 //   --stats                print engine counters
+//   --json FILE            write the machine-readable report for 'check'
+//                          (schema thresher-report/v1; "-" for stdout)
+//   --trace FILE           write per-edge JSONL trace events for 'check'
+//                          ("-" for stdout)
+//
+// The JSON report and trace event schemas are documented in
+// docs/OBSERVABILITY.md.
 //
 //===----------------------------------------------------------------------===//
 
@@ -56,6 +63,7 @@ struct CliOptions {
   std::string Entry = "main";
   std::string ActivityClass = "Activity";
   std::string EdgeFrom, EdgeTo;
+  std::string JsonPath, TracePath;
   unsigned Threads = 1;
   SymOptions Sym;
 };
@@ -145,6 +153,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       if (!V)
         return false;
       O.ActivityClass = V;
+    } else if (A == "--json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.JsonPath = V;
+    } else if (A == "--trace") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.TracePath = V;
     } else if (A == "--from") {
       const char *V = Next();
       if (!V)
@@ -197,6 +215,30 @@ int runCheck(const CliOptions &O, const Program &P,
   }
   LeakChecker LC(P, PTA, ActBase, O.Sym);
   LeakReport R = LC.run(O.Threads);
+  if (!O.JsonPath.empty()) {
+    if (O.JsonPath == "-") {
+      LC.writeJsonReport(std::cout, R);
+    } else {
+      std::ofstream Out(O.JsonPath);
+      if (!Out) {
+        std::cerr << "error: cannot write '" << O.JsonPath << "'\n";
+        return 1;
+      }
+      LC.writeJsonReport(Out, R);
+    }
+  }
+  if (!O.TracePath.empty()) {
+    if (O.TracePath == "-") {
+      LC.writeTraceJsonl(std::cout);
+    } else {
+      std::ofstream Out(O.TracePath);
+      if (!Out) {
+        std::cerr << "error: cannot write '" << O.TracePath << "'\n";
+        return 1;
+      }
+      LC.writeTraceJsonl(Out);
+    }
+  }
   std::cout << "alarms: " << R.NumAlarms << "  refuted: " << R.RefutedAlarms
             << "  fields: " << R.Fields << "  refuted fields: "
             << R.RefutedFields << "\nedges refuted: " << R.RefutedEdges
