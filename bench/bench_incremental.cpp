@@ -1,0 +1,150 @@
+//===- bench_incremental.cpp - Refutation cache cold/warm/edit ------------===//
+//
+// Measures what the persistent refutation cache buys on the corpus: for
+// every program, a cold run (empty cache), a warm run over unmodified
+// source (every consulted edge should hit), and a warm run after a
+// one-function edit (only edges whose recorded footprint includes the
+// edited function are re-searched). The edit pads the entry function,
+// which sits on most footprints — so the "edit" column is close to the
+// worst case for incrementality, and the per-edge invalidation counts show
+// how much of the store still survives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "cache/RefutationCache.h"
+#include "leak/LeakChecker.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct CorpusProgram {
+  std::string Name;
+  std::string Text;
+  bool Android = false;
+};
+
+std::vector<CorpusProgram> allPrograms() {
+  std::vector<CorpusProgram> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".mj")
+      continue;
+    CorpusProgram CP;
+    CP.Name = Entry.path().stem().string();
+    std::ifstream In(Entry.path());
+    std::stringstream SS;
+    SS << In.rdbuf();
+    CP.Text = SS.str();
+    CP.Android = CP.Text.find("// ANDROID") != std::string::npos;
+    Out.push_back(CP);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const CorpusProgram &A, const CorpusProgram &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+struct Measurement {
+  double Seconds = 0.0;
+  LeakReport::CacheSummary Cache;
+  uint64_t Searches = 0;
+};
+
+/// One cached check of \p Text against the store in \p Dir.
+Measurement measure(const std::string &Text, bool Android,
+                    const std::string &Dir) {
+  CompileResult CR = Android ? compileAndroidApp(Text) : compileMJ(Text);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 CR.Errors.empty() ? "?" : CR.Errors[0].c_str());
+    std::exit(1);
+  }
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ClassId Act = activityBaseClass(P);
+  if (Act == InvalidId)
+    Act = P.ObjectClass; // Plain programs: treat every allocation as a sink.
+
+  RefutationCache Cache(Dir);
+  Cache.load();
+  uint64_t Config = RefutationCache::configHash(SymOptions{}, false);
+
+  Measurement M;
+  Timer T;
+  Cache.validate(P, *PTA, Config);
+  LeakChecker LC(P, *PTA, Act, SymOptions{});
+  LC.setCache(&Cache, Config, false);
+  LeakReport R = LC.run(1);
+  M.Seconds = T.seconds(); // Validation + threshing, i.e. the warm path.
+  M.Cache = R.Cache;
+  M.Searches = LC.stats().get("leak.searches");
+  Cache.save();
+  return M;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Incremental re-analysis: cold vs. warm vs. one-function "
+              "edit ===\n");
+  std::printf("(edit = pad the entry function; searches = real witness "
+              "searches run)\n");
+  std::printf("%-26s %9s %9s %5s %9s %6s %6s %6s\n", "Benchmark", "cold(s)",
+              "warm(s)", "hits", "edit(s)", "inval", "hits", "srch");
+  double ColdTotal = 0, WarmTotal = 0, EditTotal = 0;
+  for (const CorpusProgram &CP : allPrograms()) {
+    auto Dir = std::filesystem::temp_directory_path() /
+               ("thresher_bench_incremental_" + CP.Name);
+    std::filesystem::remove_all(Dir);
+
+    Measurement Cold = measure(CP.Text, CP.Android, Dir.string());
+    Measurement Warm = measure(CP.Text, CP.Android, Dir.string());
+
+    // The one-function edit: pad main() with a dead local. Every corpus
+    // program declares `fun main()`.
+    std::string Edited = CP.Text;
+    size_t At = Edited.find("fun main() {");
+    if (At == std::string::npos) {
+      std::fprintf(stderr, "%s: no 'fun main() {'\n", CP.Name.c_str());
+      return 1;
+    }
+    Edited.replace(At, 12, "fun main() { var __benchpad = 0;");
+    Measurement Edit = measure(Edited, CP.Android, Dir.string());
+
+    std::filesystem::remove_all(Dir);
+    ColdTotal += Cold.Seconds;
+    WarmTotal += Warm.Seconds;
+    EditTotal += Edit.Seconds;
+    std::printf("%-26s %9.4f %9.4f %5llu %9.4f %6llu %6llu %6llu\n",
+                CP.Name.c_str(), Cold.Seconds, Warm.Seconds,
+                static_cast<unsigned long long>(Warm.Cache.Hits),
+                Edit.Seconds,
+                static_cast<unsigned long long>(Edit.Cache.Invalidated),
+                static_cast<unsigned long long>(Edit.Cache.Hits),
+                static_cast<unsigned long long>(Edit.Searches));
+    if (Warm.Searches != 0)
+      std::printf("  WARNING: warm run performed %llu searches\n",
+                  static_cast<unsigned long long>(Warm.Searches));
+  }
+  std::printf("%-26s %9.4f %9.4f %5s %9.4f\n", "TOTAL", ColdTotal, WarmTotal,
+              "", EditTotal);
+  if (ColdTotal > 0 && WarmTotal > 0 && EditTotal > 0)
+    std::printf("warm speedup = %.2fX, edit speedup = %.2fX\n",
+                ColdTotal / WarmTotal, ColdTotal / EditTotal);
+  return 0;
+}

@@ -1,0 +1,424 @@
+//===- Facts.cpp - Replayable dependency facts for the cache --------------===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/Facts.h"
+
+#include "ir/Fingerprint.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace thresher;
+
+//===----------------------------------------------------------------------===//
+// Canonical value strings
+//===----------------------------------------------------------------------===//
+//
+// Each consulted points-to fact is rendered as a canonical string built
+// from *names* (loc labels, qualified function names), sorted so that the
+// value is independent of dense-id assignment. materializeFootprint hashes
+// these at record time; FactReplayer recomputes and compares at reuse time.
+
+namespace {
+
+std::string ctxLabel(const Program &P, const PointsToResult &PTA,
+                     AbsLocId Ctx) {
+  return Ctx == InvalidId ? std::string("-") : PTA.Locs.label(P, Ctx);
+}
+
+std::string joinSorted(std::vector<std::string> Parts) {
+  std::sort(Parts.begin(), Parts.end());
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += ' ';
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string locSetValue(const Program &P, const PointsToResult &PTA,
+                        const IdSet &Locs) {
+  std::vector<std::string> Labels;
+  Labels.reserve(Locs.size());
+  for (AbsLocId L : Locs)
+    Labels.push_back(PTA.Locs.label(P, L));
+  return joinSorted(std::move(Labels));
+}
+
+std::string calleeSiteValue(const Program &P, const PointsToResult &PTA,
+                            const ProgramPoint &At, AbsLocId Ctx) {
+  std::vector<std::string> Parts;
+  for (const CallEdge &E : PTA.calleesAtCtx(At, Ctx))
+    Parts.push_back(P.funcName(E.Callee) + "|" +
+                    ctxLabel(P, PTA, E.CalleeCtx));
+  return joinSorted(std::move(Parts));
+}
+
+std::string calleesAllValue(const Program &P, const PointsToResult &PTA,
+                            const ProgramPoint &At) {
+  std::vector<std::string> Parts;
+  for (FuncId Callee : PTA.calleesAt(At))
+    Parts.push_back(P.funcName(Callee));
+  return joinSorted(std::move(Parts));
+}
+
+std::string siteDesc(const Program &P, const PointsToResult &PTA,
+                     const ProgramPoint &At, AbsLocId Ctx) {
+  std::ostringstream OS;
+  OS << P.funcName(At.F) << "@bb" << At.B << ":" << At.Idx << "|"
+     << ctxLabel(P, PTA, Ctx);
+  return OS.str();
+}
+
+std::string callersValue(const Program &P, const PointsToResult &PTA,
+                         FuncId F, AbsLocId Ctx) {
+  std::vector<std::string> Parts;
+  for (const CallEdge &E : PTA.callersOfCtx(F, Ctx))
+    Parts.push_back(siteDesc(P, PTA, E.At, E.CallerCtx));
+  return joinSorted(std::move(Parts));
+}
+
+std::string heapModValue(const Program &P, const PointsToResult &PTA,
+                         FuncId F) {
+  const PointsToResult::HeapMod &M = PTA.heapModOf(F);
+  std::vector<std::string> Parts;
+  for (GlobalId G : M.Globals)
+    Parts.push_back("g:" + P.globalName(G));
+  for (const auto &[Fld, Bases] : M.FieldBases)
+    Parts.push_back("f:" + P.fieldName(Fld) + "{" +
+                    locSetValue(P, PTA, Bases) + "}");
+  return joinSorted(std::move(Parts));
+}
+
+std::string allocCtxValue(const Program &P, const PointsToResult &PTA,
+                          FuncId F, AbsLocId FrameCtx) {
+  return ctxLabel(P, PTA, PTA.allocContextFor(F, FrameCtx));
+}
+
+std::string locFindValue(const PointsToResult &PTA, AllocSiteId Site,
+                         AbsLocId Ctx) {
+  return PTA.Locs.find(Site, Ctx) == InvalidId ? "0" : "1";
+}
+
+std::string dispatchValue(const Program &P, ClassId C, NameId Method) {
+  FuncId F = P.resolveVirtual(C, Method);
+  return F == InvalidId ? std::string("-") : P.funcName(F);
+}
+
+std::string locClassValue(const Program &P, const PointsToResult &PTA,
+                          AbsLocId L) {
+  const AllocSiteInfo &Site = P.AllocSites[PTA.Locs.site(L)];
+  std::string V = P.className(Site.Class);
+  if (Site.IsArray)
+    V += "[]";
+  return V;
+}
+
+std::string producersFieldValue(const Program &P, const PointsToResult &PTA,
+                                AbsLocId Base, FieldId Fld, AbsLocId Target) {
+  std::vector<std::string> Parts;
+  for (const ProducerSite &S : PTA.producersOfFieldEdge(Base, Fld, Target))
+    Parts.push_back(siteDesc(P, PTA, S.At, S.Ctx));
+  return joinSorted(std::move(Parts));
+}
+
+std::string producersGlobalValue(const Program &P, const PointsToResult &PTA,
+                                 GlobalId G, AbsLocId Target) {
+  std::vector<std::string> Parts;
+  for (const ProducerSite &S : PTA.producersOfGlobalEdge(G, Target))
+    Parts.push_back(siteDesc(P, PTA, S.At, S.Ctx));
+  return joinSorted(std::move(Parts));
+}
+
+Fact mkFact(std::string Kind, std::vector<std::string> Key,
+            const std::string &Value) {
+  Fact F;
+  F.Kind = std::move(Kind);
+  F.Key = std::move(Key);
+  F.ValueHash = fingerprintString(Value);
+  return F;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Materialization
+//===----------------------------------------------------------------------===//
+
+std::vector<Fact> thresher::materializeFootprint(const Program &P,
+                                                 const PointsToResult &PTA,
+                                                 const DepFootprint &FP) {
+  std::vector<Fact> Out;
+  auto Ctx = [&](AbsLocId C) { return ctxLabel(P, PTA, C); };
+
+  for (FuncId F : FP.Funcs) {
+    Fact FF;
+    FF.Kind = "func";
+    FF.Key = {P.funcName(F)};
+    FF.ValueHash = fingerprintFunction(P, F);
+    Out.push_back(std::move(FF));
+  }
+  for (GlobalId G : FP.PtGlobals)
+    Out.push_back(mkFact("ptGlobal", {P.globalName(G)},
+                         locSetValue(P, PTA, PTA.ptGlobal(G))));
+  for (const auto &[L, Fld] : FP.PtFields)
+    Out.push_back(mkFact("ptField",
+                         {PTA.Locs.label(P, L), P.fieldName(Fld)},
+                         locSetValue(P, PTA, PTA.ptField(L, Fld))));
+  for (const auto &[F, C, V] : FP.PtVars)
+    Out.push_back(mkFact("ptVar",
+                         {P.funcName(F), Ctx(C), std::to_string(V)},
+                         locSetValue(P, PTA, PTA.ptVarCtx(F, C, V))));
+  for (const auto &[At, C] : FP.CalleeSites)
+    Out.push_back(mkFact("calleeSite",
+                         {P.funcName(At.F), std::to_string(At.B),
+                          std::to_string(At.Idx), Ctx(C)},
+                         calleeSiteValue(P, PTA, At, C)));
+  for (const ProgramPoint &At : FP.CalleesAllSites)
+    Out.push_back(mkFact("calleesAll",
+                         {P.funcName(At.F), std::to_string(At.B),
+                          std::to_string(At.Idx)},
+                         calleesAllValue(P, PTA, At)));
+  for (const auto &[F, C] : FP.CallerUnits)
+    Out.push_back(mkFact("callers", {P.funcName(F), Ctx(C)},
+                         callersValue(P, PTA, F, C)));
+  for (FuncId F : FP.HeapMods)
+    Out.push_back(mkFact("heapMod", {P.funcName(F)},
+                         heapModValue(P, PTA, F)));
+  for (const auto &[F, C] : FP.AllocCtxs)
+    Out.push_back(mkFact("allocCtx", {P.funcName(F), Ctx(C)},
+                         allocCtxValue(P, PTA, F, C)));
+  for (const auto &[Site, C] : FP.LocFinds)
+    Out.push_back(mkFact("locFind", {P.allocLabel(Site), Ctx(C)},
+                         locFindValue(PTA, Site, C)));
+  for (const auto &[C, M] : FP.Dispatches)
+    Out.push_back(mkFact("dispatch", {P.className(C), P.Names.str(M)},
+                         dispatchValue(P, C, M)));
+  for (AbsLocId L : FP.LocClasses)
+    Out.push_back(mkFact("locClass", {PTA.Locs.label(P, L)},
+                         locClassValue(P, PTA, L)));
+  for (const auto &[B, Fld, T] : FP.FieldProducers)
+    Out.push_back(mkFact("producersF",
+                         {PTA.Locs.label(P, B), P.fieldName(Fld),
+                          PTA.Locs.label(P, T)},
+                         producersFieldValue(P, PTA, B, Fld, T)));
+  for (const auto &[G, T] : FP.GlobalProducers)
+    Out.push_back(mkFact("producersG",
+                         {P.globalName(G), PTA.Locs.label(P, T)},
+                         producersGlobalValue(P, PTA, G, T)));
+
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+uint64_t thresher::footprintHash(const std::vector<Fact> &Facts) {
+  StableHasher H;
+  H.add(static_cast<uint64_t>(Facts.size()));
+  for (const Fact &F : Facts) {
+    H.add(std::string_view(F.Kind));
+    H.add(static_cast<uint64_t>(F.Key.size()));
+    for (const std::string &K : F.Key)
+      H.add(std::string_view(K));
+    H.add(F.ValueHash);
+  }
+  return H.hash();
+}
+
+//===----------------------------------------------------------------------===//
+// Replay
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Inserts Name -> Id, demoting duplicated names to InvalidId (ambiguous
+/// names cannot be replayed soundly, so facts over them fail).
+template <typename IdT>
+void addName(std::map<std::string, IdT> &M, std::string Name, IdT Id) {
+  auto [It, Fresh] = M.emplace(std::move(Name), Id);
+  if (!Fresh)
+    It->second = InvalidId;
+}
+
+template <typename IdT>
+IdT lookupName(const std::map<std::string, IdT> &M, const std::string &Name) {
+  auto It = M.find(Name);
+  return It == M.end() ? InvalidId : It->second;
+}
+
+/// Parses a non-negative integer key part; InvalidId on junk.
+uint32_t parseIdx(const std::string &S) {
+  if (S.empty() || S.size() > 9)
+    return InvalidId;
+  uint32_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return InvalidId;
+    V = V * 10 + static_cast<uint32_t>(C - '0');
+  }
+  return V;
+}
+
+} // namespace
+
+FactReplayer::FactReplayer(const Program &P, const PointsToResult &PTA)
+    : P(P), PTA(PTA) {
+  for (FuncId F = 0; F < P.Funcs.size(); ++F)
+    addName(Funcs, P.funcName(F), F);
+  for (GlobalId G = 0; G < P.Globals.size(); ++G)
+    addName(Globals, P.globalName(G), G);
+  for (FieldId F = 0; F < P.Fields.size(); ++F)
+    addName(Fields, P.fieldName(F), F);
+  for (AbsLocId L = 0; L < PTA.Locs.size(); ++L)
+    addName(Locs, PTA.Locs.label(P, L), L);
+  for (AllocSiteId A = 0; A < P.AllocSites.size(); ++A)
+    addName(Sites, P.allocLabel(A), A);
+}
+
+FuncId FactReplayer::funcByName(const std::string &Name) const {
+  return lookupName(Funcs, Name);
+}
+GlobalId FactReplayer::globalByName(const std::string &Name) const {
+  return lookupName(Globals, Name);
+}
+FieldId FactReplayer::fieldByName(const std::string &Name) const {
+  return lookupName(Fields, Name);
+}
+AbsLocId FactReplayer::locByLabel(const std::string &Label) const {
+  return lookupName(Locs, Label);
+}
+AllocSiteId FactReplayer::siteByLabel(const std::string &Label) const {
+  return lookupName(Sites, Label);
+}
+
+bool FactReplayer::holds(const Fact &F) const {
+  auto Matches = [&](const std::string &Value) {
+    return fingerprintString(Value) == F.ValueHash;
+  };
+  // Context key parts: "-" means no context; anything else must resolve
+  // to a live abstract location. Ok=false fails the fact.
+  auto CtxOf = [&](const std::string &Label, bool &Ok) -> AbsLocId {
+    if (Label == "-")
+      return InvalidId;
+    AbsLocId L = locByLabel(Label);
+    if (L == InvalidId)
+      Ok = false;
+    return L;
+  };
+
+  if (F.Kind == "func") {
+    if (F.Key.size() != 1)
+      return false;
+    FuncId Id = funcByName(F.Key[0]);
+    return Id != InvalidId && fingerprintFunction(P, Id) == F.ValueHash;
+  }
+  if (F.Kind == "ptGlobal") {
+    if (F.Key.size() != 1)
+      return false;
+    GlobalId G = globalByName(F.Key[0]);
+    return G != InvalidId && Matches(locSetValue(P, PTA, PTA.ptGlobal(G)));
+  }
+  if (F.Kind == "ptField") {
+    if (F.Key.size() != 2)
+      return false;
+    AbsLocId L = locByLabel(F.Key[0]);
+    FieldId Fld = fieldByName(F.Key[1]);
+    return L != InvalidId && Fld != InvalidId &&
+           Matches(locSetValue(P, PTA, PTA.ptField(L, Fld)));
+  }
+  if (F.Kind == "ptVar") {
+    if (F.Key.size() != 3)
+      return false;
+    FuncId Fn = funcByName(F.Key[0]);
+    bool Ok = Fn != InvalidId;
+    AbsLocId C = CtxOf(F.Key[1], Ok);
+    VarId V = parseIdx(F.Key[2]);
+    return Ok && V != InvalidId &&
+           Matches(locSetValue(P, PTA, PTA.ptVarCtx(Fn, C, V)));
+  }
+  if (F.Kind == "calleeSite") {
+    if (F.Key.size() != 4)
+      return false;
+    FuncId Fn = funcByName(F.Key[0]);
+    BlockId B = parseIdx(F.Key[1]);
+    uint32_t Idx = parseIdx(F.Key[2]);
+    bool Ok = Fn != InvalidId && B != InvalidId && Idx != InvalidId;
+    AbsLocId C = CtxOf(F.Key[3], Ok);
+    return Ok && Matches(calleeSiteValue(P, PTA, {Fn, B, Idx}, C));
+  }
+  if (F.Kind == "calleesAll") {
+    if (F.Key.size() != 3)
+      return false;
+    FuncId Fn = funcByName(F.Key[0]);
+    BlockId B = parseIdx(F.Key[1]);
+    uint32_t Idx = parseIdx(F.Key[2]);
+    return Fn != InvalidId && B != InvalidId && Idx != InvalidId &&
+           Matches(calleesAllValue(P, PTA, {Fn, B, Idx}));
+  }
+  if (F.Kind == "callers") {
+    if (F.Key.size() != 2)
+      return false;
+    FuncId Fn = funcByName(F.Key[0]);
+    bool Ok = Fn != InvalidId;
+    AbsLocId C = CtxOf(F.Key[1], Ok);
+    return Ok && Matches(callersValue(P, PTA, Fn, C));
+  }
+  if (F.Kind == "heapMod") {
+    if (F.Key.size() != 1)
+      return false;
+    FuncId Fn = funcByName(F.Key[0]);
+    return Fn != InvalidId && Matches(heapModValue(P, PTA, Fn));
+  }
+  if (F.Kind == "allocCtx") {
+    if (F.Key.size() != 2)
+      return false;
+    FuncId Fn = funcByName(F.Key[0]);
+    bool Ok = Fn != InvalidId;
+    AbsLocId C = CtxOf(F.Key[1], Ok);
+    return Ok && Matches(allocCtxValue(P, PTA, Fn, C));
+  }
+  if (F.Kind == "locFind") {
+    if (F.Key.size() != 2)
+      return false;
+    AllocSiteId Site = siteByLabel(F.Key[0]);
+    bool Ok = Site != InvalidId;
+    AbsLocId C = CtxOf(F.Key[1], Ok);
+    return Ok && Matches(locFindValue(PTA, Site, C));
+  }
+  if (F.Kind == "dispatch") {
+    if (F.Key.size() != 2)
+      return false;
+    ClassId C = P.findClass(F.Key[0]);
+    NameId M = P.Names.lookup(F.Key[1]);
+    return C != InvalidId && M != InvalidId &&
+           Matches(dispatchValue(P, C, M));
+  }
+  if (F.Kind == "locClass") {
+    if (F.Key.size() != 1)
+      return false;
+    AbsLocId L = locByLabel(F.Key[0]);
+    return L != InvalidId && Matches(locClassValue(P, PTA, L));
+  }
+  if (F.Kind == "producersF") {
+    if (F.Key.size() != 3)
+      return false;
+    AbsLocId B = locByLabel(F.Key[0]);
+    FieldId Fld = fieldByName(F.Key[1]);
+    AbsLocId T = locByLabel(F.Key[2]);
+    return B != InvalidId && Fld != InvalidId && T != InvalidId &&
+           Matches(producersFieldValue(P, PTA, B, Fld, T));
+  }
+  if (F.Kind == "producersG") {
+    if (F.Key.size() != 2)
+      return false;
+    GlobalId G = globalByName(F.Key[0]);
+    AbsLocId T = locByLabel(F.Key[1]);
+    return G != InvalidId && T != InvalidId &&
+           Matches(producersGlobalValue(P, PTA, G, T));
+  }
+  return false; // Unknown kind (future schema): fail safe.
+}

@@ -1,0 +1,90 @@
+//===- Facts.h - Replayable dependency facts for the cache ------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the id-level DepFootprint recorded during a witness search into
+/// name-based, value-hashed *facts* that can be persisted and replayed
+/// against a future compilation of the (possibly edited) program. A fact is
+/// (kind, key parts, hash of the canonical value string); a cached verdict
+/// is reusable iff every fact's value recomputes to the same hash against
+/// the fresh Program/PointsToResult. Resolution failures (a name that no
+/// longer exists, or is ambiguous) fail the fact — fail-safe: the edge is
+/// simply re-searched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_CACHE_FACTS_H
+#define THRESHER_CACHE_FACTS_H
+
+#include "pta/PointsTo.h"
+#include "sym/Footprint.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// One replayable dependency fact.
+struct Fact {
+  std::string Kind;
+  std::vector<std::string> Key;
+  uint64_t ValueHash = 0;
+
+  bool operator<(const Fact &O) const {
+    if (Kind != O.Kind)
+      return Kind < O.Kind;
+    if (Key != O.Key)
+      return Key < O.Key;
+    return ValueHash < O.ValueHash;
+  }
+  bool operator==(const Fact &O) const {
+    return Kind == O.Kind && Key == O.Key && ValueHash == O.ValueHash;
+  }
+};
+
+/// Materializes \p FP into sorted facts (by kind, then key). Ids are
+/// resolved to names against the Program/PointsToResult the footprint was
+/// recorded on, so the result is compilation-independent.
+std::vector<Fact> materializeFootprint(const Program &P,
+                                       const PointsToResult &PTA,
+                                       const DepFootprint &FP);
+
+/// Order-sensitive combined hash of \p Facts (callers sort via
+/// materializeFootprint). Stored in the cache entry as a quick equality
+/// check and surfaced in --cache-verify diagnostics.
+uint64_t footprintHash(const std::vector<Fact> &Facts);
+
+/// Replays facts against a fresh Program/PointsToResult: resolves the
+/// name-based key back to dense ids and recomputes the value hash.
+class FactReplayer {
+public:
+  FactReplayer(const Program &P, const PointsToResult &PTA);
+
+  /// True iff \p F's value recomputes to the same hash. Unknown kinds,
+  /// unresolvable names, and ambiguous names all return false.
+  bool holds(const Fact &F) const;
+
+private:
+  FuncId funcByName(const std::string &Name) const;
+  GlobalId globalByName(const std::string &Name) const;
+  FieldId fieldByName(const std::string &Name) const;
+  AbsLocId locByLabel(const std::string &Label) const;
+  AllocSiteId siteByLabel(const std::string &Label) const;
+
+  const Program &P;
+  const PointsToResult &PTA;
+  /// Name -> id maps; InvalidId marks an ambiguous (duplicated) name.
+  std::map<std::string, FuncId> Funcs;
+  std::map<std::string, GlobalId> Globals;
+  std::map<std::string, FieldId> Fields;
+  std::map<std::string, AbsLocId> Locs;
+  std::map<std::string, AllocSiteId> Sites;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_CACHE_FACTS_H

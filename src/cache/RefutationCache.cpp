@@ -1,0 +1,294 @@
+//===- RefutationCache.cpp - Persistent per-edge verdict cache ------------===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/RefutationCache.h"
+
+#include "ir/Fingerprint.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace thresher;
+
+namespace {
+
+std::string toHex(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+bool fromHex(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S.size() > 16)
+    return false;
+  Out = 0;
+  for (char C : S) {
+    uint64_t D;
+    if (C >= '0' && C <= '9')
+      D = static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      D = static_cast<uint64_t>(C - 'a') + 10;
+    else
+      return false;
+    Out = (Out << 4) | D;
+  }
+  return true;
+}
+
+bool outcomeFromName(const std::string &S, SearchOutcome &Out) {
+  if (S == "REFUTED")
+    Out = SearchOutcome::Refuted;
+  else if (S == "WITNESSED")
+    Out = SearchOutcome::Witnessed;
+  else if (S == "TIMEOUT")
+    Out = SearchOutcome::BudgetExhausted;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+RefutationCache::RefutationCache(std::string Dir) : Dir(std::move(Dir)) {}
+
+std::string RefutationCache::storePath() const {
+  return (std::filesystem::path(Dir) / "cache.jsonl").string();
+}
+
+bool RefutationCache::load(std::string *Error) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entries.clear();
+  Generation = 0;
+  NumLoaded = NumValid = NumStale = 0;
+
+  std::ifstream In(storePath());
+  if (!In.is_open())
+    return true; // No store yet: empty cache.
+
+  auto Corrupt = [&](const std::string &Why) {
+    Entries.clear();
+    Generation = 0;
+    if (Error)
+      *Error = storePath() + ": " + Why;
+    return false;
+  };
+
+  std::string Line;
+  if (!std::getline(In, Line))
+    return Corrupt("empty cache file");
+  JsonValue Header;
+  if (!parseJson(Line, Header) || !Header.isObject())
+    return Corrupt("malformed header line");
+  const JsonValue *Schema = Header.find("schema");
+  if (!Schema || !Schema->isString() || Schema->asString() != SchemaVersion)
+    return Corrupt("unknown cache schema (expected " +
+                   std::string(SchemaVersion) + ")");
+  const JsonValue *Gen = Header.find("generation");
+  if (!Gen || !Gen->isNumber())
+    return Corrupt("header missing generation");
+  Generation = Gen->asUint();
+
+  size_t LineNo = 1;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    JsonValue E;
+    if (!parseJson(Line, E) || !E.isObject())
+      return Corrupt("malformed entry at line " + std::to_string(LineNo));
+    const JsonValue *Edge = E.find("edge");
+    const JsonValue *Global = E.find("global");
+    const JsonValue *Config = E.find("config");
+    const JsonValue *Verdict = E.find("verdict");
+    const JsonValue *Steps = E.find("steps");
+    const JsonValue *Fp = E.find("fp");
+    const JsonValue *EGen = E.find("gen");
+    const JsonValue *Facts = E.find("facts");
+    if (!Edge || !Edge->isString() || !Global || !Global->isBool() ||
+        !Config || !Config->isString() || !Verdict || !Verdict->isString() ||
+        !Steps || !Steps->isNumber() || !Fp || !Fp->isString() || !EGen ||
+        !EGen->isNumber() || !Facts || !Facts->isArray())
+      return Corrupt("entry missing fields at line " + std::to_string(LineNo));
+    Entry Ent;
+    uint64_t ConfigHash;
+    if (!fromHex(Config->asString(), ConfigHash) ||
+        !fromHex(Fp->asString(), Ent.FootprintHash) ||
+        !outcomeFromName(Verdict->asString(), Ent.Outcome))
+      return Corrupt("bad entry encoding at line " + std::to_string(LineNo));
+    Ent.IsGlobal = Global->asBool();
+    Ent.Steps = Steps->asUint();
+    Ent.Gen = EGen->asUint();
+    for (const JsonValue &FV : Facts->items()) {
+      if (!FV.isArray() || FV.items().size() < 2)
+        return Corrupt("bad fact at line " + std::to_string(LineNo));
+      Fact F;
+      const auto &Parts = FV.items();
+      for (size_t I = 0; I < Parts.size(); ++I) {
+        if (!Parts[I].isString())
+          return Corrupt("bad fact part at line " + std::to_string(LineNo));
+        if (I == 0)
+          F.Kind = Parts[I].asString();
+        else if (I + 1 == Parts.size()) {
+          if (!fromHex(Parts[I].asString(), F.ValueHash))
+            return Corrupt("bad fact hash at line " + std::to_string(LineNo));
+        } else
+          F.Key.push_back(Parts[I].asString());
+      }
+      Ent.Facts.push_back(std::move(F));
+    }
+    // The stored footprint hash must match the stored facts (truncation
+    // or tampering shows up here).
+    if (footprintHash(Ent.Facts) != Ent.FootprintHash)
+      return Corrupt("footprint hash mismatch at line " +
+                     std::to_string(LineNo));
+    Entries[{Edge->asString(), ConfigHash}] = std::move(Ent);
+  }
+  NumLoaded = Entries.size();
+  return true;
+}
+
+void RefutationCache::validate(const Program &P, const PointsToResult &PTA,
+                               uint64_t ConfigHash) {
+  std::lock_guard<std::mutex> Lock(M);
+  FactReplayer Replayer(P, PTA);
+  NumValid = NumStale = 0;
+  for (auto &[Key, Ent] : Entries) {
+    if (Key.second != ConfigHash)
+      continue; // Other config: retained but not served this run.
+    Ent.Validated = true;
+    Ent.Valid = true;
+    for (const Fact &F : Ent.Facts) {
+      if (!Replayer.holds(F)) {
+        Ent.Valid = false;
+        break;
+      }
+    }
+    if (Ent.Valid)
+      ++NumValid;
+    else
+      ++NumStale;
+  }
+}
+
+RefutationCache::Probe RefutationCache::probe(const std::string &EdgeLabel,
+                                              uint64_t ConfigHash,
+                                              SearchOutcome &Outcome,
+                                              uint64_t &Steps) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Entries.find({EdgeLabel, ConfigHash});
+  if (It == Entries.end())
+    return Probe::Miss;
+  Entry &Ent = It->second;
+  if (!Ent.Validated || !Ent.Valid)
+    return Probe::Stale;
+  Ent.Gen = Generation + 1; // Touched: survives the next eviction scan.
+  Outcome = Ent.Outcome;
+  Steps = Ent.Steps;
+  return Probe::Hit;
+}
+
+void RefutationCache::insert(std::string EdgeLabel, bool IsGlobal,
+                             uint64_t ConfigHash, SearchOutcome Outcome,
+                             uint64_t Steps, std::vector<Fact> Facts) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entry Ent;
+  Ent.IsGlobal = IsGlobal;
+  Ent.Outcome = Outcome;
+  Ent.Steps = Steps;
+  Ent.FootprintHash = footprintHash(Facts);
+  Ent.Facts = std::move(Facts);
+  Ent.Gen = Generation + 1;
+  Ent.Validated = true;
+  Ent.Valid = true;
+  Entries[{std::move(EdgeLabel), ConfigHash}] = std::move(Ent);
+}
+
+bool RefutationCache::save(std::string *Error) {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t NewGen = Generation + 1;
+
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    if (Error)
+      *Error = Dir + ": " + EC.message();
+    return false;
+  }
+  std::string Tmp = storePath() + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out.is_open()) {
+      if (Error)
+        *Error = Tmp + ": cannot open for writing";
+      return false;
+    }
+    JsonValue Header = JsonValue::makeObject();
+    Header.set("schema", JsonValue::makeString(SchemaVersion));
+    Header.set("generation", JsonValue::makeUint(NewGen));
+    Out << Header.toString() << "\n";
+    for (auto It = Entries.begin(); It != Entries.end();) {
+      const Entry &Ent = It->second;
+      bool Invalidated = Ent.Validated && !Ent.Valid;
+      bool Expired = NewGen - Ent.Gen > KeepGenerations;
+      if (Invalidated || Expired) {
+        It = Entries.erase(It);
+        continue;
+      }
+      JsonValue E = JsonValue::makeObject();
+      E.set("edge", JsonValue::makeString(It->first.first));
+      E.set("global", JsonValue::makeBool(Ent.IsGlobal));
+      E.set("config", JsonValue::makeString(toHex(It->first.second)));
+      E.set("verdict", JsonValue::makeString(outcomeName(Ent.Outcome)));
+      E.set("steps", JsonValue::makeUint(Ent.Steps));
+      E.set("fp", JsonValue::makeString(toHex(Ent.FootprintHash)));
+      E.set("gen", JsonValue::makeUint(Ent.Gen));
+      JsonValue Facts = JsonValue::makeArray();
+      for (const Fact &F : Ent.Facts) {
+        JsonValue FV = JsonValue::makeArray();
+        FV.append(JsonValue::makeString(F.Kind));
+        for (const std::string &K : F.Key)
+          FV.append(JsonValue::makeString(K));
+        FV.append(JsonValue::makeString(toHex(F.ValueHash)));
+        Facts.append(std::move(FV));
+      }
+      E.set("facts", std::move(Facts));
+      Out << E.toString() << "\n";
+      ++It;
+    }
+    if (!Out.good()) {
+      if (Error)
+        *Error = Tmp + ": write failed";
+      return false;
+    }
+  }
+  std::filesystem::rename(Tmp, storePath(), EC);
+  if (EC) {
+    if (Error)
+      *Error = storePath() + ": " + EC.message();
+    return false;
+  }
+  Generation = NewGen;
+  return true;
+}
+
+uint64_t RefutationCache::configHash(const SymOptions &Opts,
+                                     bool AnnotateHashMap) {
+  StableHasher H;
+  H.add(std::string_view("thresher-config/1"));
+  H.add(static_cast<uint64_t>(Opts.Repr));
+  H.add(static_cast<uint64_t>(Opts.QuerySimplification));
+  H.add(static_cast<uint64_t>(Opts.Loop));
+  H.add(Opts.EdgeBudget);
+  H.add(static_cast<uint64_t>(Opts.MaxCallStackDepth));
+  H.add(static_cast<uint64_t>(Opts.PathConstraintCap));
+  H.add(static_cast<uint64_t>(Opts.MaxLoopCrossings));
+  H.add(static_cast<uint64_t>(AnnotateHashMap));
+  return H.hash();
+}

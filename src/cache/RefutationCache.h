@@ -1,0 +1,118 @@
+//===- RefutationCache.h - Persistent per-edge verdict cache ----*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent refutation cache: a versioned on-disk store mapping
+/// (edge label, analysis-config hash) to the edge's search verdict plus the
+/// dependency facts the original search consulted. A warm run loads the
+/// store, validates every entry's facts against the fresh program (one pass
+/// before searching), and then serves Hit/Miss/Stale probes; hits skip the
+/// symbolic search entirely while reproducing the exact cold-run verdict
+/// and step count, so the deterministic report stays byte-identical.
+/// See docs/CACHING.md for the file format and invalidation rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_CACHE_REFUTATIONCACHE_H
+#define THRESHER_CACHE_REFUTATIONCACHE_H
+
+#include "cache/Facts.h"
+#include "sym/WitnessSearch.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+class RefutationCache {
+public:
+  /// On-disk schema tag; bump on any incompatible format change. Files
+  /// with a different tag are discarded wholesale.
+  static constexpr const char *SchemaVersion = "thresher-cache/v1";
+
+  enum class Probe : uint8_t {
+    Hit,   ///< Entry present and its facts replayed successfully.
+    Miss,  ///< No entry for this (edge, config).
+    Stale, ///< Entry present but invalidated (or never validated).
+  };
+
+  /// \p Dir is created on save if missing; the store lives at
+  /// <Dir>/cache.jsonl.
+  explicit RefutationCache(std::string Dir);
+
+  /// Loads the store. A missing file is an empty cache (returns true);
+  /// a corrupt or schema-mismatched file discards all entries and returns
+  /// false with \p Error set — callers warn and continue cold.
+  bool load(std::string *Error = nullptr);
+
+  /// Replays every loaded entry's facts against the fresh program and
+  /// marks it Valid or Stale. Entries recorded under a different config
+  /// hash are left unvalidated (they probe as Stale for this run but are
+  /// retained on save for generation-based eviction). Call once, before
+  /// run(); afterwards probes are read-mostly and thread-safe.
+  void validate(const Program &P, const PointsToResult &PTA,
+                uint64_t ConfigHash);
+
+  /// Looks up (EdgeLabel, ConfigHash). On Hit fills \p Outcome and
+  /// \p Steps with the cached verdict and touches the entry's generation.
+  Probe probe(const std::string &EdgeLabel, uint64_t ConfigHash,
+              SearchOutcome &Outcome, uint64_t &Steps);
+
+  /// Records a fresh search result with its materialized facts.
+  void insert(std::string EdgeLabel, bool IsGlobal, uint64_t ConfigHash,
+              SearchOutcome Outcome, uint64_t Steps, std::vector<Fact> Facts);
+
+  /// Writes the store atomically (temp file + rename), bumping the
+  /// generation. Entries that failed validation are dropped; entries
+  /// untouched for more than KeepGenerations generations are evicted.
+  bool save(std::string *Error = nullptr);
+
+  /// Hash of everything in the analysis configuration that can change an
+  /// edge verdict (representation, loop mode, simplification, budgets,
+  /// depth caps, and the leak client's annotate-hashmap switch).
+  static uint64_t configHash(const SymOptions &Opts, bool AnnotateHashMap);
+
+  /// Generations an untouched entry survives before eviction at save.
+  uint32_t KeepGenerations = 16;
+
+  const std::string &dir() const { return Dir; }
+  uint64_t generation() const { return Generation; }
+  size_t size() const { return Entries.size(); }
+  /// Entry counts as of load/validate (for the report's cache section).
+  uint64_t loadedEntries() const { return NumLoaded; }
+  uint64_t validEntries() const { return NumValid; }
+  uint64_t staleEntries() const { return NumStale; }
+
+private:
+  struct Entry {
+    bool IsGlobal = false;
+    SearchOutcome Outcome = SearchOutcome::Refuted;
+    uint64_t Steps = 0;
+    std::vector<Fact> Facts;
+    uint64_t FootprintHash = 0;
+    uint64_t Gen = 0;       ///< Generation of last touch (hit or insert).
+    bool Validated = false; ///< validate() examined this entry.
+    bool Valid = false;     ///< All facts replayed successfully.
+  };
+
+  std::string storePath() const;
+
+  std::string Dir;
+  /// (edge label, config hash) -> entry.
+  std::map<std::pair<std::string, uint64_t>, Entry> Entries;
+  uint64_t Generation = 0;
+  uint64_t NumLoaded = 0;
+  uint64_t NumValid = 0;
+  uint64_t NumStale = 0;
+  std::mutex M;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_CACHE_REFUTATIONCACHE_H

@@ -1,0 +1,292 @@
+//===- Fingerprint.cpp - Stable structural IR fingerprints ----------------===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Fingerprint.h"
+
+#include <sstream>
+
+using namespace thresher;
+
+uint64_t thresher::fingerprintString(std::string_view S) {
+  StableHasher H;
+  H.add(S);
+  return H.hash();
+}
+
+namespace {
+
+const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Assign:
+    return "assign";
+  case Opcode::ConstInt:
+    return "const";
+  case Opcode::ConstNull:
+    return "null";
+  case Opcode::New:
+    return "new";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::LoadStatic:
+    return "loadstatic";
+  case Opcode::StoreStatic:
+    return "storestatic";
+  case Opcode::ArrayLoad:
+    return "aload";
+  case Opcode::ArrayStore:
+    return "astore";
+  case Opcode::ArrayLen:
+    return "alen";
+  case Opcode::Binop:
+    return "binop";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Havoc:
+    return "havoc";
+  }
+  return "?";
+}
+
+const char *binopName(BinopKind K) {
+  switch (K) {
+  case BinopKind::Add:
+    return "+";
+  case BinopKind::Sub:
+    return "-";
+  case BinopKind::Mul:
+    return "*";
+  case BinopKind::Div:
+    return "/";
+  case BinopKind::Rem:
+    return "%";
+  }
+  return "?";
+}
+
+const char *relName(RelOp R) {
+  switch (R) {
+  case RelOp::EQ:
+    return "==";
+  case RelOp::NE:
+    return "!=";
+  case RelOp::LT:
+    return "<";
+  case RelOp::LE:
+    return "<=";
+  case RelOp::GT:
+    return ">";
+  case RelOp::GE:
+    return ">=";
+  }
+  return "?";
+}
+
+void emitVar(std::ostream &OS, VarId V) {
+  if (V == NoVar)
+    OS << "_";
+  else
+    OS << "v" << V;
+}
+
+/// Allocation-site identity: label + class name + kind. Labels are
+/// frontend-stable ("@o1" annotations or generated per-function), so this
+/// names the site without its dense id.
+void emitAllocSite(std::ostream &OS, const Program &P, AllocSiteId A) {
+  if (A == InvalidId) {
+    OS << "<none>";
+    return;
+  }
+  const AllocSiteInfo &Site = P.AllocSites[A];
+  OS << P.allocLabel(A) << ":" << P.className(Site.Class);
+  if (Site.IsArray)
+    OS << "[]";
+  if (Site.StrLiteral != InvalidId)
+    OS << ":str=" << P.Names.str(Site.StrLiteral);
+}
+
+void emitInstruction(std::ostream &OS, const Program &P,
+                     const Instruction &I) {
+  OS << opcodeName(I.Op) << " ";
+  emitVar(OS, I.Dst);
+  switch (I.Op) {
+  case Opcode::Assign:
+    OS << " = ";
+    emitVar(OS, I.Src);
+    break;
+  case Opcode::ConstInt:
+    OS << " = " << I.IntVal;
+    break;
+  case Opcode::ConstNull:
+  case Opcode::Havoc:
+    break;
+  case Opcode::New:
+    OS << " = ";
+    emitAllocSite(OS, P, I.Alloc);
+    break;
+  case Opcode::NewArray:
+    OS << " = ";
+    emitAllocSite(OS, P, I.Alloc);
+    OS << " len ";
+    if (I.RhsIsConst)
+      OS << I.IntVal;
+    else
+      emitVar(OS, I.Src);
+    break;
+  case Opcode::Load:
+    OS << " = ";
+    emitVar(OS, I.Src);
+    OS << "." << P.fieldName(I.Field);
+    break;
+  case Opcode::Store:
+    OS << "." << P.fieldName(I.Field) << " = ";
+    emitVar(OS, I.Src);
+    break;
+  case Opcode::LoadStatic:
+    OS << " = " << P.globalName(I.Global);
+    break;
+  case Opcode::StoreStatic:
+    // Dst is unused for static stores; the global is the target.
+    OS << " " << P.globalName(I.Global) << " = ";
+    emitVar(OS, I.Src);
+    break;
+  case Opcode::ArrayLoad:
+    OS << " = ";
+    emitVar(OS, I.Src);
+    OS << "[";
+    emitVar(OS, I.Src2);
+    OS << "]";
+    break;
+  case Opcode::ArrayStore:
+    OS << "[";
+    emitVar(OS, I.Src2);
+    OS << "] = ";
+    emitVar(OS, I.Src);
+    break;
+  case Opcode::ArrayLen:
+    OS << " = len ";
+    emitVar(OS, I.Src);
+    break;
+  case Opcode::Binop:
+    OS << " = ";
+    emitVar(OS, I.Src);
+    OS << " " << binopName(I.BK) << " ";
+    if (I.RhsIsConst)
+      OS << I.IntVal;
+    else
+      emitVar(OS, I.Src2);
+    break;
+  case Opcode::Call:
+    OS << " = ";
+    if (I.IsVirtual)
+      OS << "virtual " << P.Names.str(I.Method);
+    else
+      OS << "direct " << P.funcName(I.DirectCallee);
+    OS << "(";
+    for (size_t A = 0; A < I.Args.size(); ++A) {
+      if (A)
+        OS << ",";
+      emitVar(OS, I.Args[A]);
+    }
+    OS << ")";
+    break;
+  }
+}
+
+void emitTerminator(std::ostream &OS, const Terminator &T) {
+  switch (T.Kind) {
+  case TermKind::Goto:
+    OS << "goto bb" << T.Then;
+    break;
+  case TermKind::If:
+    OS << "if ";
+    emitVar(OS, T.Lhs);
+    OS << " " << relName(T.Rel) << " ";
+    switch (T.RhsKind) {
+    case CondRhsKind::Var:
+      emitVar(OS, T.Rhs);
+      break;
+    case CondRhsKind::IntConst:
+      OS << T.RhsConst;
+      break;
+    case CondRhsKind::Null:
+      OS << "null";
+      break;
+    }
+    OS << " bb" << T.Then << " bb" << T.Else;
+    break;
+  case TermKind::Return:
+    OS << "ret";
+    if (T.HasRetVal) {
+      OS << " ";
+      emitVar(OS, T.RetVal);
+    }
+    break;
+  }
+}
+
+} // namespace
+
+std::string thresher::functionFingerprintText(const Program &P, FuncId F) {
+  const Function &Fn = P.Funcs[F];
+  std::ostringstream OS;
+  OS << "func " << P.funcName(F);
+  OS << " owner=" << P.className(Fn.Owner);
+  OS << (Fn.IsStatic ? " static" : " instance");
+  OS << " params=" << Fn.NumParams << " vars=" << Fn.NumVars;
+  OS << " entry=bb" << Fn.Entry << "\n";
+  for (BlockId B = 0; B < Fn.Blocks.size(); ++B) {
+    const BasicBlock &BB = Fn.Blocks[B];
+    OS << "bb" << B << ":\n";
+    for (const Instruction &I : BB.Insts) {
+      OS << "  ";
+      emitInstruction(OS, P, I);
+      OS << "\n";
+    }
+    OS << "  ";
+    emitTerminator(OS, BB.Term);
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+uint64_t thresher::fingerprintFunction(const Program &P, FuncId F) {
+  return fingerprintString(functionFingerprintText(P, F));
+}
+
+uint64_t thresher::fingerprintProgram(const Program &P) {
+  StableHasher H;
+  H.add(std::string_view("thresher-program-fp/1"));
+  H.add(static_cast<uint64_t>(P.Classes.size()));
+  for (const ClassInfo &C : P.Classes) {
+    H.add(P.Names.str(C.Name));
+    H.add(C.Super == InvalidId ? std::string_view("<root>")
+                               : std::string_view(
+                                     P.Names.str(P.Classes[C.Super].Name)));
+    H.add(static_cast<uint64_t>(C.Flags));
+    H.add(static_cast<uint64_t>(C.OwnFields.size()));
+    for (FieldId Fld : C.OwnFields)
+      H.add(P.fieldName(Fld));
+  }
+  H.add(static_cast<uint64_t>(P.Globals.size()));
+  for (GlobalId G = 0; G < P.Globals.size(); ++G)
+    H.add(P.globalName(G));
+  H.add(static_cast<uint64_t>(P.AllocSites.size()));
+  for (AllocSiteId A = 0; A < P.AllocSites.size(); ++A) {
+    std::ostringstream OS;
+    emitAllocSite(OS, P, A);
+    H.add(OS.str());
+  }
+  H.add(static_cast<uint64_t>(P.Funcs.size()));
+  for (FuncId F = 0; F < P.Funcs.size(); ++F)
+    H.add(fingerprintFunction(P, F));
+  H.add(P.EntryFunc == InvalidId ? std::string("<none>")
+                                 : P.funcName(P.EntryFunc));
+  return H.hash();
+}

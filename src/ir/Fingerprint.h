@@ -1,0 +1,78 @@
+//===- Fingerprint.h - Stable structural IR fingerprints --------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable structural fingerprints of IR entities, the identity layer of the
+/// persistent refutation cache (docs/CACHING.md). A fingerprint must be
+/// identical across processes for structurally identical input (dense ids
+/// may be assigned differently between compilations, so every cross-entity
+/// reference is serialized by *name*, never by id) and must change whenever
+/// anything that can influence an analysis verdict changes: an instruction,
+/// a terminator, a callee, a field or global name, an allocation label, or
+/// the signature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_IR_FINGERPRINT_H
+#define THRESHER_IR_FINGERPRINT_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <string_view>
+
+namespace thresher {
+
+/// Incremental FNV-1a 64-bit hasher. Deliberately boring: the value is
+/// persisted in cache files, so the algorithm is part of the on-disk
+/// format and must never depend on platform, pointer width, or libc++.
+class StableHasher {
+public:
+  static constexpr uint64_t Offset = 0xcbf29ce484222325ull;
+  static constexpr uint64_t Prime = 0x100000001b3ull;
+
+  void addByte(uint8_t B) {
+    H ^= B;
+    H *= Prime;
+  }
+  void add(std::string_view S) {
+    // Length-prefix so ("ab","c") and ("a","bc") never collide.
+    add(static_cast<uint64_t>(S.size()));
+    for (char C : S)
+      addByte(static_cast<uint8_t>(C));
+  }
+  void add(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      addByte(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  uint64_t hash() const { return H; }
+
+private:
+  uint64_t H = Offset;
+};
+
+/// Hash of an arbitrary string (length-prefixed FNV-1a).
+uint64_t fingerprintString(std::string_view S);
+
+/// Canonical, name-based serialization of function \p F: signature, blocks,
+/// instructions, terminators. Two compilations of the same source produce
+/// identical text; any structural edit changes it. Exposed (rather than
+/// only the hash) so tests can distinguish a hash collision from genuinely
+/// identical structure, and for debugging cache invalidations.
+std::string functionFingerprintText(const Program &P, FuncId F);
+
+/// fingerprintString(functionFingerprintText(P, F)).
+uint64_t fingerprintFunction(const Program &P, FuncId F);
+
+/// Whole-program fingerprint: classes (name, super, fields, flags),
+/// globals, allocation sites, and every function fingerprint, plus the
+/// entry function. Changes iff some functionFingerprintText or program
+/// shape changes.
+uint64_t fingerprintProgram(const Program &P);
+
+} // namespace thresher
+
+#endif // THRESHER_IR_FINGERPRINT_H

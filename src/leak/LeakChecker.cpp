@@ -1,5 +1,6 @@
 #include "leak/LeakChecker.h"
 
+#include "cache/RefutationCache.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -24,6 +25,20 @@ const char *thresher::alarmStatusName(AlarmStatus S) {
   return "?";
 }
 
+const char *thresher::edgeCacheStateName(EdgeCacheState S) {
+  switch (S) {
+  case EdgeCacheState::None:
+    return "none";
+  case EdgeCacheState::Hit:
+    return "hit";
+  case EdgeCacheState::Miss:
+    return "miss";
+  case EdgeCacheState::Invalidated:
+    return "invalidated";
+  }
+  return "?";
+}
+
 namespace {
 
 uint64_t nanosSince(std::chrono::steady_clock::time_point T0) {
@@ -44,11 +59,89 @@ LeakChecker::LeakChecker(const Program &P, const PointsToResult &PTA,
   WS.stats().mergeFrom(PTA.Effort);
 }
 
+void LeakChecker::setCache(RefutationCache *C, uint64_t ConfigHash,
+                           bool Verify) {
+  Cache = C;
+  CacheConfig = ConfigHash;
+  CacheVerify = Verify;
+}
+
 std::string LeakChecker::edgeLabel(const EdgeKey &E) const {
   if (E.IsGlobal)
     return P.globalName(E.G) + " -> " + PTA.Locs.label(P, E.Target);
   return PTA.Locs.label(P, E.Base) + "." + P.fieldName(E.Fld) + " -> " +
          PTA.Locs.label(P, E.Target);
+}
+
+LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
+                                              const EdgeKey &E) {
+  EdgeInfo Info;
+  std::string Label;
+  if (Cache) {
+    Label = edgeLabel(E);
+    SearchOutcome CachedOut;
+    uint64_t CachedSteps = 0;
+    switch (Cache->probe(Label, CacheConfig, CachedOut, CachedSteps)) {
+    case RefutationCache::Probe::Hit: {
+      Engine.stats().bump("cache.hit");
+      // Restoring Outcome and Steps exactly keeps the deterministic report
+      // byte-identical to the cold run; Nanos stays 0 (no search ran).
+      Info.Outcome = CachedOut;
+      Info.Steps = CachedSteps;
+      Info.Cache = EdgeCacheState::Hit;
+      if (!CacheVerify)
+        return Info;
+      // --cache-verify: run the search anyway; a mismatch is counted and
+      // the fresh verdict wins (and replaces the cache entry).
+      auto T0 = std::chrono::steady_clock::now();
+      DepFootprint FP;
+      Engine.setDepSink(&FP);
+      EdgeSearchResult R =
+          E.IsGlobal ? Engine.searchGlobalEdge(E.G, E.Target)
+                     : Engine.searchFieldEdge(E.Base, E.Fld, E.Target);
+      Engine.setDepSink(nullptr);
+      Engine.stats().bump("cache.verified");
+      if (R.Outcome != CachedOut || R.StepsUsed != CachedSteps) {
+        Engine.stats().bump("cache.verifyMismatch");
+        Engine.stats().bump("cache.insert");
+        Info.Outcome = R.Outcome;
+        Info.Steps = R.StepsUsed;
+        Info.Nanos = nanosSince(T0);
+        Info.Cache = EdgeCacheState::Invalidated;
+        Cache->insert(Label, E.IsGlobal, CacheConfig, R.Outcome, R.StepsUsed,
+                      materializeFootprint(P, PTA, FP));
+      }
+      return Info;
+    }
+    case RefutationCache::Probe::Miss:
+      Engine.stats().bump("cache.miss");
+      Info.Cache = EdgeCacheState::Miss;
+      break;
+    case RefutationCache::Probe::Stale:
+      Engine.stats().bump("cache.invalidated");
+      Info.Cache = EdgeCacheState::Invalidated;
+      break;
+    }
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  DepFootprint FP;
+  if (Cache)
+    Engine.setDepSink(&FP);
+  EdgeSearchResult R = E.IsGlobal
+                           ? Engine.searchGlobalEdge(E.G, E.Target)
+                           : Engine.searchFieldEdge(E.Base, E.Fld, E.Target);
+  if (Cache)
+    Engine.setDepSink(nullptr);
+  Engine.stats().bump("leak.searches");
+  Info.Outcome = R.Outcome;
+  Info.Steps = R.StepsUsed;
+  Info.Nanos = nanosSince(T0);
+  if (Cache) {
+    Engine.stats().bump("cache.insert");
+    Cache->insert(Label, E.IsGlobal, CacheConfig, R.Outcome, R.StepsUsed,
+                  materializeFootprint(P, PTA, FP));
+  }
+  return Info;
 }
 
 SearchOutcome LeakChecker::checkEdge(const EdgeKey &E) {
@@ -60,13 +153,7 @@ SearchOutcome LeakChecker::checkEdge(const EdgeKey &E) {
   if (It != EdgeResults.end()) {
     Info = It->second;
   } else {
-    auto T0 = std::chrono::steady_clock::now();
-    EdgeSearchResult R = E.IsGlobal
-                             ? WS.searchGlobalEdge(E.G, E.Target)
-                             : WS.searchFieldEdge(E.Base, E.Fld, E.Target);
-    Info.Outcome = R.Outcome;
-    Info.Steps = R.StepsUsed;
-    Info.Nanos = nanosSince(T0);
+    Info = threshEdge(WS, E);
     EdgeResults.emplace(E, Info);
   }
   Consulted.emplace(E, Info);
@@ -211,15 +298,8 @@ void LeakChecker::prefetchEdgesParallel(
       if (I >= Candidates.size())
         break;
       const EdgeKey &E = Candidates[I];
-      auto T0 = std::chrono::steady_clock::now();
-      EdgeSearchResult R =
-          E.IsGlobal ? LocalWS.searchGlobalEdge(E.G, E.Target)
-                     : LocalWS.searchFieldEdge(E.Base, E.Fld, E.Target);
-      EdgeInfo Info;
-      Info.Outcome = R.Outcome;
-      Info.Steps = R.StepsUsed;
-      Info.Nanos = nanosSince(T0);
-      LocalResults.push_back({E, Info});
+      // threshEdge probes/fills the shared cache (internally locked).
+      LocalResults.push_back({E, threshEdge(LocalWS, E)});
     }
     std::lock_guard<std::mutex> Lock(M);
     for (auto &[E, Info] : LocalResults)
@@ -246,6 +326,14 @@ LeakReport LeakChecker::run(unsigned Threads) {
   Timer T;
   VectorTraceSink SeqTrace;
   WS.setTraceSink(&SeqTrace);
+
+  // Counter baseline so repeated runs report per-run cache activity.
+  static const char *const CacheCounters[] = {
+      "cache.hit",    "cache.miss",     "cache.invalidated",
+      "cache.insert", "cache.verified", "cache.verifyMismatch"};
+  std::map<std::string, uint64_t> Cache0;
+  for (const char *Name : CacheCounters)
+    Cache0[Name] = WS.stats().get(Name);
 
   std::vector<std::pair<GlobalId, AbsLocId>> AlarmPairs;
   {
@@ -319,6 +407,7 @@ LeakReport LeakChecker::run(unsigned Threads) {
     V.Outcome = Info.Outcome;
     V.Steps = Info.Steps;
     V.Nanos = Info.Nanos;
+    V.Cache = Info.Cache;
     Report.Edges.push_back(std::move(V));
     switch (Info.Outcome) {
     case SearchOutcome::Refuted:
@@ -340,6 +429,22 @@ LeakReport LeakChecker::run(unsigned Threads) {
   Report.Seconds = T.seconds();
   WS.stats().bump("leak.runs");
   WS.stats().bump("leak.consultedEdges", Consulted.size());
+
+  if (Cache) {
+    auto Delta = [&](const char *Name) {
+      return WS.stats().get(Name) - Cache0[Name];
+    };
+    Report.Cache.Enabled = true;
+    Report.Cache.Loaded = Cache->loadedEntries();
+    Report.Cache.Valid = Cache->validEntries();
+    Report.Cache.Stale = Cache->staleEntries();
+    Report.Cache.Hits = Delta("cache.hit");
+    Report.Cache.Misses = Delta("cache.miss");
+    Report.Cache.Invalidated = Delta("cache.invalidated");
+    Report.Cache.Inserted = Delta("cache.insert");
+    Report.Cache.Verified = Delta("cache.verified");
+    Report.Cache.VerifyMismatches = Delta("cache.verifyMismatch");
+  }
   return Report;
 }
 

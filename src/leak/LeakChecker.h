@@ -36,6 +36,19 @@
 
 namespace thresher {
 
+class RefutationCache;
+
+/// How the refutation cache participated in one edge verdict.
+enum class EdgeCacheState : uint8_t {
+  None,        ///< No cache attached when the edge was threshed.
+  Hit,         ///< Verdict served from the cache; search skipped.
+  Miss,        ///< No cache entry; searched and recorded.
+  Invalidated, ///< Entry existed but its facts failed replay; re-searched.
+};
+
+/// Canonical name for \p S: "none", "hit", "miss", or "invalidated".
+const char *edgeCacheStateName(EdgeCacheState S);
+
 /// Status of one (static field, Activity) alarm after threshing.
 enum class AlarmStatus : uint8_t {
   Refuted,   ///< Source and sink disconnected by refutations.
@@ -63,6 +76,9 @@ struct EdgeVerdict {
   SearchOutcome Outcome = SearchOutcome::Refuted;
   uint64_t Steps = 0;  ///< Budget consumed by the search.
   uint64_t Nanos = 0;  ///< Search wall-clock (volatile; 0 on cache hits).
+  /// Cache participation (volatile across cold/warm runs; excluded from
+  /// the deterministic report form).
+  EdgeCacheState Cache = EdgeCacheState::None;
 };
 
 /// Aggregate report mirroring the columns of Table 1. The edge counts
@@ -84,6 +100,23 @@ struct LeakReport {
   uint64_t PrefetchedEdges = 0; ///< Edges threshed eagerly (>= consulted).
   /// Per-edge verdicts for every consulted edge, sorted by label.
   std::vector<EdgeVerdict> Edges;
+
+  /// Refutation-cache activity for this run (all zero / disabled when no
+  /// cache was attached). Volatile across cold/warm runs, so the whole
+  /// section lives under "effort" in the JSON report.
+  struct CacheSummary {
+    bool Enabled = false;
+    uint64_t Loaded = 0;           ///< Entries loaded from disk.
+    uint64_t Valid = 0;            ///< Entries whose facts replayed.
+    uint64_t Stale = 0;            ///< Entries whose facts failed replay.
+    uint64_t Hits = 0;             ///< Searches skipped via cache.
+    uint64_t Misses = 0;           ///< Probes with no entry.
+    uint64_t Invalidated = 0;      ///< Probes that found a stale entry.
+    uint64_t Inserted = 0;         ///< Fresh results recorded.
+    uint64_t Verified = 0;         ///< Hits re-searched under --cache-verify.
+    uint64_t VerifyMismatches = 0; ///< Verify searches disagreeing w/ cache.
+  };
+  CacheSummary Cache;
 
   /// Splits surviving alarms into true/false using a ground-truth set of
   /// seeded leaks (pairs of global and allocation-site label).
@@ -112,6 +145,13 @@ public:
   /// Activities.
   LeakChecker(const Program &P, const PointsToResult &PTA,
               ClassId ActivityBase, SymOptions Opts = {});
+
+  /// Attaches a refutation cache (not owned; may be nullptr to detach).
+  /// The caller must load() and validate() it first; run() then probes it
+  /// before every witness search and records fresh results with their
+  /// dependency footprints. With \p Verify set, cache hits still run the
+  /// full search and mismatches are counted (and the fresh verdict wins).
+  void setCache(RefutationCache *C, uint64_t ConfigHash, bool Verify = false);
 
   /// Runs the full pipeline and returns the report. With \p Threads > 1
   /// the candidate edges are threshed concurrently first (the paper notes
@@ -170,10 +210,16 @@ private:
     SearchOutcome Outcome = SearchOutcome::Refuted;
     uint64_t Steps = 0;
     uint64_t Nanos = 0;
+    EdgeCacheState Cache = EdgeCacheState::None;
   };
 
   std::string edgeLabel(const EdgeKey &E) const;
   SearchOutcome checkEdge(const EdgeKey &E);
+  /// Produces the verdict for \p E on \p Engine: probes the refutation
+  /// cache first (hit -> skip the search) and records fresh results with
+  /// their dependency footprint. Shared by the sequential path and the
+  /// parallel prefetch workers (the cache is internally locked).
+  EdgeInfo threshEdge(WitnessSearch &Engine, const EdgeKey &E);
   /// BFS for a path of edges not yet refuted *by a consulted search* from
   /// \p G to \p Target (prefetched-but-unconsulted refutations are
   /// deliberately ignored so the exploration order matches the purely
@@ -191,6 +237,10 @@ private:
   ClassId ActivityBase;
   SymOptions Opts;
   WitnessSearch WS;
+  /// Optional persistent refutation cache (not owned).
+  RefutationCache *Cache = nullptr;
+  uint64_t CacheConfig = 0;
+  bool CacheVerify = false;
   /// Results of every search performed (prefetch fills this eagerly).
   std::map<EdgeKey, EdgeInfo> EdgeResults;
   /// The subset of EdgeResults the sequential algorithm consulted.

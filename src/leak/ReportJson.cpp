@@ -118,8 +118,13 @@ JsonValue LeakChecker::buildJsonReport(const LeakReport &R,
     EO.set("kind", JsonValue::makeString(V.IsGlobal ? "global" : "field"));
     EO.set("verdict", JsonValue::makeString(outcomeName(V.Outcome)));
     EO.set("steps", JsonValue::makeUint(V.Steps));
-    if (!O.DeterministicOnly)
+    if (!O.DeterministicOnly) {
       EO.set("nanos", JsonValue::makeUint(V.Nanos));
+      // Cache participation is volatile across cold/warm runs, so it is
+      // excluded from the deterministic form (like nanos).
+      if (V.Cache != EdgeCacheState::None)
+        EO.set("cache", JsonValue::makeString(edgeCacheStateName(V.Cache)));
+    }
     Edges.append(std::move(EO));
   }
   Doc.set("edges", std::move(Edges));
@@ -137,6 +142,20 @@ JsonValue LeakChecker::buildJsonReport(const LeakReport &R,
     for (const auto &[Name, H] : stats().histogramSnapshot())
       Hists.set(Name, histogramToJson(H));
     Effort.set("histograms", std::move(Hists));
+    if (R.Cache.Enabled) {
+      JsonValue Cache = JsonValue::makeObject();
+      Cache.set("loaded", JsonValue::makeUint(R.Cache.Loaded));
+      Cache.set("valid", JsonValue::makeUint(R.Cache.Valid));
+      Cache.set("stale", JsonValue::makeUint(R.Cache.Stale));
+      Cache.set("hits", JsonValue::makeUint(R.Cache.Hits));
+      Cache.set("misses", JsonValue::makeUint(R.Cache.Misses));
+      Cache.set("invalidated", JsonValue::makeUint(R.Cache.Invalidated));
+      Cache.set("inserted", JsonValue::makeUint(R.Cache.Inserted));
+      Cache.set("verified", JsonValue::makeUint(R.Cache.Verified));
+      Cache.set("verifyMismatches",
+                JsonValue::makeUint(R.Cache.VerifyMismatches));
+      Effort.set("cache", std::move(Cache));
+    }
     Doc.set("effort", std::move(Effort));
   }
   return Doc;

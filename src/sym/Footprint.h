@@ -1,0 +1,112 @@
+//===- Footprint.h - Dependency footprint of an edge search -----*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependency footprint of one witness-refutation edge search: every
+/// function stepped through and every points-to fact consulted while the
+/// search ran. The persistent refutation cache (src/cache) materializes a
+/// footprint into name-based, value-hashed facts; a later run replays them
+/// against a fresh Program/PointsToResult and reuses the cached verdict iff
+/// every fact still holds (docs/CACHING.md).
+///
+/// Recording is id-level and cheap (set inserts on the search hot path);
+/// the expensive name materialization happens once per insert, outside the
+/// search. Over-approximation is sound: an extra fact can only cause a
+/// spurious re-search, never a stale hit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SYM_FOOTPRINT_H
+#define THRESHER_SYM_FOOTPRINT_H
+
+#include "pta/AbsLoc.h"
+
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace thresher {
+
+/// Everything one edge search consulted, as dense ids (valid only against
+/// the Program/PointsToResult the search ran on).
+struct DepFootprint {
+  /// Function bodies the search stepped through or read instructions from.
+  std::set<FuncId> Funcs;
+  /// ptGlobal(G) consultations.
+  std::set<GlobalId> PtGlobals;
+  /// ptField(L, Fld) consultations.
+  std::set<std::pair<AbsLocId, FieldId>> PtFields;
+  /// ptVarCtx(F, Ctx, V) consultations.
+  std::set<std::tuple<FuncId, AbsLocId, VarId>> PtVars;
+  /// calleesAtCtx(At, Ctx) consultations.
+  std::set<std::pair<ProgramPoint, AbsLocId>> CalleeSites;
+  /// calleesAt(At) consultations (context-unioned callee lists).
+  std::set<ProgramPoint> CalleesAllSites;
+  /// callersOfCtx(F, Ctx) consultations.
+  std::set<std::pair<FuncId, AbsLocId>> CallerUnits;
+  /// heapModOf(F) consultations.
+  std::set<FuncId> HeapMods;
+  /// allocContextFor(F, FrameCtx) consultations.
+  std::set<std::pair<FuncId, AbsLocId>> AllocCtxs;
+  /// Locs.find(Site, Ctx) existence checks.
+  std::set<std::pair<AllocSiteId, AbsLocId>> LocFinds;
+  /// resolveVirtual(Class, Method) dispatch resolutions.
+  std::set<std::pair<ClassId, NameId>> Dispatches;
+  /// Locations whose site class/arrayness narrowed a dispatch.
+  std::set<AbsLocId> LocClasses;
+  /// producersOfFieldEdge(Base, Fld, Target) enumerations.
+  std::set<std::tuple<AbsLocId, FieldId, AbsLocId>> FieldProducers;
+  /// producersOfGlobalEdge(G, Target) enumerations.
+  std::set<std::pair<GlobalId, AbsLocId>> GlobalProducers;
+
+  void clear() {
+    Funcs.clear();
+    PtGlobals.clear();
+    PtFields.clear();
+    PtVars.clear();
+    CalleeSites.clear();
+    CalleesAllSites.clear();
+    CallerUnits.clear();
+    HeapMods.clear();
+    AllocCtxs.clear();
+    LocFinds.clear();
+    Dispatches.clear();
+    LocClasses.clear();
+    FieldProducers.clear();
+    GlobalProducers.clear();
+  }
+
+  bool empty() const {
+    return Funcs.empty() && PtGlobals.empty() && PtFields.empty() &&
+           PtVars.empty() && CalleeSites.empty() && CalleesAllSites.empty() &&
+           CallerUnits.empty() && HeapMods.empty() && AllocCtxs.empty() &&
+           LocFinds.empty() && Dispatches.empty() && LocClasses.empty() &&
+           FieldProducers.empty() && GlobalProducers.empty();
+  }
+
+  void mergeFrom(const DepFootprint &O) {
+    Funcs.insert(O.Funcs.begin(), O.Funcs.end());
+    PtGlobals.insert(O.PtGlobals.begin(), O.PtGlobals.end());
+    PtFields.insert(O.PtFields.begin(), O.PtFields.end());
+    PtVars.insert(O.PtVars.begin(), O.PtVars.end());
+    CalleeSites.insert(O.CalleeSites.begin(), O.CalleeSites.end());
+    CalleesAllSites.insert(O.CalleesAllSites.begin(),
+                           O.CalleesAllSites.end());
+    CallerUnits.insert(O.CallerUnits.begin(), O.CallerUnits.end());
+    HeapMods.insert(O.HeapMods.begin(), O.HeapMods.end());
+    AllocCtxs.insert(O.AllocCtxs.begin(), O.AllocCtxs.end());
+    LocFinds.insert(O.LocFinds.begin(), O.LocFinds.end());
+    Dispatches.insert(O.Dispatches.begin(), O.Dispatches.end());
+    LocClasses.insert(O.LocClasses.begin(), O.LocClasses.end());
+    FieldProducers.insert(O.FieldProducers.begin(), O.FieldProducers.end());
+    GlobalProducers.insert(O.GlobalProducers.begin(),
+                           O.GlobalProducers.end());
+  }
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SYM_FOOTPRINT_H

@@ -24,7 +24,8 @@ struct SymOrRefuted {
 class WitnessSearch::Run {
 public:
   Run(WitnessSearch &WS, uint64_t &Budget)
-      : P(WS.P), PTA(WS.PTA), Opts(WS.Opts), S(WS.S), Budget(Budget) {}
+      : P(WS.P), PTA(WS.PTA), Opts(WS.Opts), S(WS.S), Deps(WS.Deps),
+        Budget(Budget) {}
 
   SearchOutcome run(Query Init, EdgeSearchResult &Out) {
     push(std::move(Init));
@@ -137,6 +138,8 @@ private:
       markWitness(std::move(Q));
       return;
     }
+    if (Deps)
+      Deps->Funcs.insert(Q.Pos.F);
     const Function &Fn = P.Funcs[Q.Pos.F];
     if (Q.Pos.Idx > 0) {
       const Instruction &I = Fn.Blocks[Q.Pos.B].Insts[Q.Pos.Idx - 1];
@@ -242,9 +245,13 @@ private:
         const Instruction &I = BB.Insts[Idx];
         switch (I.Op) {
         case Opcode::Store:
+          if (Deps)
+            Deps->PtVars.emplace(F, Ctx, I.Dst);
           M.FieldBases[I.Field].insertAll(PTA.ptVarCtx(F, Ctx, I.Dst));
           break;
         case Opcode::ArrayStore:
+          if (Deps)
+            Deps->PtVars.emplace(F, Ctx, I.Dst);
           M.FieldBases[P.ElemsField].insertAll(
               PTA.ptVarCtx(F, Ctx, I.Dst));
           break;
@@ -252,8 +259,13 @@ private:
           M.Globals.insert(I.Global);
           break;
         case Opcode::Call:
-          for (FuncId Callee : PTA.calleesAt({F, B, Idx}))
+          if (Deps)
+            Deps->CalleesAllSites.insert({F, B, Idx});
+          for (FuncId Callee : PTA.calleesAt({F, B, Idx})) {
+            if (Deps)
+              Deps->HeapMods.insert(Callee);
             M.mergeFrom(PTA.heapModOf(Callee));
+          }
           break;
         default:
           break;
@@ -612,6 +624,8 @@ private:
   /// Context-qualified pt() of local \p V in frame \p Fi of \p Q.
   const IdSet &ptLocal(const Query &Q, uint32_t Fi, VarId V) const {
     const QueryFrame &Fr = Q.Frames[Fi];
+    if (Deps)
+      Deps->PtVars.emplace(Fr.Func, Fr.Ctx, V);
     return PTA.ptVarCtx(Fr.Func, Fr.Ctx, V);
   }
 
@@ -625,6 +639,8 @@ private:
     if (Fn.IsStatic || Fn.NumParams == 0)
       return;
     SymVarId Recv = Q.freshSym(Region::ofLocs(IdSet{Fr.Ctx}));
+    if (Deps)
+      Deps->PtVars.emplace(Fr.Func, Fr.Ctx, 0);
     bindLocalToSym(Q, Fi, /*this slot=*/0, Recv,
                    PTA.ptVarCtx(Fr.Func, Fr.Ctx, 0));
   }
@@ -852,6 +868,10 @@ private:
     // execution over context-qualified call graph nodes).
     AbsLocId AllocCtx = PTA.allocContextFor(Q.Pos.F, Q.Frames[Fi].Ctx);
     AbsLocId L = PTA.Locs.find(I.Alloc, AllocCtx);
+    if (Deps) {
+      Deps->AllocCtxs.emplace(Q.Pos.F, Q.Frames[Fi].Ctx);
+      Deps->LocFinds.emplace(I.Alloc, AllocCtx);
+    }
     if (L == InvalidId) {
       // This (site, context) combination was never realized.
       refute(Q, "witNew");
@@ -910,8 +930,11 @@ private:
     // Narrow the loaded value by pt over the base's region (WitRead).
     if (Loaded.isSym() && flowNarrowing()) {
       IdSet FieldPt;
-      for (AbsLocId L : Q.regionOf(Base.Sym).Locs)
+      for (AbsLocId L : Q.regionOf(Base.Sym).Locs) {
+        if (Deps)
+          Deps->PtFields.emplace(L, Fld);
         FieldPt.insertAll(PTA.ptField(L, Fld));
+      }
       Q.narrowSymLocs(Loaded.Sym, FieldPt);
       if (Q.Refuted) {
         S.bump("sym.refute.instance");
@@ -1025,6 +1048,8 @@ private:
       Q.Globals[I.Global] = Loaded;
     }
     if (Merged.isSym() && flowNarrowing()) {
+      if (Deps)
+        Deps->PtGlobals.insert(I.Global);
       Q.narrowSymLocs(Merged.Sym, PTA.ptGlobal(I.Global));
       if (Q.Refuted) {
         S.bump("sym.refute.instance");
@@ -1128,6 +1153,8 @@ private:
   void transferCall(Query Q, const Instruction &I) {
     uint32_t Fi = Q.curFrame();
     ProgramPoint CallAt = Q.Pos; // Already decremented to the call index.
+    if (Deps)
+      Deps->CalleeSites.emplace(CallAt, Q.Frames[Fi].Ctx);
     std::vector<CallEdge> Edges =
         PTA.calleesAtCtx(CallAt, Q.Frames[Fi].Ctx);
     if (Edges.empty()) {
@@ -1141,8 +1168,11 @@ private:
     // Relevance: can the call affect the query at all? Points-to
     // filtered, like WALA ModRef: field AND base region must intersect.
     PointsToResult::HeapMod Mods;
-    for (const CallEdge &E : Edges)
+    for (const CallEdge &E : Edges) {
+      if (Deps)
+        Deps->HeapMods.insert(E.Callee);
       Mods.mergeFrom(PTA.heapModOf(E.Callee));
+    }
     bool DstBound = I.Dst != NoVar && Q.getLocal(Fi, I.Dst).has_value();
     bool Relevant = DstBound;
     if (!Relevant)
@@ -1174,6 +1204,8 @@ private:
     }
     for (const CallEdge &E : Edges) {
       FuncId Callee = E.Callee;
+      if (Deps)
+        Deps->Funcs.insert(Callee); // Return points scanned below.
       const Function &CFn = P.Funcs[Callee];
       for (BlockId B = 0; B < CFn.Blocks.size(); ++B) {
         const Terminator &T = CFn.Blocks[B].Term;
@@ -1194,6 +1226,8 @@ private:
         }
         if (DstBound) {
           if (T.HasRetVal) {
+            if (Deps)
+              Deps->PtVars.emplace(Callee, E.CalleeCtx, T.RetVal);
             bindLocalToVal(Q2, NewFi, T.RetVal, DstVal,
                            PTA.ptVarCtx(Callee, E.CalleeCtx, T.RetVal));
             if (Q2.Refuted) {
@@ -1274,6 +1308,8 @@ private:
     }
     // Arbitrary calling context: expand to every caller of this analysis
     // unit (function, context).
+    if (Deps)
+      Deps->CallerUnits.emplace(Q.Pos.F, Q.Frames[0].Ctx);
     std::vector<CallEdge> Callers =
         PTA.callersOfCtx(Q.Pos.F, Q.Frames[0].Ctx);
     if (Callers.empty()) {
@@ -1334,6 +1370,10 @@ private:
           IdSet DispatchLocs;
           for (AbsLocId L : ptLocal(Q, ParentFi, ArgVar)) {
             const AllocSiteInfo &Site = P.AllocSites[PTA.Locs.site(L)];
+            if (Deps) {
+              Deps->LocClasses.insert(L);
+              Deps->Dispatches.emplace(Site.Class, I.Method);
+            }
             if (!Site.IsArray &&
                 P.resolveVirtual(Site.Class, I.Method) == CalleeF)
               DispatchLocs.insert(L);
@@ -1366,6 +1406,8 @@ private:
   }
 
   void expandToCaller(Query &Q, const CallEdge &E) {
+    if (Deps)
+      Deps->Funcs.insert(E.At.F); // Caller instruction read below.
     const Instruction &I =
         P.Funcs[E.At.F].Blocks[E.At.B].Insts[E.At.Idx];
     FuncId CalleeF = Q.Frames[0].Func;
@@ -1413,6 +1455,7 @@ private:
   const PointsToResult &PTA;
   const SymOptions &Opts;
   Stats &S;
+  DepFootprint *Deps;
   uint64_t &Budget;
   uint64_t StepsUsed = 0;
   std::vector<Query> Worklist;
@@ -1505,6 +1548,8 @@ EdgeSearchResult WitnessSearch::searchFieldEdgeAt(AbsLocId Base, FieldId Fld,
                                                   const ProducerSite &Site,
                                                   uint64_t &Budget) {
   const ProgramPoint &At = Site.At;
+  if (Deps)
+    Deps->Funcs.insert(At.F);
   const Instruction &I = P.Funcs[At.F].Blocks[At.B].Insts[At.Idx];
   assert((I.Op == Opcode::Store || I.Op == Opcode::ArrayStore) &&
          "field-edge producer must be a store");
@@ -1544,6 +1589,8 @@ EdgeSearchResult WitnessSearch::searchGlobalEdgeAt(GlobalId G,
                                                    const ProducerSite &Site,
                                                    uint64_t &Budget) {
   const ProgramPoint &At = Site.At;
+  if (Deps)
+    Deps->Funcs.insert(At.F);
   const Instruction &I = P.Funcs[At.F].Blocks[At.B].Insts[At.Idx];
   assert(I.Op == Opcode::StoreStatic && "global-edge producer must be a "
                                         "static store");
@@ -1607,6 +1654,8 @@ searchOverProducers(const std::vector<ProducerSite> &Producers,
 EdgeSearchResult WitnessSearch::searchFieldEdge(AbsLocId Base, FieldId Fld,
                                                 AbsLocId Target) {
   auto T0 = std::chrono::steady_clock::now();
+  if (Deps)
+    Deps->FieldProducers.emplace(Base, Fld, Target);
   std::vector<ProducerSite> Producers =
       PTA.producersOfFieldEdge(Base, Fld, Target);
   uint64_t EnumNanos = nanosSince(T0);
@@ -1628,6 +1677,8 @@ EdgeSearchResult WitnessSearch::searchFieldEdge(AbsLocId Base, FieldId Fld,
 EdgeSearchResult WitnessSearch::searchGlobalEdge(GlobalId G,
                                                  AbsLocId Target) {
   auto T0 = std::chrono::steady_clock::now();
+  if (Deps)
+    Deps->GlobalProducers.emplace(G, Target);
   std::vector<ProducerSite> Producers = PTA.producersOfGlobalEdge(G, Target);
   uint64_t EnumNanos = nanosSince(T0);
   uint64_t Budget = Opts.EdgeBudget;

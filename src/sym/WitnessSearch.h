@@ -29,6 +29,7 @@
 #include "pta/PointsTo.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
+#include "sym/Footprint.h"
 #include "sym/Query.h"
 
 #include <map>
@@ -152,6 +153,12 @@ public:
   /// (nullptr disables tracing). Not owned; must outlive the searches.
   void setTraceSink(TraceSink *Sink) { Trace = Sink; }
 
+  /// Installs a dependency-footprint sink: while set, every function the
+  /// search steps through and every points-to fact it consults is recorded
+  /// into \p D (nullptr disables recording). Not owned; the caller clears
+  /// or swaps it between edge searches to get per-edge footprints.
+  void setDepSink(DepFootprint *D) { Deps = D; }
+
 private:
   class Run;
   friend class Run;
@@ -167,6 +174,7 @@ private:
   SymOptions Opts;
   Stats S;
   TraceSink *Trace = nullptr;
+  DepFootprint *Deps = nullptr;
 };
 
 } // namespace thresher

@@ -1,0 +1,306 @@
+//===- cache_test.cpp - Persistent refutation cache integration -----------===//
+//
+// End-to-end tests for the refutation cache: a warm run over unmodified
+// source must serve every consulted edge from the cache (zero witness
+// searches) while keeping the deterministic JSON report byte-identical to
+// the cold run at 1 and 4 threads; editing one function must invalidate
+// only the edges whose footprint includes it; --cache-verify must agree
+// with the cache on the whole corpus; and corrupt stores are discarded,
+// never trusted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "cache/RefutationCache.h"
+#include "leak/LeakChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct CorpusProgram {
+  std::string Path;
+  bool Android = false;
+};
+
+std::vector<CorpusProgram> allPrograms() {
+  std::vector<CorpusProgram> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".mj")
+      continue;
+    CorpusProgram CP;
+    CP.Path = Entry.path().string();
+    std::ifstream In(CP.Path);
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.rfind("// ANDROID", 0) == 0)
+        CP.Android = true;
+    Out.push_back(CP);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const CorpusProgram &A, const CorpusProgram &B) {
+              return A.Path < B.Path;
+            });
+  return Out;
+}
+
+/// Fresh per-test cache directory under the system temp dir.
+std::string cacheDir(const std::string &Name) {
+  auto Dir = std::filesystem::temp_directory_path() /
+             ("thresher_cache_test_" + Name);
+  std::filesystem::remove_all(Dir);
+  return Dir.string();
+}
+
+/// The sink class for plain (non-Android) programs: the class producing
+/// the most alarms, so the cache actually has edges to remember (same
+/// fallback as the parallel differential test).
+ClassId pickSinkClass(const Program &P, const PointsToResult &PTA) {
+  ClassId Act = activityBaseClass(P);
+  if (Act != InvalidId)
+    return Act;
+  ClassId Best = 0;
+  uint32_t BestAlarms = 0;
+  for (ClassId C = 0; C < P.Classes.size(); ++C) {
+    LeakChecker Probe(P, PTA, C);
+    uint32_t N = Probe.run(1).NumAlarms;
+    if (N > BestAlarms) {
+      BestAlarms = N;
+      Best = C;
+    }
+  }
+  return Best;
+}
+
+std::string deterministicJson(LeakChecker &LC, const LeakReport &R) {
+  ReportJsonOptions JO;
+  JO.DeterministicOnly = true;
+  return LC.buildJsonReport(R, JO).toString(2);
+}
+
+/// One checker run against the store in \p Dir (load + validate + run +
+/// save), returning the report; \p SearchesOut gets the number of real
+/// witness searches the run performed.
+LeakReport cachedRun(const Program &P, const PointsToResult &PTA,
+                     ClassId Act, const std::string &Dir, unsigned Threads,
+                     uint64_t *SearchesOut = nullptr,
+                     std::string *JsonOut = nullptr, bool Verify = false) {
+  RefutationCache Cache(Dir);
+  EXPECT_TRUE(Cache.load());
+  uint64_t Config = RefutationCache::configHash(SymOptions{}, false);
+  Cache.validate(P, PTA, Config);
+  LeakChecker LC(P, PTA, Act, SymOptions{});
+  LC.setCache(&Cache, Config, Verify);
+  LeakReport R = LC.run(Threads);
+  if (SearchesOut)
+    *SearchesOut = LC.stats().get("leak.searches");
+  if (JsonOut)
+    *JsonOut = deterministicJson(LC, R);
+  EXPECT_TRUE(Cache.save());
+  return R;
+}
+
+class CacheCorpusTest : public ::testing::TestWithParam<CorpusProgram> {};
+
+} // namespace
+
+TEST_P(CacheCorpusTest, WarmRunSkipsAllSearches) {
+  const CorpusProgram &CP = GetParam();
+  SCOPED_TRACE(CP.Path);
+  std::ifstream In(CP.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  CompileResult CR =
+      CP.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ClassId Act = pickSinkClass(P, *PTA);
+
+  std::string Dir = cacheDir(
+      "warm_" + std::filesystem::path(CP.Path).stem().string());
+
+  uint64_t ColdSearches = 0, WarmSearches = 0;
+  std::string ColdJson, WarmJson, Warm4Json;
+  LeakReport Cold =
+      cachedRun(P, *PTA, Act, Dir, 1, &ColdSearches, &ColdJson);
+  EXPECT_EQ(Cold.Cache.Hits, 0u);
+  EXPECT_EQ(Cold.Cache.Inserted, ColdSearches);
+
+  LeakReport Warm =
+      cachedRun(P, *PTA, Act, Dir, 1, &WarmSearches, &WarmJson);
+  EXPECT_EQ(WarmSearches, 0u)
+      << "warm run over unmodified source must not search";
+  EXPECT_EQ(Warm.Cache.Hits, static_cast<uint64_t>(Warm.Edges.size()));
+  for (const EdgeVerdict &V : Warm.Edges)
+    EXPECT_EQ(V.Cache, EdgeCacheState::Hit) << V.Label;
+  EXPECT_EQ(WarmJson, ColdJson) << "deterministic report must be cold==warm";
+
+  // Parallel warm run: the prefetcher may additionally thresh (and then
+  // cache) edges the sequential algorithm never consults, but every
+  // consulted edge must hit and the deterministic report must not move.
+  LeakReport Warm4 =
+      cachedRun(P, *PTA, Act, Dir, 4, nullptr, &Warm4Json);
+  for (const EdgeVerdict &V : Warm4.Edges)
+    EXPECT_EQ(V.Cache, EdgeCacheState::Hit) << V.Label;
+  EXPECT_EQ(Warm4Json, ColdJson);
+
+  // Second parallel warm run: now even the prefetched superset is cached.
+  uint64_t Warm4Searches = 0;
+  cachedRun(P, *PTA, Act, Dir, 4, &Warm4Searches);
+  EXPECT_EQ(Warm4Searches, 0u);
+}
+
+TEST_P(CacheCorpusTest, CacheVerifyAgrees) {
+  const CorpusProgram &CP = GetParam();
+  SCOPED_TRACE(CP.Path);
+  std::ifstream In(CP.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  CompileResult CR =
+      CP.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok());
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ClassId Act = pickSinkClass(P, *PTA);
+
+  std::string Dir = cacheDir(
+      "verify_" + std::filesystem::path(CP.Path).stem().string());
+  cachedRun(P, *PTA, Act, Dir, 1);
+  LeakReport R = cachedRun(P, *PTA, Act, Dir, 1, nullptr, nullptr,
+                           /*Verify=*/true);
+  EXPECT_EQ(R.Cache.Verified, R.Cache.Hits);
+  EXPECT_EQ(R.Cache.VerifyMismatches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, CacheCorpusTest, ::testing::ValuesIn(allPrograms()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      std::string Name =
+          std::filesystem::path(Info.param.Path).stem().string();
+      for (char &Ch : Name)
+        if (!isalnum(static_cast<unsigned char>(Ch)))
+          Ch = '_';
+      return Name;
+    });
+
+namespace {
+
+const char *TwoWriterSource = R"(
+class SinkA { static var a; }
+class SinkB { static var b; }
+fun setA() { SinkA.a = new Object() @oa; }
+fun setB() { SinkB.b = new Object() @ob; }
+fun main() { setA(); setB(); }
+)";
+
+const char *TwoWriterEditedB = R"(
+class SinkA { static var a; }
+class SinkB { static var b; }
+fun setA() { SinkA.a = new Object() @oa; }
+fun setB() { var pad = 0; SinkB.b = new Object() @ob; }
+fun main() { setA(); setB(); }
+)";
+
+} // namespace
+
+TEST(CacheTest, EditingOneFunctionInvalidatesOnlyItsEdges) {
+  CompileResult CR1 = compileMJ(TwoWriterSource);
+  ASSERT_TRUE(CR1.ok());
+  const Program &P1 = *CR1.Prog;
+  auto PTA1 = PointsToAnalysis(P1).run();
+  ClassId Act1 = P1.ObjectClass; // Every allocation alarms.
+
+  std::string Dir = cacheDir("invalidation");
+  LeakReport Cold = cachedRun(P1, *PTA1, Act1, Dir, 1);
+  ASSERT_GE(Cold.Edges.size(), 2u);
+
+  // "Edit" setB (recompile the mutated source) and warm-run: the SinkB.b
+  // edge's footprint includes setB, so it must be re-searched; the
+  // SinkA.a edge never consulted setB and must still hit.
+  CompileResult CR2 = compileMJ(TwoWriterEditedB);
+  ASSERT_TRUE(CR2.ok());
+  const Program &P2 = *CR2.Prog;
+  auto PTA2 = PointsToAnalysis(P2).run();
+  uint64_t WarmSearches = 0;
+  std::string WarmJson;
+  LeakReport Warm = cachedRun(P2, *PTA2, Act1, Dir, 1, &WarmSearches,
+                              &WarmJson);
+  bool SawA = false, SawB = false;
+  for (const EdgeVerdict &V : Warm.Edges) {
+    if (V.Label.rfind("SinkA.a", 0) == 0) {
+      SawA = true;
+      EXPECT_EQ(V.Cache, EdgeCacheState::Hit) << V.Label;
+    } else if (V.Label.rfind("SinkB.b", 0) == 0) {
+      SawB = true;
+      EXPECT_EQ(V.Cache, EdgeCacheState::Invalidated) << V.Label;
+    }
+  }
+  EXPECT_TRUE(SawA);
+  EXPECT_TRUE(SawB);
+  EXPECT_GT(WarmSearches, 0u);
+  EXPECT_GT(Warm.Cache.Hits, 0u);
+  EXPECT_EQ(Warm.Cache.Invalidated, WarmSearches);
+
+  // The mixed warm run's verdicts must equal a from-scratch cold run over
+  // the edited program.
+  LeakChecker Fresh(P2, *PTA2, Act1, SymOptions{});
+  LeakReport FreshR = Fresh.run(1);
+  EXPECT_EQ(WarmJson, deterministicJson(Fresh, FreshR));
+}
+
+TEST(CacheTest, CorruptStoreIsDiscarded) {
+  std::string Dir = cacheDir("corrupt");
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream Out(Dir + "/cache.jsonl");
+    Out << "{\"schema\":\"thresher-cache/v1\",\"generation\":1}\n";
+    Out << "this is not json\n";
+  }
+  RefutationCache Cache(Dir);
+  std::string Err;
+  EXPECT_FALSE(Cache.load(&Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(Cache.size(), 0u);
+
+  // A wrong schema tag is also discarded wholesale.
+  {
+    std::ofstream Out(Dir + "/cache.jsonl");
+    Out << "{\"schema\":\"thresher-cache/v999\",\"generation\":1}\n";
+  }
+  EXPECT_FALSE(Cache.load(&Err));
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(CacheTest, UntouchedEntriesAreEvicted) {
+  std::string Dir = cacheDir("evict");
+  RefutationCache Cache(Dir);
+  ASSERT_TRUE(Cache.load());
+  Cache.KeepGenerations = 1;
+  Cache.insert("G -> loc", true, 7, SearchOutcome::Refuted, 42, {});
+  ASSERT_EQ(Cache.size(), 1u);
+  // The entry was inserted at generation 1; it survives saves until its
+  // age exceeds KeepGenerations.
+  ASSERT_TRUE(Cache.save()); // gen 1, age 0
+  EXPECT_EQ(Cache.size(), 1u);
+  ASSERT_TRUE(Cache.save()); // gen 2, age 1
+  EXPECT_EQ(Cache.size(), 1u);
+  ASSERT_TRUE(Cache.save()); // gen 3, age 2 > KeepGenerations
+  EXPECT_EQ(Cache.size(), 0u);
+
+  RefutationCache Reloaded(Dir);
+  ASSERT_TRUE(Reloaded.load());
+  EXPECT_EQ(Reloaded.size(), 0u);
+  EXPECT_EQ(Reloaded.generation(), 3u);
+}

@@ -1,0 +1,171 @@
+//===- fingerprint_test.cpp - Structural fingerprint stability ------------===//
+//
+// Property tests for the stable IR fingerprints that key the refutation
+// cache: recompiling identical source must reproduce identical hashes
+// (across the whole corpus), and any single-point mutation — an
+// instruction, a callee, a field name — must change the mutated
+// function's hash while leaving every other function's hash alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "ir/Fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+FuncId funcByName(const Program &P, const std::string &Name) {
+  for (FuncId F = 0; F < P.Funcs.size(); ++F)
+    if (P.funcName(F) == Name)
+      return F;
+  return InvalidId;
+}
+
+/// Per-function fingerprints keyed by qualified name.
+std::map<std::string, uint64_t> allFingerprints(const Program &P) {
+  std::map<std::string, uint64_t> Out;
+  for (FuncId F = 0; F < P.Funcs.size(); ++F)
+    Out[P.funcName(F)] = fingerprintFunction(P, F);
+  return Out;
+}
+
+const char *BaseSource = R"(
+class Sink { static var a; static var b; }
+class A { m(o) { Sink.a = o; } }
+fun id(x) { return x; }
+fun id2(x) { return x; }
+fun main() {
+  var o = new Object() @o1;
+  Sink.b = id(o);
+  var a = new A() @a0;
+  a.m(new Object() @o2);
+}
+)";
+
+} // namespace
+
+TEST(FingerprintTest, HasherIsLengthPrefixed) {
+  // Concatenation must not collide: ("ab","c") != ("a","bc").
+  StableHasher H1, H2;
+  H1.add(std::string_view("ab"));
+  H1.add(std::string_view("c"));
+  H2.add(std::string_view("a"));
+  H2.add(std::string_view("bc"));
+  EXPECT_NE(H1.hash(), H2.hash());
+
+  StableHasher H3, H4;
+  H3.add(std::string_view(""));
+  EXPECT_NE(H3.hash(), H4.hash()) << "empty field must still be recorded";
+}
+
+TEST(FingerprintTest, RecompileIsStable) {
+  CompileResult A = compileMJ(BaseSource);
+  CompileResult B = compileMJ(BaseSource);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_EQ(allFingerprints(*A.Prog), allFingerprints(*B.Prog));
+  EXPECT_EQ(fingerprintProgram(*A.Prog), fingerprintProgram(*B.Prog));
+  FuncId F = funcByName(*A.Prog, "main");
+  ASSERT_NE(F, InvalidId);
+  EXPECT_EQ(functionFingerprintText(*A.Prog, F),
+            functionFingerprintText(*B.Prog, funcByName(*B.Prog, "main")));
+}
+
+TEST(FingerprintTest, InstructionMutationIsLocal) {
+  std::string Mutated = BaseSource;
+  size_t At = Mutated.find("fun id(x) { return x; }");
+  ASSERT_NE(At, std::string::npos);
+  Mutated.replace(At, 23, "fun id(x) { var y = x; return y; }");
+
+  CompileResult A = compileMJ(BaseSource);
+  CompileResult B = compileMJ(Mutated);
+  ASSERT_TRUE(A.ok() && B.ok());
+  auto FA = allFingerprints(*A.Prog);
+  auto FB = allFingerprints(*B.Prog);
+  EXPECT_NE(FA.at("id"), FB.at("id"));
+  for (const auto &[Name, Hash] : FA)
+    if (Name != "id")
+      EXPECT_EQ(Hash, FB.at(Name)) << Name;
+  EXPECT_NE(fingerprintProgram(*A.Prog), fingerprintProgram(*B.Prog));
+}
+
+TEST(FingerprintTest, CalleeMutationIsLocal) {
+  std::string Mutated = BaseSource;
+  size_t At = Mutated.find("Sink.b = id(o);");
+  ASSERT_NE(At, std::string::npos);
+  Mutated.replace(At, 15, "Sink.b = id2(o);");
+
+  CompileResult A = compileMJ(BaseSource);
+  CompileResult B = compileMJ(Mutated);
+  ASSERT_TRUE(A.ok() && B.ok());
+  auto FA = allFingerprints(*A.Prog);
+  auto FB = allFingerprints(*B.Prog);
+  EXPECT_NE(FA.at("main"), FB.at("main"));
+  for (const auto &[Name, Hash] : FA)
+    if (Name != "main")
+      EXPECT_EQ(Hash, FB.at(Name)) << Name;
+}
+
+TEST(FingerprintTest, FieldMutationIsLocal) {
+  std::string Mutated = BaseSource;
+  size_t At = Mutated.find("class A { m(o) { Sink.a = o; } }");
+  ASSERT_NE(At, std::string::npos);
+  Mutated.replace(At, 32, "class A { m(o) { Sink.b = o; } }");
+
+  CompileResult A = compileMJ(BaseSource);
+  CompileResult B = compileMJ(Mutated);
+  ASSERT_TRUE(A.ok() && B.ok());
+  auto FA = allFingerprints(*A.Prog);
+  auto FB = allFingerprints(*B.Prog);
+  EXPECT_NE(FA.at("A.m"), FB.at("A.m"));
+  for (const auto &[Name, Hash] : FA)
+    if (Name != "A.m")
+      EXPECT_EQ(Hash, FB.at(Name)) << Name;
+}
+
+TEST(FingerprintTest, CorpusHasNoSilentCollisions) {
+  // Across every function of every corpus program (compiled twice):
+  // equal canonical text <=> equal hash. A hash collision between
+  // distinct texts would let the cache serve a verdict for the wrong
+  // function body.
+  std::map<uint64_t, std::string> TextOfHash;
+  size_t Functions = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".mj")
+      continue;
+    std::ifstream In(Entry.path());
+    std::stringstream SS;
+    SS << In.rdbuf();
+    std::string Text = SS.str();
+    bool Android = Text.find("// ANDROID") != std::string::npos;
+    CompileResult A = Android ? compileAndroidApp(Text) : compileMJ(Text);
+    CompileResult B = Android ? compileAndroidApp(Text) : compileMJ(Text);
+    ASSERT_TRUE(A.ok() && B.ok()) << Entry.path();
+    EXPECT_EQ(fingerprintProgram(*A.Prog), fingerprintProgram(*B.Prog))
+        << Entry.path();
+    for (FuncId F = 0; F < A.Prog->Funcs.size(); ++F) {
+      ++Functions;
+      uint64_t H = fingerprintFunction(*A.Prog, F);
+      EXPECT_EQ(H, fingerprintFunction(*B.Prog, F))
+          << Entry.path() << ": " << A.Prog->funcName(F);
+      std::string T = functionFingerprintText(*A.Prog, F);
+      auto [It, Inserted] = TextOfHash.emplace(H, T);
+      if (!Inserted)
+        EXPECT_EQ(It->second, T)
+            << "hash collision on " << A.Prog->funcName(F);
+    }
+  }
+  EXPECT_GT(Functions, 0u) << "corpus should contain functions";
+}

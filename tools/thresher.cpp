@@ -19,7 +19,7 @@
 //   --annotate-hashmap     Ann?=Y configuration (HashMap.EMPTY_TABLE empty)
 //   --budget N             per-edge exploration budget (default 10000)
 //   --depth N              callee-entry stack depth bound (default 3)
-//   --threads N            parallel edge threshing for 'check' 
+//   --threads N            parallel edge threshing for 'check'
 //   --repr mixed|symbolic|explicit
 //   --loop full|drop       loop invariant inference mode
 //   --no-simplify          disable query simplification
@@ -29,15 +29,23 @@
 //   --stats                print engine counters
 //   --json FILE            write the machine-readable report for 'check'
 //                          (schema thresher-report/v1; "-" for stdout)
+//   --deterministic        restrict --json to the thread-count- and
+//                          cache-independent fields (byte-comparable)
 //   --trace FILE           write per-edge JSONL trace events for 'check'
 //                          ("-" for stdout)
+//   --cache DIR            persistent refutation cache for 'check': load
+//                          and validate DIR/cache.jsonl, skip searches
+//                          whose cached facts still hold, save on exit
+//   --cache-verify         with --cache, re-search cache hits and fail if
+//                          any cached verdict disagrees
 //
 // The JSON report and trace event schemas are documented in
-// docs/OBSERVABILITY.md.
+// docs/OBSERVABILITY.md; the cache store format in docs/CACHING.md.
 //
 //===----------------------------------------------------------------------===//
 
 #include "android/AndroidModel.h"
+#include "cache/RefutationCache.h"
 #include "interp/Interp.h"
 #include "ir/Printer.h"
 #include "pta/GraphExport.h"
@@ -46,6 +54,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 using namespace thresher;
@@ -64,9 +73,30 @@ struct CliOptions {
   std::string ActivityClass = "Activity";
   std::string EdgeFrom, EdgeTo;
   std::string JsonPath, TracePath;
+  std::string CacheDir;
+  bool CacheVerify = false;
+  bool Deterministic = false;
   unsigned Threads = 1;
   SymOptions Sym;
 };
+
+/// Strict positive-integer option parser: rejects empty, non-numeric,
+/// signed, zero, and out-of-range values (std::stoi-style prefix parsing
+/// silently accepted "4x" and crashed on "abc").
+bool parseCount(const std::string &Flag, const char *V, uint64_t Max,
+                uint64_t &Out) {
+  std::string S = V ? V : "";
+  bool Ok = !S.empty() && S.size() <= 19;
+  for (char C : S)
+    Ok = Ok && C >= '0' && C <= '9';
+  Out = Ok ? std::strtoull(S.c_str(), nullptr, 10) : 0;
+  if (!Ok || Out == 0 || Out > Max) {
+    std::cerr << "error: " << Flag << " expects a positive integer (1.."
+              << Max << "), got '" << S << "'\n";
+    return false;
+  }
+  return true;
+}
 
 int usage() {
   std::cerr << "usage: thresher <check|ir|pta|run|edge> [options] "
@@ -104,21 +134,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
     } else if (A == "--no-simplify") {
       O.Sym.QuerySimplification = false;
     } else if (A == "--budget") {
-      const char *V = Next();
-      if (!V)
+      uint64_t N;
+      if (!parseCount(A, Next(), UINT64_MAX / 2, N))
         return false;
-      O.Sym.EdgeBudget = std::strtoull(V, nullptr, 10);
+      O.Sym.EdgeBudget = N;
     } else if (A == "--depth") {
-      const char *V = Next();
-      if (!V)
+      uint64_t N;
+      if (!parseCount(A, Next(), 1024, N))
         return false;
-      O.Sym.MaxCallStackDepth =
-          static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
+      O.Sym.MaxCallStackDepth = static_cast<uint32_t>(N);
     } else if (A == "--threads") {
-      const char *V = Next();
-      if (!V)
+      uint64_t N;
+      if (!parseCount(A, Next(), 1024, N))
         return false;
-      O.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      O.Threads = static_cast<unsigned>(N);
     } else if (A == "--repr") {
       const char *V = Next();
       if (!V)
@@ -163,6 +192,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       if (!V)
         return false;
       O.TracePath = V;
+    } else if (A == "--cache") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.CacheDir = V;
+    } else if (A == "--cache-verify") {
+      O.CacheVerify = true;
+    } else if (A == "--deterministic") {
+      O.Deterministic = true;
     } else if (A == "--from") {
       const char *V = Next();
       if (!V)
@@ -214,17 +252,30 @@ int runCheck(const CliOptions &O, const Program &P,
     return 1;
   }
   LeakChecker LC(P, PTA, ActBase, O.Sym);
+  std::unique_ptr<RefutationCache> Cache;
+  if (!O.CacheDir.empty()) {
+    Cache = std::make_unique<RefutationCache>(O.CacheDir);
+    std::string Err;
+    if (!Cache->load(&Err))
+      std::cerr << "warning: discarding refutation cache: " << Err << "\n";
+    uint64_t ConfigHash =
+        RefutationCache::configHash(O.Sym, O.AnnotateHashMap);
+    Cache->validate(P, PTA, ConfigHash);
+    LC.setCache(Cache.get(), ConfigHash, O.CacheVerify);
+  }
   LeakReport R = LC.run(O.Threads);
+  ReportJsonOptions JO;
+  JO.DeterministicOnly = O.Deterministic;
   if (!O.JsonPath.empty()) {
     if (O.JsonPath == "-") {
-      LC.writeJsonReport(std::cout, R);
+      LC.writeJsonReport(std::cout, R, JO);
     } else {
       std::ofstream Out(O.JsonPath);
       if (!Out) {
         std::cerr << "error: cannot write '" << O.JsonPath << "'\n";
         return 1;
       }
-      LC.writeJsonReport(Out, R);
+      LC.writeJsonReport(Out, R, JO);
     }
   }
   if (!O.TracePath.empty()) {
@@ -255,8 +306,23 @@ int runCheck(const CliOptions &O, const Program &P,
     for (const std::string &E : A.PathDescription)
       std::cout << "    " << E << "\n";
   }
+  if (R.Cache.Enabled)
+    std::cout << "cache: " << R.Cache.Hits << " hits, " << R.Cache.Misses
+              << " misses, " << R.Cache.Invalidated << " invalidated, "
+              << R.Cache.Inserted << " inserted\n";
   if (O.PrintStats)
     LC.stats().print(std::cout);
+  if (Cache) {
+    std::string Err;
+    if (!Cache->save(&Err))
+      std::cerr << "warning: cannot save refutation cache: " << Err << "\n";
+    if (R.Cache.VerifyMismatches > 0) {
+      // Exit 3: distinguishable from "leaks found" (1) and usage (2).
+      std::cerr << "error: --cache-verify found " << R.Cache.VerifyMismatches
+                << " cached verdict mismatch(es)\n";
+      return 3;
+    }
+  }
   return R.NumAlarms == R.RefutedAlarms ? 0 : 1;
 }
 
