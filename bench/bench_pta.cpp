@@ -1,0 +1,279 @@
+//===- bench_pta.cpp - Points-to solver cold-solve benchmark --------------===//
+//
+// Times a cold constraint solve with both solvers (the naive reference
+// and the production delta-propagation + cycle-collapsing one) over two
+// workload families:
+//
+//  - every program in tests/corpus/ (realistic, small: guards against the
+//    delta machinery regressing the common case), and
+//  - generated synthetic stressors: a copy-edge ring ("cycle-heavy",
+//    where the naive solver re-propagates entire sets around the cycle
+//    until convergence and online collapsing folds the ring into one
+//    node) and a long copy chain fed from allocation-heavy sources
+//    ("chain-heavy", where difference propagation crosses each edge with
+//    each location exactly once).
+//
+// --json FILE writes a thresher-bench-pta/v1 document with per-workload
+// wall times, speedups, and the solver's pta.* effort counters.
+// --check-baseline FILE compares the delta-solver wall times against a
+// previously recorded document and exits nonzero on a >2x regression on
+// any workload (the CI perf-smoke contract; see .github/workflows/ci.yml).
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "pta/PointsTo.h"
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct Workload {
+  std::string Name;
+  std::string Kind; // "corpus" or "synthetic"
+  std::string Text;
+  bool Android = false;
+};
+
+std::vector<Workload> corpusWorkloads() {
+  std::vector<Workload> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".mj")
+      continue;
+    Workload W;
+    W.Name = Entry.path().stem().string();
+    W.Kind = "corpus";
+    std::ifstream In(Entry.path());
+    std::stringstream SS;
+    SS << In.rdbuf();
+    W.Text = SS.str();
+    W.Android = W.Text.rfind("// ANDROID", 0) == 0;
+    Out.push_back(W);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const Workload &A, const Workload &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+/// A ring of N locals connected by copy edges oriented *against* the
+/// declaration order, with an allocation seeding every K-th variable.
+/// Flow-insensitively the assignments form one big copy-edge cycle, so
+/// every allocation must reach every variable. The orientation matters:
+/// the naive solver's FIFO worklist visits nodes in seeding order, so
+/// each location advances one hop per pop and the whole (growing) set is
+/// re-shipped every time — O(ring length x seeds) re-propagations, a
+/// schedule the solver cannot avoid by luck. Collapsing folds the ring
+/// into one node up front and propagates each location exactly once.
+Workload makeCycleHeavy(unsigned N, unsigned Every) {
+  std::ostringstream OS;
+  OS << "fun main() {\n";
+  for (unsigned I = 0; I < N; ++I) {
+    if (I % Every == 0)
+      OS << "  var a" << I << " = new Object() @c" << I << ";\n";
+    else
+      OS << "  var a" << I << " = null;\n";
+  }
+  for (unsigned I = 0; I + 1 < N; ++I)
+    OS << "  a" << I << " = a" << (I + 1) << ";\n"; // Edge a(I+1) -> aI.
+  OS << "  a" << (N - 1) << " = a0;\n";             // Close the ring.
+  OS << "}\n";
+  Workload W;
+  W.Name = "synthetic_cycle_n" + std::to_string(N);
+  W.Kind = "synthetic";
+  W.Text = OS.str();
+  return W;
+}
+
+/// A long copy chain whose head receives M allocations, plus a second
+/// tier of chains branching off. No cycles: measures pure propagation
+/// throughput (difference propagation must not lose to the naive solver
+/// here).
+Workload makeChainHeavy(unsigned N, unsigned M) {
+  std::ostringstream OS;
+  OS << "fun main() {\n";
+  OS << "  var a0 = new Object() @h0;\n";
+  for (unsigned I = 1; I < M; ++I)
+    OS << "  a0 = new Object() @h" << I << ";\n";
+  for (unsigned I = 1; I < N; ++I)
+    OS << "  var a" << I << " = a" << (I - 1) << ";\n";
+  OS << "}\n";
+  Workload W;
+  W.Name = "synthetic_chain_n" + std::to_string(N) + "_m" +
+           std::to_string(M);
+  W.Kind = "synthetic";
+  W.Text = OS.str();
+  return W;
+}
+
+struct Measurement {
+  uint64_t NaiveNanos = 0;
+  uint64_t DeltaNanos = 0;
+  std::map<std::string, uint64_t> Counters; // pta.* from the delta run.
+};
+
+uint64_t bestOf(const Program &P, PTASolver Solver, unsigned Reps) {
+  PTAOptions Opts;
+  Opts.Solver = Solver;
+  uint64_t Best = UINT64_MAX;
+  for (unsigned R = 0; R < Reps; ++R) {
+    Timer T;
+    auto Result = PointsToAnalysis(P, Opts).run();
+    uint64_t Nanos = static_cast<uint64_t>(T.seconds() * 1e9);
+    if (Result->Locs.size() == 0)
+      std::fprintf(stderr, "warning: empty result\n");
+    if (Nanos < Best)
+      Best = Nanos;
+  }
+  return Best;
+}
+
+Measurement measure(const Workload &W, unsigned Reps) {
+  CompileResult CR =
+      W.Android ? compileAndroidApp(W.Text) : compileMJ(W.Text);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "compile error in %s: %s\n", W.Name.c_str(),
+                 CR.Errors.empty() ? "?" : CR.Errors[0].c_str());
+    std::exit(1);
+  }
+  const Program &P = *CR.Prog;
+  Measurement M;
+  M.DeltaNanos = bestOf(P, PTASolver::DeltaLCD, Reps);
+  M.NaiveNanos = bestOf(P, PTASolver::Naive, Reps);
+  PTAOptions Opts; // One more delta run to snapshot the effort counters.
+  auto R = PointsToAnalysis(P, Opts).run();
+  for (const auto &[Name, Value] : R->Effort.counterSnapshot())
+    if (Name.rfind("pta.", 0) == 0)
+      M.Counters[Name] = Value;
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath, BaselinePath;
+  unsigned Reps = 5;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--json" && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (A == "--check-baseline" && I + 1 < Argc)
+      BaselinePath = Argv[++I];
+    else if (A == "--reps" && I + 1 < Argc)
+      Reps = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_pta [--json FILE] "
+                   "[--check-baseline FILE] [--reps N]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Workload> Workloads = corpusWorkloads();
+  Workloads.push_back(makeCycleHeavy(1500, 15));
+  Workloads.push_back(makeCycleHeavy(3000, 30));
+  Workloads.push_back(makeChainHeavy(2000, 100));
+
+  JsonValue Doc = JsonValue::makeObject();
+  Doc.set("schema", JsonValue::makeString("thresher-bench-pta/v1"));
+  Doc.set("reps", JsonValue::makeUint(Reps));
+  JsonValue Rows = JsonValue::makeArray();
+
+  std::printf("%-32s %12s %12s %8s\n", "workload", "naive(us)",
+              "delta(us)", "speedup");
+  bool CycleSpeedupOk = true;
+  for (const Workload &W : Workloads) {
+    Measurement M = measure(W, Reps);
+    double Speedup =
+        M.DeltaNanos ? double(M.NaiveNanos) / double(M.DeltaNanos) : 0.0;
+    std::printf("%-32s %12.1f %12.1f %7.2fx\n", W.Name.c_str(),
+                M.NaiveNanos / 1e3, M.DeltaNanos / 1e3, Speedup);
+    if (W.Kind == "synthetic" && W.Name.rfind("synthetic_cycle", 0) == 0 &&
+        Speedup < 2.0)
+      CycleSpeedupOk = false;
+    JsonValue Row = JsonValue::makeObject();
+    Row.set("name", JsonValue::makeString(W.Name));
+    Row.set("kind", JsonValue::makeString(W.Kind));
+    Row.set("naiveNanos", JsonValue::makeUint(M.NaiveNanos));
+    Row.set("deltaNanos", JsonValue::makeUint(M.DeltaNanos));
+    Row.set("speedup", JsonValue::makeDouble(Speedup));
+    JsonValue Counters = JsonValue::makeObject();
+    for (const auto &[Name, Value] : M.Counters)
+      Counters.set(Name, JsonValue::makeUint(Value));
+    Row.set("counters", std::move(Counters));
+    Rows.append(std::move(Row));
+  }
+  Doc.set("workloads", std::move(Rows));
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    Doc.write(Out, 2);
+    Out << "\n";
+  }
+
+  if (!CycleSpeedupOk) {
+    std::fprintf(stderr,
+                 "FAIL: cycle-heavy stressor speedup below 2x\n");
+    return 1;
+  }
+
+  if (!BaselinePath.empty()) {
+    std::ifstream In(BaselinePath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open baseline '%s'\n",
+                   BaselinePath.c_str());
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    JsonValue Base;
+    std::string Err;
+    if (!parseJson(SS.str(), Base, &Err)) {
+      std::fprintf(stderr, "bad baseline JSON: %s\n", Err.c_str());
+      return 1;
+    }
+    bool Ok = true;
+    const JsonValue *BaseRows = Base.find("workloads");
+    for (const JsonValue &Row : Doc.find("workloads")->items()) {
+      const std::string &Name = Row.find("name")->asString();
+      uint64_t Now = Row.find("deltaNanos")->asUint();
+      const JsonValue *BaseRow = nullptr;
+      if (BaseRows)
+        for (const JsonValue &BR : BaseRows->items())
+          if (BR.find("name") && BR.find("name")->asString() == Name)
+            BaseRow = &BR;
+      if (!BaseRow || !BaseRow->find("deltaNanos"))
+        continue; // New workload: no baseline yet.
+      uint64_t Then = BaseRow->find("deltaNanos")->asUint();
+      // Floor at 1ms so scheduler noise on trivially fast corpus solves
+      // cannot trip the gate; the stressors run well above it.
+      if (Now > 2 * Then && Now > 1000000) {
+        std::fprintf(stderr,
+                     "FAIL: %s cold solve regressed >2x "
+                     "(%.1fus -> %.1fus)\n",
+                     Name.c_str(), Then / 1e3, Now / 1e3);
+        Ok = false;
+      }
+    }
+    if (!Ok)
+      return 1;
+    std::printf("baseline check passed (%s)\n", BaselinePath.c_str());
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 #define THRESHER_PTA_ABSLOC_H
 
 #include "ir/Program.h"
+#include "support/Hash.h"
 
 #include <cstdint>
 #include <string>
@@ -58,7 +59,7 @@ private:
   };
   struct KeyHash {
     size_t operator()(const std::pair<AllocSiteId, AbsLocId> &K) const {
-      return (static_cast<size_t>(K.first) << 32) ^ K.second;
+      return hashPair(K.first, K.second);
     }
   };
   std::vector<Entry> Entries;

@@ -1,7 +1,13 @@
 #include "pta/PointsTo.h"
 
+#include "support/Hash.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <array>
 #include <cassert>
 #include <deque>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -17,17 +23,42 @@ constexpr NodeId NoNode = ~0u;
 //===----------------------------------------------------------------------===//
 // Solver implementation
 //===----------------------------------------------------------------------===//
+//
+// Inclusion-constraint solving with difference propagation and online cycle
+// collapsing (see docs/PTA.md for the full design):
+//
+//  - Every node keeps Pts (locations already propagated to its successors
+//    and constraints) and Delta (locations that arrived since the node was
+//    last popped). Only Delta flows on a pop, so a location crosses each
+//    edge once instead of once per downstream change.
+//  - Constraints attached mid-solve are seeded against Pts at attach time;
+//    a pop then matches Delta against the node's whole constraint list by
+//    index (the backing vectors may reallocate while fieldNode/varNode
+//    create nodes, so elements are copied out one at a time — never the
+//    whole list, which is what the old solver did on every pop).
+//  - Copy-edge cycles are detected lazily (Hardekopf/Lin-style LCD): when
+//    a pop propagates along an edge without growing the target and both
+//    endpoints' points-to sets are equal, a DFS looks for a cycle through
+//    that edge, and every node on one is collapsed into a single
+//    union-find representative. All node lookups route through find().
+//
+// The Naive solver (full re-propagation, no collapsing) is retained for
+// differential testing; both paths share constraint generation and
+// finalization, and finalize() canonically renumbers abstract locations so
+// the published result is independent of which solver — and which worklist
+// schedule — produced it.
 
 struct PointsToAnalysis::Impl {
   const Program &P;
   PTAOptions Opts;
+  const bool UseDelta;
   std::unique_ptr<PointsToResult> R = std::make_unique<PointsToResult>();
   AbsLocTable &Locs = R->Locs;
 
   // --- Method contexts: (function, receiver location or InvalidId). ---
   struct MCKeyHash {
     size_t operator()(const std::pair<FuncId, AbsLocId> &K) const {
-      return (static_cast<size_t>(K.first) << 32) ^ K.second;
+      return hashPair(K.first, K.second);
     }
   };
   std::vector<std::pair<FuncId, AbsLocId>> MCs;
@@ -38,7 +69,8 @@ struct PointsToAnalysis::Impl {
 
   // --- Nodes. Globals first, then vars / fields / returns on demand. ---
   std::vector<IdSet> Pts;
-  std::vector<IdSet> Succ; // Successor node ids per node (copy edges).
+  std::vector<IdSet> Delta; // Pending locations (DeltaLCD solver only).
+  std::vector<IdSet> Succ;  // Successor node ids per node (copy edges).
   struct LoadCons {
     FieldId F;
     NodeId Dst;
@@ -65,9 +97,23 @@ struct PointsToAnalysis::Impl {
   std::deque<NodeId> Worklist;
   std::vector<bool> InWorklist;
 
+  // --- Cycle collapsing state (DeltaLCD). ---
+  UnionFind UF;
+  std::unordered_set<uint64_t> CycleChecked; // Probed (from << 32) | to.
+  std::vector<uint32_t> DfsState;            // Epoch-stamped DFS marks.
+  uint32_t DfsEpoch = 0;
+  uint64_t NumEdgesTotal = 0;   // Copy edges ever inserted (approximate
+  uint64_t EdgesSinceScc = 0;   // after collapses; heuristic input only).
+
+  // --- Effort accounting (folded into R->Effort once, after solving). ---
+  uint64_t NumDeltaPops = 0, NumDeltaLocs = 0;
+  uint64_t NumCyclesCollapsed = 0, NumNodesMerged = 0, NumLcdProbes = 0;
+  uint64_t NumSccPasses = 0;
+  Histogram DeltaSizeHist;
+
   struct VarKeyHash {
     size_t operator()(const std::pair<uint32_t, VarId> &K) const {
-      return (static_cast<size_t>(K.first) << 32) ^ K.second;
+      return hashPair(K.first, K.second);
     }
   };
   std::unordered_map<std::pair<uint32_t, VarId>, NodeId, VarKeyHash> VarNodes;
@@ -75,15 +121,26 @@ struct PointsToAnalysis::Impl {
       FieldNodes;
   std::unordered_map<uint32_t, NodeId> RetNodes; // Per MC.
 
-  // Call graph edges recorded during solving.
+  // Call graph edges recorded during solving, deduplicated on the exact
+  // edge key (the old shifted-xor hash could collide and drop edges).
   std::vector<CallEdge> CallEdges;
-  std::unordered_set<uint64_t> CallEdgeSeen; // Hash of (At, callee).
+  struct CallEdgeKeyHash {
+    size_t operator()(const std::array<uint32_t, 6> &K) const {
+      uint64_t H = hashPair(K[0], K[1]);
+      H = hashCombine(H, hashPair(K[2], K[3]));
+      return static_cast<size_t>(hashCombine(H, hashPair(K[4], K[5])));
+    }
+  };
+  std::unordered_set<std::array<uint32_t, 6>, CallEdgeKeyHash> CallEdgeSeen;
 
-  Impl(const Program &P, PTAOptions Opts) : P(P), Opts(std::move(Opts)) {}
+  Impl(const Program &P, PTAOptions Opts)
+      : P(P), Opts(std::move(Opts)),
+        UseDelta(this->Opts.Solver == PTASolver::DeltaLCD) {}
 
   // --- Node management. ---
   NodeId newNode() {
     Pts.emplace_back();
+    Delta.emplace_back();
     Succ.emplace_back();
     Loads.emplace_back();
     Stores.emplace_back();
@@ -91,6 +148,13 @@ struct PointsToAnalysis::Impl {
     InWorklist.push_back(false);
     return static_cast<NodeId>(Pts.size() - 1);
   }
+
+  /// Current representative of \p N. Nodes merged by cycle collapsing
+  /// forward to their union-find root; until a first collapse (always, in
+  /// Naive mode) the identity — skip the out-of-line union-find walk that
+  /// would otherwise tax every node lookup.
+  bool HasMerges = false;
+  NodeId find(NodeId N) { return HasMerges ? UF.find(N) : N; }
 
   void initGlobalNodes() {
     for (GlobalId G = 0; G < P.Globals.size(); ++G) {
@@ -100,13 +164,13 @@ struct PointsToAnalysis::Impl {
     }
   }
 
-  NodeId globalNode(GlobalId G) { return G; }
+  NodeId globalNode(GlobalId G) { return find(G); }
 
   NodeId varNode(uint32_t MC, VarId V) {
     auto Key = std::make_pair(MC, V);
     auto It = VarNodes.find(Key);
     if (It != VarNodes.end())
-      return It->second;
+      return find(It->second);
     NodeId N = newNode();
     VarNodes.emplace(Key, N);
     return N;
@@ -116,7 +180,7 @@ struct PointsToAnalysis::Impl {
     auto Key = std::make_pair(L, F);
     auto It = FieldNodes.find(Key);
     if (It != FieldNodes.end())
-      return It->second;
+      return find(It->second);
     NodeId N = newNode();
     FieldNodes.emplace(Key, N);
     return N;
@@ -125,7 +189,7 @@ struct PointsToAnalysis::Impl {
   NodeId retNode(uint32_t MC) {
     auto It = RetNodes.find(MC);
     if (It != RetNodes.end())
-      return It->second;
+      return find(It->second);
     NodeId N = newNode();
     RetNodes.emplace(MC, N);
     return N;
@@ -139,6 +203,13 @@ struct PointsToAnalysis::Impl {
   }
 
   bool addToPts(NodeId N, AbsLocId L) {
+    N = find(N);
+    if (UseDelta) {
+      if (Pts[N].contains(L) || !Delta[N].insert(L))
+        return false;
+      push(N);
+      return true;
+    }
     if (Pts[N].insert(L)) {
       push(N);
       return true;
@@ -147,10 +218,21 @@ struct PointsToAnalysis::Impl {
   }
 
   void addEdge(NodeId From, NodeId To) {
+    From = find(From);
+    To = find(To);
     if (From == To)
       return;
     if (!Succ[From].insert(To))
       return;
+    ++NumEdgesTotal;
+    ++EdgesSinceScc;
+    if (UseDelta) {
+      // Seed only the already-propagated prefix; From's pending Delta
+      // reaches To when From is popped (To is a successor now).
+      if (Delta[To].insertAllExcept(Pts[From], Pts[To]))
+        push(To);
+      return;
+    }
     if (Pts[To].insertAll(Pts[From]))
       push(To);
   }
@@ -187,35 +269,46 @@ struct PointsToAnalysis::Impl {
     return Id;
   }
 
-  // --- Constraint attachment (seeds with current pts). ---
+  // --- Constraint attachment (seeds with the propagated prefix). ---
+  //
+  // Seeding reads Pts only: any pending Delta reaches the new constraint
+  // when the base node is popped (nonempty Delta implies the node is in
+  // the worklist), so each (constraint, location) pair is processed
+  // exactly once. The seed set is copied out first — the loop bodies
+  // create nodes, which reallocates the per-node vectors and would
+  // invalidate an iterator into Pts[Base].
+
   void attachLoad(NodeId Base, FieldId F, NodeId Dst) {
+    Base = find(Base);
     Loads[Base].push_back({F, Dst});
-    for (AbsLocId L : Pts[Base])
+    IdSet Seed = Pts[Base];
+    for (AbsLocId L : Seed)
       addEdge(fieldNode(L, F), Dst);
   }
 
   void attachStore(NodeId Base, FieldId F, NodeId Src) {
+    Base = find(Base);
     Stores[Base].push_back({F, Src});
-    for (AbsLocId L : Pts[Base])
+    IdSet Seed = Pts[Base];
+    for (AbsLocId L : Seed)
       addEdge(Src, fieldNode(L, F));
   }
 
   void attachCall(NodeId Recv, CallCons C) {
-    Calls[Recv].push_back(C);
+    Recv = find(Recv);
+    Calls[Recv].push_back(std::move(C));
     // Copy needed: processCallLoc may reallocate Calls.
     CallCons Cons = Calls[Recv].back();
-    for (AbsLocId L : Pts[Recv])
+    IdSet Seed = Pts[Recv];
+    for (AbsLocId L : Seed)
       processCallLoc(Cons, L);
   }
 
   void recordCallEdge(const ProgramPoint &At, uint32_t CallerMC,
                       FuncId Callee, AbsLocId CalleeCtx) {
-    uint64_t H = (static_cast<uint64_t>(At.F) << 44) ^
-                 (static_cast<uint64_t>(At.B) << 28) ^
-                 (static_cast<uint64_t>(At.Idx) << 16) ^
-                 (static_cast<uint64_t>(CallerMC) << 8) ^
-                 (static_cast<uint64_t>(Callee) << 4) ^ CalleeCtx;
-    if (!CallEdgeSeen.insert(H).second)
+    std::array<uint32_t, 6> Key{At.F, At.B, At.Idx, CallerMC, Callee,
+                                CalleeCtx};
+    if (!CallEdgeSeen.insert(Key).second)
       return;
     CallEdge E;
     E.At = At;
@@ -361,7 +454,212 @@ struct PointsToAnalysis::Impl {
     }
   }
 
-  // --- Main solve loop. ---
+  // --- Cycle collapsing (DeltaLCD). ---
+
+  /// Collects every node on a copy-edge path Start -> ... -> Target (all
+  /// such nodes lie on a cycle through the already-present Target -> Start
+  /// edge) into \p Members. Nodes whose reachability is still being
+  /// resolved when revisited are treated as non-reaching — conservative:
+  /// a missed member is picked up by a later probe, a false member never
+  /// appears, so only true strongly-connected nodes are ever merged.
+  bool collectCycle(NodeId Start, NodeId Target,
+                    std::vector<NodeId> &Members) {
+    // Epoch-stamped tri-state: Unvisited / InProgress / Done; a parallel
+    // bit records "reaches Target" for Done nodes.
+    constexpr uint32_t InProgress = 1, DoneNo = 2, DoneYes = 3;
+    if (DfsState.size() < Pts.size())
+      DfsState.resize(Pts.size(), 0);
+    ++DfsEpoch;
+    auto State = [&](NodeId N) -> uint32_t {
+      uint32_t V = DfsState[N];
+      return (V >> 2) == DfsEpoch ? (V & 3) : 0;
+    };
+    auto SetState = [&](NodeId N, uint32_t S) {
+      DfsState[N] = (DfsEpoch << 2) | S;
+    };
+
+    struct Frame {
+      NodeId N;
+      IdSet::const_iterator It, End;
+      bool Reaches = false;
+    };
+    std::vector<Frame> Stack;
+    Stack.push_back({Start, Succ[Start].begin(), Succ[Start].end(), false});
+    SetState(Start, InProgress);
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.It != F.End) {
+        NodeId W = find(*F.It);
+        ++F.It;
+        if (W == Target) {
+          F.Reaches = true;
+          continue;
+        }
+        uint32_t S = State(W);
+        if (S == DoneYes)
+          F.Reaches = true;
+        else if (S == 0 && W != F.N) {
+          SetState(W, InProgress);
+          Stack.push_back({W, Succ[W].begin(), Succ[W].end(), false});
+        }
+        continue;
+      }
+      SetState(F.N, F.Reaches ? DoneYes : DoneNo);
+      if (F.Reaches)
+        Members.push_back(F.N);
+      bool Reached = F.Reaches;
+      Stack.pop_back();
+      if (!Stack.empty() && Reached)
+        Stack.back().Reaches = true;
+    }
+    if (Members.empty())
+      return false;
+    Members.push_back(Target);
+    return true;
+  }
+
+  /// Merges the distinct representatives in \p Members into one node. The
+  /// merged node restarts with everything in Delta, so its (concatenated)
+  /// constraint list and successors see the union exactly once; the
+  /// dedup sets make the re-matching cheap.
+  void collapse(std::vector<NodeId> &Members) {
+    HasMerges = true;
+    NodeId Rep = Members[0];
+    for (NodeId M : Members)
+      Rep = UF.unite(Rep, M);
+    Rep = find(Rep);
+
+    IdSet AllLocs, NewSucc;
+    std::vector<LoadCons> NewLoads;
+    std::vector<StoreCons> NewStores;
+    std::vector<CallCons> NewCalls;
+    for (NodeId M : Members) {
+      AllLocs.insertAll(Pts[M]);
+      AllLocs.insertAll(Delta[M]);
+      for (NodeId S : Succ[M]) {
+        NodeId SR = find(S);
+        if (SR != Rep)
+          NewSucc.insert(SR);
+      }
+      NewLoads.insert(NewLoads.end(), Loads[M].begin(), Loads[M].end());
+      NewStores.insert(NewStores.end(), Stores[M].begin(), Stores[M].end());
+      NewCalls.insert(NewCalls.end(), Calls[M].begin(), Calls[M].end());
+    }
+    // Cycle members frequently carry textually duplicate constraints
+    // (every variable in a collapsed ring loading the same field, say);
+    // matching each duplicate against every location would erase the
+    // win from merging, so dedup the concatenated lists by value.
+    std::sort(NewLoads.begin(), NewLoads.end(),
+              [](const LoadCons &A, const LoadCons &B) {
+                return std::tie(A.F, A.Dst) < std::tie(B.F, B.Dst);
+              });
+    NewLoads.erase(std::unique(NewLoads.begin(), NewLoads.end(),
+                               [](const LoadCons &A, const LoadCons &B) {
+                                 return A.F == B.F && A.Dst == B.Dst;
+                               }),
+                   NewLoads.end());
+    std::sort(NewStores.begin(), NewStores.end(),
+              [](const StoreCons &A, const StoreCons &B) {
+                return std::tie(A.F, A.Src) < std::tie(B.F, B.Src);
+              });
+    NewStores.erase(std::unique(NewStores.begin(), NewStores.end(),
+                                [](const StoreCons &A, const StoreCons &B) {
+                                  return A.F == B.F && A.Src == B.Src;
+                                }),
+                    NewStores.end());
+    for (NodeId M : Members) {
+      Pts[M].clear();
+      Delta[M].clear();
+      Succ[M].clear();
+      Loads[M] = {};
+      Stores[M] = {};
+      Calls[M] = {};
+    }
+    Pts[Rep] = IdSet();
+    Delta[Rep] = std::move(AllLocs);
+    Succ[Rep] = std::move(NewSucc);
+    Loads[Rep] = std::move(NewLoads);
+    Stores[Rep] = std::move(NewStores);
+    Calls[Rep] = std::move(NewCalls);
+    ++NumCyclesCollapsed;
+    NumNodesMerged += Members.size() - 1;
+    if (!Delta[Rep].empty())
+      push(Rep);
+  }
+
+  /// Structural cycle collapse: one Tarjan pass over the current copy
+  /// graph, merging every multi-node SCC. Constraint generation emits
+  /// whole functions' worth of copy edges at once, so cycles that exist
+  /// syntactically (loops re-assigning through a chain of locals) are
+  /// present before any propagation — value-based LCD would only notice
+  /// them after sets have already crossed every edge. Runs at the
+  /// MC-drain boundary when enough new edges accumulated; late cycles
+  /// formed one edge at a time by load/store processing are LCD's job.
+  void sccCollapse() {
+    EdgesSinceScc = 0;
+    ++NumSccPasses;
+    size_t NumNodes = Pts.size();
+    std::vector<uint32_t> Index(NumNodes, 0), Low(NumNodes, 0);
+    std::vector<bool> OnStack(NumNodes, false);
+    std::vector<NodeId> SccStack;
+    uint32_t NextIndex = 1;
+    struct Frame {
+      NodeId N;
+      IdSet::const_iterator It, End;
+    };
+    std::vector<Frame> Stack;
+    std::vector<std::vector<NodeId>> Sccs;
+    for (NodeId Root = 0; Root < NumNodes; ++Root) {
+      if (find(Root) != Root || Index[Root] != 0)
+        continue;
+      Index[Root] = Low[Root] = NextIndex++;
+      SccStack.push_back(Root);
+      OnStack[Root] = true;
+      Stack.push_back({Root, Succ[Root].begin(), Succ[Root].end()});
+      while (!Stack.empty()) {
+        Frame &F = Stack.back();
+        if (F.It != F.End) {
+          NodeId W = find(*F.It);
+          ++F.It;
+          if (W == F.N)
+            continue;
+          if (Index[W] == 0) {
+            Index[W] = Low[W] = NextIndex++;
+            SccStack.push_back(W);
+            OnStack[W] = true;
+            Stack.push_back({W, Succ[W].begin(), Succ[W].end()});
+          } else if (OnStack[W] && Index[W] < Low[F.N]) {
+            Low[F.N] = Index[W];
+          }
+          continue;
+        }
+        NodeId N = F.N;
+        Stack.pop_back();
+        if (!Stack.empty() && Low[N] < Low[Stack.back().N])
+          Low[Stack.back().N] = Low[N];
+        if (Low[N] == Index[N]) {
+          std::vector<NodeId> Members;
+          NodeId M;
+          do {
+            M = SccStack.back();
+            SccStack.pop_back();
+            OnStack[M] = false;
+            Members.push_back(M);
+          } while (M != N);
+          if (Members.size() > 1)
+            Sccs.push_back(std::move(Members));
+        }
+      }
+    }
+    // Collapse after the traversal: collapse() rewrites Succ sets the DFS
+    // frames above would otherwise be iterating. SCCs are disjoint, so
+    // the collapses cannot interfere with each other.
+    for (auto &Members : Sccs)
+      collapse(Members);
+  }
+
+  // --- Main solve loops. ---
+
   void solve() {
     initGlobalNodes();
     if (P.EntryFunc != InvalidId)
@@ -375,39 +673,223 @@ struct PointsToAnalysis::Impl {
         MCProcessed[MC] = true;
         genConstraints(MC);
       }
+      // A Tarjan pass is O(nodes + edges): worth it only when the graph
+      // grew substantially since the last one.
+      if (UseDelta && EdgesSinceScc >= 64 &&
+          EdgesSinceScc * 4 >= NumEdgesTotal)
+        sccCollapse();
       while (!Worklist.empty()) {
         NodeId N = Worklist.front();
         Worklist.pop_front();
         InWorklist[N] = false;
-        // Copy: processing may add nodes / grow vectors.
-        IdSet Cur = Pts[N];
-        for (uint32_t S : IdSet(Succ[N]))
-          if (Pts[S].insertAll(Cur))
-            push(S);
-        for (LoadCons LC : std::vector<LoadCons>(Loads[N]))
-          for (AbsLocId L : Cur)
-            addEdge(fieldNode(L, LC.F), LC.Dst);
-        for (StoreCons SC : std::vector<StoreCons>(Stores[N]))
-          for (AbsLocId L : Cur)
-            addEdge(SC.Src, fieldNode(L, SC.F));
-        for (CallCons CC : std::vector<CallCons>(Calls[N]))
-          for (AbsLocId L : Cur)
-            processCallLoc(CC, L);
+        if (UseDelta)
+          popDelta(N);
+        else
+          popNaive(N);
         if (!MCQueue.empty())
           break; // Generate constraints for newly reached methods first.
       }
     }
   }
 
+  /// Naive pop: re-propagate the node's entire points-to set along every
+  /// edge and constraint (the reference solver).
+  void popNaive(NodeId N) {
+    // Copy: constraint processing may add nodes / grow the node vectors.
+    IdSet Cur = Pts[N];
+    for (uint32_t S : Succ[N])
+      if (Pts[S].insertAll(Cur))
+        push(S);
+    for (size_t I = 0; I < Loads[N].size(); ++I) {
+      LoadCons LC = Loads[N][I];
+      for (AbsLocId L : Cur)
+        addEdge(fieldNode(L, LC.F), LC.Dst);
+    }
+    for (size_t I = 0; I < Stores[N].size(); ++I) {
+      StoreCons SC = Stores[N][I];
+      for (AbsLocId L : Cur)
+        addEdge(SC.Src, fieldNode(L, SC.F));
+    }
+    for (size_t I = 0; I < Calls[N].size(); ++I) {
+      CallCons CC = Calls[N][I];
+      for (AbsLocId L : Cur)
+        processCallLoc(CC, L);
+    }
+  }
+
+  /// Delta pop: move the pending set into Pts, flow only it to successors
+  /// and constraints, and probe edges that did not grow for cycles.
+  void popDelta(NodeId N) {
+    if (find(N) != N || Delta[N].empty())
+      return; // Merged away, or drained by an earlier pop this round.
+    IdSet D = std::move(Delta[N]);
+    Delta[N] = IdSet();
+    Pts[N].insertAll(D);
+    ++NumDeltaPops;
+    NumDeltaLocs += D.size();
+    DeltaSizeHist.record(D.size());
+
+    // Propagate along copy edges; a no-growth edge between nodes with
+    // equal points-to sets is a cycle candidate. Collapsing is deferred
+    // past the constraint matching below: it rewrites Succ and the
+    // constraint lists we are iterating.
+    std::vector<NodeId> CycleStarts;
+    for (NodeId SRaw : Succ[N]) {
+      NodeId S = find(SRaw);
+      if (S == N)
+        continue;
+      if (Delta[S].insertAllExcept(D, Pts[S])) {
+        push(S);
+      } else if (Pts[S].size() == Pts[N].size() &&
+                 CycleChecked
+                     .insert((static_cast<uint64_t>(N) << 32) | S)
+                     .second) {
+        ++NumLcdProbes;
+        if (Pts[S] == Pts[N])
+          CycleStarts.push_back(S);
+      }
+    }
+
+    // Match the delta against the node's constraints. Indexed access with
+    // per-element copies: fieldNode/varNode below can reallocate the
+    // outer per-node vectors, but never append to this node's own lists.
+    for (size_t I = 0; I < Loads[N].size(); ++I) {
+      LoadCons LC = Loads[N][I];
+      for (AbsLocId L : D)
+        addEdge(fieldNode(L, LC.F), LC.Dst);
+    }
+    for (size_t I = 0; I < Stores[N].size(); ++I) {
+      StoreCons SC = Stores[N][I];
+      for (AbsLocId L : D)
+        addEdge(SC.Src, fieldNode(L, SC.F));
+    }
+    for (size_t I = 0; I < Calls[N].size(); ++I) {
+      CallCons CC = Calls[N][I];
+      for (AbsLocId L : D)
+        processCallLoc(CC, L);
+    }
+
+    for (NodeId Start : CycleStarts) {
+      NodeId Target = find(N);
+      Start = find(Start);
+      if (Start == Target)
+        continue; // Already merged by an earlier probe.
+      std::vector<NodeId> Members;
+      if (collectCycle(Start, Target, Members))
+        collapse(Members);
+    }
+  }
+
+  // --- Canonical renumbering. ---
+  //
+  // Abstract locations are interned in the order method contexts are
+  // reached, which depends on the solver's worklist schedule. Renumbering
+  // them by the schedule-independent key (depth, allocation site,
+  // renumbered parent context) makes every published id — and therefore
+  // every IdSet iteration order, report byte, and golden file — a pure
+  // function of the program and the analysis options. See docs/PTA.md.
+  void canonicalizeLocs() {
+    size_t N = Locs.size();
+    std::vector<AbsLocId> NewId(N, InvalidId);
+    std::vector<std::vector<AbsLocId>> ByDepth;
+    for (AbsLocId L = 0; L < N; ++L) {
+      uint32_t D = Locs.depth(L);
+      if (ByDepth.size() < D)
+        ByDepth.resize(D);
+      ByDepth[D - 1].push_back(L);
+    }
+    AbsLocId Next = 0;
+    for (auto &Level : ByDepth) {
+      // (site, ctx) pairs are interned uniquely, and every context of a
+      // depth-d location has depth d-1 and is already renumbered, so
+      // (site, new parent id) is a strict total order within the level.
+      std::sort(Level.begin(), Level.end(), [&](AbsLocId A, AbsLocId B) {
+        AllocSiteId SA = Locs.site(A), SB = Locs.site(B);
+        AbsLocId CA = Locs.context(A), CB = Locs.context(B);
+        uint32_t PA = CA == InvalidId ? 0 : NewId[CA] + 1;
+        uint32_t PB = CB == InvalidId ? 0 : NewId[CB] + 1;
+        return std::tie(SA, PA) < std::tie(SB, PB);
+      });
+      for (AbsLocId L : Level)
+        NewId[L] = Next++;
+    }
+
+    bool Identity = true;
+    for (AbsLocId L = 0; L < N && Identity; ++L)
+      Identity = NewId[L] == L;
+    if (Identity)
+      return;
+
+    // Rebuild the table in canonical order (parents always precede
+    // children, so the remapped context is already interned).
+    std::vector<AbsLocId> OldOf(N);
+    for (AbsLocId L = 0; L < N; ++L)
+      OldOf[NewId[L]] = L;
+    AbsLocTable NewLocs;
+    for (AbsLocId NL = 0; NL < N; ++NL) {
+      AbsLocId Old = OldOf[NL];
+      AbsLocId Ctx = Locs.context(Old);
+      AbsLocId Got = NewLocs.intern(
+          Locs.site(Old), Ctx == InvalidId ? InvalidId : NewId[Ctx]);
+      (void)Got;
+      assert(Got == NL && "canonical interning out of order");
+    }
+    Locs = std::move(NewLocs);
+
+    auto RemapSet = [&](IdSet &S) {
+      if (S.empty())
+        return;
+      std::vector<uint32_t> Ids;
+      Ids.reserve(S.size());
+      for (uint32_t L : S)
+        Ids.push_back(NewId[L]);
+      S = IdSet(std::move(Ids));
+    };
+    for (IdSet &S : Pts)
+      RemapSet(S);
+    for (IdSet &S : Delta)
+      RemapSet(S); // Empty at fixpoint; kept for safety.
+    for (auto &[F, Recv] : MCs)
+      if (Recv != InvalidId)
+        Recv = NewId[Recv];
+    for (CallEdge &E : CallEdges) {
+      if (E.CallerCtx != InvalidId)
+        E.CallerCtx = NewId[E.CallerCtx];
+      if (E.CalleeCtx != InvalidId)
+        E.CalleeCtx = NewId[E.CalleeCtx];
+    }
+    std::unordered_map<std::pair<AbsLocId, FieldId>, NodeId, VarKeyHash>
+        NewFieldNodes;
+    NewFieldNodes.reserve(FieldNodes.size());
+    for (const auto &[Key, Node] : FieldNodes)
+      NewFieldNodes.emplace(std::make_pair(NewId[Key.first], Key.second),
+                            Node);
+    FieldNodes = std::move(NewFieldNodes);
+  }
+
   // --- Result finalization. ---
   void finalize() {
+    canonicalizeLocs();
+
+    // Canonical call-edge order: the discovery order depends on the
+    // worklist schedule, every consumer (witness search, report) must
+    // not.
+    std::sort(CallEdges.begin(), CallEdges.end(),
+              [](const CallEdge &A, const CallEdge &B) {
+                return std::tie(A.At.F, A.At.B, A.At.Idx, A.Callee,
+                                A.CalleeCtx, A.Caller, A.CallerCtx) <
+                       std::tie(B.At.F, B.At.B, B.At.Idx, B.Callee,
+                                B.CalleeCtx, B.Caller, B.CallerCtx);
+              });
+
     R->P = &P;
     R->VarPts.assign(P.Funcs.size(), {});
     for (FuncId F = 0; F < P.Funcs.size(); ++F)
       R->VarPts[F].assign(P.Funcs[F].NumVars, IdSet());
-    for (const auto &[Key, N] : VarNodes) {
+    for (const auto &[Key, RawN] : VarNodes) {
       auto [MC, V] = Key;
       auto [F, Ctx] = MCs[MC];
+      NodeId N = find(RawN);
       if (V < R->VarPts[F].size())
         R->VarPts[F][V].insertAll(Pts[N]);
       auto &PerCtx = R->VarPtsCtx[{F, Ctx}];
@@ -419,9 +901,9 @@ struct PointsToAnalysis::Impl {
     R->MaxCtxDepth = Opts.MaxCtxDepth;
     R->GlobalPts.assign(P.Globals.size(), IdSet());
     for (GlobalId G = 0; G < P.Globals.size(); ++G)
-      R->GlobalPts[G] = Pts[globalNode(G)];
+      R->GlobalPts[G] = Pts[find(G)];
     for (const auto &[Key, N] : FieldNodes)
-      R->FieldPts[Key].insertAll(Pts[N]);
+      R->FieldPts[Key].insertAll(Pts[find(N)]);
 
     // Call graph.
     R->Callers.assign(P.Funcs.size(), {});
@@ -516,6 +998,15 @@ std::unique_ptr<PointsToResult> PointsToAnalysis::run() {
   for (const auto &Cs : R.Callers)
     CallEdges += Cs.size();
   R.Effort.bump("pta.callEdges", CallEdges);
+  if (I.UseDelta) {
+    R.Effort.bump("pta.deltaPropagations", I.NumDeltaPops);
+    R.Effort.bump("pta.deltaLocsPropagated", I.NumDeltaLocs);
+    R.Effort.bump("pta.lcdProbes", I.NumLcdProbes);
+    R.Effort.bump("pta.sccPasses", I.NumSccPasses);
+    R.Effort.bump("pta.cyclesCollapsed", I.NumCyclesCollapsed);
+    R.Effort.bump("pta.nodesMerged", I.NumNodesMerged);
+    R.Effort.mergeHistogram("hist.pta.deltaSize", I.DeltaSizeHist);
+  }
   return std::move(I.R);
 }
 

@@ -24,6 +24,7 @@
 #define THRESHER_PTA_POINTSTO_H
 
 #include "pta/AbsLoc.h"
+#include "support/Hash.h"
 #include "support/IdSet.h"
 #include "support/Stats.h"
 
@@ -38,9 +39,25 @@ namespace thresher {
 /// Context policy for the analysis.
 enum class CtxPolicy : uint8_t { Insensitive, ContainerCFA, AllObjSens };
 
+/// Constraint-solver algorithm. Both produce identical results (the
+/// equivalence is enforced by tests/pta_equiv_test.cpp and by the
+/// canonical renumbering documented in docs/PTA.md); DeltaLCD is the
+/// production solver, Naive is the textbook reference kept for
+/// differential testing.
+enum class PTASolver : uint8_t {
+  /// Difference propagation (only each node's new locations flow to
+  /// successors and constraints) with lazy online cycle detection that
+  /// collapses copy-edge cycles into union-find representatives.
+  DeltaLCD,
+  /// Full re-propagation of every node's entire points-to set per
+  /// worklist pop, no cycle collapsing (the original solver).
+  Naive,
+};
+
 /// Analysis options.
 struct PTAOptions {
   CtxPolicy Policy = CtxPolicy::ContainerCFA;
+  PTASolver Solver = PTASolver::DeltaLCD;
   /// Maximum context-chain depth for heap cloning; deeper allocations fall
   /// back to the unqualified location.
   uint32_t MaxCtxDepth = 3;
@@ -179,14 +196,14 @@ private:
 
   struct PPHash {
     size_t operator()(const ProgramPoint &PP) const {
-      return (static_cast<size_t>(PP.F) << 40) ^
-             (static_cast<size_t>(PP.B) << 20) ^ PP.Idx;
+      return static_cast<size_t>(
+          hashCombine(hashPair(PP.F, PP.B), PP.Idx));
     }
   };
 
   struct MCKeyHash {
     size_t operator()(const std::pair<FuncId, AbsLocId> &K) const {
-      return (static_cast<size_t>(K.first) << 32) ^ K.second;
+      return hashPair(K.first, K.second);
     }
   };
 

@@ -1,0 +1,49 @@
+//===- Hash.h - Shared hash mixing helpers ----------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-process hash mixing for unordered containers keyed by id pairs and
+/// small tuples. The historical pattern `(size_t(A) << 32) ^ B` silently
+/// truncates to `B ^ A<<0` when size_t is 32 bits and keeps low-entropy
+/// low bits even on 64-bit hosts; every pair-keyed map should use
+/// hashPair() instead. These hashes are NOT stable across processes —
+/// persistent formats use ir/Fingerprint.h's StableHasher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_HASH_H
+#define THRESHER_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace thresher {
+
+/// Finalizer of the splitmix64 generator: a full-avalanche 64-bit mix, so
+/// every input bit affects every output bit (including the low bits that
+/// unordered containers actually use).
+inline uint64_t hashMix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Hash of an ordered pair of 32-bit ids, mixed to a full-width size_t.
+inline size_t hashPair(uint32_t A, uint32_t B) {
+  return static_cast<size_t>(
+      hashMix64((static_cast<uint64_t>(A) << 32) | B));
+}
+
+/// Combines an additional value into a running hash (Boost-style).
+inline uint64_t hashCombine(uint64_t Seed, uint64_t V) {
+  return hashMix64(Seed ^ (V + 0x9e3779b97f4a7c15ull + (Seed << 6) +
+                           (Seed >> 2)));
+}
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_HASH_H

@@ -1,14 +1,19 @@
-//===- IdSet.h - Sorted small set of dense integer ids ----------*- C++ -*-===//
+//===- IdSet.h - Hybrid sorted-vector / bitmap set of ids ------*- C++ -*-===//
 //
 // Part of the Thresher reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A sorted-vector set of 32-bit ids. Points-to sets and instance-constraint
-/// regions are small in practice, so a sorted vector beats a hash set on both
-/// memory and iteration order determinism (which we rely on for reproducible
-/// analysis output).
+/// A deterministic set of dense 32-bit ids with a hybrid representation:
+/// small sets are a sorted vector (cache-friendly, cheap to copy), and sets
+/// that grow past a threshold switch to a word-granular bitmap so repeated
+/// insertAll/contains on hot large sets (points-to sets of heavily shared
+/// locations, successor lists of collapsed cycle representatives) stop
+/// costing O(n) reallocations per merge. Both representations iterate in
+/// ascending id order and compare by content, so the representation a set
+/// happens to be in is unobservable — analysis output stays byte-identical
+/// no matter which path built the set.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,13 +24,22 @@
 #include <cassert>
 #include <cstdint>
 #include <initializer_list>
+#include <iterator>
 #include <vector>
 
 namespace thresher {
 
-/// A deterministic set of dense 32-bit ids stored as a sorted vector.
+/// A deterministic set of dense 32-bit ids: sorted vector while small, word
+/// bitmap once large. Iteration is always in ascending id order.
 class IdSet {
 public:
+  /// Element count at which a vector set becomes promotion-eligible.
+  static constexpr size_t BitmapThreshold = 64;
+  /// Promotion is skipped while the bitmap would need more than this many
+  /// words per element (very sparse sets stay vectors: correct either way,
+  /// and the vector is smaller).
+  static constexpr size_t MaxWordsPerElem = 4;
+
   IdSet() = default;
   IdSet(std::initializer_list<uint32_t> Ids) : Elems(Ids) { normalize(); }
   explicit IdSet(std::vector<uint32_t> Ids) : Elems(std::move(Ids)) {
@@ -34,15 +48,31 @@ public:
 
   /// Returns true if \p Id is a member.
   bool contains(uint32_t Id) const {
+    if (isBitmap()) {
+      size_t W = Id >> 6;
+      return W < Words.size() && (Words[W] >> (Id & 63)) & 1;
+    }
     return std::binary_search(Elems.begin(), Elems.end(), Id);
   }
 
   /// Inserts \p Id; returns true if it was not already present.
   bool insert(uint32_t Id) {
+    if (isBitmap()) {
+      size_t W = Id >> 6;
+      if (W >= Words.size())
+        Words.resize(W + 1, 0);
+      uint64_t Bit = uint64_t(1) << (Id & 63);
+      if (Words[W] & Bit)
+        return false;
+      Words[W] |= Bit;
+      ++Count;
+      return true;
+    }
     auto It = std::lower_bound(Elems.begin(), Elems.end(), Id);
     if (It != Elems.end() && *It == Id)
       return false;
     Elems.insert(It, Id);
+    maybePromote();
     return true;
   }
 
@@ -50,17 +80,121 @@ public:
   bool insertAll(const IdSet &Other) {
     if (Other.empty())
       return false;
+    if (empty()) {
+      *this = Other;
+      return true;
+    }
+    if (isBitmap() && Other.isBitmap()) {
+      if (Words.size() < Other.Words.size())
+        Words.resize(Other.Words.size(), 0);
+      size_t NewCount = 0;
+      for (size_t W = 0; W < Words.size(); ++W) {
+        if (W < Other.Words.size())
+          Words[W] |= Other.Words[W];
+        NewCount += popcount(Words[W]);
+      }
+      bool Grew = NewCount != Count;
+      Count = NewCount;
+      return Grew;
+    }
+    if (isBitmap()) { // Bitmap |= vector.
+      bool Grew = false;
+      for (uint32_t Id : Other.Elems)
+        Grew |= insert(Id);
+      return Grew;
+    }
+    if (Other.isBitmap()) { // Vector |= bitmap: the result is large anyway.
+      IdSet Merged = Other;
+      for (uint32_t Id : Elems)
+        Merged.insert(Id);
+      bool Grew = Merged.size() != Elems.size(); // Merged is a superset.
+      *this = std::move(Merged);
+      return Grew;
+    }
     size_t OldSize = Elems.size();
     std::vector<uint32_t> Merged;
     Merged.reserve(OldSize + Other.size());
     std::set_union(Elems.begin(), Elems.end(), Other.Elems.begin(),
                    Other.Elems.end(), std::back_inserter(Merged));
     Elems = std::move(Merged);
-    return Elems.size() != OldSize;
+    bool Grew = Elems.size() != OldSize;
+    maybePromote();
+    return Grew;
+  }
+
+  /// Inserts every element of \p Other that is not in \p Except; returns
+  /// true if this set grew. This is the delta-propagation primitive
+  /// (delta := delta | (src \ pts)) and runs word-wise when all three sets
+  /// are bitmaps.
+  bool insertAllExcept(const IdSet &Other, const IdSet &Except) {
+    if (Other.empty())
+      return false;
+    if (Except.empty())
+      return insertAll(Other);
+    if (empty()) {
+      // Clone-and-subtract: the common delta-propagation case (the
+      // receiving delta was just drained) must not degrade to
+      // per-element sorted-vector insertion.
+      if (Other.isBitmap()) {
+        *this = Other;
+        if (Except.isBitmap()) {
+          size_t Overlap = std::min(Words.size(), Except.Words.size());
+          for (size_t W = 0; W < Overlap; ++W)
+            Words[W] &= ~Except.Words[W];
+          Count = 0;
+          for (uint64_t W : Words)
+            Count += popcount(W);
+        } else {
+          for (uint32_t Id : Except.Elems)
+            erase(Id);
+        }
+        trimTrailingZeroWords();
+        return !empty();
+      }
+      Elems.reserve(Other.Elems.size());
+      for (uint32_t Id : Other.Elems)
+        if (!Except.contains(Id))
+          Elems.push_back(Id); // Other.Elems is sorted; order preserved.
+      maybePromote();
+      return !empty();
+    }
+    if (isBitmap() && Other.isBitmap() && Except.isBitmap()) {
+      if (Words.size() < Other.Words.size())
+        Words.resize(Other.Words.size(), 0);
+      size_t NewCount = 0;
+      for (size_t W = 0; W < Words.size(); ++W) {
+        if (W < Other.Words.size()) {
+          uint64_t Src = Other.Words[W];
+          if (W < Except.Words.size())
+            Src &= ~Except.Words[W];
+          Words[W] |= Src;
+        }
+        NewCount += popcount(Words[W]);
+      }
+      bool Grew = NewCount != Count;
+      Count = NewCount;
+      trimTrailingZeroWords(); // The Except mask can zero appended words.
+      return Grew;
+    }
+    bool Grew = false;
+    for (uint32_t Id : Other)
+      if (!Except.contains(Id))
+        Grew |= insert(Id);
+    return Grew;
   }
 
   /// Removes \p Id if present; returns true if it was removed.
   bool erase(uint32_t Id) {
+    if (isBitmap()) {
+      size_t W = Id >> 6;
+      uint64_t Bit = uint64_t(1) << (Id & 63);
+      if (W >= Words.size() || !(Words[W] & Bit))
+        return false;
+      Words[W] &= ~Bit;
+      --Count;
+      trimTrailingZeroWords();
+      return true;
+    }
     auto It = std::lower_bound(Elems.begin(), Elems.end(), Id);
     if (It == Elems.end() || *It != Id)
       return false;
@@ -70,58 +204,222 @@ public:
 
   /// Returns the intersection of this set and \p Other.
   IdSet intersectWith(const IdSet &Other) const {
+    if (!isBitmap() && !Other.isBitmap()) {
+      IdSet Result;
+      std::set_intersection(Elems.begin(), Elems.end(), Other.Elems.begin(),
+                            Other.Elems.end(),
+                            std::back_inserter(Result.Elems));
+      return Result;
+    }
+    const IdSet &Small = size() <= Other.size() ? *this : Other;
+    const IdSet &Large = size() <= Other.size() ? Other : *this;
+    std::vector<uint32_t> Kept;
+    for (uint32_t Id : Small)
+      if (Large.contains(Id))
+        Kept.push_back(Id);
     IdSet Result;
-    std::set_intersection(Elems.begin(), Elems.end(), Other.Elems.begin(),
-                          Other.Elems.end(),
-                          std::back_inserter(Result.Elems));
+    Result.Elems = std::move(Kept); // Already sorted and unique.
+    Result.maybePromote();
     return Result;
   }
 
   /// Returns true if this set and \p Other share no element.
   bool disjointWith(const IdSet &Other) const {
-    auto I = Elems.begin(), J = Other.Elems.begin();
-    while (I != Elems.end() && J != Other.Elems.end()) {
-      if (*I < *J)
-        ++I;
-      else if (*J < *I)
-        ++J;
-      else
-        return false;
+    if (!isBitmap() && !Other.isBitmap()) {
+      auto I = Elems.begin(), J = Other.Elems.begin();
+      while (I != Elems.end() && J != Other.Elems.end()) {
+        if (*I < *J)
+          ++I;
+        else if (*J < *I)
+          ++J;
+        else
+          return false;
+      }
+      return true;
     }
+    if (isBitmap() && Other.isBitmap()) {
+      size_t N = std::min(Words.size(), Other.Words.size());
+      for (size_t W = 0; W < N; ++W)
+        if (Words[W] & Other.Words[W])
+          return false;
+      return true;
+    }
+    const IdSet &Small = size() <= Other.size() ? *this : Other;
+    const IdSet &Large = size() <= Other.size() ? Other : *this;
+    for (uint32_t Id : Small)
+      if (Large.contains(Id))
+        return false;
     return true;
   }
 
   /// Returns true if every element of this set is in \p Other.
   bool subsetOf(const IdSet &Other) const {
-    return std::includes(Other.Elems.begin(), Other.Elems.end(),
-                         Elems.begin(), Elems.end());
+    if (size() > Other.size())
+      return false;
+    if (!isBitmap() && !Other.isBitmap())
+      return std::includes(Other.Elems.begin(), Other.Elems.end(),
+                           Elems.begin(), Elems.end());
+    if (isBitmap() && Other.isBitmap()) {
+      for (size_t W = 0; W < Words.size(); ++W) {
+        uint64_t O = W < Other.Words.size() ? Other.Words[W] : 0;
+        if (Words[W] & ~O)
+          return false;
+      }
+      return true;
+    }
+    for (uint32_t Id : *this)
+      if (!Other.contains(Id))
+        return false;
+    return true;
   }
 
-  bool empty() const { return Elems.empty(); }
-  size_t size() const { return Elems.size(); }
+  bool empty() const { return isBitmap() ? Count == 0 : Elems.empty(); }
+  size_t size() const { return isBitmap() ? Count : Elems.size(); }
 
   /// The sole element of a singleton set.
   uint32_t singleElement() const {
-    assert(Elems.size() == 1 && "not a singleton set");
-    return Elems.front();
+    assert(size() == 1 && "not a singleton set");
+    return *begin();
   }
 
-  void clear() { Elems.clear(); }
+  void clear() {
+    Elems.clear();
+    Words.clear();
+    Count = 0;
+  }
 
-  using const_iterator = std::vector<uint32_t>::const_iterator;
-  const_iterator begin() const { return Elems.begin(); }
-  const_iterator end() const { return Elems.end(); }
+  /// Forward iterator yielding ids in ascending order in either
+  /// representation (dereference returns the id by value).
+  class const_iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const uint32_t *;
+    using reference = uint32_t;
 
-  bool operator==(const IdSet &Other) const { return Elems == Other.Elems; }
-  bool operator!=(const IdSet &Other) const { return Elems != Other.Elems; }
+    const_iterator() = default;
+    uint32_t operator*() const {
+      return S->isBitmap() ? static_cast<uint32_t>(Pos) : S->Elems[Pos];
+    }
+    const_iterator &operator++() {
+      Pos = S->isBitmap() ? S->nextSetBit(Pos + 1) : Pos + 1;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator Tmp = *this;
+      ++*this;
+      return Tmp;
+    }
+    bool operator==(const const_iterator &O) const { return Pos == O.Pos; }
+    bool operator!=(const const_iterator &O) const { return Pos != O.Pos; }
+
+  private:
+    friend class IdSet;
+    const_iterator(const IdSet *S, size_t Pos) : S(S), Pos(Pos) {}
+    const IdSet *S = nullptr;
+    size_t Pos = 0; ///< Vector: index into Elems. Bitmap: the current id.
+  };
+
+  const_iterator begin() const {
+    return {this, isBitmap() ? nextSetBit(0) : 0};
+  }
+  const_iterator end() const {
+    return {this, isBitmap() ? Words.size() * 64 : Elems.size()};
+  }
+
+  /// Content equality, independent of representation.
+  bool operator==(const IdSet &Other) const {
+    if (size() != Other.size())
+      return false;
+    if (!isBitmap() && !Other.isBitmap())
+      return Elems == Other.Elems;
+    if (isBitmap() && Other.isBitmap())
+      return Words == Other.Words; // No trailing zero words by invariant.
+    return std::equal(begin(), end(), Other.begin());
+  }
+  bool operator!=(const IdSet &Other) const { return !(*this == Other); }
+
+  /// True when the set currently uses the bitmap representation. Exposed
+  /// for tests and diagnostics only; the representation never affects
+  /// observable content, ordering, or equality.
+  bool usesBitmap() const { return isBitmap(); }
 
 private:
+  bool isBitmap() const { return !Words.empty() || Count != 0; }
+
+  static unsigned popcount(uint64_t V) {
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_popcountll(V));
+#else
+    unsigned N = 0;
+    while (V) {
+      V &= V - 1;
+      ++N;
+    }
+    return N;
+#endif
+  }
+
+  static unsigned countTrailingZeros(uint64_t V) {
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_ctzll(V));
+#else
+    unsigned N = 0;
+    while (!(V & 1)) {
+      V >>= 1;
+      ++N;
+    }
+    return N;
+#endif
+  }
+
+  /// First set bit at or after id \p From; Words.size()*64 if none.
+  size_t nextSetBit(size_t From) const {
+    size_t W = From >> 6;
+    if (W >= Words.size())
+      return Words.size() * 64;
+    uint64_t Cur = Words[W] & (~uint64_t(0) << (From & 63));
+    while (!Cur) {
+      if (++W >= Words.size())
+        return Words.size() * 64;
+      Cur = Words[W];
+    }
+    return (W << 6) + countTrailingZeros(Cur);
+  }
+
+  void trimTrailingZeroWords() {
+    while (!Words.empty() && Words.back() == 0)
+      Words.pop_back();
+  }
+
+  /// Switches a sorted vector that crossed the threshold to the bitmap,
+  /// unless the id range is too sparse for the bitmap to pay off. The
+  /// decision depends only on the set's content, never on how it was
+  /// built, so equal sets behave identically.
+  void maybePromote() {
+    if (Elems.size() < BitmapThreshold)
+      return;
+    size_t NumWords = (size_t(Elems.back()) >> 6) + 1;
+    if (NumWords > MaxWordsPerElem * Elems.size())
+      return;
+    Words.assign(NumWords, 0);
+    for (uint32_t Id : Elems)
+      Words[Id >> 6] |= uint64_t(1) << (Id & 63);
+    Count = Elems.size();
+    Elems.clear();
+    Elems.shrink_to_fit();
+  }
+
   void normalize() {
     std::sort(Elems.begin(), Elems.end());
     Elems.erase(std::unique(Elems.begin(), Elems.end()), Elems.end());
+    maybePromote();
   }
 
-  std::vector<uint32_t> Elems;
+  std::vector<uint32_t> Elems; ///< Vector representation (sorted, unique).
+  std::vector<uint64_t> Words; ///< Bitmap representation (no trailing 0s).
+  size_t Count = 0;            ///< Bitmap element count (0 in vector rep).
 };
 
 } // namespace thresher

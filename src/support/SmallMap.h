@@ -1,0 +1,87 @@
+//===- SmallMap.h - Sorted small-vector map ---------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A map over a sorted vector of (key, value) pairs. For the handful-of-
+/// entries maps the symbolic stage builds and throws away at high rates
+/// (per-subsumption-check variable renamings), a contiguous sorted vector
+/// beats std::map's node allocations on both construction and lookup.
+/// Iteration is in ascending key order, matching std::map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_SMALLMAP_H
+#define THRESHER_SUPPORT_SMALLMAP_H
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace thresher {
+
+/// Sorted-vector map with a std::map-like surface (find/emplace/count/
+/// operator[], sorted iteration). Keys must be LessThanComparable.
+template <typename K, typename V> class SmallMap {
+public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator find(const K &Key) {
+    auto It = lowerBound(Key);
+    return (It != E.end() && It->first == Key) ? It : E.end();
+  }
+  const_iterator find(const K &Key) const {
+    auto It = lowerBound(Key);
+    return (It != E.end() && It->first == Key) ? It : E.end();
+  }
+
+  /// Inserts (Key, Val) if Key is absent; returns the entry and whether
+  /// an insertion happened.
+  std::pair<iterator, bool> emplace(const K &Key, V Val) {
+    auto It = lowerBound(Key);
+    if (It != E.end() && It->first == Key)
+      return {It, false};
+    It = E.insert(It, {Key, std::move(Val)});
+    return {It, true};
+  }
+
+  V &operator[](const K &Key) {
+    auto It = lowerBound(Key);
+    if (It == E.end() || It->first != Key)
+      It = E.insert(It, {Key, V()});
+    return It->second;
+  }
+
+  size_t count(const K &Key) const { return find(Key) != E.end() ? 1 : 0; }
+  bool empty() const { return E.empty(); }
+  size_t size() const { return E.size(); }
+  void clear() { E.clear(); }
+  void reserve(size_t N) { E.reserve(N); }
+
+  iterator begin() { return E.begin(); }
+  iterator end() { return E.end(); }
+  const_iterator begin() const { return E.begin(); }
+  const_iterator end() const { return E.end(); }
+
+private:
+  iterator lowerBound(const K &Key) {
+    return std::lower_bound(
+        E.begin(), E.end(), Key,
+        [](const value_type &A, const K &B) { return A.first < B; });
+  }
+  const_iterator lowerBound(const K &Key) const {
+    return std::lower_bound(
+        E.begin(), E.end(), Key,
+        [](const value_type &A, const K &B) { return A.first < B; });
+  }
+
+  std::vector<value_type> E;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_SMALLMAP_H

@@ -124,6 +124,17 @@ public:
     Histograms[Name].record(Value);
   }
 
+  /// Merges a locally accumulated histogram into histogram \p Name in one
+  /// registry operation. Hot loops should batch samples into a stack-local
+  /// Histogram and fold it in once, instead of paying the lock and the
+  /// name lookup per sample.
+  void mergeHistogram(const std::string &Name, const Histogram &H) {
+    if (H.count() == 0)
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    Histograms[Name].mergeFrom(H);
+  }
+
   /// Returns a copy of histogram \p Name (empty if never recorded).
   Histogram histogram(const std::string &Name) const {
     std::lock_guard<std::mutex> Lock(M);

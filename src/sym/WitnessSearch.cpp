@@ -1,5 +1,7 @@
 #include "sym/WitnessSearch.h"
 
+#include "support/SmallMap.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -363,8 +365,11 @@ private:
   /// already been recorded. Conservative (may say false).
   bool weakerThan(const Query &Weak, const Query &Strong) {
     // Build a mapping from Weak's symbolic variables to Strong's by
-    // walking the shared anchors (locals, globals), then cells.
-    std::map<SymVarId, SymVarId> Map;
+    // walking the shared anchors (locals, globals), then cells. A sorted
+    // small-vector map: these renamings are built and discarded once per
+    // history entry per subsumption check, where std::map's node
+    // allocations dominated the hist.subsumeNanos profile.
+    SmallMap<SymVarId, SymVarId> Map;
     auto MatchVal = [&](const ValRef &W, const ValRef &St) -> bool {
       if (W.isNull() || St.isNull())
         return W.K == St.K;

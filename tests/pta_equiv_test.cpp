@@ -1,0 +1,152 @@
+//===- pta_equiv_test.cpp - Naive vs. delta solver equivalence ------------===//
+//
+// Solves every corpus program with both constraint solvers (the naive
+// reference and the production delta-propagation/cycle-collapsing one)
+// under every context policy, and asserts the published results are
+// identical: per-variable and per-field points-to sets, global sets, the
+// call graph, reachability, and mod summaries. Together with the
+// canonical renumbering in the solver (docs/PTA.md), identical here means
+// identical output bytes everywhere downstream.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "pta/PointsTo.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct EquivCase {
+  std::string Path;
+  bool Android = false;
+  CtxPolicy Policy = CtxPolicy::ContainerCFA;
+  std::string Name; // For gtest parameter naming.
+};
+
+std::vector<EquivCase> allCases() {
+  std::vector<EquivCase> Cases;
+  std::vector<std::pair<CtxPolicy, const char *>> Policies = {
+      {CtxPolicy::Insensitive, "insens"},
+      {CtxPolicy::ContainerCFA, "container"},
+      {CtxPolicy::AllObjSens, "objsens"},
+  };
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".mj")
+      continue;
+    std::ifstream In(Entry.path());
+    std::string FirstLine;
+    std::getline(In, FirstLine);
+    for (auto [Policy, Tag] : Policies) {
+      EquivCase C;
+      C.Path = Entry.path().string();
+      C.Android = FirstLine.rfind("// ANDROID", 0) == 0;
+      C.Policy = Policy;
+      C.Name = Entry.path().stem().string() + "_" + Tag;
+      Cases.push_back(C);
+    }
+  }
+  std::sort(Cases.begin(), Cases.end(),
+            [](const EquivCase &A, const EquivCase &B) {
+              return A.Name < B.Name;
+            });
+  return Cases;
+}
+
+class PtaEquivTest : public ::testing::TestWithParam<EquivCase> {};
+
+/// Renders every externally observable piece of a result into one string;
+/// two results are considered identical iff their dumps are equal. Keyed
+/// dumps make mismatches readable in the gtest diff.
+std::string dumpResult(const Program &P, const PointsToResult &R) {
+  std::ostringstream OS;
+  auto Set = [&](const IdSet &S) {
+    for (AbsLocId L : S)
+      OS << " " << L << "/" << R.Locs.label(P, L);
+  };
+  OS << "locs:";
+  for (AbsLocId L = 0; L < R.Locs.size(); ++L)
+    OS << " " << R.Locs.label(P, L);
+  OS << "\nreachable:";
+  for (FuncId F : R.reachableFuncs())
+    OS << " " << P.funcName(F);
+  OS << "\n";
+  for (FuncId F = 0; F < P.Funcs.size(); ++F) {
+    for (VarId V = 0; V < P.Funcs[F].NumVars; ++V) {
+      if (R.ptVar(F, V).empty())
+        continue;
+      OS << "var " << P.funcName(F) << "#" << V << ":";
+      Set(R.ptVar(F, V));
+      OS << "\n";
+    }
+  }
+  for (GlobalId G = 0; G < P.Globals.size(); ++G) {
+    if (R.ptGlobal(G).empty())
+      continue;
+    OS << "global " << P.globalName(G) << ":";
+    Set(R.ptGlobal(G));
+    OS << "\n";
+  }
+  for (AbsLocId L = 0; L < R.Locs.size(); ++L)
+    for (auto [Fld, T] : R.fieldEdges(L))
+      OS << "field " << R.Locs.label(P, L) << "." << P.fieldName(Fld)
+         << " -> " << R.Locs.label(P, T) << "\n";
+  for (FuncId F = 0; F < P.Funcs.size(); ++F) {
+    for (const CallEdge &E : R.callersOf(F)) {
+      OS << "calledge " << P.funcName(E.Caller) << "@" << E.At.F << ":"
+         << E.At.B << ":" << E.At.Idx << " ctx=" << E.CallerCtx << " -> "
+         << P.funcName(E.Callee) << " ctx=" << E.CalleeCtx << "\n";
+    }
+    if (!R.modSetOf(F).Fields.empty() || !R.modSetOf(F).Globals.empty()) {
+      OS << "mod " << P.funcName(F) << " fields:";
+      for (FieldId Fld : R.modSetOf(F).Fields)
+        OS << " " << Fld;
+      OS << " globals:";
+      for (GlobalId G : R.modSetOf(F).Globals)
+        OS << " " << G;
+      OS << "\n";
+    }
+  }
+  OS << "edges=" << R.numEdges() << "\n";
+  return OS.str();
+}
+
+} // namespace
+
+TEST_P(PtaEquivTest, SolversAgree) {
+  const EquivCase &C = GetParam();
+  SCOPED_TRACE(C.Path);
+  std::ifstream In(C.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  CompileResult CR =
+      C.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+
+  PTAOptions Delta, Naive;
+  Delta.Policy = Naive.Policy = C.Policy;
+  Delta.Solver = PTASolver::DeltaLCD;
+  Naive.Solver = PTASolver::Naive;
+  auto RD = PointsToAnalysis(P, Delta).run();
+  auto RN = PointsToAnalysis(P, Naive).run();
+
+  EXPECT_EQ(dumpResult(P, *RD), dumpResult(P, *RN));
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, PtaEquivTest,
+                         ::testing::ValuesIn(allCases()),
+                         [](const ::testing::TestParamInfo<EquivCase> &I) {
+                           return I.param.Name;
+                         });

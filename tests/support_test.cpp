@@ -2,6 +2,7 @@
 
 #include "support/IdSet.h"
 #include "support/Json.h"
+#include "support/SmallMap.h"
 #include "support/Stats.h"
 #include "support/StringPool.h"
 #include "support/Trace.h"
@@ -9,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <random>
 #include <set>
 #include <thread>
@@ -313,4 +316,238 @@ TEST(TraceTest, EventJsonShape) {
   EXPECT_EQ(V.findPath("refuteKinds.pure")->asUint(), 3u);
   EXPECT_EQ(V.findPath("phases.enumNanos")->asUint(), 10u);
   EXPECT_EQ(V.findPath("phases.searchNanos")->asUint(), 20u);
+}
+
+//===--------------------------------------------------------------------===//
+// Hybrid IdSet: vector <-> bitmap representation
+//===--------------------------------------------------------------------===//
+
+TEST(IdSetHybridTest, PromotionBoundaryDense) {
+  IdSet S;
+  for (uint32_t I = 0; I < IdSet::BitmapThreshold - 1; ++I) {
+    S.insert(I);
+    EXPECT_FALSE(S.usesBitmap()) << "promoted below threshold at " << I;
+  }
+  S.insert(IdSet::BitmapThreshold - 1);
+  EXPECT_TRUE(S.usesBitmap()) << "dense set did not promote at threshold";
+  EXPECT_EQ(S.size(), IdSet::BitmapThreshold);
+  for (uint32_t I = 0; I < IdSet::BitmapThreshold; ++I)
+    EXPECT_TRUE(S.contains(I));
+}
+
+TEST(IdSetHybridTest, SparseSetStaysVector) {
+  // Elements spaced so that the bitmap would need more than
+  // MaxWordsPerElem words per element: promotion must be declined.
+  IdSet S;
+  uint32_t Stride = 64 * (IdSet::MaxWordsPerElem + 1);
+  for (uint32_t I = 0; I < IdSet::BitmapThreshold + 16; ++I)
+    S.insert(I * Stride);
+  EXPECT_FALSE(S.usesBitmap()) << "sparse set wastefully promoted";
+  EXPECT_EQ(S.size(), IdSet::BitmapThreshold + 16);
+  EXPECT_TRUE(S.contains(Stride));
+  EXPECT_FALSE(S.contains(Stride + 1));
+}
+
+TEST(IdSetHybridTest, InsertAllAcrossMixedReps) {
+  auto MakeVector = [](uint32_t Lo, uint32_t N) {
+    IdSet S;
+    for (uint32_t I = 0; I < N; ++I)
+      S.insert(Lo + 7 * I);
+    EXPECT_FALSE(S.usesBitmap());
+    return S;
+  };
+  auto MakeBitmap = [](uint32_t Lo, uint32_t N) {
+    IdSet S;
+    for (uint32_t I = 0; I < N; ++I)
+      S.insert(Lo + I);
+    EXPECT_TRUE(S.usesBitmap());
+    return S;
+  };
+  // All four (this-rep, other-rep) combinations, verified against a
+  // std::set reference.
+  struct Case {
+    IdSet A, B;
+  } Cases[] = {
+      {MakeVector(0, 10), MakeVector(5, 10)},
+      {MakeVector(0, 10), MakeBitmap(100, 80)},
+      {MakeBitmap(0, 80), MakeVector(40, 10)},
+      {MakeBitmap(0, 80), MakeBitmap(50, 80)},
+  };
+  for (Case &C : Cases) {
+    std::set<uint32_t> Ref(C.A.begin(), C.A.end());
+    Ref.insert(C.B.begin(), C.B.end());
+    bool ShouldGrow = Ref.size() > C.A.size();
+    EXPECT_EQ(C.A.insertAll(C.B), ShouldGrow);
+    EXPECT_EQ(C.A.size(), Ref.size());
+    EXPECT_TRUE(std::equal(C.A.begin(), C.A.end(), Ref.begin(), Ref.end()));
+    EXPECT_FALSE(C.A.insertAll(C.B)) << "second insertAll reported growth";
+  }
+}
+
+TEST(IdSetHybridTest, InsertAllExceptMatchesReference) {
+  std::mt19937 Rng(7);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    // Random sizes straddle the promotion threshold so every rep mix of
+    // (dst, src, except) comes up across trials.
+    auto MakeRandom = [&](uint32_t Range) {
+      IdSet S;
+      std::uniform_int_distribution<uint32_t> Num(0, 120);
+      std::uniform_int_distribution<uint32_t> Val(0, Range);
+      uint32_t N = Num(Rng);
+      for (uint32_t I = 0; I < N; ++I)
+        S.insert(Val(Rng));
+      return S;
+    };
+    IdSet Dst = MakeRandom(300), Src = MakeRandom(300),
+          Except = MakeRandom(300);
+    std::set<uint32_t> Ref(Dst.begin(), Dst.end());
+    size_t Before = Ref.size();
+    for (uint32_t Id : Src)
+      if (!Except.contains(Id))
+        Ref.insert(Id);
+    EXPECT_EQ(Dst.insertAllExcept(Src, Except), Ref.size() > Before);
+    EXPECT_EQ(Dst.size(), Ref.size());
+    EXPECT_TRUE(std::equal(Dst.begin(), Dst.end(), Ref.begin(), Ref.end()));
+  }
+}
+
+TEST(IdSetHybridTest, InsertAllExceptTrimsTrailingWords) {
+  // Everything beyond the destination's range is masked out by Except:
+  // the bitmap must not keep trailing zero words, or content equality
+  // (which compares Words directly) would break.
+  IdSet Dst, Src, Except;
+  for (uint32_t I = 0; I < 80; ++I)
+    Dst.insert(I);
+  for (uint32_t I = 1000; I < 1100; ++I) {
+    Src.insert(I);
+    Except.insert(I);
+  }
+  ASSERT_TRUE(Dst.usesBitmap());
+  ASSERT_TRUE(Src.usesBitmap());
+  ASSERT_TRUE(Except.usesBitmap());
+  EXPECT_FALSE(Dst.insertAllExcept(Src, Except));
+  IdSet Same;
+  for (uint32_t I = 0; I < 80; ++I)
+    Same.insert(I);
+  EXPECT_EQ(Dst, Same);
+  EXPECT_EQ(Same, Dst);
+}
+
+TEST(IdSetHybridTest, IterationOrderDeterministicAcrossReps) {
+  // Same content built in different orders and driven into different
+  // representations must iterate identically (ascending).
+  std::vector<uint32_t> Ids = {90, 3, 250, 17, 64, 63, 128, 0, 200, 8};
+  IdSet Forward, Backward, Promoted;
+  for (uint32_t Id : Ids)
+    Forward.insert(Id);
+  for (auto It = Ids.rbegin(); It != Ids.rend(); ++It)
+    Backward.insert(*It);
+  for (uint32_t Id : Ids)
+    Promoted.insert(Id);
+  for (uint32_t I = 0; I < 100; ++I)
+    Promoted.insert(300 + I); // Force the bitmap rep with ballast...
+  for (uint32_t I = 0; I < 100; ++I)
+    Promoted.erase(300 + I); // ...then remove it (the rep sticks while
+                             // the set stays nonempty).
+  ASSERT_TRUE(Promoted.usesBitmap());
+  std::vector<uint32_t> Sorted = Ids;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_TRUE(std::equal(Forward.begin(), Forward.end(), Sorted.begin(),
+                         Sorted.end()));
+  EXPECT_TRUE(std::equal(Backward.begin(), Backward.end(), Sorted.begin(),
+                         Sorted.end()));
+  EXPECT_TRUE(std::equal(Promoted.begin(), Promoted.end(), Sorted.begin(),
+                         Sorted.end()));
+  EXPECT_EQ(Forward, Promoted);
+  EXPECT_EQ(Promoted, Backward);
+}
+
+TEST(IdSetHybridTest, EqualityAndContainsProperty) {
+  // Randomized property test: a vector-rep and a bitmap-rep set built
+  // from the same pool agree with std::set on contains/size/equality
+  // through interleaved inserts and erases.
+  std::mt19937 Rng(1234);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    IdSet S;
+    std::set<uint32_t> Ref;
+    std::uniform_int_distribution<uint32_t> Val(0, 400);
+    std::uniform_int_distribution<int> Op(0, 3);
+    for (int I = 0; I < 400; ++I) {
+      uint32_t V = Val(Rng);
+      if (Op(Rng) == 0) {
+        EXPECT_EQ(S.erase(V), Ref.erase(V) == 1);
+      } else {
+        EXPECT_EQ(S.insert(V), Ref.insert(V).second);
+      }
+      EXPECT_EQ(S.contains(V), Ref.count(V) == 1);
+    }
+    EXPECT_EQ(S.size(), Ref.size());
+    EXPECT_TRUE(std::equal(S.begin(), S.end(), Ref.begin(), Ref.end()));
+    // Rebuild the same content the other way around; equality must hold
+    // regardless of which representation each side landed in.
+    std::vector<uint32_t> Ids(Ref.begin(), Ref.end());
+    IdSet Rebuilt(Ids);
+    EXPECT_EQ(S, Rebuilt);
+    EXPECT_EQ(Rebuilt, S);
+    EXPECT_FALSE(S != Rebuilt);
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// SmallMap
+//===--------------------------------------------------------------------===//
+
+TEST(SmallMapTest, BasicOperationsMatchStdMap) {
+  SmallMap<uint32_t, uint32_t> M;
+  std::map<uint32_t, uint32_t> Ref;
+  std::mt19937 Rng(99);
+  std::uniform_int_distribution<uint32_t> Val(0, 50);
+  for (int I = 0; I < 300; ++I) {
+    uint32_t K = Val(Rng), V = Val(Rng);
+    switch (I % 3) {
+    case 0: {
+      auto [It, Inserted] = M.emplace(K, V);
+      auto [RIt, RInserted] = Ref.emplace(K, V);
+      EXPECT_EQ(Inserted, RInserted);
+      EXPECT_EQ(It->second, RIt->second);
+      break;
+    }
+    case 1:
+      M[K] = V;
+      Ref[K] = V;
+      break;
+    case 2:
+      EXPECT_EQ(M.count(K), Ref.count(K));
+      if (Ref.count(K))
+        EXPECT_EQ(M.find(K)->second, Ref.find(K)->second);
+      else
+        EXPECT_TRUE(M.find(K) == M.end());
+      break;
+    }
+  }
+  EXPECT_EQ(M.size(), Ref.size());
+  // Iteration order matches std::map (ascending by key).
+  auto It = M.begin();
+  for (const auto &[K, V] : Ref) {
+    ASSERT_TRUE(It != M.end());
+    EXPECT_EQ(It->first, K);
+    EXPECT_EQ(It->second, V);
+    ++It;
+  }
+  EXPECT_TRUE(It == M.end());
+}
+
+TEST(StatsTest, MergeHistogramBatchesSamples) {
+  Stats S;
+  Histogram Local;
+  Local.record(1);
+  Local.record(100);
+  Local.record(3);
+  S.mergeHistogram("hist.x", Local);
+  S.mergeHistogram("hist.x", Histogram()); // Empty merge is a no-op.
+  Histogram Out = S.histogram("hist.x");
+  EXPECT_EQ(Out.count(), 3u);
+  EXPECT_EQ(Out.sum(), 104u);
+  EXPECT_EQ(Out.min(), 1u);
+  EXPECT_EQ(Out.max(), 100u);
 }

@@ -20,6 +20,10 @@
 //   --budget N             per-edge exploration budget (default 10000)
 //   --depth N              callee-entry stack depth bound (default 3)
 //   --threads N            parallel edge threshing for 'check'
+//   --pta-solver delta|naive
+//                          constraint solver: difference propagation with
+//                          cycle collapsing (default) or the naive
+//                          reference; results are identical (docs/PTA.md)
 //   --repr mixed|symbolic|explicit
 //   --loop full|drop       loop invariant inference mode
 //   --no-simplify          disable query simplification
@@ -77,6 +81,7 @@ struct CliOptions {
   bool CacheVerify = false;
   bool Deterministic = false;
   unsigned Threads = 1;
+  PTASolver Solver = PTASolver::DeltaLCD;
   SymOptions Sym;
 };
 
@@ -201,6 +206,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.CacheVerify = true;
     } else if (A == "--deterministic") {
       O.Deterministic = true;
+    } else if (A == "--pta-solver") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string S = V;
+      if (S == "delta")
+        O.Solver = PTASolver::DeltaLCD;
+      else if (S == "naive")
+        O.Solver = PTASolver::Naive;
+      else
+        return false;
     } else if (A == "--from") {
       const char *V = Next();
       if (!V)
@@ -420,6 +436,7 @@ int main(int Argc, char **Argv) {
   }
 
   PTAOptions PtaOpts;
+  PtaOpts.Solver = O.Solver;
   if (O.AnnotateHashMap)
     annotateHashMapEmptyTable(P, PtaOpts);
   auto PTA = PointsToAnalysis(P, PtaOpts).run();
