@@ -7,6 +7,7 @@
 #include "cache/RefutationCache.h"
 
 #include "ir/Fingerprint.h"
+#include "support/FaultInject.h"
 #include "support/Json.h"
 
 #include <cstdio>
@@ -14,9 +15,32 @@
 #include <fstream>
 #include <sstream>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 using namespace thresher;
 
 namespace {
+
+/// fsync() the file or directory at \p Path; durability best-effort on
+/// platforms without it. Crash-safety of the store is rename-atomicity;
+/// the fsyncs close the power-loss window between rename and writeback.
+bool syncPath(const std::string &Path, bool IsDir) {
+#ifndef _WIN32
+  int Fd = ::open(Path.c_str(), IsDir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (Fd < 0)
+    return false;
+  bool Ok = ::fsync(Fd) == 0;
+  ::close(Fd);
+  return Ok;
+#else
+  (void)Path;
+  (void)IsDir;
+  return true;
+#endif
+}
 
 std::string toHex(uint64_t V) {
   char Buf[17];
@@ -75,10 +99,19 @@ bool RefutationCache::load(std::string *Error) {
   auto Corrupt = [&](const std::string &Why) {
     Entries.clear();
     Generation = 0;
+    // Quarantine the bad file so the next save starts from a clean slate
+    // and the evidence survives for post-mortem; never re-read it.
+    std::error_code EC;
+    std::filesystem::rename(storePath(), storePath() + ".corrupt", EC);
+    ++NumRecovered;
     if (Error)
-      *Error = storePath() + ": " + Why;
+      *Error = storePath() + ": " + Why +
+               (EC ? "" : " (quarantined to cache.jsonl.corrupt)");
     return false;
   };
+
+  if (FaultInject::shouldFail(faultsite::CacheRead))
+    return Corrupt("injected read fault");
 
   std::string Line;
   if (!std::getline(In, Line))
@@ -210,6 +243,12 @@ void RefutationCache::insert(std::string EdgeLabel, bool IsGlobal,
   Entries[{std::move(EdgeLabel), ConfigHash}] = std::move(Ent);
 }
 
+void RefutationCache::erase(const std::string &EdgeLabel,
+                            uint64_t ConfigHash) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entries.erase({EdgeLabel, ConfigHash});
+}
+
 bool RefutationCache::save(std::string *Error) {
   std::lock_guard<std::mutex> Lock(M);
   uint64_t NewGen = Generation + 1;
@@ -268,12 +307,26 @@ bool RefutationCache::save(std::string *Error) {
       return false;
     }
   }
+  // Injected mid-write crash: the temp file exists (possibly torn) but the
+  // rename never happens, so the previous store must remain intact and
+  // loadable — pinned by tests/fault_test.cpp.
+  if (FaultInject::shouldFail(faultsite::CacheWrite)) {
+    std::filesystem::remove(Tmp, EC);
+    if (Error)
+      *Error = Tmp + ": injected write fault";
+    return false;
+  }
+  // Durability: flush the temp file before the rename makes it visible,
+  // and the directory after, so a power cut cannot leave the store name
+  // pointing at unwritten blocks.
+  syncPath(Tmp, /*IsDir=*/false);
   std::filesystem::rename(Tmp, storePath(), EC);
   if (EC) {
     if (Error)
       *Error = storePath() + ": " + EC.message();
     return false;
   }
+  syncPath(Dir, /*IsDir=*/true);
   Generation = NewGen;
   return true;
 }

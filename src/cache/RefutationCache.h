@@ -48,7 +48,9 @@ public:
 
   /// Loads the store. A missing file is an empty cache (returns true);
   /// a corrupt or schema-mismatched file discards all entries and returns
-  /// false with \p Error set — callers warn and continue cold.
+  /// false with \p Error set — callers warn and continue cold. The corrupt
+  /// file is quarantined to <store>.corrupt (never re-read, preserved for
+  /// post-mortem) and recoveredStores() counts the rebuild.
   bool load(std::string *Error = nullptr);
 
   /// Replays every loaded entry's facts against the fresh program and
@@ -68,9 +70,15 @@ public:
   void insert(std::string EdgeLabel, bool IsGlobal, uint64_t ConfigHash,
               SearchOutcome Outcome, uint64_t Steps, std::vector<Fact> Facts);
 
-  /// Writes the store atomically (temp file + rename), bumping the
-  /// generation. Entries that failed validation are dropped; entries
-  /// untouched for more than KeepGenerations generations are evicted.
+  /// Drops the entry for (EdgeLabel, ConfigHash) if present (used when a
+  /// verify re-search exhausts: the stale verdict must not survive).
+  void erase(const std::string &EdgeLabel, uint64_t ConfigHash);
+
+  /// Writes the store crash-safely: temp file + fsync + atomic rename +
+  /// directory fsync, bumping the generation. A crash or fault at any
+  /// point leaves the previous store intact. Entries that failed
+  /// validation are dropped; entries untouched for more than
+  /// KeepGenerations generations are evicted.
   bool save(std::string *Error = nullptr);
 
   /// Hash of everything in the analysis configuration that can change an
@@ -88,6 +96,9 @@ public:
   uint64_t loadedEntries() const { return NumLoaded; }
   uint64_t validEntries() const { return NumValid; }
   uint64_t staleEntries() const { return NumStale; }
+  /// Times load() found a corrupt store, quarantined it, and rebuilt cold
+  /// (surfaced as the robust.cacheRecovered counter).
+  uint64_t recoveredStores() const { return NumRecovered; }
 
 private:
   struct Entry {
@@ -110,6 +121,7 @@ private:
   uint64_t NumLoaded = 0;
   uint64_t NumValid = 0;
   uint64_t NumStale = 0;
+  uint64_t NumRecovered = 0;
   std::mutex M;
 };
 

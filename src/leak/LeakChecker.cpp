@@ -66,6 +66,11 @@ void LeakChecker::setCache(RefutationCache *C, uint64_t ConfigHash,
   CacheVerify = Verify;
 }
 
+void LeakChecker::setGovernor(ResourceGovernor *G) {
+  Gov = G;
+  WS.setGovernor(G);
+}
+
 std::string LeakChecker::edgeLabel(const EdgeKey &E) const {
   if (E.IsGlobal)
     return P.globalName(E.G) + " -> " + PTA.Locs.label(P, E.Target);
@@ -81,7 +86,16 @@ LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
     Label = edgeLabel(E);
     SearchOutcome CachedOut;
     uint64_t CachedSteps = 0;
-    switch (Cache->probe(Label, CacheConfig, CachedOut, CachedSteps)) {
+    RefutationCache::Probe Pr =
+        Cache->probe(Label, CacheConfig, CachedOut, CachedSteps);
+    // Exhausted searches are never cached, but an old or hand-edited store
+    // may still carry TIMEOUT verdicts: distrust them and re-search.
+    if (Pr == RefutationCache::Probe::Hit &&
+        CachedOut == SearchOutcome::BudgetExhausted) {
+      Engine.stats().bump("robust.staleTimeoutHits");
+      Pr = RefutationCache::Probe::Miss;
+    }
+    switch (Pr) {
     case RefutationCache::Probe::Hit: {
       Engine.stats().bump("cache.hit");
       // Restoring Outcome and Steps exactly keeps the deterministic report
@@ -101,15 +115,26 @@ LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
                      : Engine.searchFieldEdge(E.Base, E.Fld, E.Target);
       Engine.setDepSink(nullptr);
       Engine.stats().bump("cache.verified");
+      if (R.Outcome == SearchOutcome::BudgetExhausted) {
+        // The verification search ran out of budget: inconclusive, not a
+        // disagreement (the cached verdict's facts replayed, so it still
+        // stands and keeps the report deterministic). Drop the entry so
+        // the next run re-searches it for real.
+        Engine.stats().bump("robust.verifyExhausted");
+        Engine.stats().bump("robust.timeoutNotCached");
+        Cache->erase(Label, CacheConfig);
+        return Info;
+      }
       if (R.Outcome != CachedOut || R.StepsUsed != CachedSteps) {
         Engine.stats().bump("cache.verifyMismatch");
-        Engine.stats().bump("cache.insert");
         Info.Outcome = R.Outcome;
+        Info.Reason = R.Exhaustion;
         Info.Steps = R.StepsUsed;
         Info.Nanos = nanosSince(T0);
         Info.Cache = EdgeCacheState::Invalidated;
-        Cache->insert(Label, E.IsGlobal, CacheConfig, R.Outcome, R.StepsUsed,
-                      materializeFootprint(P, PTA, FP));
+        Engine.stats().bump("cache.insert");
+        Cache->insert(Label, E.IsGlobal, CacheConfig, R.Outcome,
+                      R.StepsUsed, materializeFootprint(P, PTA, FP));
       }
       return Info;
     }
@@ -134,12 +159,20 @@ LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
     Engine.setDepSink(nullptr);
   Engine.stats().bump("leak.searches");
   Info.Outcome = R.Outcome;
+  Info.Reason = R.Exhaustion;
   Info.Steps = R.StepsUsed;
   Info.Nanos = nanosSince(T0);
   if (Cache) {
-    Engine.stats().bump("cache.insert");
-    Cache->insert(Label, E.IsGlobal, CacheConfig, R.Outcome, R.StepsUsed,
-                  materializeFootprint(P, PTA, FP));
+    if (R.Outcome == SearchOutcome::BudgetExhausted) {
+      // Sound degradation: an exhausted search proves nothing durable, so
+      // it must never be served from the cache on a later run (the warm
+      // run re-searches it, deterministically in step mode).
+      Engine.stats().bump("robust.timeoutNotCached");
+    } else {
+      Engine.stats().bump("cache.insert");
+      Cache->insert(Label, E.IsGlobal, CacheConfig, R.Outcome, R.StepsUsed,
+                    materializeFootprint(P, PTA, FP));
+    }
   }
   return Info;
 }
@@ -148,6 +181,19 @@ SearchOutcome LeakChecker::checkEdge(const EdgeKey &E) {
   auto CIt = Consulted.find(E);
   if (CIt != Consulted.end())
     return CIt->second.Outcome;
+  // Whole-run deadline: once it fires, every not-yet-consulted edge
+  // degrades to TIMEOUT(cancelled) without touching prefetched results or
+  // the cache. In deterministic mode the deadline is counted in consulted
+  // steps by this sequential loop only, so the cut-off edge — and with it
+  // the whole report — is identical for every thread count.
+  if (Gov && Gov->runExhausted()) {
+    WS.stats().bump("robust.runDeadlineEdges");
+    EdgeInfo Info;
+    Info.Outcome = SearchOutcome::BudgetExhausted;
+    Info.Reason = ExhaustionReason::Cancelled;
+    Consulted.emplace(E, Info);
+    return Info.Outcome;
+  }
   EdgeInfo Info;
   auto It = EdgeResults.find(E);
   if (It != EdgeResults.end()) {
@@ -156,6 +202,8 @@ SearchOutcome LeakChecker::checkEdge(const EdgeKey &E) {
     Info = threshEdge(WS, E);
     EdgeResults.emplace(E, Info);
   }
+  if (Gov)
+    Gov->noteConsultedSteps(Info.Steps);
   Consulted.emplace(E, Info);
   return Info.Outcome;
 }
@@ -290,6 +338,7 @@ void LeakChecker::prefetchEdgesParallel(
   std::atomic<size_t> NextIdx{0};
   auto Worker = [&]() {
     WitnessSearch LocalWS(P, PTA, Opts);
+    LocalWS.setGovernor(Gov);
     VectorTraceSink LocalTrace;
     LocalWS.setTraceSink(&LocalTrace);
     std::vector<std::pair<EdgeKey, EdgeInfo>> LocalResults;
@@ -326,6 +375,16 @@ LeakReport LeakChecker::run(unsigned Threads) {
   Timer T;
   VectorTraceSink SeqTrace;
   WS.setTraceSink(&SeqTrace);
+
+  // Governor counter baseline (run() may be called repeatedly on one
+  // checker; stats() reports per-run deltas of the shared atomics).
+  uint64_t Deadline0 = 0, Mem0 = 0, Cancel0 = 0;
+  if (Gov) {
+    Gov->beginRun();
+    Deadline0 = Gov->DeadlineHits.load();
+    Mem0 = Gov->MemCeilingHits.load();
+    Cancel0 = Gov->CancelHits.load();
+  }
 
   // Counter baseline so repeated runs report per-run cache activity.
   static const char *const CacheCounters[] = {
@@ -405,6 +464,7 @@ LeakReport LeakChecker::run(unsigned Threads) {
     V.Label = edgeLabel(E);
     V.IsGlobal = E.IsGlobal;
     V.Outcome = Info.Outcome;
+    V.Reason = Info.Reason;
     V.Steps = Info.Steps;
     V.Nanos = Info.Nanos;
     V.Cache = Info.Cache;
@@ -429,6 +489,18 @@ LeakReport LeakChecker::run(unsigned Threads) {
   Report.Seconds = T.seconds();
   WS.stats().bump("leak.runs");
   WS.stats().bump("leak.consultedEdges", Consulted.size());
+
+  if (Gov) {
+    // Fold the governor's shared atomics into the stats registry so the
+    // report's effort.counters section carries them (robust.* namespace).
+    WS.stats().bump("robust.deadlineHits",
+                    Gov->DeadlineHits.load() - Deadline0);
+    WS.stats().bump("robust.memCeilingHits",
+                    Gov->MemCeilingHits.load() - Mem0);
+    WS.stats().bump("robust.cancellations",
+                    Gov->CancelHits.load() - Cancel0);
+    WS.stats().record("hist.robust.memPeakBytes", Gov->memPeak());
+  }
 
   if (Cache) {
     auto Delta = [&](const char *Name) {

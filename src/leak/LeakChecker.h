@@ -74,6 +74,9 @@ struct EdgeVerdict {
   std::string Label;
   bool IsGlobal = false;
   SearchOutcome Outcome = SearchOutcome::Refuted;
+  /// Why the search stopped short (None unless Outcome is
+  /// BudgetExhausted). Deterministic in step-denominated mode.
+  ExhaustionReason Reason = ExhaustionReason::None;
   uint64_t Steps = 0;  ///< Budget consumed by the search.
   uint64_t Nanos = 0;  ///< Search wall-clock (volatile; 0 on cache hits).
   /// Cache participation (volatile across cold/warm runs; excluded from
@@ -139,12 +142,23 @@ struct ReportJsonOptions {
 class LeakChecker {
 public:
   /// Version tag stamped into every JSON report ("schema" member).
-  static constexpr const char *ReportSchemaVersion = "thresher-report/v1";
+  /// v1.1: per-edge "reason" on TIMEOUT verdicts, config.governor section,
+  /// robust.* counters under effort (minor bump: strictly additive).
+  static constexpr const char *ReportSchemaVersion = "thresher-report/v1.1";
 
   /// \p ActivityBase is the class whose (transitive) instances count as
   /// Activities.
   LeakChecker(const Program &P, const PointsToResult &PTA,
               ClassId ActivityBase, SymOptions Opts = {});
+
+  /// Attaches a shared resource governor (not owned; may be nullptr to
+  /// detach). Threaded into the sequential engine and every prefetch
+  /// worker; run() additionally enforces the whole-run deadline at each
+  /// consult and folds the governor's counters into stats() afterwards.
+  /// On exhaustion the affected edges degrade to TIMEOUT (alarm kept) and
+  /// are never written to the refutation cache.
+  void setGovernor(ResourceGovernor *G);
+  ResourceGovernor *governor() const { return Gov; }
 
   /// Attaches a refutation cache (not owned; may be nullptr to detach).
   /// The caller must load() and validate() it first; run() then probes it
@@ -171,6 +185,7 @@ public:
   /// points-to phase's `pta.*` effort and, after run() with Threads > 1,
   /// the merged worker counters).
   const Stats &stats() const { return WS.stats(); }
+  Stats &stats() { return WS.stats(); }
 
   /// After run(): deterministically ordered per-edge trace events (sorted
   /// by edge label, Seq assigned after the parallel merge).
@@ -208,6 +223,7 @@ private:
   /// wall-clock of the search that produced it).
   struct EdgeInfo {
     SearchOutcome Outcome = SearchOutcome::Refuted;
+    ExhaustionReason Reason = ExhaustionReason::None;
     uint64_t Steps = 0;
     uint64_t Nanos = 0;
     EdgeCacheState Cache = EdgeCacheState::None;
@@ -237,6 +253,8 @@ private:
   ClassId ActivityBase;
   SymOptions Opts;
   WitnessSearch WS;
+  /// Optional shared resource governor (not owned).
+  ResourceGovernor *Gov = nullptr;
   /// Optional persistent refutation cache (not owned).
   RefutationCache *Cache = nullptr;
   uint64_t CacheConfig = 0;

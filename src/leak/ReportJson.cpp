@@ -82,6 +82,19 @@ JsonValue LeakChecker::buildJsonReport(const LeakReport &R,
   Config.set("maxCallStackDepth", JsonValue::makeUint(Opts.MaxCallStackDepth));
   Config.set("pathConstraintCap", JsonValue::makeUint(Opts.PathConstraintCap));
   Config.set("maxLoopCrossings", JsonValue::makeUint(Opts.MaxLoopCrossings));
+  if (Gov) {
+    // Governance config is part of the deterministic section: the same
+    // flags must reproduce the same report, and the steps/ms rate must be
+    // recorded for step-denominated deadlines to be interpretable.
+    const GovernorConfig &GC = Gov->config();
+    JsonValue GJ = JsonValue::makeObject();
+    GJ.set("deterministic", JsonValue::makeBool(GC.Deterministic));
+    GJ.set("stepsPerMs", JsonValue::makeUint(GC.StepsPerMs));
+    GJ.set("edgeTimeoutMs", JsonValue::makeUint(GC.EdgeTimeoutMs));
+    GJ.set("runTimeoutMs", JsonValue::makeUint(GC.RunTimeoutMs));
+    GJ.set("memCeilingBytes", JsonValue::makeUint(GC.MemCeilingBytes));
+    Config.set("governor", std::move(GJ));
+  }
   Doc.set("config", std::move(Config));
 
   JsonValue Summary = JsonValue::makeObject();
@@ -117,6 +130,10 @@ JsonValue LeakChecker::buildJsonReport(const LeakReport &R,
     EO.set("edge", JsonValue::makeString(V.Label));
     EO.set("kind", JsonValue::makeString(V.IsGlobal ? "global" : "field"));
     EO.set("verdict", JsonValue::makeString(outcomeName(V.Outcome)));
+    if (V.Outcome == SearchOutcome::BudgetExhausted)
+      // Deterministic in step-denominated mode; part of the byte-compared
+      // report form so torture runs pin the cut-off edge too.
+      EO.set("reason", JsonValue::makeString(exhaustionReasonName(V.Reason)));
     EO.set("steps", JsonValue::makeUint(V.Steps));
     if (!O.DeterministicOnly) {
       EO.set("nanos", JsonValue::makeUint(V.Nanos));

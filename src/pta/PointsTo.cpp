@@ -1,5 +1,6 @@
 #include "pta/PointsTo.h"
 
+#include "support/Budget.h"
 #include "support/Hash.h"
 #include "support/UnionFind.h"
 
@@ -724,6 +725,16 @@ struct PointsToAnalysis::Impl {
       return; // Merged away, or drained by an earlier pop this round.
     IdSet D = std::move(Delta[N]);
     Delta[N] = IdSet();
+    // Account the in-flight delta set plus the promotion it just caused in
+    // Pts; there is no sound way to shrink a points-to fixpoint, so a
+    // crossed ceiling only counts a hit here and the driver aborts the run
+    // (exit 4) after the solve.
+    uint64_t Charged = 0;
+    if (Opts.Gov) {
+      Charged = D.heapBytes();
+      if (!Opts.Gov->charge(Charged))
+        Opts.Gov->MemCeilingHits.fetch_add(1, std::memory_order_relaxed);
+    }
     Pts[N].insertAll(D);
     ++NumDeltaPops;
     NumDeltaLocs += D.size();
@@ -778,6 +789,8 @@ struct PointsToAnalysis::Impl {
       if (collectCycle(Start, Target, Members))
         collapse(Members);
     }
+    if (Opts.Gov && Charged)
+      Opts.Gov->release(Charged);
   }
 
   // --- Canonical renumbering. ---

@@ -36,6 +36,8 @@
 
 namespace thresher {
 
+class ResourceGovernor;
+
 /// Context policy for the analysis.
 enum class CtxPolicy : uint8_t { Insensitive, ContainerCFA, AllObjSens };
 
@@ -66,6 +68,12 @@ struct PTAOptions {
   IdSet AnnotatedEmptyGlobals;
   /// Instance fields annotated likewise.
   IdSet AnnotatedEmptyFields;
+  /// Optional shared resource governor (see support/Budget.h; not owned).
+  /// The delta solver charges its in-flight delta sets to the memory
+  /// accountant; a crossed ceiling is counted (MemCeilingHits) for the
+  /// driver to abort on — the PTA phase has no sound degraded result, so
+  /// exhaustion here is fatal (exit 4), never a weaker analysis.
+  ResourceGovernor *Gov = nullptr;
 };
 
 /// A resolved call edge between method contexts: the position of the call

@@ -1,0 +1,121 @@
+//===- Budget.cpp - Resource governance for the analysis pipeline ---------===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+using namespace thresher;
+
+const char *thresher::exhaustionReasonName(ExhaustionReason R) {
+  switch (R) {
+  case ExhaustionReason::None:
+    return "none";
+  case ExhaustionReason::Steps:
+    return "steps";
+  case ExhaustionReason::Deadline:
+    return "deadline";
+  case ExhaustionReason::Memory:
+    return "memory";
+  case ExhaustionReason::Cancelled:
+    return "cancelled";
+  }
+  return "?";
+}
+
+ResourceGovernor::ResourceGovernor(GovernorConfig C) : Cfg(C) {}
+
+void ResourceGovernor::beginRun() {
+  RunStart = std::chrono::steady_clock::now();
+  RunStarted = true;
+  ConsultedSteps.store(0, std::memory_order_relaxed);
+}
+
+bool ResourceGovernor::charge(uint64_t Bytes) {
+  uint64_t Now = MemBytes.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  uint64_t Peak = MemPeak.load(std::memory_order_relaxed);
+  while (Now > Peak &&
+         !MemPeak.compare_exchange_weak(Peak, Now, std::memory_order_relaxed))
+    ;
+  return Cfg.MemCeilingBytes == 0 || Now <= Cfg.MemCeilingBytes;
+}
+
+void ResourceGovernor::release(uint64_t Bytes) {
+  MemBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+}
+
+bool ResourceGovernor::runExhausted() {
+  if (Cancel.cancelled())
+    return true;
+  if (Cfg.RunTimeoutMs == 0)
+    return false;
+  bool Fired;
+  if (Cfg.Deterministic) {
+    Fired = ConsultedSteps.load(std::memory_order_relaxed) >=
+            Cfg.RunTimeoutMs * Cfg.StepsPerMs;
+  } else {
+    if (!RunStarted)
+      return false;
+    Fired = std::chrono::steady_clock::now() - RunStart >=
+            std::chrono::milliseconds(Cfg.RunTimeoutMs);
+  }
+  if (Fired) {
+    DeadlineHits.fetch_add(1, std::memory_order_relaxed);
+    Cancel.cancel(); // Propagate to sibling workers cooperatively.
+  }
+  return Fired;
+}
+
+ResourceGovernor::EdgeScope::EdgeScope(ResourceGovernor &G)
+    : Gov(&G), Start(std::chrono::steady_clock::now()) {
+  const GovernorConfig &C = G.Cfg;
+  if (C.EdgeTimeoutMs != 0) {
+    if (C.Deterministic) {
+      StepLimit = C.EdgeTimeoutMs * C.StepsPerMs;
+    } else {
+      EdgeDeadline = Start + std::chrono::milliseconds(C.EdgeTimeoutMs);
+      HasWallDeadline = true;
+    }
+  }
+}
+
+uint64_t ResourceGovernor::EdgeScope::elapsedMs() const {
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count();
+  return static_cast<uint64_t>(Ms < 0 ? 0 : Ms);
+}
+
+ExhaustionReason ResourceGovernor::EdgeScope::noteStepAndCheck() {
+  if (!Gov)
+    return ExhaustionReason::None;
+  ++Steps;
+  // Check order is fixed so deterministic runs report deterministic
+  // reasons even when several limits are crossed at once.
+  if (Gov->Cancel.cancelled()) {
+    Gov->CancelHits.fetch_add(1, std::memory_order_relaxed);
+    return ExhaustionReason::Cancelled;
+  }
+  if (StepLimit != 0 && Steps > StepLimit) {
+    Gov->DeadlineHits.fetch_add(1, std::memory_order_relaxed);
+    return ExhaustionReason::Deadline;
+  }
+  if (HasWallDeadline && Steps % ClockPollInterval == 0 &&
+      std::chrono::steady_clock::now() >= EdgeDeadline) {
+    Gov->DeadlineHits.fetch_add(1, std::memory_order_relaxed);
+    return ExhaustionReason::Deadline;
+  }
+  // In wall-clock mode the run deadline is polled here too, so a long
+  // single edge search cannot outlive the run budget unobserved.
+  if (!Gov->Cfg.Deterministic && Gov->Cfg.RunTimeoutMs != 0 &&
+      Steps % ClockPollInterval == 0 && Gov->runExhausted()) {
+    Gov->CancelHits.fetch_add(1, std::memory_order_relaxed);
+    return ExhaustionReason::Cancelled;
+  }
+  if (Gov->memExceeded()) {
+    Gov->MemCeilingHits.fetch_add(1, std::memory_order_relaxed);
+    return ExhaustionReason::Memory;
+  }
+  return ExhaustionReason::None;
+}

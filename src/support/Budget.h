@@ -1,0 +1,193 @@
+//===- Budget.h - Resource governance for the analysis pipeline -*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource-governance layer: a shared, thread-safe ResourceGovernor
+/// holding per-edge and whole-run deadlines, a memory ceiling tracked by an
+/// explicit charge/release accountant, and a cooperative cancellation token
+/// checked at search-step granularity.
+///
+/// Soundness contract: a search that cannot finish must KEEP the alarm,
+/// never refute it. Every exhaustion signal the governor raises therefore
+/// maps to SearchOutcome::BudgetExhausted downstream (reported as TIMEOUT),
+/// with a structured ExhaustionReason recorded per edge.
+///
+/// Determinism contract: in deterministic mode (the default) deadlines are
+/// denominated in search *steps*, converted from milliseconds via a
+/// steps/ms rate recorded in the report, so verdicts and reports are
+/// byte-identical across machines, thread counts, and repeated runs.
+/// Wall-clock mode (--wall-clock) is the production opt-in: deadlines are
+/// real time and reports become volatile. See docs/ROBUSTNESS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_BUDGET_H
+#define THRESHER_SUPPORT_BUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace thresher {
+
+/// Why a search (or the whole run) was cut short. Ordered roughly by how
+/// deterministic the cause is: Steps is always deterministic; Deadline and
+/// Memory are deterministic in step-denominated mode; Cancelled propagates
+/// a sibling's or the run's exhaustion.
+enum class ExhaustionReason : uint8_t {
+  None = 0, ///< Not exhausted.
+  Steps,    ///< Per-edge step budget (SymOptions::EdgeBudget) ran out.
+  Deadline, ///< Per-edge deadline (step-denominated or wall-clock) fired.
+  Memory,   ///< The memory accountant crossed the configured ceiling.
+  Cancelled ///< Cooperative cancellation (run deadline or sibling failure).
+};
+
+/// Canonical name for \p R: "none", "steps", "deadline", "memory", or
+/// "cancelled" (used by trace events, the JSON report, and tests).
+const char *exhaustionReasonName(ExhaustionReason R);
+
+/// Cooperative cancellation flag shared by every worker of a run. Workers
+/// poll it at search-step granularity; setting it never interrupts a
+/// thread, it only makes the next step return BudgetExhausted(Cancelled).
+class CancelToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Governor configuration. All limits are "0 = unlimited".
+struct GovernorConfig {
+  /// Deterministic mode: deadlines are denominated in steps (ms converted
+  /// via StepsPerMs). Wall-clock mode: deadlines are real milliseconds.
+  bool Deterministic = true;
+  /// Conversion rate for deterministic deadlines. The default is a fixed
+  /// calibration constant so reports are byte-identical across machines;
+  /// override with --steps-per-ms after calibrating for your hardware.
+  uint64_t StepsPerMs = 1000;
+  /// Per-edge deadline in milliseconds (spans all producers of the edge).
+  uint64_t EdgeTimeoutMs = 0;
+  /// Whole-run deadline in milliseconds. In deterministic mode this bounds
+  /// the cumulative steps of *consulted* searches (identical across thread
+  /// counts); in wall-clock mode it bounds real time and cancels siblings.
+  uint64_t RunTimeoutMs = 0;
+  /// Memory ceiling in bytes for the charge/release accountant.
+  uint64_t MemCeilingBytes = 0;
+};
+
+/// Shared, thread-safe resource governor for one analysis run.
+///
+/// The accountant is an explicit charge/release API instrumented at the
+/// big consumers (Query state clones in the witness search, PTA delta
+/// sets), not a global allocator hook: the point is governed degradation
+/// at well-defined check points, not byte-exact RSS tracking.
+class ResourceGovernor {
+public:
+  explicit ResourceGovernor(GovernorConfig C = {});
+
+  const GovernorConfig &config() const { return Cfg; }
+
+  /// Marks the start of the run (wall-clock run deadline anchor).
+  void beginRun();
+
+  // --- Memory accountant. ---
+
+  /// Charges \p Bytes to the accountant. Returns false if the ceiling is
+  /// (or just became) exceeded; the caller must treat the work it was
+  /// about to retain as unaffordable and degrade soundly. The charge is
+  /// recorded either way so release() stays balanced.
+  bool charge(uint64_t Bytes);
+  /// Releases \p Bytes previously charged.
+  void release(uint64_t Bytes);
+  uint64_t memInUse() const { return MemBytes.load(std::memory_order_relaxed); }
+  uint64_t memPeak() const { return MemPeak.load(std::memory_order_relaxed); }
+  bool memExceeded() const {
+    return Cfg.MemCeilingBytes != 0 &&
+           MemBytes.load(std::memory_order_relaxed) > Cfg.MemCeilingBytes;
+  }
+
+  // --- Cancellation. ---
+
+  CancelToken &cancelToken() { return Cancel; }
+  void cancelRun() { Cancel.cancel(); }
+  bool runCancelled() const { return Cancel.cancelled(); }
+
+  // --- Run deadline. ---
+
+  /// Adds \p Steps to the run's consulted-step account (deterministic-mode
+  /// run deadline; called by the sequential consult loop only, so the
+  /// account is identical across thread counts).
+  void noteConsultedSteps(uint64_t Steps) {
+    ConsultedSteps.fetch_add(Steps, std::memory_order_relaxed);
+  }
+  uint64_t consultedSteps() const {
+    return ConsultedSteps.load(std::memory_order_relaxed);
+  }
+
+  /// True once the whole-run deadline has fired (consulted steps in
+  /// deterministic mode, elapsed wall-clock otherwise). Also latches the
+  /// cancellation token so sibling workers stop cooperatively.
+  bool runExhausted();
+
+  // --- Per-edge scope. ---
+
+  /// Per-edge governance scope: tracks the edge's own step count and start
+  /// time, and answers "may this search take another step?". One scope
+  /// spans every producer tried for the edge. Scopes are cheap
+  /// (non-allocating) and thread-confined; the governor they point to is
+  /// shared.
+  class EdgeScope {
+  public:
+    EdgeScope() = default;
+    explicit EdgeScope(ResourceGovernor &G);
+
+    /// Accounts one search step and checks every governed limit, in
+    /// deterministic order (cancellation, edge deadline, memory).
+    /// Returns ExhaustionReason::None while the search may continue.
+    ExhaustionReason noteStepAndCheck();
+
+    uint64_t steps() const { return Steps; }
+    /// Elapsed wall-clock milliseconds since the scope was created
+    /// (volatile; used for the hist.robust.edgeMs histogram only).
+    uint64_t elapsedMs() const;
+
+  private:
+    ResourceGovernor *Gov = nullptr;
+    uint64_t Steps = 0;
+    /// Step-denominated edge deadline (deterministic mode), 0 = none.
+    uint64_t StepLimit = 0;
+    /// How many steps between wall-clock polls (wall-clock mode).
+    static constexpr uint64_t ClockPollInterval = 256;
+    std::chrono::steady_clock::time_point Start;
+    std::chrono::steady_clock::time_point EdgeDeadline;
+    bool HasWallDeadline = false;
+  };
+
+  /// Robustness counters, read out into Stats by the pipeline owner after
+  /// the run (the governor itself stays dependency-free).
+  std::atomic<uint64_t> DeadlineHits{0};
+  std::atomic<uint64_t> MemCeilingHits{0};
+  std::atomic<uint64_t> CancelHits{0};
+
+private:
+  friend class EdgeScope;
+
+  GovernorConfig Cfg;
+  CancelToken Cancel;
+  std::atomic<uint64_t> MemBytes{0};
+  std::atomic<uint64_t> MemPeak{0};
+  std::atomic<uint64_t> ConsultedSteps{0};
+  std::chrono::steady_clock::time_point RunStart;
+  bool RunStarted = false;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_BUDGET_H

@@ -1,0 +1,76 @@
+//===- Error.h - Structured user-facing errors ------------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured error for malformed *input* (unreadable files, bad CLI
+/// arguments, frontend diagnostics, resource aborts): carries a category,
+/// a one-line message, and the process exit code the driver should use.
+/// Input problems surface as thresher::Error and a nonzero exit; asserts
+/// remain reserved for internal invariants only.
+///
+/// Exit-code map (tools/thresher.cpp):
+///   0  clean / all alarms refuted       2  usage error
+///   1  leaks reported or input error    3  --cache-verify mismatch
+///   4  resource limit aborted a non-degradable phase (e.g. PTA memory)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_ERROR_H
+#define THRESHER_SUPPORT_ERROR_H
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace thresher {
+
+struct Error {
+  enum class Category : uint8_t {
+    Usage,    ///< Malformed command line (exit 2).
+    Input,    ///< Unreadable or malformed input file (exit 1).
+    Frontend, ///< Source program failed to compile (exit 1).
+    Io,       ///< Output file could not be written (exit 1).
+    Resource, ///< A non-degradable phase hit a resource limit (exit 4).
+  };
+
+  Category Cat = Category::Input;
+  std::string Message;
+
+  Error() = default;
+  Error(Category Cat, std::string Message)
+      : Cat(Cat), Message(std::move(Message)) {}
+
+  static Error usage(std::string M) { return {Category::Usage, std::move(M)}; }
+  static Error input(std::string M) { return {Category::Input, std::move(M)}; }
+  static Error frontend(std::string M) {
+    return {Category::Frontend, std::move(M)};
+  }
+  static Error io(std::string M) { return {Category::Io, std::move(M)}; }
+  static Error resource(std::string M) {
+    return {Category::Resource, std::move(M)};
+  }
+
+  int exitCode() const {
+    switch (Cat) {
+    case Category::Usage:
+      return 2;
+    case Category::Resource:
+      return 4;
+    case Category::Input:
+    case Category::Frontend:
+    case Category::Io:
+      return 1;
+    }
+    return 1;
+  }
+
+  /// One-line diagnostic: "error: <message>".
+  void report(std::ostream &OS) const { OS << "error: " << Message << "\n"; }
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_ERROR_H

@@ -1,0 +1,131 @@
+//===- FaultInject.cpp - Deterministic counted fault injection ------------===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace thresher;
+
+namespace {
+
+struct Trigger {
+  uint64_t Nth = 0;  ///< Fire on this hit (1-based).
+  uint64_t Hits = 0; ///< Hits recorded so far.
+  bool Fired = false;
+};
+
+struct Registry {
+  std::mutex M;
+  std::map<std::string, Trigger> Sites;
+  std::atomic<uint64_t> Fired{0};
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+/// Fast path: true only while at least one site is armed. Lets unarmed
+/// probes skip the registry lock entirely.
+std::atomic<bool> &anyArmed() {
+  static std::atomic<bool> A{false};
+  return A;
+}
+
+} // namespace
+
+std::vector<std::string> thresher::faultSiteCatalogue() {
+  return {faultsite::SearchStep, faultsite::CacheRead, faultsite::CacheWrite,
+          faultsite::ReportWrite, faultsite::SolverEntry};
+}
+
+void FaultInject::arm(const std::string &Site, uint64_t Nth) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  R.Sites[Site] = Trigger{Nth == 0 ? 1 : Nth, 0, false};
+  anyArmed().store(true, std::memory_order_release);
+}
+
+bool FaultInject::armFromSpec(const std::string &Spec, std::string *Error) {
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Part = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Part.empty())
+      continue;
+    size_t Colon = Part.rfind(':');
+    std::string Site = Colon == std::string::npos ? Part
+                                                  : Part.substr(0, Colon);
+    uint64_t Nth = 1;
+    if (Colon != std::string::npos) {
+      std::string N = Part.substr(Colon + 1);
+      bool Ok = !N.empty() && N.size() <= 19;
+      for (char C : N)
+        Ok = Ok && C >= '0' && C <= '9';
+      if (!Ok || Site.empty()) {
+        if (Error)
+          *Error = "malformed fault spec '" + Part +
+                   "' (expected site:N with N a positive integer)";
+        return false;
+      }
+      Nth = std::strtoull(N.c_str(), nullptr, 10);
+      if (Nth == 0) {
+        if (Error)
+          *Error = "fault spec '" + Part + "': N must be >= 1";
+        return false;
+      }
+    }
+    arm(Site, Nth);
+  }
+  return true;
+}
+
+std::string FaultInject::armFromEnv() {
+  const char *Env = std::getenv("THRESHER_FAULT");
+  if (!Env || !*Env)
+    return "";
+  std::string Error;
+  if (!armFromSpec(Env, &Error))
+    return Error;
+  return "";
+}
+
+bool FaultInject::shouldFail(const char *Site) {
+  if (!anyArmed().load(std::memory_order_acquire))
+    return false;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  auto It = R.Sites.find(Site);
+  if (It == R.Sites.end())
+    return false;
+  Trigger &T = It->second;
+  if (T.Fired)
+    return false;
+  if (++T.Hits < T.Nth)
+    return false;
+  T.Fired = true;
+  R.Fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FaultInject::firedCount() {
+  return registry().Fired.load(std::memory_order_relaxed);
+}
+
+void FaultInject::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  R.Sites.clear();
+  R.Fired.store(0, std::memory_order_relaxed);
+  anyArmed().store(false, std::memory_order_release);
+}

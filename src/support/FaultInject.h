@@ -1,0 +1,76 @@
+//===- FaultInject.h - Deterministic counted fault injection ----*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection harness: a registry of named injection
+/// sites, each armed with a counted trigger. A fault fires on the Nth hit
+/// of its site (1-based), deterministically, and exactly once per arming.
+/// Arm sites from the THRESHER_FAULT environment variable ("site:N",
+/// comma-separated) or the --fault CLI flag.
+///
+/// This is what makes the soundness-under-failure properties *testable*:
+/// tests/fault_test.cpp sweeps every registered site over the corpus and
+/// asserts no crash, valid exit code + report, no refutation on a faulted
+/// path, and no torn cache files. The site catalogue lives in
+/// docs/ROBUSTNESS.md; code declares sites simply by probing them.
+///
+/// Probing an unarmed site costs one relaxed atomic load (the registry is
+/// empty in production), so probes may sit on hot paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_FAULTINJECT_H
+#define THRESHER_SUPPORT_FAULTINJECT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+/// The well-known injection sites (kept here so tests and the CLI can
+/// enumerate them; probing a site not in this list still works).
+namespace faultsite {
+inline constexpr const char *SearchStep = "search.step";
+inline constexpr const char *CacheRead = "cache.read";
+inline constexpr const char *CacheWrite = "cache.write";
+inline constexpr const char *ReportWrite = "report.write";
+inline constexpr const char *SolverEntry = "solver.entry";
+} // namespace faultsite
+
+/// All well-known sites, for sweeps.
+std::vector<std::string> faultSiteCatalogue();
+
+/// Global, thread-safe fault registry.
+class FaultInject {
+public:
+  /// Arms \p Site to fire on its \p Nth hit (1-based). Re-arming a site
+  /// replaces its trigger and resets its hit count.
+  static void arm(const std::string &Site, uint64_t Nth);
+
+  /// Parses a "site:N[,site:N...]" spec (the THRESHER_FAULT format) and
+  /// arms each entry. Returns false (with \p Error set) on a malformed
+  /// spec; earlier well-formed entries remain armed.
+  static bool armFromSpec(const std::string &Spec, std::string *Error);
+
+  /// Arms sites from the THRESHER_FAULT environment variable if present.
+  /// Malformed specs are reported on the returned string (empty = ok).
+  static std::string armFromEnv();
+
+  /// Records one hit of \p Site; returns true when the armed trigger fires
+  /// (exactly once). Unarmed sites return false at one atomic load's cost.
+  static bool shouldFail(const char *Site);
+
+  /// Number of faults fired so far (all sites).
+  static uint64_t firedCount();
+
+  /// Disarms everything and resets counters (tests).
+  static void reset();
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_FAULTINJECT_H

@@ -276,6 +276,14 @@ public:
   bool empty() const { return isBitmap() ? Count == 0 : Elems.empty(); }
   size_t size() const { return isBitmap() ? Count : Elems.size(); }
 
+  /// Approximate heap bytes held by this set (memory-accountant input;
+  /// capacity is deliberately ignored so the estimate is deterministic
+  /// across allocators and growth histories).
+  size_t heapBytes() const {
+    return isBitmap() ? Words.size() * sizeof(uint64_t)
+                      : Elems.size() * sizeof(uint32_t);
+  }
+
   /// The sole element of a singleton set.
   uint32_t singleElement() const {
     assert(size() == 1 && "not a singleton set");

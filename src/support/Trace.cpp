@@ -14,6 +14,8 @@ std::string thresher::traceEventToJson(const TraceEvent &Ev) {
   O.set("edge", JsonValue::makeString(Ev.Edge));
   O.set("kind", JsonValue::makeString(Ev.IsGlobal ? "global" : "field"));
   O.set("verdict", JsonValue::makeString(Ev.Verdict));
+  if (!Ev.Reason.empty())
+    O.set("reason", JsonValue::makeString(Ev.Reason));
   O.set("producersTried", JsonValue::makeUint(Ev.ProducersTried));
   if (!Ev.Producer.empty())
     O.set("producer", JsonValue::makeString(Ev.Producer));

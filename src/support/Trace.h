@@ -40,6 +40,9 @@ struct TraceEvent {
   bool IsGlobal = false;
   /// Verdict: "REFUTED", "WITNESSED", or "TIMEOUT".
   std::string Verdict;
+  /// Structured exhaustion reason ("steps", "deadline", "memory",
+  /// "cancelled"); empty unless Verdict is "TIMEOUT".
+  std::string Reason;
   /// Number of producing statements the search tried.
   uint32_t ProducersTried = 0;
   /// The producing statement that was witnessed (empty unless WITNESSED).

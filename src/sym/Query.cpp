@@ -218,6 +218,31 @@ void Query::gcRegions() {
   }
 }
 
+uint64_t Query::approxBytes() const {
+  // Node-based maps cost roughly key + value + three pointers per entry;
+  // the constant factors only need to be stable, not exact, because the
+  // accountant compares totals against a user-supplied ceiling.
+  constexpr uint64_t NodeOverhead = 3 * sizeof(void *);
+  uint64_t B = sizeof(Query);
+  B += Frames.size() * sizeof(QueryFrame);
+  B += Locals.size() * (sizeof(std::pair<uint32_t, VarId>) + sizeof(ValRef) +
+                        NodeOverhead);
+  B += Globals.size() * (sizeof(GlobalId) + sizeof(ValRef) + NodeOverhead);
+  B += Cells.size() * sizeof(HeapCell);
+  for (const auto &[S, R] : Regions) {
+    (void)S;
+    B += sizeof(SymVarId) + sizeof(Region) + NodeOverhead;
+    B += R.Locs.heapBytes();
+  }
+  B += Pure.prims().size() * sizeof(PurePrim);
+  B += LoopCrossings.size() *
+       (sizeof(std::pair<FuncId, BlockId>) + sizeof(uint32_t) + NodeOverhead);
+  B += Trail.size() * sizeof(ProgramPoint);
+  for (const std::string &S : TrailQueries)
+    B += S.size();
+  return B;
+}
+
 //===----------------------------------------------------------------------===//
 // Canonicalization and printing
 //===----------------------------------------------------------------------===//

@@ -186,6 +186,12 @@ public:
     return Locals.empty() && Globals.empty() && Cells.empty();
   }
 
+  /// Approximate heap bytes retained by this query state (constraint maps,
+  /// cells, region IdSets, pure prims). Deterministic for a given query —
+  /// the memory accountant charges this on clone retention and releases it
+  /// on discard, so step-denominated runs stay byte-identical.
+  uint64_t approxBytes() const;
+
   /// A canonical fingerprint: symbolic variables renamed in first-use
   /// order over the sorted constraint sets, rendered to a string. Used as
   /// the exact-match layer of the query-history subsumption check.

@@ -1,5 +1,6 @@
 #include "sym/WitnessSearch.h"
 
+#include "support/FaultInject.h"
 #include "support/SmallMap.h"
 
 #include <algorithm>
@@ -27,19 +28,45 @@ class WitnessSearch::Run {
 public:
   Run(WitnessSearch &WS, uint64_t &Budget)
       : P(WS.P), PTA(WS.PTA), Opts(WS.Opts), S(WS.S), Deps(WS.Deps),
-        Budget(Budget) {}
+        Gov(WS.Gov), Budget(Budget) {
+    if (Gov) {
+      if (WS.ActiveScope) {
+        Scope = WS.ActiveScope;
+      } else {
+        LocalScope = ResourceGovernor::EdgeScope(*Gov);
+        Scope = &LocalScope;
+      }
+    }
+  }
+
+  ~Run() {
+    // Balance the memory accountant: everything still retained (worklist
+    // leftovers, history copies) is released in one shot.
+    if (Gov && OutstandingBytes)
+      Gov->release(OutstandingBytes);
+  }
 
   SearchOutcome run(Query Init, EdgeSearchResult &Out) {
     push(std::move(Init));
     while (!Worklist.empty()) {
       if (StepsUsed >= Budget) {
+        Pending = ExhaustionReason::Steps;
         S.bump("sym.budgetExhausted");
-        Out.StepsUsed = StepsUsed;
-        Out.RefuteKinds = std::move(RefuteKinds);
-        return SearchOutcome::BudgetExhausted;
+        return exhausted(Out);
+      }
+      if (Pending != ExhaustionReason::None)
+        return exhausted(Out);
+      if (Scope) {
+        ExhaustionReason R = Scope->noteStepAndCheck();
+        if (R != ExhaustionReason::None) {
+          Pending = R;
+          S.bump("sym.budgetExhausted");
+          return exhausted(Out);
+        }
       }
       Query Q = std::move(Worklist.back());
       Worklist.pop_back();
+      releaseQuery(Q);
       ++StepsUsed;
       step(std::move(Q));
       if (Witnessed) {
@@ -52,6 +79,8 @@ public:
         return SearchOutcome::Witnessed;
       }
     }
+    if (Pending != ExhaustionReason::None)
+      return exhausted(Out); // Exhaustion raised on the final step.
     Out.StepsUsed = StepsUsed;
     Out.RefuteKinds = std::move(RefuteKinds);
     Out.DeepestRefutedTrail.assign(DeepestRefuted.rbegin(),
@@ -63,6 +92,50 @@ public:
 
 private:
   //--- Worklist management -------------------------------------------------
+
+  /// Finalizes a governed stop: the search could not finish, so the edge
+  /// is reported BudgetExhausted (never Refuted) with the structured
+  /// reason. Clients map this to the Timeout alarm status — alarm kept.
+  SearchOutcome exhausted(EdgeSearchResult &Out) {
+    Out.Exhaustion = Pending == ExhaustionReason::None
+                         ? ExhaustionReason::Steps
+                         : Pending;
+    Out.StepsUsed = StepsUsed;
+    Out.RefuteKinds = std::move(RefuteKinds);
+    if (Out.Note.empty())
+      Out.Note = std::string("exhausted: ") +
+                 exhaustionReasonName(Out.Exhaustion);
+    return SearchOutcome::BudgetExhausted;
+  }
+
+  /// Charges a query retained on the worklist (or in history) to the
+  /// shared memory accountant. A failed charge — ceiling crossed, or the
+  /// search.step fault injected — raises Memory exhaustion; the state is
+  /// still retained so release() stays balanced and the loop degrades at
+  /// its next deterministic check point.
+  void chargeRetained(const Query &Q) {
+    if (!Gov)
+      return;
+    uint64_t B = Q.approxBytes();
+    OutstandingBytes += B;
+    bool ChargeOk = Gov->charge(B);
+    if (FaultInject::shouldFail(faultsite::SearchStep)) {
+      S.bump("robust.faultsInjected");
+      ChargeOk = false;
+    }
+    if (!ChargeOk && Pending == ExhaustionReason::None) {
+      Gov->MemCeilingHits.fetch_add(1, std::memory_order_relaxed);
+      Pending = ExhaustionReason::Memory;
+    }
+  }
+
+  void releaseQuery(const Query &Q) {
+    if (!Gov)
+      return;
+    uint64_t B = Q.approxBytes();
+    Gov->release(B);
+    OutstandingBytes -= B;
+  }
 
   void refute(Query &Q, const char *Why) {
     Q.Refuted = true;
@@ -84,6 +157,7 @@ private:
     }
     if (Opts.Repr == Representation::FullyExplicit && explodeAndPush(Q))
       return;
+    chargeRetained(Q);
     Worklist.push_back(std::move(Q));
   }
 
@@ -124,6 +198,14 @@ private:
     S.bump("sym.queriesProcessed");
     if (Q.Refuted) {
       S.bump("sym.pathsRefuted");
+      return;
+    }
+    if (FaultInject::shouldFail(faultsite::SolverEntry)) {
+      // Simulated solver failure: the query's satisfiability is unknown,
+      // so the whole edge degrades to BudgetExhausted (alarm kept).
+      S.bump("robust.faultsInjected");
+      if (Pending == ExhaustionReason::None)
+        Pending = ExhaustionReason::Cancelled;
       return;
     }
     bool PureSat;
@@ -356,6 +438,7 @@ private:
     NE.CanonKey = std::move(Key);
     NE.Q = Q;
     NE.Q.Trail.clear();
+    chargeRetained(NE.Q);
     Entries.push_back(std::move(NE));
     return false;
   }
@@ -1480,6 +1563,19 @@ private:
   Query WitnessQ;
   std::vector<ProgramPoint> DeepestRefuted;
   std::map<std::string, uint64_t> RefuteKinds;
+
+  // --- Resource governance (see support/Budget.h). ---
+  ResourceGovernor *Gov = nullptr;
+  /// The scope actually consulted: the edge-wide one installed by
+  /// searchFieldEdge/searchGlobalEdge, or LocalScope for direct *At calls.
+  ResourceGovernor::EdgeScope *Scope = nullptr;
+  ResourceGovernor::EdgeScope LocalScope;
+  /// First exhaustion signal raised mid-step (memory charge failure or an
+  /// injected fault); checked at the next deterministic loop boundary.
+  ExhaustionReason Pending = ExhaustionReason::None;
+  /// Bytes currently charged to the governor by this run (worklist states
+  /// plus history copies); released in the destructor.
+  uint64_t OutstandingBytes = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -1531,12 +1627,15 @@ void WitnessSearch::emitEdgeTrace(std::string EdgeLabel, bool IsGlobal,
                                   uint64_t EnumNanos, uint64_t SearchNanos) {
   S.record("hist.edgeStates", R.StepsUsed);
   S.record("hist.edgeNanos", EnumNanos + SearchNanos);
+  S.record("hist.robust.edgeMs", (EnumNanos + SearchNanos) / 1000000);
   if (!Trace)
     return;
   TraceEvent Ev;
   Ev.Edge = std::move(EdgeLabel);
   Ev.IsGlobal = IsGlobal;
   Ev.Verdict = outcomeName(R.Outcome);
+  if (R.Outcome == SearchOutcome::BudgetExhausted)
+    Ev.Reason = exhaustionReasonName(R.Exhaustion);
   Ev.ProducersTried = R.ProducersTried;
   Ev.Producer = R.WitnessProducer;
   Ev.Steps = R.StepsUsed;
@@ -1628,6 +1727,7 @@ searchOverProducers(const std::vector<ProducerSite> &Producers,
   for (const ProducerSite &At : Producers) {
     if (Budget == 0) {
       Agg.Outcome = SearchOutcome::BudgetExhausted;
+      Agg.Exhaustion = ExhaustionReason::Steps;
       Agg.Note = "budget exhausted before trying all producers";
       return Agg;
     }
@@ -1646,6 +1746,8 @@ searchOverProducers(const std::vector<ProducerSite> &Producers,
     }
     if (R.Outcome == SearchOutcome::BudgetExhausted) {
       Agg.Outcome = SearchOutcome::BudgetExhausted;
+      Agg.Exhaustion = R.Exhaustion;
+      Agg.Note = std::move(R.Note);
       return Agg;
     }
     if (R.DeepestRefutedTrail.size() > Agg.DeepestRefutedTrail.size())
@@ -1666,6 +1768,13 @@ EdgeSearchResult WitnessSearch::searchFieldEdge(AbsLocId Base, FieldId Fld,
   uint64_t EnumNanos = nanosSince(T0);
   uint64_t Budget = Opts.EdgeBudget;
   auto T1 = std::chrono::steady_clock::now();
+  // One governed scope spans every producer of the edge: the per-edge
+  // deadline is a property of the edge, not of each producer attempt.
+  ResourceGovernor::EdgeScope EdgeScope;
+  if (Gov) {
+    EdgeScope = ResourceGovernor::EdgeScope(*Gov);
+    ActiveScope = &EdgeScope;
+  }
   EdgeSearchResult R = searchOverProducers(
       Producers, Budget, [&](const ProducerSite &At, uint64_t &B) {
         EdgeSearchResult One = searchFieldEdgeAt(Base, Fld, Target, At, B);
@@ -1673,6 +1782,7 @@ EdgeSearchResult WitnessSearch::searchFieldEdge(AbsLocId Base, FieldId Fld,
           One.WitnessProducer = describeSite(At);
         return One;
       });
+  ActiveScope = nullptr;
   emitEdgeTrace(PTA.Locs.label(P, Base) + "." + P.fieldName(Fld) + " -> " +
                     PTA.Locs.label(P, Target),
                 /*IsGlobal=*/false, R, EnumNanos, nanosSince(T1));
@@ -1688,6 +1798,11 @@ EdgeSearchResult WitnessSearch::searchGlobalEdge(GlobalId G,
   uint64_t EnumNanos = nanosSince(T0);
   uint64_t Budget = Opts.EdgeBudget;
   auto T1 = std::chrono::steady_clock::now();
+  ResourceGovernor::EdgeScope EdgeScope;
+  if (Gov) {
+    EdgeScope = ResourceGovernor::EdgeScope(*Gov);
+    ActiveScope = &EdgeScope;
+  }
   EdgeSearchResult R = searchOverProducers(
       Producers, Budget, [&](const ProducerSite &At, uint64_t &B) {
         EdgeSearchResult One = searchGlobalEdgeAt(G, Target, At, B);
@@ -1695,6 +1810,7 @@ EdgeSearchResult WitnessSearch::searchGlobalEdge(GlobalId G,
           One.WitnessProducer = describeSite(At);
         return One;
       });
+  ActiveScope = nullptr;
   emitEdgeTrace(P.globalName(G) + " -> " + PTA.Locs.label(P, Target),
                 /*IsGlobal=*/true, R, EnumNanos, nanosSince(T1));
   return R;

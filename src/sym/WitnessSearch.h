@@ -27,6 +27,7 @@
 #define THRESHER_SYM_WITNESSSEARCH_H
 
 #include "pta/PointsTo.h"
+#include "support/Budget.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 #include "sym/Footprint.h"
@@ -96,6 +97,9 @@ const char *outcomeName(SearchOutcome O);
 /// Result of an edge search.
 struct EdgeSearchResult {
   SearchOutcome Outcome = SearchOutcome::Refuted;
+  /// Why the search stopped short (None unless Outcome is
+  /// BudgetExhausted). Sound degradation: every reason keeps the alarm.
+  ExhaustionReason Exhaustion = ExhaustionReason::None;
   uint64_t StepsUsed = 0;
   /// Number of producing statements tried before the verdict.
   uint32_t ProducersTried = 0;
@@ -159,6 +163,13 @@ public:
   /// or swaps it between edge searches to get per-edge footprints.
   void setDepSink(DepFootprint *D) { Deps = D; }
 
+  /// Installs a shared resource governor (nullptr disables governance).
+  /// Not owned; must outlive the searches. While set, every search step
+  /// checks the governor's deadlines, memory ceiling, and cancel token,
+  /// and retained query states are charged to its memory accountant.
+  void setGovernor(ResourceGovernor *G) { Gov = G; }
+  ResourceGovernor *governor() const { return Gov; }
+
 private:
   class Run;
   friend class Run;
@@ -175,6 +186,11 @@ private:
   Stats S;
   TraceSink *Trace = nullptr;
   DepFootprint *Deps = nullptr;
+  ResourceGovernor *Gov = nullptr;
+  /// Per-edge scope shared across the producer loop (set by
+  /// searchFieldEdge / searchGlobalEdge; Run falls back to a local scope
+  /// when the *At entry points are driven directly).
+  ResourceGovernor::EdgeScope *ActiveScope = nullptr;
 };
 
 } // namespace thresher

@@ -1,0 +1,355 @@
+//===- exhaustion_test.cpp - Resource governor + sound degradation --------===//
+//
+// Unit tests for the ResourceGovernor (charge/release accounting, the
+// deterministic step-denominated deadlines, cooperative cancellation) plus
+// the soundness-under-exhaustion property the whole robustness layer
+// exists to guarantee: shrinking any budget may flip Refuted -> Timeout
+// but can never mint a refutation (Witnessed/Timeout -> Refuted), and the
+// count of surviving alarms is monotone in the budget. Also pins that
+// exhausted verdicts are never persisted to the refutation cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "cache/RefutationCache.h"
+#include "leak/LeakChecker.h"
+#include "support/Budget.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+using namespace thresher;
+
+namespace {
+
+/// Compiles one of the TestPrograms fixtures and runs the full pipeline
+/// front half (frontend + points-to), shared by every budgeted run.
+struct Pipeline {
+  std::unique_ptr<CompileResult> CR;
+  std::unique_ptr<PointsToResult> PTA;
+  ClassId Act = InvalidId;
+
+  explicit Pipeline(const char *Source) {
+    CR = std::make_unique<CompileResult>(compileAndroidApp(Source));
+    EXPECT_TRUE(CR->ok());
+    PTA = PointsToAnalysis(*CR->Prog).run();
+    Act = activityBaseClass(*CR->Prog);
+  }
+};
+
+std::map<std::string, SearchOutcome> verdictsByLabel(const LeakReport &R) {
+  std::map<std::string, SearchOutcome> Out;
+  for (const EdgeVerdict &V : R.Edges)
+    Out[V.Label] = V.Outcome;
+  return Out;
+}
+
+std::string freshDir(const std::string &Name) {
+  auto Dir = std::filesystem::temp_directory_path() /
+             ("thresher_exhaustion_test_" + Name);
+  std::filesystem::remove_all(Dir);
+  return Dir.string();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Governor unit tests.
+//===----------------------------------------------------------------------===//
+
+TEST(GovernorTest, ReasonNames) {
+  EXPECT_STREQ(exhaustionReasonName(ExhaustionReason::None), "none");
+  EXPECT_STREQ(exhaustionReasonName(ExhaustionReason::Steps), "steps");
+  EXPECT_STREQ(exhaustionReasonName(ExhaustionReason::Deadline), "deadline");
+  EXPECT_STREQ(exhaustionReasonName(ExhaustionReason::Memory), "memory");
+  EXPECT_STREQ(exhaustionReasonName(ExhaustionReason::Cancelled),
+               "cancelled");
+}
+
+TEST(GovernorTest, ChargeReleaseBalancesAndTracksPeak) {
+  GovernorConfig C;
+  C.MemCeilingBytes = 200;
+  ResourceGovernor G(C);
+  EXPECT_TRUE(G.charge(100));
+  EXPECT_TRUE(G.charge(50));
+  EXPECT_EQ(G.memInUse(), 150u);
+  EXPECT_EQ(G.memPeak(), 150u);
+  EXPECT_FALSE(G.memExceeded());
+  G.release(100);
+  EXPECT_EQ(G.memInUse(), 50u);
+  EXPECT_EQ(G.memPeak(), 150u); // Peak survives release.
+  // Crossing the ceiling fails the charge but still records it, so the
+  // caller's release keeps the account balanced.
+  EXPECT_FALSE(G.charge(300));
+  EXPECT_TRUE(G.memExceeded());
+  EXPECT_EQ(G.memInUse(), 350u);
+  G.release(300);
+  G.release(50);
+  EXPECT_EQ(G.memInUse(), 0u);
+  EXPECT_FALSE(G.memExceeded());
+}
+
+TEST(GovernorTest, UnlimitedCeilingNeverFailsCharges) {
+  ResourceGovernor G; // MemCeilingBytes == 0.
+  EXPECT_TRUE(G.charge(1ull << 40));
+  EXPECT_FALSE(G.memExceeded());
+}
+
+TEST(GovernorTest, DeterministicEdgeDeadlineFiresAtExactStep) {
+  GovernorConfig C;
+  C.Deterministic = true;
+  C.StepsPerMs = 10;
+  C.EdgeTimeoutMs = 2; // StepLimit = 20 steps.
+  ResourceGovernor G(C);
+  ResourceGovernor::EdgeScope Scope(G);
+  for (int I = 0; I < 20; ++I)
+    EXPECT_EQ(Scope.noteStepAndCheck(), ExhaustionReason::None) << I;
+  EXPECT_EQ(Scope.noteStepAndCheck(), ExhaustionReason::Deadline);
+  EXPECT_EQ(G.DeadlineHits.load(), 1u);
+  // A second scope against the same governor starts a fresh step count.
+  ResourceGovernor::EdgeScope Fresh(G);
+  EXPECT_EQ(Fresh.noteStepAndCheck(), ExhaustionReason::None);
+}
+
+TEST(GovernorTest, DefaultScopeIsUnlimited) {
+  ResourceGovernor::EdgeScope Scope; // No governor attached.
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_EQ(Scope.noteStepAndCheck(), ExhaustionReason::None);
+}
+
+TEST(GovernorTest, CancellationPreemptsOtherLimits) {
+  GovernorConfig C;
+  C.StepsPerMs = 1;
+  C.EdgeTimeoutMs = 1; // StepLimit = 1, crossed immediately below.
+  ResourceGovernor G(C);
+  ResourceGovernor::EdgeScope Scope(G);
+  EXPECT_EQ(Scope.noteStepAndCheck(), ExhaustionReason::None);
+  G.cancelRun();
+  // Both the cancel flag and the edge deadline are now crossed; the
+  // deterministic check order reports Cancelled.
+  EXPECT_EQ(Scope.noteStepAndCheck(), ExhaustionReason::Cancelled);
+  EXPECT_GE(G.CancelHits.load(), 1u);
+  EXPECT_TRUE(G.runCancelled());
+  EXPECT_TRUE(G.runExhausted());
+}
+
+TEST(GovernorTest, MemoryCeilingSurfacesThroughEdgeScope) {
+  GovernorConfig C;
+  C.MemCeilingBytes = 100;
+  ResourceGovernor G(C);
+  ResourceGovernor::EdgeScope Scope(G);
+  EXPECT_EQ(Scope.noteStepAndCheck(), ExhaustionReason::None);
+  EXPECT_FALSE(G.charge(150));
+  EXPECT_EQ(Scope.noteStepAndCheck(), ExhaustionReason::Memory);
+  G.release(150);
+  EXPECT_EQ(Scope.noteStepAndCheck(), ExhaustionReason::None);
+}
+
+TEST(GovernorTest, DeterministicRunDeadlineCountsConsultedSteps) {
+  GovernorConfig C;
+  C.Deterministic = true;
+  C.StepsPerMs = 100;
+  C.RunTimeoutMs = 1; // Run budget: 100 consulted steps.
+  ResourceGovernor G(C);
+  G.beginRun();
+  G.noteConsultedSteps(99);
+  EXPECT_FALSE(G.runExhausted());
+  G.noteConsultedSteps(1);
+  EXPECT_TRUE(G.runExhausted());
+  EXPECT_EQ(G.DeadlineHits.load(), 1u);
+  // Firing latches the cancel token so siblings stop cooperatively.
+  EXPECT_TRUE(G.runCancelled());
+}
+
+//===----------------------------------------------------------------------===//
+// Soundness-under-exhaustion properties over the shared fixtures.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *fixtureSources[] = {testprogs::figure1App(),
+                                testprogs::figure5App(),
+                                testprogs::latentFlagApp()};
+
+} // namespace
+
+TEST(ExhaustionPropertyTest, ShrinkingBudgetNeverMintsRefutations) {
+  for (const char *Source : fixtureSources) {
+    Pipeline P(Source);
+    ASSERT_NE(P.Act, InvalidId);
+
+    const uint64_t Budgets[] = {10000, 500, 50, 5, 1};
+    std::map<std::string, SearchOutcome> Prev;
+    uint32_t PrevSurviving = 0;
+    uint32_t PrevAlarms = 0;
+    bool HavePrev = false;
+    for (uint64_t Budget : Budgets) {
+      SymOptions SO;
+      SO.EdgeBudget = Budget;
+      LeakChecker LC(*P.CR->Prog, *P.PTA, P.Act, SO);
+      LeakReport R = LC.run();
+      SCOPED_TRACE("budget " + std::to_string(Budget));
+
+      // Alarm inventory comes from the points-to phase, not the budget.
+      if (HavePrev) {
+        EXPECT_EQ(R.NumAlarms, PrevAlarms);
+      }
+      auto Cur = verdictsByLabel(R);
+      for (const EdgeVerdict &V : R.Edges) {
+        // Exhausted searches always carry a structured reason; finished
+        // searches never do.
+        if (V.Outcome == SearchOutcome::BudgetExhausted)
+          EXPECT_NE(V.Reason, ExhaustionReason::None) << V.Label;
+        else
+          EXPECT_EQ(V.Reason, ExhaustionReason::None) << V.Label;
+      }
+      uint32_t Surviving = R.NumAlarms - R.RefutedAlarms;
+      if (HavePrev) {
+        // A smaller budget may only LOSE refutations: any edge refuted
+        // under the smaller budget must have been refuted under the
+        // larger one too (no Witnessed/Timeout -> Refuted flips).
+        for (const auto &[Label, Outcome] : Cur) {
+          auto It = Prev.find(Label);
+          if (It == Prev.end())
+            continue;
+          if (Outcome == SearchOutcome::Refuted) {
+            EXPECT_EQ(It->second, SearchOutcome::Refuted) << Label;
+          }
+          if (It->second == SearchOutcome::Witnessed) {
+            EXPECT_NE(Outcome, SearchOutcome::Refuted) << Label;
+          }
+        }
+        // Surviving alarms are monotone nonincreasing in the budget.
+        EXPECT_GE(Surviving, PrevSurviving);
+      }
+      Prev = std::move(Cur);
+      PrevSurviving = Surviving;
+      PrevAlarms = R.NumAlarms;
+      HavePrev = true;
+    }
+  }
+}
+
+TEST(ExhaustionPropertyTest, StarvedSearchReportsStepsReason) {
+  Pipeline P(testprogs::figure1App());
+  SymOptions SO;
+  SO.EdgeBudget = 1;
+  LeakChecker LC(*P.CR->Prog, *P.PTA, P.Act, SO);
+  LeakReport R = LC.run();
+  ASSERT_GT(R.TimeoutEdges, 0u);
+  for (const EdgeVerdict &V : R.Edges) {
+    if (V.Outcome == SearchOutcome::BudgetExhausted) {
+      EXPECT_EQ(V.Reason, ExhaustionReason::Steps) << V.Label;
+    }
+  }
+  // The reason surfaces in the deterministic report form.
+  ReportJsonOptions JO;
+  JO.DeterministicOnly = true;
+  std::string Json = LC.buildJsonReport(R, JO).toString(2);
+  EXPECT_NE(Json.find("\"reason\": \"steps\""), std::string::npos);
+}
+
+TEST(ExhaustionPropertyTest, GovernorEdgeDeadlineDegradesSoundly) {
+  Pipeline P(testprogs::figure1App());
+
+  // Unlimited baseline.
+  LeakChecker Base(*P.CR->Prog, *P.PTA, P.Act);
+  LeakReport BaseR = Base.run();
+  auto BaseV = verdictsByLabel(BaseR);
+
+  GovernorConfig C;
+  C.Deterministic = true;
+  C.StepsPerMs = 1;
+  C.EdgeTimeoutMs = 3; // 3 steps per edge: starves every real search.
+  ResourceGovernor G(C);
+  G.beginRun();
+  LeakChecker LC(*P.CR->Prog, *P.PTA, P.Act);
+  LC.setGovernor(&G);
+  LeakReport R = LC.run();
+
+  ASSERT_GT(R.TimeoutEdges, 0u);
+  EXPECT_GT(G.DeadlineHits.load(), 0u);
+  for (const EdgeVerdict &V : R.Edges) {
+    if (V.Outcome == SearchOutcome::BudgetExhausted) {
+      EXPECT_EQ(V.Reason, ExhaustionReason::Deadline) << V.Label;
+    }
+    // No refutation the unlimited run would not also make.
+    if (V.Outcome == SearchOutcome::Refuted) {
+      EXPECT_EQ(BaseV[V.Label], SearchOutcome::Refuted) << V.Label;
+    }
+  }
+  EXPECT_GE(R.NumAlarms - R.RefutedAlarms,
+            BaseR.NumAlarms - BaseR.RefutedAlarms);
+  // The deadline hits and the per-edge reasons land in the stats/report.
+  EXPECT_EQ(LC.stats().get("robust.deadlineHits"), G.DeadlineHits.load());
+}
+
+TEST(ExhaustionPropertyTest, RunDeadlineIsThreadCountInvariant) {
+  Pipeline P(testprogs::figure1App());
+
+  auto RunAt = [&](unsigned Threads) {
+    GovernorConfig C;
+    C.Deterministic = true;
+    C.StepsPerMs = 1;
+    C.RunTimeoutMs = 1; // One consulted step: cuts off after edge #1.
+    ResourceGovernor G(C);
+    LeakChecker LC(*P.CR->Prog, *P.PTA, P.Act);
+    LC.setGovernor(&G);
+    LeakReport R = LC.run(Threads);
+    ReportJsonOptions JO;
+    JO.DeterministicOnly = true;
+    return LC.buildJsonReport(R, JO).toString(2);
+  };
+
+  std::string One = RunAt(1);
+  EXPECT_EQ(One, RunAt(2));
+  EXPECT_EQ(One, RunAt(4));
+  // The cut-off edges degrade to cancelled timeouts, visibly.
+  EXPECT_NE(One.find("\"reason\": \"cancelled\""), std::string::npos);
+}
+
+TEST(ExhaustionPropertyTest, ExhaustedVerdictsNeverCached) {
+  Pipeline P(testprogs::figure1App());
+  std::string Dir = freshDir("never_cache_timeout");
+  uint64_t Config = RefutationCache::configHash(SymOptions{}, false);
+
+  uint64_t TimeoutEdges = 0;
+  {
+    // Cold run under a starvation deadline: everything times out.
+    RefutationCache Cache(Dir);
+    ASSERT_TRUE(Cache.load());
+    Cache.validate(*P.CR->Prog, *P.PTA, Config);
+    GovernorConfig C;
+    C.Deterministic = true;
+    C.StepsPerMs = 1;
+    C.EdgeTimeoutMs = 3;
+    ResourceGovernor G(C);
+    LeakChecker LC(*P.CR->Prog, *P.PTA, P.Act);
+    LC.setGovernor(&G);
+    LC.setCache(&Cache, Config);
+    LeakReport R = LC.run();
+    TimeoutEdges = R.TimeoutEdges;
+    ASSERT_GT(TimeoutEdges, 0u);
+    EXPECT_EQ(LC.stats().get("robust.timeoutNotCached"), TimeoutEdges);
+    ASSERT_TRUE(Cache.save());
+  }
+  {
+    // Warm unlimited run: the timeouts were never persisted, so every
+    // previously exhausted edge is searched for real and the cache
+    // reports no hits for them.
+    RefutationCache Cache(Dir);
+    ASSERT_TRUE(Cache.load());
+    Cache.validate(*P.CR->Prog, *P.PTA, Config);
+    LeakChecker LC(*P.CR->Prog, *P.PTA, P.Act);
+    LC.setCache(&Cache, Config);
+    LeakReport R = LC.run();
+    EXPECT_EQ(R.TimeoutEdges, 0u);
+    EXPECT_GE(LC.stats().get("leak.searches"), TimeoutEdges);
+    EXPECT_EQ(LC.stats().get("robust.staleTimeoutHits"), 0u);
+  }
+  std::filesystem::remove_all(Dir);
+}

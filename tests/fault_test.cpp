@@ -1,0 +1,280 @@
+//===- fault_test.cpp - Deterministic fault-injection sweep ---------------===//
+//
+// Exercises the FaultInject registry itself (counted triggers, spec
+// parsing) and then sweeps every in-process injection site over the
+// pipeline, asserting the robustness contract: a fault never crashes the
+// run, never mints a refutation the clean run would not make, and never
+// leaves a torn cache store behind. The cache.write mid-write fault is
+// additionally pinned as a durability regression test: the old store must
+// survive byte-identical and stay loadable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "cache/RefutationCache.h"
+#include "leak/LeakChecker.h"
+#include "support/Budget.h"
+#include "support/FaultInject.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace thresher;
+
+namespace {
+
+std::string freshDir(const std::string &Name) {
+  auto Dir = std::filesystem::temp_directory_path() /
+             ("thresher_fault_test_" + Name);
+  std::filesystem::remove_all(Dir);
+  return Dir.string();
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Every test disarms the global registry on entry and exit, so a failed
+/// assertion in one case cannot leak an armed fault into the next.
+class FaultTest : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInject::reset(); }
+  void TearDown() override { FaultInject::reset(); }
+};
+
+/// Shared pipeline front half for the sweep.
+struct Pipeline {
+  std::unique_ptr<CompileResult> CR;
+  std::unique_ptr<PointsToResult> PTA;
+  ClassId Act = InvalidId;
+
+  Pipeline() {
+    CR = std::make_unique<CompileResult>(
+        compileAndroidApp(testprogs::figure1App()));
+    EXPECT_TRUE(CR->ok());
+    PTA = PointsToAnalysis(*CR->Prog).run();
+    Act = activityBaseClass(*CR->Prog);
+  }
+};
+
+struct RunResult {
+  LeakReport Report;
+  std::string Json;
+  bool CacheLoaded = false;
+  bool CacheSaved = false;
+  uint64_t Recovered = 0;
+};
+
+/// One cached, governed checker run against the store in \p Dir. Faults
+/// armed by the caller fire wherever their sites are probed.
+RunResult governedRun(const Pipeline &P, const std::string &Dir) {
+  RunResult Out;
+  RefutationCache Cache(Dir);
+  Out.CacheLoaded = Cache.load();
+  uint64_t Config = RefutationCache::configHash(SymOptions{}, false);
+  Cache.validate(*P.CR->Prog, *P.PTA, Config);
+  // An (unlimited) governor is attached so the governed code paths — and
+  // the fault probes on them — are live.
+  ResourceGovernor Gov;
+  LeakChecker LC(*P.CR->Prog, *P.PTA, P.Act);
+  LC.setGovernor(&Gov);
+  LC.setCache(&Cache, Config);
+  Out.Report = LC.run();
+  Out.Json = LC.buildJsonReport(Out.Report).toString(2);
+  Out.CacheSaved = Cache.save();
+  Out.Recovered = Cache.recoveredStores();
+  return Out;
+}
+
+std::map<std::string, SearchOutcome> verdictsByLabel(const LeakReport &R) {
+  std::map<std::string, SearchOutcome> Out;
+  for (const EdgeVerdict &V : R.Edges)
+    Out[V.Label] = V.Outcome;
+  return Out;
+}
+
+bool dirHasTempFiles(const std::string &Dir) {
+  if (!std::filesystem::exists(Dir))
+    return false;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().extension() == ".tmp")
+      return true;
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry semantics.
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultTest, CountedTriggerFiresOnNthHitExactlyOnce) {
+  FaultInject::arm("test.site", 3);
+  EXPECT_FALSE(FaultInject::shouldFail("test.site"));
+  EXPECT_FALSE(FaultInject::shouldFail("test.site"));
+  EXPECT_TRUE(FaultInject::shouldFail("test.site"));
+  EXPECT_FALSE(FaultInject::shouldFail("test.site")); // Once per arming.
+  EXPECT_EQ(FaultInject::firedCount(), 1u);
+  // Re-arming resets the hit count.
+  FaultInject::arm("test.site", 1);
+  EXPECT_TRUE(FaultInject::shouldFail("test.site"));
+  EXPECT_EQ(FaultInject::firedCount(), 2u);
+}
+
+TEST_F(FaultTest, UnarmedSitesNeverFire) {
+  for (const std::string &Site : faultSiteCatalogue())
+    EXPECT_FALSE(FaultInject::shouldFail(Site.c_str())) << Site;
+  EXPECT_EQ(FaultInject::firedCount(), 0u);
+}
+
+TEST_F(FaultTest, SpecParsing) {
+  std::string Err;
+  EXPECT_TRUE(FaultInject::armFromSpec("search.step:2,cache.read:1", &Err))
+      << Err;
+  EXPECT_FALSE(FaultInject::shouldFail(faultsite::SearchStep));
+  EXPECT_TRUE(FaultInject::shouldFail(faultsite::SearchStep));
+  EXPECT_TRUE(FaultInject::shouldFail(faultsite::CacheRead));
+
+  // A bare site name defaults to firing on the first hit.
+  EXPECT_TRUE(FaultInject::armFromSpec("bare.site", &Err));
+  EXPECT_TRUE(FaultInject::shouldFail("bare.site"));
+
+  EXPECT_FALSE(FaultInject::armFromSpec(":5", &Err)); // Empty site.
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(FaultInject::armFromSpec("site:notanumber", &Err));
+  EXPECT_FALSE(FaultInject::armFromSpec("site:0", &Err)); // 1-based.
+}
+
+TEST_F(FaultTest, CatalogueListsTheWellKnownSites) {
+  std::vector<std::string> Sites = faultSiteCatalogue();
+  for (const char *S :
+       {faultsite::SearchStep, faultsite::CacheRead, faultsite::CacheWrite,
+        faultsite::ReportWrite, faultsite::SolverEntry})
+    EXPECT_NE(std::find(Sites.begin(), Sites.end(), S), Sites.end()) << S;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline sweep: every site, no crash, no minted refutation, no torn
+// cache.
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultTest, SweepAllSitesDegradesSoundly) {
+  Pipeline P;
+  ASSERT_NE(P.Act, InvalidId);
+
+  // Clean baseline (also seeds the cache store so cache.read has a file
+  // to choke on in the faulted warm runs below).
+  std::string Dir = freshDir("sweep");
+  RunResult Base = governedRun(P, Dir);
+  ASSERT_TRUE(Base.CacheLoaded);
+  ASSERT_TRUE(Base.CacheSaved);
+  auto BaseV = verdictsByLabel(Base.Report);
+  std::string CleanStore = slurp(Dir + "/cache.jsonl");
+  ASSERT_FALSE(CleanStore.empty());
+
+  for (const std::string &Site : faultSiteCatalogue()) {
+    SCOPED_TRACE("fault site " + Site);
+    // Restore the clean store so every site starts from the same state.
+    std::filesystem::remove_all(Dir);
+    std::filesystem::create_directories(Dir);
+    std::ofstream(Dir + "/cache.jsonl", std::ios::binary) << CleanStore;
+
+    FaultInject::reset();
+    FaultInject::arm(Site, 1);
+    RunResult R = governedRun(P, Dir);
+    FaultInject::reset();
+
+    // The run completed (no crash) and its report is well-formed JSON.
+    JsonValue Back;
+    std::string Err;
+    EXPECT_TRUE(parseJson(R.Json, Back, &Err)) << Err;
+
+    // Verdicts partition the consulted edges and no faulted path minted
+    // a refutation the clean run would not make.
+    EXPECT_EQ(R.Report.RefutedEdges + R.Report.WitnessedEdges +
+                  R.Report.TimeoutEdges,
+              R.Report.Edges.size());
+    for (const EdgeVerdict &V : R.Report.Edges) {
+      if (V.Outcome == SearchOutcome::Refuted) {
+        EXPECT_EQ(BaseV[V.Label], SearchOutcome::Refuted) << V.Label;
+      }
+    }
+    EXPECT_GE(R.Report.NumAlarms - R.Report.RefutedAlarms,
+              Base.Report.NumAlarms - Base.Report.RefutedAlarms);
+
+    // Never a torn store: either the old bytes or a complete new store.
+    EXPECT_FALSE(dirHasTempFiles(Dir));
+    if (!R.CacheSaved) {
+      EXPECT_EQ(slurp(Dir + "/cache.jsonl"), CleanStore);
+    }
+    RefutationCache Reload(Dir);
+    EXPECT_TRUE(Reload.load());
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache durability regressions.
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultTest, MidWriteFaultLeavesOldStoreIntact) {
+  Pipeline P;
+  std::string Dir = freshDir("midwrite");
+
+  RunResult Cold = governedRun(P, Dir);
+  ASSERT_TRUE(Cold.CacheSaved);
+  std::string Before = slurp(Dir + "/cache.jsonl");
+  ASSERT_FALSE(Before.empty());
+
+  // The next save dies mid-write: the temp file is discarded and the
+  // previous store must survive byte-identical.
+  FaultInject::arm(faultsite::CacheWrite, 1);
+  RunResult Warm = governedRun(P, Dir);
+  EXPECT_TRUE(Warm.CacheLoaded);
+  EXPECT_FALSE(Warm.CacheSaved);
+  EXPECT_EQ(FaultInject::firedCount(), 1u);
+  EXPECT_EQ(slurp(Dir + "/cache.jsonl"), Before);
+  EXPECT_FALSE(dirHasTempFiles(Dir));
+
+  // And the surviving store is still fully usable.
+  FaultInject::reset();
+  RunResult Recovered = governedRun(P, Dir);
+  EXPECT_TRUE(Recovered.CacheLoaded);
+  EXPECT_TRUE(Recovered.CacheSaved);
+  EXPECT_EQ(Recovered.Recovered, 0u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST_F(FaultTest, ReadFaultQuarantinesStoreAndRebuilds) {
+  Pipeline P;
+  std::string Dir = freshDir("readfault");
+
+  RunResult Cold = governedRun(P, Dir);
+  ASSERT_TRUE(Cold.CacheSaved);
+
+  // A corrupt read quarantines the store (preserved for post-mortem),
+  // counts the recovery, and the run continues cold.
+  FaultInject::arm(faultsite::CacheRead, 1);
+  RunResult Faulted = governedRun(P, Dir);
+  EXPECT_FALSE(Faulted.CacheLoaded);
+  EXPECT_EQ(Faulted.Recovered, 1u);
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/cache.jsonl.corrupt"));
+  // The cold re-run rebuilt a fresh store over the quarantined one.
+  EXPECT_TRUE(Faulted.CacheSaved);
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/cache.jsonl"));
+
+  FaultInject::reset();
+  RunResult Recovered = governedRun(P, Dir);
+  EXPECT_TRUE(Recovered.CacheLoaded);
+  std::filesystem::remove_all(Dir);
+}

@@ -122,13 +122,51 @@ TEST(ReportTest, GoldenSchemaSnapshot) {
          "and regenerate with THRESHER_UPDATE_GOLDEN=1";
 }
 
+// The v1.1 additions (config.governor, per-edge "reason") only serialize
+// when a governor is attached and an edge actually exhausted, so they get
+// their own golden: a starvation deadline forces every search to time out.
+TEST(ReportTest, GoldenGovernedSchemaSnapshot) {
+  ReportFixture F;
+  GovernorConfig C;
+  C.Deterministic = true;
+  C.StepsPerMs = 1;
+  C.EdgeTimeoutMs = 1;
+  ResourceGovernor Gov(C);
+  // A fresh checker: the fixture's own run already memoized every edge
+  // verdict, and repeated runs reuse those, bypassing the governor.
+  LeakChecker LC(*F.CR->Prog, *F.PTA, activityBaseClass(*F.CR->Prog));
+  LC.setGovernor(&Gov);
+  LeakReport R = LC.run();
+  EXPECT_GT(R.TimeoutEdges, 0u);
+  JsonValue Doc = LC.buildJsonReport(R);
+  JsonValue Skeleton = skeletonize(
+      Doc, "", {"effort.counters", "effort.histograms"});
+  std::string Got = Skeleton.toString(2) + "\n";
+
+  std::string GoldenPath =
+      std::string(THRESHER_GOLDEN_DIR) + "/report_schema_governed.json";
+  if (std::getenv("THRESHER_UPDATE_GOLDEN")) {
+    std::ofstream Out(GoldenPath);
+    Out << Got;
+    GTEST_SKIP() << "wrote " << GoldenPath;
+  }
+  std::ifstream In(GoldenPath);
+  ASSERT_TRUE(In) << "missing golden " << GoldenPath
+                  << " (run with THRESHER_UPDATE_GOLDEN=1 to create)";
+  std::stringstream Want;
+  Want << In.rdbuf();
+  EXPECT_EQ(Got, Want.str())
+      << "governed report schema changed; if intentional, bump "
+         "ReportSchemaVersion and regenerate with THRESHER_UPDATE_GOLDEN=1";
+}
+
 TEST(ReportTest, SchemaVersionStamped) {
   ReportFixture F;
   JsonValue Doc = F.LC->buildJsonReport(F.Report);
   ASSERT_NE(Doc.find("schema"), nullptr);
   EXPECT_EQ(Doc.find("schema")->asString(),
             LeakChecker::ReportSchemaVersion);
-  EXPECT_STREQ(LeakChecker::ReportSchemaVersion, "thresher-report/v1");
+  EXPECT_STREQ(LeakChecker::ReportSchemaVersion, "thresher-report/v1.1");
 }
 
 TEST(ReportTest, SummaryMatchesReportFields) {

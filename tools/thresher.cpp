@@ -32,7 +32,7 @@
 //   --activity CLASS       Activity base class (default "Activity")
 //   --stats                print engine counters
 //   --json FILE            write the machine-readable report for 'check'
-//                          (schema thresher-report/v1; "-" for stdout)
+//                          (schema thresher-report/v1.1; "-" for stdout)
 //   --deterministic        restrict --json to the thread-count- and
 //                          cache-independent fields (byte-comparable)
 //   --trace FILE           write per-edge JSONL trace events for 'check'
@@ -42,9 +42,26 @@
 //                          whose cached facts still hold, save on exit
 //   --cache-verify         with --cache, re-search cache hits and fail if
 //                          any cached verdict disagrees
+//   --edge-timeout-ms N    per-edge deadline; deterministic by default
+//                          (denominated in steps via --steps-per-ms)
+//   --run-timeout-ms N     whole-run deadline; unfinished edges degrade to
+//                          TIMEOUT (alarms kept), workers are cancelled
+//   --mem-ceiling-mb N     memory-accountant ceiling; searches that cross
+//                          it degrade to TIMEOUT(memory)
+//   --wall-clock           deadlines in real time instead of steps
+//                          (reports become machine-dependent)
+//   --steps-per-ms N       steps/ms rate for deterministic deadlines
+//                          (default 1000; recorded in the report)
+//   --fault SITE:N         fault injection: fail the Nth hit of SITE
+//                          (also via THRESHER_FAULT env; see
+//                          docs/ROBUSTNESS.md for the site catalogue)
+//
+// Exit codes: 0 clean, 1 leaks/input error, 2 usage, 3 cache-verify
+// mismatch, 4 resource limit aborted a non-degradable phase.
 //
 // The JSON report and trace event schemas are documented in
-// docs/OBSERVABILITY.md; the cache store format in docs/CACHING.md.
+// docs/OBSERVABILITY.md; the cache store format in docs/CACHING.md;
+// resource governance and fault injection in docs/ROBUSTNESS.md.
 //
 //===----------------------------------------------------------------------===//
 
@@ -54,9 +71,15 @@
 #include "ir/Printer.h"
 #include "pta/GraphExport.h"
 #include "leak/LeakChecker.h"
+#include "support/Budget.h"
+#include "support/Error.h"
+#include "support/FaultInject.h"
 
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -83,6 +106,11 @@ struct CliOptions {
   unsigned Threads = 1;
   PTASolver Solver = PTASolver::DeltaLCD;
   SymOptions Sym;
+  /// Resource governance; a governor is created only when one of its
+  /// flags was given (GovSet) so ungoverned runs stay zero-overhead.
+  GovernorConfig Gov;
+  bool GovSet = false;
+  std::vector<std::string> FaultSpecs;
 };
 
 /// Strict positive-integer option parser: rejects empty, non-numeric,
@@ -204,6 +232,38 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.CacheDir = V;
     } else if (A == "--cache-verify") {
       O.CacheVerify = true;
+    } else if (A == "--edge-timeout-ms") {
+      uint64_t N;
+      if (!parseCount(A, Next(), UINT64_MAX / 1000000, N))
+        return false;
+      O.Gov.EdgeTimeoutMs = N;
+      O.GovSet = true;
+    } else if (A == "--run-timeout-ms") {
+      uint64_t N;
+      if (!parseCount(A, Next(), UINT64_MAX / 1000000, N))
+        return false;
+      O.Gov.RunTimeoutMs = N;
+      O.GovSet = true;
+    } else if (A == "--mem-ceiling-mb") {
+      uint64_t N;
+      if (!parseCount(A, Next(), UINT64_MAX >> 21, N))
+        return false;
+      O.Gov.MemCeilingBytes = N << 20;
+      O.GovSet = true;
+    } else if (A == "--wall-clock") {
+      O.Gov.Deterministic = false;
+      O.GovSet = true;
+    } else if (A == "--steps-per-ms") {
+      uint64_t N;
+      if (!parseCount(A, Next(), UINT64_MAX / 1000000, N))
+        return false;
+      O.Gov.StepsPerMs = N;
+      O.GovSet = true;
+    } else if (A == "--fault") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.FaultSpecs.push_back(V);
     } else if (A == "--deterministic") {
       O.Deterministic = true;
     } else if (A == "--pta-solver") {
@@ -240,12 +300,46 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
 bool readFile(const std::string &Path, std::string &Out) {
   std::ifstream In(Path);
   if (!In) {
-    std::cerr << "error: cannot open '" << Path << "'\n";
+    Error::input("cannot open '" + Path + "'").report(std::cerr);
     return false;
   }
   std::ostringstream SS;
   SS << In.rdbuf();
   Out = SS.str();
+  return true;
+}
+
+/// Writes an output artifact crash-safely: temp file + atomic rename, with
+/// the report.write fault site between write and publish. A failure (real
+/// or injected) never leaves a torn file at \p Path — the previous
+/// artifact, if any, stays intact.
+bool writeOutputFile(const std::string &Path,
+                     const std::function<void(std::ostream &)> &W,
+                     std::string *Err) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out) {
+      *Err = "cannot write '" + Tmp + "'";
+      return false;
+    }
+    W(Out);
+    if (!Out.good()) {
+      *Err = "write failed for '" + Tmp + "'";
+      return false;
+    }
+  }
+  std::error_code EC;
+  if (FaultInject::shouldFail(faultsite::ReportWrite)) {
+    std::filesystem::remove(Tmp, EC);
+    *Err = "injected write fault publishing '" + Path + "'";
+    return false;
+  }
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    *Err = "cannot publish '" + Path + "': " + EC.message();
+    return false;
+  }
   return true;
 }
 
@@ -260,20 +354,26 @@ void printWitnessTrail(const Program &P, const EdgeSearchResult &R) {
   }
 }
 
-int runCheck(const CliOptions &O, const Program &P,
-             const PointsToResult &PTA) {
+int runCheck(const CliOptions &O, const Program &P, const PointsToResult &PTA,
+             ResourceGovernor *Gov) {
   ClassId ActBase = P.findClass(O.ActivityClass);
   if (ActBase == InvalidId) {
-    std::cerr << "error: no class named '" << O.ActivityClass << "'\n";
+    Error::input("no class named '" + O.ActivityClass + "'")
+        .report(std::cerr);
     return 1;
   }
   LeakChecker LC(P, PTA, ActBase, O.Sym);
+  LC.setGovernor(Gov);
   std::unique_ptr<RefutationCache> Cache;
   if (!O.CacheDir.empty()) {
     Cache = std::make_unique<RefutationCache>(O.CacheDir);
     std::string Err;
-    if (!Cache->load(&Err))
+    if (!Cache->load(&Err)) {
+      // Sound recovery: the corrupt store was quarantined; this run is
+      // simply cold and rebuilds a fresh store on save.
       std::cerr << "warning: discarding refutation cache: " << Err << "\n";
+      LC.stats().bump("robust.cacheRecovered", Cache->recoveredStores());
+    }
     uint64_t ConfigHash =
         RefutationCache::configHash(O.Sym, O.AnnotateHashMap);
     Cache->validate(P, PTA, ConfigHash);
@@ -282,28 +382,31 @@ int runCheck(const CliOptions &O, const Program &P,
   LeakReport R = LC.run(O.Threads);
   ReportJsonOptions JO;
   JO.DeterministicOnly = O.Deterministic;
+  bool OutputFailed = false;
   if (!O.JsonPath.empty()) {
     if (O.JsonPath == "-") {
       LC.writeJsonReport(std::cout, R, JO);
     } else {
-      std::ofstream Out(O.JsonPath);
-      if (!Out) {
-        std::cerr << "error: cannot write '" << O.JsonPath << "'\n";
-        return 1;
+      std::string Err;
+      if (!writeOutputFile(
+              O.JsonPath, [&](std::ostream &S) { LC.writeJsonReport(S, R, JO); },
+              &Err)) {
+        Error::io(Err).report(std::cerr);
+        OutputFailed = true;
       }
-      LC.writeJsonReport(Out, R, JO);
     }
   }
   if (!O.TracePath.empty()) {
     if (O.TracePath == "-") {
       LC.writeTraceJsonl(std::cout);
     } else {
-      std::ofstream Out(O.TracePath);
-      if (!Out) {
-        std::cerr << "error: cannot write '" << O.TracePath << "'\n";
-        return 1;
+      std::string Err;
+      if (!writeOutputFile(O.TracePath,
+                           [&](std::ostream &S) { LC.writeTraceJsonl(S); },
+                           &Err)) {
+        Error::io(Err).report(std::cerr);
+        OutputFailed = true;
       }
-      LC.writeTraceJsonl(Out);
     }
   }
   std::cout << "alarms: " << R.NumAlarms << "  refuted: " << R.RefutedAlarms
@@ -339,20 +442,23 @@ int runCheck(const CliOptions &O, const Program &P,
       return 3;
     }
   }
+  if (OutputFailed)
+    return 1;
   return R.NumAlarms == R.RefutedAlarms ? 0 : 1;
 }
 
-int runEdge(const CliOptions &O, const Program &P,
-            const PointsToResult &PTA) {
+int runEdge(const CliOptions &O, const Program &P, const PointsToResult &PTA,
+            ResourceGovernor *Gov) {
   size_t Dot = O.EdgeFrom.find('.');
   if (Dot == std::string::npos || O.EdgeTo.empty()) {
-    std::cerr << "edge mode needs --from Class.field and --to <label>\n";
+    Error::usage("edge mode needs --from Class.field and --to <label>")
+        .report(std::cerr);
     return 2;
   }
   GlobalId G = P.findGlobal(O.EdgeFrom.substr(0, Dot),
                             O.EdgeFrom.substr(Dot + 1));
   if (G == InvalidId) {
-    std::cerr << "error: no static field '" << O.EdgeFrom << "'\n";
+    Error::input("no static field '" + O.EdgeFrom + "'").report(std::cerr);
     return 1;
   }
   AbsLocId Target = InvalidId;
@@ -360,16 +466,21 @@ int runEdge(const CliOptions &O, const Program &P,
     if (PTA.Locs.label(P, L) == O.EdgeTo)
       Target = L;
   if (Target == InvalidId) {
-    std::cerr << "error: no abstract location labelled '" << O.EdgeTo
-              << "'\n";
+    Error::input("no abstract location labelled '" + O.EdgeTo + "'")
+        .report(std::cerr);
     return 1;
   }
   WitnessSearch WS(P, PTA, O.Sym);
+  WS.setGovernor(Gov);
+  if (Gov)
+    Gov->beginRun();
   EdgeSearchResult R = WS.searchGlobalEdge(G, Target);
-  const char *Verdict = R.Outcome == SearchOutcome::Refuted ? "REFUTED"
+  std::string Verdict = R.Outcome == SearchOutcome::Refuted ? "REFUTED"
                         : R.Outcome == SearchOutcome::Witnessed
                             ? "WITNESSED"
                             : "BUDGET EXHAUSTED";
+  if (R.Outcome == SearchOutcome::BudgetExhausted)
+    Verdict += std::string(" [") + exhaustionReasonName(R.Exhaustion) + "]";
   std::cout << O.EdgeFrom << " -> " << O.EdgeTo << ": " << Verdict << " ("
             << R.StepsUsed << " states)\n";
   if (O.Trails && R.Outcome == SearchOutcome::Witnessed) {
@@ -402,6 +513,21 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, O))
     return usage();
 
+  // Fault injection: THRESHER_FAULT env first, --fault flags on top.
+  {
+    std::string Err = FaultInject::armFromEnv();
+    if (!Err.empty()) {
+      Error::usage("THRESHER_FAULT: " + Err).report(std::cerr);
+      return 2;
+    }
+    for (const std::string &Spec : O.FaultSpecs) {
+      if (!FaultInject::armFromSpec(Spec, &Err)) {
+        Error::usage("--fault: " + Err).report(std::cerr);
+        return 2;
+      }
+    }
+  }
+
   std::vector<std::string> Sources;
   if (O.Android)
     Sources.push_back(androidLibrarySource());
@@ -414,7 +540,7 @@ int main(int Argc, char **Argv) {
   CompileResult CR = compileMJ(Sources, O.Entry);
   if (!CR.ok()) {
     for (const std::string &E : CR.Errors)
-      std::cerr << "error: " << E << "\n";
+      Error::frontend(E).report(std::cerr);
     return 1;
   }
   const Program &P = *CR.Prog;
@@ -435,11 +561,24 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // The governor spans every phase from points-to solving onwards.
+  std::unique_ptr<ResourceGovernor> Gov;
+  if (O.GovSet)
+    Gov = std::make_unique<ResourceGovernor>(O.Gov);
+
   PTAOptions PtaOpts;
   PtaOpts.Solver = O.Solver;
+  PtaOpts.Gov = Gov.get();
   if (O.AnnotateHashMap)
     annotateHashMapEmptyTable(P, PtaOpts);
   auto PTA = PointsToAnalysis(P, PtaOpts).run();
+  if (Gov && Gov->MemCeilingHits.load() > 0) {
+    // No sound degraded points-to result exists: abort, distinctly.
+    Error::resource("points-to solving exceeded the memory ceiling (" +
+                    std::to_string(O.Gov.MemCeilingBytes >> 20) + " MiB)")
+        .report(std::cerr);
+    return 4;
+  }
 
   if (O.Command == "pta") {
     if (O.Dot) {
@@ -467,6 +606,6 @@ int main(int Argc, char **Argv) {
     return 0;
   }
   if (O.Command == "edge")
-    return runEdge(O, P, *PTA);
-  return runCheck(O, P, *PTA);
+    return runEdge(O, P, *PTA, Gov.get());
+  return runCheck(O, P, *PTA, Gov.get());
 }
