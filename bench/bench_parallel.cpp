@@ -2,23 +2,105 @@
 //
 // Sec. 4 of the paper: "Though our analysis is quite amenable to
 // parallelization in theory, our current implementation is purely
-// sequential." This harness realizes the parallelization: candidate edges
-// are threshed concurrently by workers with independent WitnessSearch
-// instances, then the sequential path algorithm consumes the cache.
+// sequential." This harness realizes the parallelization at both levels:
+//
+//  - Inter-edge: candidate edges are threshed concurrently by workers with
+//    independent WitnessSearch instances, then the sequential path
+//    algorithm consumes the cache (the first table, over the paper
+//    benchmarks).
+//  - Intra-edge: one edge's backwards-search frontier is explored by a
+//    speculate-ahead worker pool (--search-threads; the skewed stressor
+//    below, where a single hot edge dominates and inter-edge parallelism
+//    is structurally useless).
+//
 // Verdicts, per-edge verdicts, and the consulted-edge counts are identical
-// by construction (pinned by tests/parallel_diff_test); only wall-clock
-// and the eager prefetch total vary.
+// by construction for every thread configuration (pinned by
+// tests/parallel_diff_test); only wall-clock and the eager prefetch total
+// vary.
+//
+// --json FILE writes a thresher-bench-parallel/v1 document with the
+// stressor's wall times, speedups, and par.* scheduling counters.
+// --check-baseline FILE compares the sequential stressor wall time
+// against a previously recorded document and exits nonzero on a >2x
+// regression (1ms floor — the CI perf-smoke contract). Independently of
+// any baseline, the stressor fails the run when the 4-search-thread
+// speedup drops below 1.8x, provided the host actually has >= 4 hardware
+// threads (on smaller hosts the gate is reported as skipped).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 using namespace thresher;
 using namespace thresher::bench;
 
-int main() {
+namespace {
+
+/// The skewed stressor: the Fig. 1 Vec pattern scaled until one hot edge
+/// dominates the whole run. Every feedN helper funnels a string (or a
+/// decoy object, behind nondeterministic branches inside a loop) into the
+/// single static Vec, so the backwards search from the one producing
+/// store inside Vec.push fans out over all the call sites at function
+/// entry — a wide frontier of independent, individually expensive
+/// subsearches (loop invariant inference plus ever-growing subsumption
+/// scans), all charged to one edge. Inter-edge workers cannot split that;
+/// only the intra-edge pool can.
+std::string makeSkewedHotEdge(unsigned Helpers, unsigned Iters) {
+  std::ostringstream OS;
+  OS << "class Act extends Activity {\n";
+  OS << "  static var objs = new Vec() @vecS;\n";
+  OS << "  onCreate() {\n";
+  OS << "    var acts = new Vec() @vecL;\n";
+  OS << "    acts.push(this);\n";
+  OS << "  }\n";
+  OS << "}\n";
+  for (unsigned H = 0; H < Helpers; ++H) {
+    OS << "fun feed" << H << "() {\n";
+    OS << "  var x = \"s" << H << "\";\n";
+    OS << "  var t = new Object() @t" << H << ";\n";
+    OS << "  var i = 0;\n";
+    OS << "  while (i < " << Iters << ") {\n";
+    OS << "    if (*) { x = t; }\n";
+    OS << "    i = i + 1;\n";
+    OS << "  }\n";
+    OS << "  var o = Act.objs;\n";
+    OS << "  o.push(x);\n";
+    OS << "}\n";
+  }
+  OS << "fun main() {\n";
+  OS << "  var a = new Act() @act0;\n";
+  OS << "  a.onCreate();\n";
+  for (unsigned H = 0; H < Helpers; ++H)
+    OS << "  feed" << H << "();\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath, BaselinePath;
+  unsigned Reps = 3;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--json" && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (A == "--check-baseline" && I + 1 < Argc)
+      BaselinePath = Argv[++I];
+    else if (A == "--reps" && I + 1 < Argc)
+      Reps = std::max(1, std::atoi(Argv[++I]));
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel [--json FILE] "
+                   "[--check-baseline FILE] [--reps N]\n");
+      return 2;
+    }
+  }
+
   unsigned HW = std::max(2u, std::thread::hardware_concurrency());
   std::printf("=== Parallel threshing (Ann?=Y, %u hardware threads) ===\n",
               HW);
@@ -55,6 +137,145 @@ int main() {
                 static_cast<unsigned long long>(Consulted[0]), Secs[1],
                 Secs[2], static_cast<unsigned long long>(Prefetched[2]),
                 Secs[2] > 0 ? Secs[0] / Secs[2] : 0.0);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Skewed stressor: one hot edge, intra-edge parallelism only.
+  //===------------------------------------------------------------------===//
+
+  std::printf("\n=== Skewed stressor: one hot edge "
+              "(intra-edge work stealing) ===\n");
+  std::string Src = makeSkewedHotEdge(/*Helpers=*/40, /*Iters=*/4);
+  CompileResult CR = compileAndroidApp(Src);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "stressor compile error: %s\n",
+                 CR.Errors.empty() ? "?" : CR.Errors[0].c_str());
+    return 1;
+  }
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ClassId Act = activityBaseClass(P);
+
+  // Best-of-reps wall for one full governed-free run at the given thread
+  // configuration; the last rep's stats snapshot is kept for the counters.
+  std::map<std::string, uint64_t> Counters;
+  auto measureNanos = [&](unsigned EdgeThreads, unsigned SearchThreads,
+                          unsigned RepCount, bool KeepCounters = false) {
+    uint64_t Best = UINT64_MAX;
+    for (unsigned R = 0; R < RepCount; ++R) {
+      SymOptions SO;
+      SO.EdgeBudget = 400000;
+      SO.SearchThreads = SearchThreads;
+      LeakChecker LC(P, *PTA, Act, SO);
+      Timer T;
+      LeakReport Rep = LC.run(EdgeThreads);
+      uint64_t Nanos = static_cast<uint64_t>(T.seconds() * 1e9);
+      if (Rep.NumAlarms == 0)
+        std::fprintf(stderr, "warning: stressor produced no alarms\n");
+      Best = std::min(Best, Nanos);
+      if (KeepCounters && R + 1 == RepCount)
+        for (const auto &[Name, Value] : LC.stats().counterSnapshot())
+          if (Name.rfind("par.", 0) == 0 || Name == "sym.queriesProcessed")
+            Counters[Name] = Value;
+    }
+    return Best;
+  };
+
+  uint64_t T1 = measureNanos(1, 1, Reps);
+  // Edge workers alone are structurally stuck on one hot edge (and pay
+  // for eagerly threshing every candidate); one rep makes the point.
+  uint64_t E4 = measureNanos(4, 1, 1);
+  uint64_t S2 = measureNanos(1, 2, Reps);
+  uint64_t S4 = measureNanos(1, 4, Reps, /*KeepCounters=*/true);
+  double SpeedupE4 = E4 ? double(T1) / double(E4) : 0.0;
+  double SpeedupS2 = S2 ? double(T1) / double(S2) : 0.0;
+  double SpeedupS4 = S4 ? double(T1) / double(S4) : 0.0;
+  std::printf("%-22s %10s %10s %10s %10s\n", "workload", "T1(s)",
+              "edge4(s)", "search2(s)", "search4(s)");
+  std::printf("%-22s %10.2f %10.2f %10.2f %10.2f\n", "skewed_hot_edge",
+              T1 / 1e9, E4 / 1e9, S2 / 1e9, S4 / 1e9);
+  std::printf("speedups: edge4 %.2fx, search2 %.2fx, search4 %.2fx "
+              "(steals=%llu, waves=%llu, skipped=%llu)\n",
+              SpeedupE4, SpeedupS2, SpeedupS4,
+              static_cast<unsigned long long>(Counters["par.steals"]),
+              static_cast<unsigned long long>(Counters["par.waves"]),
+              static_cast<unsigned long long>(Counters["par.itemsSkipped"]));
+
+  if (!JsonPath.empty()) {
+    JsonValue Doc = JsonValue::makeObject();
+    Doc.set("schema", JsonValue::makeString("thresher-bench-parallel/v1"));
+    Doc.set("reps", JsonValue::makeUint(Reps));
+    Doc.set("hardwareThreads", JsonValue::makeUint(HW));
+    JsonValue Rows = JsonValue::makeArray();
+    JsonValue Row = JsonValue::makeObject();
+    Row.set("name", JsonValue::makeString("skewed_hot_edge"));
+    Row.set("t1Nanos", JsonValue::makeUint(T1));
+    Row.set("edge4Nanos", JsonValue::makeUint(E4));
+    Row.set("search2Nanos", JsonValue::makeUint(S2));
+    Row.set("search4Nanos", JsonValue::makeUint(S4));
+    Row.set("search4Speedup", JsonValue::makeDouble(SpeedupS4));
+    JsonValue Cs = JsonValue::makeObject();
+    for (const auto &[Name, Value] : Counters)
+      Cs.set(Name, JsonValue::makeUint(Value));
+    Row.set("counters", std::move(Cs));
+    Rows.append(std::move(Row));
+    Doc.set("workloads", std::move(Rows));
+    std::ofstream Out(JsonPath);
+    Doc.write(Out, 2);
+    Out << "\n";
+  }
+
+  // The speedup gate only means something when the host can actually run
+  // four search workers in parallel.
+  if (std::thread::hardware_concurrency() >= 4) {
+    if (SpeedupS4 < 1.8) {
+      std::fprintf(stderr,
+                   "FAIL: skewed stressor search4 speedup %.2fx below "
+                   "1.8x\n",
+                   SpeedupS4);
+      return 1;
+    }
+    std::printf("search4 speedup gate passed (%.2fx >= 1.8x)\n", SpeedupS4);
+  } else {
+    std::printf("search4 speedup gate skipped (%u hardware threads < 4)\n",
+                std::thread::hardware_concurrency());
+  }
+
+  if (!BaselinePath.empty()) {
+    std::ifstream In(BaselinePath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open baseline '%s'\n",
+                   BaselinePath.c_str());
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    JsonValue Base;
+    std::string Err;
+    if (!parseJson(SS.str(), Base, &Err)) {
+      std::fprintf(stderr, "bad baseline JSON: %s\n", Err.c_str());
+      return 1;
+    }
+    const JsonValue *BaseRows = Base.find("workloads");
+    const JsonValue *BaseRow = nullptr;
+    if (BaseRows)
+      for (const JsonValue &BR : BaseRows->items())
+        if (BR.find("name") &&
+            BR.find("name")->asString() == "skewed_hot_edge")
+          BaseRow = &BR;
+    if (BaseRow && BaseRow->find("t1Nanos")) {
+      uint64_t Then = BaseRow->find("t1Nanos")->asUint();
+      // Floor at 1ms, mirroring bench_pta's contract, so scheduler noise
+      // on trivially fast runs cannot trip the gate.
+      if (T1 > 2 * Then && T1 > 1000000) {
+        std::fprintf(stderr,
+                     "FAIL: skewed stressor sequential wall regressed >2x "
+                     "(%.1fms -> %.1fms)\n",
+                     Then / 1e6, T1 / 1e6);
+        return 1;
+      }
+    }
+    std::printf("baseline check passed (%s)\n", BaselinePath.c_str());
   }
   return 0;
 }

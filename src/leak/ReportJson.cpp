@@ -48,9 +48,15 @@ JsonValue histogramToJson(const Histogram &H) {
   O.set("min", JsonValue::makeUint(H.min()));
   O.set("max", JsonValue::makeUint(H.max()));
   O.set("mean", JsonValue::makeDouble(H.mean()));
-  O.set("p50", JsonValue::makeUint(H.quantile(0.5)));
-  O.set("p90", JsonValue::makeUint(H.quantile(0.9)));
-  O.set("p99", JsonValue::makeUint(H.quantile(0.99)));
+  // Empty histograms serialize null quantiles: a phase that never ran is
+  // not the same as a phase whose samples were all zero.
+  auto Quant = [&](double Q) {
+    auto V = H.quantile(Q);
+    return V ? JsonValue::makeUint(*V) : JsonValue();
+  };
+  O.set("p50", Quant(0.5));
+  O.set("p90", Quant(0.9));
+  O.set("p99", Quant(0.99));
   JsonValue Buckets = JsonValue::makeArray();
   // Sparse form: [bucketLowerBound, count] for non-empty buckets only.
   for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {

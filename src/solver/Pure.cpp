@@ -98,9 +98,22 @@ void PureConstraints::addPrim(PurePrim Prim) {
       return; // Trivially true.
     // Trivially false: keep it so isSatisfiable() reports unsat.
   }
-  for (const PurePrim &Existing : Prims)
-    if (Existing == Prim)
+  for (PurePrim &Existing : Prims)
+    if (Existing.sameShape(Prim)) {
+      // Same logical constraint: keep the strongest provenance. A path
+      // (branch-guard) prim must stay subject to the Sec. 4 cap, and when
+      // two guard groups collide the merged prim joins the *older* group
+      // so dropOldestPath evicts it first, never a younger survivor.
+      if (Prim.IsPath) {
+        if (!Existing.IsPath) {
+          Existing.IsPath = true;
+          Existing.PathSeq = Prim.PathSeq;
+        } else {
+          Existing.PathSeq = std::min(Existing.PathSeq, Prim.PathSeq);
+        }
+      }
       return;
+    }
   Prims.push_back(Prim);
 }
 

@@ -66,8 +66,15 @@ struct PurePrim {
   /// expands to two LE primitives); the path cap counts groups.
   uint32_t PathSeq = 0;
 
-  bool operator==(const PurePrim &O) const {
+  /// Structural core, ignoring provenance. Two prims with the same shape
+  /// are logically interchangeable but may belong to different path-cap
+  /// groups; dedup must merge their provenance, not drop one.
+  bool sameShape(const PurePrim &O) const {
     return K == O.K && X == O.X && Y == O.Y && C == O.C;
+  }
+
+  bool operator==(const PurePrim &O) const {
+    return sameShape(O) && IsPath == O.IsPath && PathSeq == O.PathSeq;
   }
 };
 

@@ -2,9 +2,9 @@
 
 using namespace thresher;
 
-uint64_t Histogram::quantile(double Q) const {
+std::optional<uint64_t> Histogram::quantile(double Q) const {
   if (N == 0)
-    return 0;
+    return std::nullopt;
   if (Q < 0)
     Q = 0;
   if (Q > 1)
@@ -24,10 +24,14 @@ void Stats::print(std::ostream &OS) const {
   auto H = histogramSnapshot();
   for (const auto &[Name, Value] : C)
     OS << "  " << Name << " = " << Value << "\n";
+  auto Q = [](const Histogram &Hist, double P) {
+    auto V = Hist.quantile(P);
+    return V ? std::to_string(*V) : std::string("-");
+  };
   for (const auto &[Name, Hist] : H) {
     OS << "  " << Name << ": n=" << Hist.count() << " sum=" << Hist.sum()
        << " min=" << Hist.min() << " mean=" << Hist.mean()
-       << " p50=" << Hist.quantile(0.5) << " p90=" << Hist.quantile(0.9)
+       << " p50=" << Q(Hist, 0.5) << " p90=" << Q(Hist, 0.9)
        << " max=" << Hist.max() << "\n";
   }
 }

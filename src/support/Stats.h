@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 
@@ -87,8 +88,10 @@ public:
   const std::array<uint64_t, NumBuckets> &buckets() const { return Buckets; }
 
   /// Approximate quantile (\p Q in [0,1]) from the bucket boundaries:
-  /// returns the lower bound of the bucket containing the Q-th sample.
-  uint64_t quantile(double Q) const;
+  /// returns the lower bound of the bucket containing the Q-th sample, or
+  /// std::nullopt for an empty histogram — "never sampled" must stay
+  /// distinguishable from "every sample was zero".
+  std::optional<uint64_t> quantile(double Q) const;
 
 private:
   uint64_t N = 0;
@@ -133,6 +136,15 @@ public:
       return;
     std::lock_guard<std::mutex> Lock(M);
     Histograms[Name].mergeFrom(H);
+  }
+
+  /// Ensures histogram \p Name exists in the registry, creating an empty
+  /// one if needed. Lets a phase that may legitimately record nothing
+  /// still appear in reports (with count 0 and null quantiles) instead of
+  /// vanishing.
+  void ensureHistogram(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(M);
+    (void)Histograms[Name];
   }
 
   /// Returns a copy of histogram \p Name (empty if never recorded).

@@ -1,0 +1,118 @@
+//===- WorkStealQueue.h - Fixed-capacity work-stealing deque ----*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Chase-Lev-style work-stealing deque with a fixed-capacity ring: the
+/// owning worker pushes and pops at the bottom (LIFO, cache-hot), thieves
+/// steal at the top (FIFO, oldest items first). Elements are stored in
+/// atomic slots so the container is data-race-free under TSan without
+/// relying on usage discipline.
+///
+/// Intended usage (SearchPool): one bulk-load phase by the distributing
+/// thread before a wave starts (synchronized with workers by the pool's
+/// wave barrier), then concurrent pop/steal during the wave. The ring does
+/// not grow — the capacity must cover the largest single load, which for
+/// wave-scoped scheduling is the wave width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_WORKSTEALQUEUE_H
+#define THRESHER_SUPPORT_WORKSTEALQUEUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace thresher {
+
+template <typename T> class WorkStealQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "slots are atomic; elements must be trivially copyable");
+
+public:
+  explicit WorkStealQueue(size_t CapacityHint = 1024) {
+    size_t Cap = 8;
+    while (Cap < CapacityHint)
+      Cap <<= 1;
+    Ring = std::make_unique<std::atomic<T>[]>(Cap);
+    Mask = Cap - 1;
+  }
+
+  size_t capacity() const { return Mask + 1; }
+
+  /// Owner only, quiesced (no concurrent pop/steal): drop all items.
+  void reset() {
+    Top.store(0, std::memory_order_relaxed);
+    Bottom.store(0, std::memory_order_relaxed);
+  }
+
+  /// Owner (or the distributing thread before the consumers start): append
+  /// one item at the bottom. Returns false if the ring is full.
+  bool push(T V) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t Tp = Top.load(std::memory_order_acquire);
+    if (B - Tp >= static_cast<int64_t>(capacity()))
+      return false;
+    Ring[static_cast<size_t>(B) & Mask].store(V, std::memory_order_relaxed);
+    Bottom.store(B + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only: take the most recently pushed item (LIFO).
+  bool pop(T &Out) {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Bottom.store(B, std::memory_order_seq_cst);
+    int64_t Tp = Top.load(std::memory_order_seq_cst);
+    if (Tp > B) {
+      // Deque was empty; restore.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return false;
+    }
+    Out = Ring[static_cast<size_t>(B) & Mask].load(std::memory_order_relaxed);
+    if (Tp == B) {
+      // Last item: race the thieves for it.
+      bool Won = Top.compare_exchange_strong(Tp, Tp + 1,
+                                             std::memory_order_seq_cst);
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return Won;
+    }
+    return true;
+  }
+
+  /// Any thread: take the oldest item (FIFO). May fail spuriously when
+  /// racing another thief or the owner's pop of the last item.
+  bool steal(T &Out) {
+    int64_t Tp = Top.load(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_seq_cst);
+    if (Tp >= B)
+      return false;
+    Out = Ring[static_cast<size_t>(Tp) & Mask].load(std::memory_order_relaxed);
+    return Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst);
+  }
+
+  /// Racy size estimate; exact when quiesced.
+  size_t sizeEstimate() const {
+    int64_t B = Bottom.load(std::memory_order_acquire);
+    int64_t Tp = Top.load(std::memory_order_acquire);
+    return B > Tp ? static_cast<size_t>(B - Tp) : 0;
+  }
+
+private:
+  std::unique_ptr<std::atomic<T>[]> Ring;
+  size_t Mask = 0;
+  /// Thief end. Only ever incremented (by successful steals and the
+  /// owner's last-item pop), so a CAS on it claims a slot exactly once.
+  std::atomic<int64_t> Top{0};
+  /// Owner end.
+  std::atomic<int64_t> Bottom{0};
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_WORKSTEALQUEUE_H

@@ -1,0 +1,133 @@
+//===- SearchPool.cpp - Intra-edge work-stealing scheduler ---------------===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/SearchPool.h"
+
+#include "support/Budget.h"
+#include "support/Stats.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace thresher;
+
+SearchPool::SearchPool(unsigned Threads, Stats &Registry)
+    : NumThreads(Threads), S(Registry) {
+  assert(NumThreads >= 2 && "a 1-thread search must not build a pool");
+  Deques.reserve(NumThreads);
+  for (unsigned W = 0; W < NumThreads; ++W)
+    Deques.push_back(
+        std::make_unique<WorkStealQueue<uint32_t>>(/*CapacityHint=*/1024));
+  Helpers.reserve(NumThreads - 1);
+  for (unsigned W = 1; W < NumThreads; ++W)
+    Helpers.emplace_back([this, W] { helperMain(W); });
+}
+
+SearchPool::~SearchPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  WaveCV.notify_all();
+  for (std::thread &T : Helpers)
+    T.join();
+}
+
+void SearchPool::runWave(size_t N, const std::function<bool(size_t)> &ExecFn,
+                         const CancelToken *CancelTok) {
+  assert(N <= Deques[0]->capacity() * NumThreads && "wave exceeds ring space");
+  MinTerminal.store(SIZE_MAX, std::memory_order_relaxed);
+  for (auto &D : Deques)
+    D->reset();
+  // Round-robin distribution, loaded in descending canonical order so each
+  // worker's LIFO pop yields its smallest (most likely to be needed at
+  // commit) index first.
+  for (size_t I = N; I-- > 0;) {
+    bool Ok = Deques[I % NumThreads]->push(static_cast<uint32_t>(I));
+    assert(Ok && "deque ring too small for wave");
+    (void)Ok;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Exec = &ExecFn;
+    Cancel = CancelTok;
+    BusyHelpers = NumThreads - 1;
+    ++Gen;
+  }
+  WaveCV.notify_all();
+  S.bump("par.waves");
+  participate(0);
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCV.wait(Lock, [this] { return BusyHelpers == 0; });
+  Exec = nullptr;
+  Cancel = nullptr;
+}
+
+void SearchPool::helperMain(unsigned Worker) {
+  uint64_t SeenGen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WaveCV.wait(Lock, [&] { return Stop || Gen != SeenGen; });
+      if (Stop)
+        return;
+      SeenGen = Gen;
+    }
+    participate(Worker);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      --BusyHelpers;
+    }
+    DoneCV.notify_one();
+  }
+}
+
+void SearchPool::participate(unsigned Worker) {
+  WorkStealQueue<uint32_t> &Own = *Deques[Worker];
+  const std::function<bool(size_t)> &ExecFn = *Exec;
+  for (;;) {
+    uint32_t Item = 0;
+    bool Got = Own.pop(Item);
+    if (!Got) {
+      auto StealStart = std::chrono::steady_clock::now();
+      // Sweep the siblings; a steal can fail spuriously under CAS
+      // contention, so keep sweeping while any deque still looks nonempty
+      // rather than giving up on the first dry pass.
+      for (;;) {
+        bool AnyVisible = false;
+        for (unsigned K = 1; K < NumThreads && !Got; ++K) {
+          WorkStealQueue<uint32_t> &Victim =
+              *Deques[(Worker + K) % NumThreads];
+          AnyVisible |= Victim.sizeEstimate() > 0;
+          Got = Victim.steal(Item);
+        }
+        if (Got || !AnyVisible)
+          break;
+      }
+      if (!Got)
+        return;
+      auto StealNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - StealStart)
+                            .count();
+      S.bump("par.steals");
+      S.record("hist.par.stealLatency", static_cast<uint64_t>(StealNanos));
+    }
+    if ((Cancel && Cancel->cancelled()) ||
+        Item > MinTerminal.load(std::memory_order_relaxed)) {
+      // No buffer is produced; the commit loop re-executes the item
+      // inline if it is ever reached, so skipping is always sound.
+      S.bump("par.itemsSkipped");
+      continue;
+    }
+    if (ExecFn(Item)) {
+      size_t Cur = MinTerminal.load(std::memory_order_relaxed);
+      while (Item < Cur &&
+             !MinTerminal.compare_exchange_weak(Cur, Item,
+                                                std::memory_order_relaxed))
+        ;
+    }
+  }
+}

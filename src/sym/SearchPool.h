@@ -1,0 +1,99 @@
+//===- SearchPool.h - Intra-edge work-stealing scheduler --------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent thread pool that fans one wave of speculative search
+/// items out over per-worker work-stealing deques. WitnessSearch::Run pops
+/// a fixed-width wave of frontier queries, hands the item indices to
+/// runWave, and every worker (the calling thread participates as worker 0)
+/// drains its own deque LIFO and steals FIFO from siblings when empty.
+///
+/// The pool knows nothing about queries: items are canonical indices into
+/// the caller's wave vector and the caller's Exec callback does the work.
+/// Exec returning true means "terminal result found at this index" —
+/// the pool then skips any still-unclaimed item with a *larger* canonical
+/// index (a smaller one could still win at commit time, so those always
+/// run). Cancellation (governor cancel token) skips everything; skipped
+/// items simply have no speculative buffer and are re-executed inline by
+/// the sequential commit loop if it reaches them, so skipping is always
+/// sound and never changes results.
+///
+/// Scheduling metrics (par.steals, par.itemsSkipped, par.waves,
+/// hist.par.stealLatency) are recorded into the engine's stats registry;
+/// they are nondeterministic and live in the report's effort section only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SYM_SEARCHPOOL_H
+#define THRESHER_SYM_SEARCHPOOL_H
+
+#include "support/WorkStealQueue.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace thresher {
+
+class Stats;
+class CancelToken;
+
+class SearchPool {
+public:
+  /// Spawns Threads-1 helper threads (the wave caller is the remaining
+  /// worker). Threads must be >= 2 — a 1-thread search never builds a pool.
+  SearchPool(unsigned Threads, Stats &S);
+  ~SearchPool();
+
+  SearchPool(const SearchPool &) = delete;
+  SearchPool &operator=(const SearchPool &) = delete;
+
+  unsigned threads() const { return NumThreads; }
+
+  /// Executes Exec(0..N-1), each index exactly once unless skipped, across
+  /// all workers; blocks until every worker is done. Exec must be safe to
+  /// call concurrently from distinct threads with distinct indices.
+  void runWave(size_t N, const std::function<bool(size_t)> &Exec,
+               const CancelToken *Cancel);
+
+private:
+  void helperMain(unsigned Worker);
+  void participate(unsigned Worker);
+
+  unsigned NumThreads;
+  Stats &S;
+  /// Indirect: the deques hold atomics and are neither movable nor
+  /// copyable, so the vector stores stable heap slots.
+  std::vector<std::unique_ptr<WorkStealQueue<uint32_t>>> Deques;
+  std::vector<std::thread> Helpers;
+
+  std::mutex M;
+  std::condition_variable WaveCV;
+  std::condition_variable DoneCV;
+  /// Bumped once per wave; helpers wake on Gen != their last seen value,
+  /// so a notify that races a helper still finishing the previous wave is
+  /// never lost.
+  uint64_t Gen = 0;
+  bool Stop = false;
+  unsigned BusyHelpers = 0;
+
+  // Per-wave task state (written under M before the generation bump).
+  const std::function<bool(size_t)> *Exec = nullptr;
+  const CancelToken *Cancel = nullptr;
+
+  /// Smallest canonical index whose Exec reported a terminal result this
+  /// wave; items above it are skipped. SIZE_MAX when none.
+  std::atomic<size_t> MinTerminal{SIZE_MAX};
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SYM_SEARCHPOOL_H

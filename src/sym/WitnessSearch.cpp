@@ -2,10 +2,12 @@
 
 #include "support/FaultInject.h"
 #include "support/SmallMap.h"
+#include "sym/SearchPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <memory>
 #include <unordered_set>
 
 using namespace thresher;
@@ -28,7 +30,8 @@ class WitnessSearch::Run {
 public:
   Run(WitnessSearch &WS, uint64_t &Budget)
       : P(WS.P), PTA(WS.PTA), Opts(WS.Opts), S(WS.S), Deps(WS.Deps),
-        Gov(WS.Gov), Budget(Budget) {
+        Budget(Budget), Gov(WS.Gov) {
+    Pool = WS.Pool.get();
     if (Gov) {
       if (WS.ActiveScope) {
         Scope = WS.ActiveScope;
@@ -37,6 +40,24 @@ public:
         Scope = &LocalScope;
       }
     }
+  }
+
+  /// Speculative engine for one wave item. It shares the parent's frozen
+  /// stores read-only (via Shared) and buffers every side effect — stats,
+  /// dep footprint, children, memory charges, store insertions — privately
+  /// so the parent can replay them in canonical order at commit time. The
+  /// ~1100 lines of step/transfer code run unchanged on top: S binds to
+  /// LocalStats, Deps to LocalDeps, Worklist becomes the children buffer,
+  /// and the five order-sensitive touch points (chargeRetained, the
+  /// solver-entry fault probe, duplicateAtBlockStart, historySubsumed,
+  /// loopHeapMod) branch on Spec.
+  struct SpecTag {};
+  Run(Run &Parent, SpecTag)
+      : P(Parent.P), PTA(Parent.PTA), Opts(Parent.Opts), S(LocalStats),
+        Deps(Parent.Deps ? &LocalDeps : nullptr), Budget(SpecBudget),
+        Gov(Parent.Gov) {
+    Spec = true;
+    Shared = &Parent;
   }
 
   ~Run() {
@@ -64,11 +85,25 @@ public:
           return exhausted(Out);
         }
       }
-      Query Q = std::move(Worklist.back());
+      // Commit order is the seed engine's exact LIFO pop order — always
+      // the top of the stack, one item at a time. Speculation (below)
+      // only prefetches buffered effects for items the loop will pop
+      // later; it never reorders, so verdicts, deterministic counters,
+      // and traces are byte-identical for every SearchThreads value.
+      if (Pool && !Worklist.back().Buf)
+        speculateAhead();
+      WaveItem Item = std::move(Worklist.back());
       Worklist.pop_back();
-      releaseQuery(Q);
+      releaseQuery(Item.Q);
       ++StepsUsed;
-      step(std::move(Q));
+      Run *B = Item.Buf.get();
+      if (B && !conflictsWithLive(*B))
+        commitItem(*B);
+      else
+        // Missing buffer (never speculated, or skipped by the pool) or a
+        // stale one (an earlier commit changed a store it consulted):
+        // re-execute inline on the live engine, which is always exact.
+        step(std::move(Item.Q));
       if (Witnessed) {
         Out.StepsUsed = StepsUsed;
         Out.RefuteKinds = std::move(RefuteKinds);
@@ -116,7 +151,19 @@ private:
   void chargeRetained(const Query &Q) {
     if (!Gov)
       return;
-    uint64_t B = Q.approxBytes();
+    if (Spec) {
+      // Phase A: defer the accountant charge and its fault probe to the
+      // ordered commit (commitCharge), recording only the byte count.
+      Charges.push_back(Q.approxBytes());
+      return;
+    }
+    commitCharge(Q.approxBytes());
+  }
+
+  /// Applies one retained-state charge to the live accountant, with the
+  /// search.step fault probe — the order-sensitive half of chargeRetained,
+  /// called directly when replaying a speculative buffer.
+  void commitCharge(uint64_t B) {
     OutstandingBytes += B;
     bool ChargeOk = Gov->charge(B);
     if (FaultInject::shouldFail(faultsite::SearchStep)) {
@@ -127,6 +174,106 @@ private:
       Gov->MemCeilingHits.fetch_add(1, std::memory_order_relaxed);
       Pending = ExhaustionReason::Memory;
     }
+  }
+
+  //--- Speculative wave commit ----------------------------------------------
+
+  /// One wave slot: the canonical query plus (when phase A ran and did not
+  /// skip it) the speculative engine holding its buffered effects.
+  struct WaveItem {
+    Query Q;
+    std::unique_ptr<Run> Buf;
+  };
+
+  /// True if a live store this speculation consulted changed since the
+  /// wave snapshot: a dedup or history miss it observed may have become a
+  /// hit, so the buffer is stale and the item must be re-stepped inline.
+  bool conflictsWithLive(const Run &B) const {
+    for (const std::string &K : B.DedupIns)
+      if (BlockDedup.count(K))
+        return true;
+    for (const SpecHistInsert &HI : B.HistIns) {
+      auto It = History.find(HI.Slot);
+      if (It != History.end() && It->second.size() != HI.Seen)
+        return true;
+    }
+    return false;
+  }
+
+  /// Replays a conflict-free speculative buffer against the live engine in
+  /// exactly the order the sequential engine would have produced the same
+  /// effects: solver-entry fault probe first (it may veto the whole step),
+  /// then the commutative stats/deps merges, then the ordered memory
+  /// charges (each with its own search.step fault probe), then the store
+  /// insertions and the children.
+  void commitItem(Run &B) {
+    if (B.SawSolverFaultPoint &&
+        FaultInject::shouldFail(faultsite::SolverEntry)) {
+      // The fault fires at this item's canonical position: the step
+      // degrades to unknown satisfiability, discarding the speculative
+      // work — only the entry counters land, exactly as in step().
+      S.bump("sym.queriesProcessed");
+      S.bump("robust.faultsInjected");
+      if (Pending == ExhaustionReason::None)
+        Pending = ExhaustionReason::Cancelled;
+      return;
+    }
+    S.mergeFrom(B.LocalStats);
+    if (Deps)
+      Deps->mergeFrom(B.LocalDeps);
+    for (auto &KV : B.LoopModCache)
+      LoopModCache.emplace(KV.first, std::move(KV.second));
+    if (Gov)
+      for (uint64_t Bytes : B.Charges)
+        commitCharge(Bytes);
+    for (std::string &K : B.DedupIns)
+      BlockDedup.insert(std::move(K));
+    for (SpecHistInsert &HI : B.HistIns) {
+      HistoryEntry NE;
+      NE.CanonKey = std::move(HI.Key);
+      NE.Q = std::move(HI.Q);
+      History[HI.Slot].push_back(std::move(NE));
+    }
+    for (WaveItem &C : B.Worklist)
+      Worklist.push_back(std::move(C));
+    for (const auto &[Kind, Count] : B.RefuteKinds)
+      RefuteKinds[Kind] += Count;
+    if (B.DeepestRefuted.size() > DeepestRefuted.size())
+      DeepestRefuted = std::move(B.DeepestRefuted);
+    if (B.Witnessed) {
+      Witnessed = true;
+      WitnessQ = std::move(B.WitnessQ);
+    }
+  }
+
+  /// Prefetch: speculatively execute the top unbuffered stack items (up
+  /// to SearchWaveWidth of them, scanning a bounded window) across the
+  /// worker pool. Purely an accelerator — it writes only per-item
+  /// buffers, never the live stores, so the DFS commit order in run() is
+  /// untouched no matter how the wave is scheduled, skipped, or cut.
+  void speculateAhead() {
+    const size_t WaveW = std::max<uint32_t>(1, Opts.SearchWaveWidth);
+    const size_t ScanWindow = WaveW * 4;
+    std::vector<size_t> Targets; // Stack positions, top (next pop) first.
+    size_t Scanned = 0;
+    for (size_t I = Worklist.size();
+         I-- > 0 && Targets.size() < WaveW && Scanned < ScanWindow;
+         ++Scanned)
+      if (!Worklist[I].Buf)
+        Targets.push_back(I);
+    if (Targets.size() < 2)
+      return; // Nothing to overlap; the caller just steps inline.
+    Pool->runWave(
+        Targets.size(),
+        [&](size_t I) {
+          auto B = std::make_unique<Run>(*this, SpecTag{});
+          Query QC = Worklist[Targets[I]].Q;
+          B->step(std::move(QC));
+          bool Terminal = B->Witnessed;
+          Worklist[Targets[I]].Buf = std::move(B);
+          return Terminal;
+        },
+        Gov ? &Gov->cancelToken() : nullptr);
   }
 
   void releaseQuery(const Query &Q) {
@@ -158,7 +305,7 @@ private:
     if (Opts.Repr == Representation::FullyExplicit && explodeAndPush(Q))
       return;
     chargeRetained(Q);
-    Worklist.push_back(std::move(Q));
+    Worklist.push_back(WaveItem{std::move(Q), nullptr});
   }
 
   /// Fully explicit mode: split the first multi-location region into
@@ -200,7 +347,12 @@ private:
       S.bump("sym.pathsRefuted");
       return;
     }
-    if (FaultInject::shouldFail(faultsite::SolverEntry)) {
+    if (Spec) {
+      // The global fault registry is order-sensitive (counted hits), so
+      // speculation only records that the probe point was reached; the
+      // commit consults the registry at this item's canonical position.
+      SawSolverFaultPoint = true;
+    } else if (FaultInject::shouldFail(faultsite::SolverEntry)) {
       // Simulated solver failure: the query's satisfiability is unknown,
       // so the whole edge degrades to BudgetExhausted (alarm kept).
       S.bump("robust.faultsInjected");
@@ -251,6 +403,17 @@ private:
     if (!Opts.QuerySimplification)
       return false;
     std::string Key = Q.historySlot() + "##" + Q.canonicalKey();
+    if (Spec) {
+      // Speculation reads the frozen live set and records the intended
+      // insertion; a hit that appears only after the wave snapshot is a
+      // commit-time conflict and triggers inline re-execution.
+      if (Shared->BlockDedup.count(Key)) {
+        S.bump("sym.pathsMerged");
+        return true;
+      }
+      DedupIns.push_back(std::move(Key));
+      return false;
+    }
     if (!BlockDedup.insert(std::move(Key)).second) {
       S.bump("sym.pathsMerged");
       return true;
@@ -318,6 +481,14 @@ private:
   const PointsToResult::HeapMod &loopHeapMod(FuncId F, AbsLocId Ctx,
                                              const LoopInfo &L) {
     auto Key = std::make_tuple(F, Ctx, L.Header);
+    if (Spec) {
+      // The summary is a pure function of (F, Ctx, loop), so reading the
+      // parent's frozen cache is safe; misses are computed into the local
+      // cache and folded in at commit (first writer wins, same content).
+      auto SIt = Shared->LoopModCache.find(Key);
+      if (SIt != Shared->LoopModCache.end())
+        return SIt->second;
+    }
     auto It = LoopModCache.find(Key);
     if (It != LoopModCache.end())
       return It->second;
@@ -427,6 +598,34 @@ private:
     ScopedTimer ST(S, "hist.subsumeNanos"); // Subsumption-check latency.
     std::string Slot = Q.historySlot();
     std::string Key = Q.canonicalKey();
+    if (Spec) {
+      // Scan the frozen history. A hit is final: entries are only ever
+      // appended, so the prefix this scan saw is the prefix the
+      // sequential engine would scan first. A miss records the intended
+      // insertion plus the entry count seen — if the live slot grew by
+      // commit time the buffer is stale (a new entry might subsume this
+      // query) and conflictsWithLive forces re-execution.
+      size_t Seen = 0;
+      auto It = Shared->History.find(Slot);
+      if (It != Shared->History.end()) {
+        Seen = It->second.size();
+        for (const HistoryEntry &E : It->second) {
+          if (E.CanonKey == Key)
+            return true;
+          if (weakerThan(E.Q, Q))
+            return true;
+        }
+      }
+      SpecHistInsert HI;
+      HI.Slot = std::move(Slot);
+      HI.Seen = Seen;
+      HI.Key = std::move(Key);
+      HI.Q = Q;
+      HI.Q.Trail.clear();
+      chargeRetained(HI.Q);
+      HistIns.push_back(std::move(HI));
+      return false;
+    }
     std::vector<HistoryEntry> &Entries = History[Slot];
     for (const HistoryEntry &E : Entries) {
       if (E.CanonKey == Key)
@@ -1542,11 +1741,19 @@ private:
   const Program &P;
   const PointsToResult &PTA;
   const SymOptions &Opts;
+  // Speculative-mode backing stores. Declared before the references they
+  // seed (S, Deps, Budget bind to them in the SpecTag constructor) so the
+  // references never dangle; unused and empty on the live engine.
+  Stats LocalStats;
+  DepFootprint LocalDeps;
+  uint64_t SpecBudget = 0;
   Stats &S;
   DepFootprint *Deps;
   uint64_t &Budget;
   uint64_t StepsUsed = 0;
-  std::vector<Query> Worklist;
+  /// LIFO frontier. Items carry an optional speculative buffer prefetched
+  /// by speculateAhead; pop order alone decides what commits when.
+  std::vector<WaveItem> Worklist;
   std::unordered_map<std::string, std::vector<HistoryEntry>> History;
   std::unordered_set<std::string> BlockDedup;
   struct LoopKeyHash {
@@ -1576,6 +1783,33 @@ private:
   /// Bytes currently charged to the governor by this run (worklist states
   /// plus history copies); released in the destructor.
   uint64_t OutstandingBytes = 0;
+
+  // --- Intra-edge parallelism (see docs/PARALLELISM.md). ---
+  /// The engine-owned worker pool; null for a 1-thread search.
+  SearchPool *Pool = nullptr;
+  /// True on a speculative per-item engine built by the SpecTag ctor.
+  bool Spec = false;
+  /// The live parent run whose frozen stores a speculation reads.
+  const Run *Shared = nullptr;
+  /// Set when a speculative step reached the solver-entry fault probe; the
+  /// commit consults the registry there, at the canonical position.
+  bool SawSolverFaultPoint = false;
+  /// Ordered byte counts of chargeRetained calls made while speculating,
+  /// replayed through commitCharge (accountant + fault probe) at commit.
+  std::vector<uint64_t> Charges;
+  /// Block-dedup keys this speculation would insert (all observed as
+  /// misses against the frozen set).
+  std::vector<std::string> DedupIns;
+  /// A history insertion this speculation would perform, with the slot
+  /// size it scanned — the conflict check re-executes the item if the
+  /// live slot grew past Seen before its commit turn.
+  struct SpecHistInsert {
+    std::string Slot;
+    std::string Key;
+    size_t Seen = 0;
+    Query Q;
+  };
+  std::vector<SpecHistInsert> HistIns;
 };
 
 //===----------------------------------------------------------------------===//
@@ -1607,7 +1841,14 @@ uint64_t nanosSince(std::chrono::steady_clock::time_point T0) {
 
 WitnessSearch::WitnessSearch(const Program &P, const PointsToResult &PTA,
                              SymOptions Opts)
-    : P(P), PTA(PTA), Opts(std::move(Opts)) {}
+    : P(P), PTA(PTA), Opts(std::move(Opts)) {
+  // The pool lives as long as the engine so its workers persist across
+  // every edge this instance searches instead of respawning per edge.
+  if (this->Opts.SearchThreads > 1)
+    Pool = std::make_unique<SearchPool>(this->Opts.SearchThreads, S);
+}
+
+WitnessSearch::~WitnessSearch() = default;
 
 std::string WitnessSearch::describeSite(const ProducerSite &Site) const {
   std::string Out = P.funcName(Site.At.F);

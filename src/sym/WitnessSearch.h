@@ -34,11 +34,14 @@
 #include "sym/Query.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace thresher {
+
+class SearchPool;
 
 /// Query state representation (Sec. 2.2 / Table 2).
 enum class Representation : uint8_t {
@@ -85,6 +88,15 @@ struct SymOptions {
   bool RecordTrails = false;
   /// Additionally snapshot the query text at each trail point (debugging).
   bool RecordTrailQueries = false;
+  /// Workers exploring one edge's frontier concurrently (intra-edge
+  /// parallelism). Results — verdicts, deterministic counters, traces, the
+  /// report — are byte-identical for every value; see docs/PARALLELISM.md.
+  unsigned SearchThreads = 1;
+  /// Frontier items speculated ahead per scheduling wave. A pure
+  /// performance knob: speculation prefetches buffered effects for items
+  /// the sequential commit loop will pop later, so neither this width nor
+  /// the thread count changes the exploration order or any result.
+  uint32_t SearchWaveWidth = 64;
 };
 
 /// Outcome of one edge (or statement) search.
@@ -127,6 +139,7 @@ class WitnessSearch {
 public:
   WitnessSearch(const Program &P, const PointsToResult &PTA,
                 SymOptions Opts = {});
+  ~WitnessSearch();
 
   /// Witness or refute the heap points-to edge Base·Fld -> Target, trying
   /// every producing statement under a shared budget.
@@ -187,6 +200,10 @@ private:
   TraceSink *Trace = nullptr;
   DepFootprint *Deps = nullptr;
   ResourceGovernor *Gov = nullptr;
+  /// Intra-edge worker pool (null when Opts.SearchThreads <= 1). Owned by
+  /// the engine so its threads persist across the edges this instance
+  /// searches instead of being respawned per edge.
+  std::unique_ptr<SearchPool> Pool;
   /// Per-edge scope shared across the producer loop (set by
   /// searchFieldEdge / searchGlobalEdge; Run falls back to a local scope
   /// when the *At entry points are driven directly).

@@ -286,6 +286,41 @@ TEST(ExhaustionPropertyTest, GovernorEdgeDeadlineDegradesSoundly) {
             BaseR.NumAlarms - BaseR.RefutedAlarms);
   // The deadline hits and the per-edge reasons land in the stats/report.
   EXPECT_EQ(LC.stats().get("robust.deadlineHits"), G.DeadlineHits.load());
+  // Edges abandoned mid-search still release every retained-state charge.
+  EXPECT_GT(G.memPeak(), 0u);
+  EXPECT_EQ(G.memInUse(), 0u);
+}
+
+TEST(ExhaustionPropertyTest, CancelledEdgeReturnsAccountantToZero) {
+  // Charge/release pairing on the cancellation path: when the run deadline
+  // latches the cancel token, every later edge is abandoned at its first
+  // step with its initial query states still charged to the accountant.
+  // Those charges must be released when the abandoned search unwinds, for
+  // any intra-edge thread count (speculative buffers never charge live).
+  Pipeline P(testprogs::figure1App());
+  for (unsigned SearchThreads : {1u, 4u}) {
+    SCOPED_TRACE("searchThreads " + std::to_string(SearchThreads));
+    GovernorConfig C;
+    C.Deterministic = true;
+    C.StepsPerMs = 1;
+    C.RunTimeoutMs = 1; // One consulted step: cancels after edge #1.
+    ResourceGovernor G(C);
+    G.beginRun();
+    SymOptions SO;
+    SO.SearchThreads = SearchThreads;
+    LeakChecker LC(*P.CR->Prog, *P.PTA, P.Act, SO);
+    LC.setGovernor(&G);
+    LeakReport R = LC.run();
+    EXPECT_TRUE(G.runCancelled());
+    bool SawCancelled = false;
+    for (const EdgeVerdict &V : R.Edges)
+      SawCancelled |= V.Reason == ExhaustionReason::Cancelled;
+    EXPECT_TRUE(SawCancelled);
+    // Charges really happened (peak survives release)...
+    EXPECT_GT(G.memPeak(), 0u);
+    // ...and every one of them was paired with a release.
+    EXPECT_EQ(G.memInUse(), 0u);
+  }
 }
 
 TEST(ExhaustionPropertyTest, RunDeadlineIsThreadCountInvariant) {

@@ -1,20 +1,24 @@
 //===- parallel_diff_test.cpp - 1-vs-N thread differential harness --------===//
 //
-// Runs the leak checker with 1, 2, and 4 threads over every corpus program
-// and requires bit-identical observable behaviour: the same alarm verdicts,
-// the same per-edge verdicts (label, kind, outcome, steps), and the same
-// deterministic-form JSON report, byte for byte. The parallel mode may
+// Runs the leak checker over every corpus program across the full
+// {edge-threads} x {intra-edge search-threads} cross-product and requires
+// bit-identical observable behaviour: the same alarm verdicts, the same
+// per-edge verdicts (label, kind, outcome, steps), and the same
+// deterministic-form JSON report, byte for byte. The parallel modes may
 // thresh MORE edges (prefetch), but everything the report exposes as
-// deterministic must not depend on the thread count.
+// deterministic must not depend on either thread count.
 //
-// This is the pin that keeps the parallel extension honest: any scheduling
-// leak into verdicts, exploration order, or serialization shows up as a
-// string diff here.
+// This is the pin that keeps both parallel extensions honest: any
+// scheduling leak into verdicts, exploration order, or serialization shows
+// up as a string diff here. A governed variant additionally times runs out
+// mid-edge (deterministic step-denominated deadline) and requires the
+// degraded verdicts to be just as invariant.
 //
 //===----------------------------------------------------------------------===//
 
 #include "android/AndroidModel.h"
 #include "leak/LeakChecker.h"
+#include "support/Budget.h"
 
 #include <gtest/gtest.h>
 
@@ -104,12 +108,22 @@ TEST_P(ParallelDiffTest, ThreadCountInvariance) {
     }
   }
 
-  const unsigned ThreadCounts[] = {1, 2, 4};
+  // {edge-threads} x {search-threads}: (1,1) is the sequential baseline;
+  // edge-threads >1 exercises the inter-edge prefetch pool, search-threads
+  // >1 the intra-edge speculation pool, and the mixed entries both at once.
+  struct ThreadConfig {
+    unsigned EdgeThreads;
+    unsigned SearchThreads;
+  };
+  const ThreadConfig Configs[] = {{1, 1}, {2, 1}, {4, 1}, {1, 2},
+                                  {1, 4}, {2, 2}, {2, 4}};
   std::vector<RunObservation> Obs;
-  for (unsigned T : ThreadCounts) {
-    LeakChecker LC(P, *PTA, Act);
+  for (const ThreadConfig &TC : Configs) {
+    SymOptions SO;
+    SO.SearchThreads = TC.SearchThreads;
+    LeakChecker LC(P, *PTA, Act, SO);
     RunObservation O;
-    O.Report = LC.run(T);
+    O.Report = LC.run(TC.EdgeThreads);
     ReportJsonOptions JO;
     JO.DeterministicOnly = true;
     O.DeterministicJson = LC.buildJsonReport(O.Report, JO).toString(2);
@@ -125,7 +139,9 @@ TEST_P(ParallelDiffTest, ThreadCountInvariance) {
       << "sequential run must not thresh edges it never consults";
   for (size_t I = 1; I < Obs.size(); ++I) {
     const RunObservation &O = Obs[I];
-    SCOPED_TRACE("threads=" + std::to_string(ThreadCounts[I]));
+    SCOPED_TRACE("edgeThreads=" + std::to_string(Configs[I].EdgeThreads) +
+                 " searchThreads=" +
+                 std::to_string(Configs[I].SearchThreads));
 
     // Alarm verdicts.
     ASSERT_EQ(O.Report.Alarms.size(), Base.Report.Alarms.size());
@@ -162,6 +178,78 @@ TEST_P(ParallelDiffTest, ThreadCountInvariance) {
       ASSERT_NE(It, O.TraceByEdge.end()) << Edge;
       EXPECT_EQ(It->second, Fields) << Edge;
     }
+  }
+}
+
+TEST(GovernedParallelDiffTest, MidEdgeTimeoutIsThreadConfigInvariant) {
+  // A deterministic step-denominated edge deadline cuts every real search
+  // off mid-edge. The degraded verdicts (TIMEOUT, reason "deadline"), the
+  // deterministic report, and the consulted traces must still be invariant
+  // across the whole thread-config cross-product, and every retained-state
+  // charge of the abandoned searches must be released.
+  auto Programs = allPrograms();
+  const CorpusProgram *Pick = nullptr;
+  for (const CorpusProgram &CP : Programs)
+    if (CP.Android) {
+      Pick = &CP; // Lexicographically-first Android program: real alarms.
+      break;
+    }
+  ASSERT_NE(Pick, nullptr);
+  std::ifstream In(Pick->Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  CompileResult CR = compileAndroidApp(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ClassId Act = activityBaseClass(P);
+  ASSERT_NE(Act, InvalidId);
+
+  struct ThreadConfig {
+    unsigned EdgeThreads;
+    unsigned SearchThreads;
+  };
+  const ThreadConfig Configs[] = {{1, 1}, {2, 1}, {1, 2}, {1, 4}, {2, 4}};
+  std::string BaseJson;
+  std::map<std::string, std::tuple<std::string, uint32_t, uint64_t, uint64_t>>
+      BaseTrace;
+  for (const ThreadConfig &TC : Configs) {
+    SCOPED_TRACE("edgeThreads=" + std::to_string(TC.EdgeThreads) +
+                 " searchThreads=" + std::to_string(TC.SearchThreads));
+    GovernorConfig GC;
+    GC.Deterministic = true;
+    GC.StepsPerMs = 1;
+    GC.EdgeTimeoutMs = 5; // Five steps per edge: stops every real search.
+    ResourceGovernor G(GC);
+    SymOptions SO;
+    SO.SearchThreads = TC.SearchThreads;
+    LeakChecker LC(P, *PTA, Act, SO);
+    LC.setGovernor(&G);
+    LeakReport R = LC.run(TC.EdgeThreads);
+    ReportJsonOptions JO;
+    JO.DeterministicOnly = true;
+    std::string Json = LC.buildJsonReport(R, JO).toString(2);
+    std::map<std::string,
+             std::tuple<std::string, uint32_t, uint64_t, uint64_t>>
+        Trace;
+    for (const TraceEvent &Ev : LC.traceEvents())
+      Trace.emplace(Ev.Edge, std::make_tuple(Ev.Verdict, Ev.ProducersTried,
+                                             Ev.Steps, Ev.Budget));
+    if (BaseJson.empty()) {
+      ASSERT_GT(R.TimeoutEdges, 0u);
+      EXPECT_NE(Json.find("\"reason\": \"deadline\""), std::string::npos);
+      BaseJson = std::move(Json);
+      BaseTrace = std::move(Trace);
+    } else {
+      EXPECT_EQ(Json, BaseJson);
+      for (const auto &[Edge, Fields] : BaseTrace) {
+        auto It = Trace.find(Edge);
+        ASSERT_NE(It, Trace.end()) << Edge;
+        EXPECT_EQ(It->second, Fields) << Edge;
+      }
+    }
+    // Mid-edge abandonment keeps the memory accountant balanced.
+    EXPECT_EQ(G.memInUse(), 0u);
   }
 }
 

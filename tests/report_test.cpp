@@ -219,6 +219,28 @@ TEST(ReportTest, CountersMatchStatsRegistry) {
   EXPECT_GT(F.LC->stats().histogram("hist.edgeStates").count(), 0u);
 }
 
+// Regression: an empty histogram used to serialize p50/p90/p99 = 0,
+// indistinguishable from a phase whose samples were all zero. Phases that
+// never ran must emit null quantiles (count 0 disambiguates the sums).
+TEST(ReportTest, EmptyHistogramQuantilesSerializeNull) {
+  ReportFixture F;
+  F.LC->stats().ensureHistogram("hist.test.neverRan");
+  JsonValue Doc = F.LC->buildJsonReport(F.Report);
+  const JsonValue *Hists = Doc.findPath("effort.histograms");
+  ASSERT_NE(Hists, nullptr);
+  const JsonValue *Empty = Hists->find("hist.test.neverRan");
+  ASSERT_NE(Empty, nullptr);
+  EXPECT_EQ(Empty->find("count")->asUint(), 0u);
+  EXPECT_TRUE(Empty->find("p50")->isNull());
+  EXPECT_TRUE(Empty->find("p90")->isNull());
+  EXPECT_TRUE(Empty->find("p99")->isNull());
+  // A histogram that did run keeps integer quantiles.
+  const JsonValue *Busy = Hists->find("hist.edgeStates");
+  ASSERT_NE(Busy, nullptr);
+  EXPECT_GT(Busy->find("count")->asUint(), 0u);
+  EXPECT_FALSE(Busy->find("p50")->isNull());
+}
+
 TEST(ReportTest, RoundTripsThroughParser) {
   ReportFixture F;
   JsonValue Doc = F.LC->buildJsonReport(F.Report);

@@ -111,6 +111,49 @@ TEST(PureSolverTest, PathConstraintCapMachinery) {
   EXPECT_FALSE(P.mentions(0));
 }
 
+// Regression: dedup used to compare only the structural core (K/X/Y/C)
+// and silently dropped a branch-guard prim when a provenance-free twin was
+// already present, undercounting the Sec. 4 path cap.
+TEST(PureSolverTest, DedupPreservesPathProvenance) {
+  PureConstraints P;
+  P.addCmp(V(0), RelOp::LT, C(10), false); // Non-path fact: v0 <= 9.
+  EXPECT_EQ(P.pathCount(), 0u);
+  // The same constraint arrives again as a branch guard. It must count
+  // toward the cap even though its shape is already present.
+  P.addCmp(V(0), RelOp::LT, C(10), true);
+  EXPECT_EQ(P.pathCount(), 1u);
+  EXPECT_EQ(P.size(), 1u); // Still deduplicated, just re-provenanced.
+}
+
+// Regression: merging two guard groups must keep the *older* PathSeq so
+// dropOldestPath evicts the merged group first, not a younger survivor.
+TEST(PureSolverTest, DedupMergeThenEvictDropsOlderGroup) {
+  PureConstraints P;
+  P.addCmp(V(0), RelOp::LT, C(10), true); // Group 1: v0 <= 9.
+  P.addCmp(V(1), RelOp::LT, C(20), true); // Group 2: v1 <= 19.
+  // Group 3 re-derives group 1's constraint; the dedup merge must fold it
+  // into group 1 (older seq), leaving two distinct groups, not three.
+  P.addCmp(V(0), RelOp::LT, C(10), true);
+  EXPECT_EQ(P.pathCount(), 2u);
+  // Evicting the oldest group drops v0's guard (groups 1+3), keeping v1's.
+  P.dropOldestPath();
+  EXPECT_EQ(P.pathCount(), 1u);
+  EXPECT_FALSE(P.mentions(0));
+  EXPECT_TRUE(P.mentions(1));
+}
+
+// A guard prim absorbed into a non-path twin adopts the guard's group, so
+// a later eviction removes it rather than resurrecting the "free" fact.
+TEST(PureSolverTest, UpgradedPrimIsEvictable) {
+  PureConstraints P;
+  P.addCmp(V(0), RelOp::LT, C(10), false);
+  P.addCmp(V(0), RelOp::LT, C(10), true);
+  ASSERT_EQ(P.pathCount(), 1u);
+  P.dropOldestPath();
+  EXPECT_EQ(P.pathCount(), 0u);
+  EXPECT_FALSE(P.mentions(0));
+}
+
 TEST(PureSolverTest, DropMentioning) {
   PureConstraints P;
   P.addCmp(V(0), RelOp::LT, V(1), false);

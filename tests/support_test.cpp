@@ -157,7 +157,14 @@ TEST(HistogramTest, BucketBoundaries) {
 
 TEST(HistogramTest, QuantileFromBuckets) {
   Histogram H;
-  EXPECT_EQ(H.quantile(0.5), 0u);
+  // Empty histogram: no quantile at all, not a zero quantile.
+  EXPECT_EQ(H.quantile(0.0), std::nullopt);
+  EXPECT_EQ(H.quantile(0.5), std::nullopt);
+  EXPECT_EQ(H.quantile(1.0), std::nullopt);
+  // All-zero samples, by contrast, have a real p50 of 0.
+  Histogram Z;
+  Z.record(0);
+  EXPECT_EQ(Z.quantile(0.5), 0u);
   for (int I = 0; I < 50; ++I)
     H.record(4); // bucket 3, lower bound 4
   for (int I = 0; I < 50; ++I)

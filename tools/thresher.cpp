@@ -20,6 +20,9 @@
 //   --budget N             per-edge exploration budget (default 10000)
 //   --depth N              callee-entry stack depth bound (default 3)
 //   --threads N            parallel edge threshing for 'check'
+//   --search-threads N     work-stealing workers inside each edge search
+//                          (intra-edge parallelism; results are identical
+//                          for every N — see docs/PARALLELISM.md)
 //   --pta-solver delta|naive
 //                          constraint solver: difference propagation with
 //                          cycle collapsing (default) or the naive
@@ -181,6 +184,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       if (!parseCount(A, Next(), 1024, N))
         return false;
       O.Threads = static_cast<unsigned>(N);
+    } else if (A == "--search-threads") {
+      uint64_t N;
+      if (!parseCount(A, Next(), 256, N))
+        return false;
+      O.Sym.SearchThreads = static_cast<unsigned>(N);
     } else if (A == "--repr") {
       const char *V = Next();
       if (!V)
