@@ -1,0 +1,269 @@
+//===- bench_subsume.cpp - Search-reducer stressor (slice + registry) -----===//
+//
+// Stressor for the two composing search reducers: the forward
+// reachability slice (pta/ForwardSlice.h) and the global cross-edge
+// subsumption registry (sym/Subsume.h).
+//
+// The workload makes every candidate edge's backwards search walk the
+// same expensive prefix — a stack of branchy counting loops in main, each
+// of which costs a loop-invariant inference pass to cross — via two
+// families of feeder functions that load a not-yet-published holder and
+// store a fresh object into one of its fields:
+//
+//   fun feedJ() { var t = Sink.holdK; t.fJ = new Act() @fedJ; }
+//
+// Every hK.fJ -> fedJ search discharges its target inside the feeder and
+// carries the SAME residue into main — {Sink.holdK -> T, T in {hK}} —
+// which is only refuted at main's entry (the holder global is still null
+// there). The residue is identical across a family's feeders, so with the
+// registry on the first feeder pays the loop walk, publishes its refuted
+// loop-head queries, and the rest refute at their first loop-head probe.
+// The two families differ in where the holder is allocated:
+//
+//  - family A: holder @h1 allocated AFTER the loops and the feeder calls.
+//    The feeders' call sites sit before the allocation — outside the
+//    forward slice — so the slice refutes them instantly; with it off,
+//    each walks the whole loop stack.
+//
+//  - family B: holder @h2 allocated BEFORE the loops. The slice is
+//    powerless until the walk reaches main's first block, so these edges
+//    pay the loop walk in every corner EXCEPT when the registry prunes
+//    them — guaranteeing registry hits even with both reducers on.
+//
+// Gates (the CI perf-smoke contract):
+//  - both-on vs both-off wall speedup >= 1.3x,
+//  - par.registryHits > 0 and sym.refute.slice > 0 on the both-on run
+//    (a reducer that never fires makes the speedup gate meaningless),
+//  - --check-baseline FILE: both-on wall regressed > 2x vs the checked-in
+//    baseline (1ms floor) fails the run.
+//
+// --json FILE writes a thresher-bench-subsume/v1 document with the four
+// reducer-corner walls and the both-on reducer counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace thresher;
+using namespace thresher::bench;
+
+namespace {
+
+std::string makeReducerStressor(unsigned Loops, unsigned FeedersPerFamily) {
+  std::ostringstream OS;
+  OS << "class Act extends Activity { }\n";
+  OS << "container class Holder {";
+  for (unsigned J = 0; J < FeedersPerFamily; ++J)
+    OS << " var f" << J << ";";
+  OS << " }\n";
+  OS << "class Sink { static var hold1; static var hold2; }\n";
+  // Feeders: the heap-loaded base keeps an instance constraint alive into
+  // the caller; the fresh target dies inside the feeder, so every feeder
+  // of a family leaves the identical residue {holdK -> T, T in {hK}}.
+  for (unsigned J = 0; J < FeedersPerFamily; ++J) {
+    OS << "fun feedA" << J << "() {\n";
+    OS << "  var t = Sink.hold1;\n";
+    OS << "  t.f" << J << " = new Act() @fedA" << J << ";\n";
+    OS << "}\n";
+    OS << "fun feedB" << J << "() {\n";
+    OS << "  var t = Sink.hold2;\n";
+    OS << "  t.f" << J << " = new Act() @fedB" << J << ";\n";
+    OS << "}\n";
+  }
+  OS << "fun main() {\n";
+  // Family B's holder: allocated before the loops, so the forward slice
+  // cannot prune B-feeder walks until main's first block.
+  OS << "  var h2 = new Holder() @h2;\n";
+  // The expensive shared prefix: branchy counting loops, each costing a
+  // loop-invariant inference pass to cross backwards.
+  // One nondet arm per body: two arms per crossing squares the path
+  // count and blows every feeder edge past any reasonable budget, while
+  // one arm keeps the whole stack refutable in seconds.
+  for (unsigned L = 0; L < Loops; ++L) {
+    OS << "  var i" << L << " = 0;\n";
+    OS << "  while (i" << L << " < 8) {\n";
+    OS << "    if (*) { i" << L << " = i" << L << " + 1; }\n";
+    OS << "    i" << L << " = i" << L << " + 1;\n";
+    OS << "  }\n";
+  }
+  for (unsigned J = 0; J < FeedersPerFamily; ++J) {
+    OS << "  feedA" << J << "();\n";
+    OS << "  feedB" << J << "();\n";
+  }
+  // Family A's holder: allocated after the feeder calls, so every
+  // A-feeder continuation sits outside its forward slice.
+  OS << "  var h1 = new Holder() @h1;\n";
+  OS << "  Sink.hold1 = h1;\n";
+  OS << "  Sink.hold2 = h2;\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath, BaselinePath;
+  unsigned Reps = 3;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--json" && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (A == "--check-baseline" && I + 1 < Argc)
+      BaselinePath = Argv[++I];
+    else if (A == "--reps" && I + 1 < Argc)
+      Reps = std::max(1, std::atoi(Argv[++I]));
+    else {
+      std::fprintf(stderr, "usage: bench_subsume [--json FILE] "
+                           "[--check-baseline FILE] [--reps N]\n");
+      return 2;
+    }
+  }
+
+  std::string Src = makeReducerStressor(/*Loops=*/2, /*FeedersPerFamily=*/5);
+  CompileResult CR = compileAndroidApp(Src);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "stressor compile error: %s\n",
+                 CR.Errors.empty() ? "?" : CR.Errors[0].c_str());
+    return 1;
+  }
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ClassId Act = activityBaseClass(P);
+
+  struct Corner {
+    const char *Name;
+    bool Slice;
+    bool Subsume;
+  };
+  const Corner Corners[] = {{"off_off", false, false},
+                            {"slice_only", true, false},
+                            {"subsume_only", false, true},
+                            {"on_on", true, true}};
+
+  std::map<std::string, uint64_t> Counters;
+  uint64_t Walls[4] = {0, 0, 0, 0};
+  for (int C = 0; C < 4; ++C) {
+    uint64_t Best = UINT64_MAX;
+    // The reduced corners repeat; the expensive both-off baseline makes
+    // its point in one rep (mirroring bench_parallel's stuck corner).
+    unsigned CornerReps = C == 0 ? 1 : Reps;
+    for (unsigned R = 0; R < CornerReps; ++R) {
+      SymOptions SO;
+      SO.ForwardSlice = Corners[C].Slice;
+      SO.GlobalSubsume = Corners[C].Subsume;
+      LeakChecker LC(P, *PTA, Act, SO);
+      Timer T;
+      LeakReport Rep = LC.run(1);
+      uint64_t Nanos = static_cast<uint64_t>(T.seconds() * 1e9);
+      Best = std::min(Best, Nanos);
+      if (Rep.NumAlarms == 0)
+        std::fprintf(stderr, "warning: stressor produced no alarms\n");
+      if (C == 3 && R + 1 == CornerReps)
+        for (const auto &[Name, Value] : LC.stats().counterSnapshot())
+          if (Name.rfind("par.registry", 0) == 0 ||
+              Name == "sym.refute.slice" || Name == "sym.subsumedGlobal" ||
+              Name == "sym.pathsRefuted")
+            Counters[Name] = Value;
+    }
+    Walls[C] = Best;
+  }
+
+  double Speedup =
+      Walls[3] ? double(Walls[0]) / double(Walls[3]) : 0.0;
+  std::printf("=== Search-reducer stressor (forward slice + global "
+              "subsumption) ===\n");
+  std::printf("%-14s %10s\n", "corner", "wall(ms)");
+  for (int C = 0; C < 4; ++C)
+    std::printf("%-14s %10.2f\n", Corners[C].Name, Walls[C] / 1e6);
+  std::printf("both-on speedup %.2fx (registryHits=%llu, "
+              "sliceRefutes=%llu)\n",
+              Speedup,
+              static_cast<unsigned long long>(
+                  Counters["par.registryHits"]),
+              static_cast<unsigned long long>(
+                  Counters["sym.refute.slice"]));
+
+  if (!JsonPath.empty()) {
+    JsonValue Doc = JsonValue::makeObject();
+    Doc.set("schema", JsonValue::makeString("thresher-bench-subsume/v1"));
+    Doc.set("reps", JsonValue::makeUint(Reps));
+    JsonValue Rows = JsonValue::makeArray();
+    JsonValue Row = JsonValue::makeObject();
+    Row.set("name", JsonValue::makeString("reducer_stressor"));
+    for (int C = 0; C < 4; ++C)
+      Row.set(std::string(Corners[C].Name) + "Nanos",
+              JsonValue::makeUint(Walls[C]));
+    Row.set("speedup", JsonValue::makeDouble(Speedup));
+    JsonValue Cs = JsonValue::makeObject();
+    for (const auto &[Name, Value] : Counters)
+      Cs.set(Name, JsonValue::makeUint(Value));
+    Row.set("counters", std::move(Cs));
+    Rows.append(std::move(Row));
+    Doc.set("workloads", std::move(Rows));
+    std::ofstream Out(JsonPath);
+    Doc.write(Out, 2);
+    Out << "\n";
+  }
+
+  bool Fail = false;
+  if (Counters["par.registryHits"] == 0) {
+    std::fprintf(stderr, "FAIL: registry never hit on the stressor\n");
+    Fail = true;
+  }
+  if (Counters["sym.refute.slice"] == 0) {
+    std::fprintf(stderr, "FAIL: forward slice never fired on the "
+                         "stressor\n");
+    Fail = true;
+  }
+  if (Speedup < 1.3) {
+    std::fprintf(stderr,
+                 "FAIL: both-on speedup %.2fx below the 1.3x gate\n",
+                 Speedup);
+    Fail = true;
+  }
+  if (!Fail)
+    std::printf("reducer gates passed (speedup %.2fx >= 1.3x, both "
+                "reducers fired)\n",
+                Speedup);
+
+  if (!BaselinePath.empty()) {
+    std::ifstream In(BaselinePath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open baseline '%s'\n",
+                   BaselinePath.c_str());
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    JsonValue Base;
+    std::string Err;
+    if (!parseJson(SS.str(), Base, &Err)) {
+      std::fprintf(stderr, "bad baseline JSON: %s\n", Err.c_str());
+      return 1;
+    }
+    const JsonValue *BaseRows = Base.find("workloads");
+    const JsonValue *BaseRow = nullptr;
+    if (BaseRows)
+      for (const JsonValue &BR : BaseRows->items())
+        if (BR.find("name") &&
+            BR.find("name")->asString() == "reducer_stressor")
+          BaseRow = &BR;
+    if (BaseRow && BaseRow->find("on_onNanos")) {
+      uint64_t Then = BaseRow->find("on_onNanos")->asUint();
+      // 1ms floor, mirroring bench_parallel's contract: scheduler noise
+      // on trivially fast runs must not trip the gate.
+      if (Walls[3] > 2 * Then && Walls[3] > 1000000) {
+        std::fprintf(stderr,
+                     "FAIL: both-on wall regressed >2x "
+                     "(%.1fms -> %.1fms)\n",
+                     Then / 1e6, Walls[3] / 1e6);
+        return 1;
+      }
+    }
+    std::printf("baseline check passed (%s)\n", BaselinePath.c_str());
+  }
+  return Fail ? 1 : 0;
+}

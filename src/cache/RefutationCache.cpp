@@ -176,6 +176,16 @@ bool RefutationCache::load(std::string *Error) {
       }
       Ent.Facts.push_back(std::move(F));
     }
+    // Optional registry payload; absent on entries from registry-off runs
+    // and older stores (the schema is unchanged — unknown fields would be
+    // ignored, and these known-optional ones default to empty).
+    const JsonValue *Reg = E.find("reg");
+    const JsonValue *RegFp = E.find("regfp");
+    if (Reg && Reg->isString() && RegFp && RegFp->isString()) {
+      if (!fromHex(RegFp->asString(), Ent.RegFp))
+        return Corrupt("bad regfp encoding at line " + std::to_string(LineNo));
+      Ent.RegJson = Reg->asString();
+    }
     // The stored footprint hash must match the stored facts (truncation
     // or tampering shows up here).
     if (footprintHash(Ent.Facts) != Ent.FootprintHash)
@@ -191,6 +201,7 @@ void RefutationCache::validate(const Program &P, const PointsToResult &PTA,
                                uint64_t ConfigHash) {
   std::lock_guard<std::mutex> Lock(M);
   FactReplayer Replayer(P, PTA);
+  CurFp = fingerprintProgram(P);
   NumValid = NumStale = 0;
   for (auto &[Key, Ent] : Entries) {
     if (Key.second != ConfigHash)
@@ -213,7 +224,8 @@ void RefutationCache::validate(const Program &P, const PointsToResult &PTA,
 RefutationCache::Probe RefutationCache::probe(const std::string &EdgeLabel,
                                               uint64_t ConfigHash,
                                               SearchOutcome &Outcome,
-                                              uint64_t &Steps) {
+                                              uint64_t &Steps,
+                                              std::string *RegOut) {
   std::lock_guard<std::mutex> Lock(M);
   auto It = Entries.find({EdgeLabel, ConfigHash});
   if (It == Entries.end())
@@ -224,12 +236,20 @@ RefutationCache::Probe RefutationCache::probe(const std::string &EdgeLabel,
   Ent.Gen = Generation + 1; // Touched: survives the next eviction scan.
   Outcome = Ent.Outcome;
   Steps = Ent.Steps;
+  if (RegOut) {
+    // The payload's raw ids are only meaningful for the exact program it
+    // was produced against; a mismatched fingerprint silently drops it
+    // (the verdict itself is guarded by the fact replay, not by this).
+    *RegOut = (Ent.RegFp != 0 && Ent.RegFp == CurFp) ? Ent.RegJson
+                                                     : std::string();
+  }
   return Probe::Hit;
 }
 
 void RefutationCache::insert(std::string EdgeLabel, bool IsGlobal,
                              uint64_t ConfigHash, SearchOutcome Outcome,
-                             uint64_t Steps, std::vector<Fact> Facts) {
+                             uint64_t Steps, std::vector<Fact> Facts,
+                             std::string RegJson, uint64_t RegFp) {
   std::lock_guard<std::mutex> Lock(M);
   Entry Ent;
   Ent.IsGlobal = IsGlobal;
@@ -237,6 +257,8 @@ void RefutationCache::insert(std::string EdgeLabel, bool IsGlobal,
   Ent.Steps = Steps;
   Ent.FootprintHash = footprintHash(Facts);
   Ent.Facts = std::move(Facts);
+  Ent.RegJson = std::move(RegJson);
+  Ent.RegFp = RegFp;
   Ent.Gen = Generation + 1;
   Ent.Validated = true;
   Ent.Valid = true;
@@ -298,6 +320,10 @@ bool RefutationCache::save(std::string *Error) {
         Facts.append(std::move(FV));
       }
       E.set("facts", std::move(Facts));
+      if (!Ent.RegJson.empty() && Ent.RegFp != 0) {
+        E.set("reg", JsonValue::makeString(Ent.RegJson));
+        E.set("regfp", JsonValue::makeString(toHex(Ent.RegFp)));
+      }
       Out << E.toString() << "\n";
       ++It;
     }
@@ -343,5 +369,9 @@ uint64_t RefutationCache::configHash(const SymOptions &Opts,
   H.add(static_cast<uint64_t>(Opts.PathConstraintCap));
   H.add(static_cast<uint64_t>(Opts.MaxLoopCrossings));
   H.add(static_cast<uint64_t>(AnnotateHashMap));
+  // The search reducers change per-edge step counts (never verdicts), so
+  // cached entries must not cross a reducer-config boundary.
+  H.add(static_cast<uint64_t>(Opts.ForwardSlice));
+  H.add(static_cast<uint64_t>(Opts.GlobalSubsume));
   return H.hash();
 }

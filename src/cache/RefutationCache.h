@@ -63,12 +63,22 @@ public:
 
   /// Looks up (EdgeLabel, ConfigHash). On Hit fills \p Outcome and
   /// \p Steps with the cached verdict and touches the entry's generation.
+  /// When \p RegOut is non-null, a hit additionally fills it with the
+  /// entry's persisted subsumption-registry payload (empty when none was
+  /// recorded, or when the payload's program fingerprint does not match
+  /// the program validate() last saw — query payloads carry raw dense ids,
+  /// so they are only meaningful for the exact program they came from).
   Probe probe(const std::string &EdgeLabel, uint64_t ConfigHash,
-              SearchOutcome &Outcome, uint64_t &Steps);
+              SearchOutcome &Outcome, uint64_t &Steps,
+              std::string *RegOut = nullptr);
 
   /// Records a fresh search result with its materialized facts.
+  /// \p RegJson optionally carries the edge's subsumption-registry harvest
+  /// (subsumeEntriesToJson) with \p RegFp the fingerprintProgram() it was
+  /// produced against.
   void insert(std::string EdgeLabel, bool IsGlobal, uint64_t ConfigHash,
-              SearchOutcome Outcome, uint64_t Steps, std::vector<Fact> Facts);
+              SearchOutcome Outcome, uint64_t Steps, std::vector<Fact> Facts,
+              std::string RegJson = {}, uint64_t RegFp = 0);
 
   /// Drops the entry for (EdgeLabel, ConfigHash) if present (used when a
   /// verify re-search exhausts: the stale verdict must not survive).
@@ -107,6 +117,11 @@ private:
     uint64_t Steps = 0;
     std::vector<Fact> Facts;
     uint64_t FootprintHash = 0;
+    /// Optional subsumption-registry payload ("reg"/"regfp" fields):
+    /// serialized refuted queries harvested by the search that produced
+    /// this verdict, guarded by the producing program's fingerprint.
+    std::string RegJson;
+    uint64_t RegFp = 0;
     uint64_t Gen = 0;       ///< Generation of last touch (hit or insert).
     bool Validated = false; ///< validate() examined this entry.
     bool Valid = false;     ///< All facts replayed successfully.
@@ -117,6 +132,9 @@ private:
   std::string Dir;
   /// (edge label, config hash) -> entry.
   std::map<std::pair<std::string, uint64_t>, Entry> Entries;
+  /// fingerprintProgram() of the program validate() last ran against;
+  /// registry payloads are only served when their RegFp matches.
+  uint64_t CurFp = 0;
   uint64_t Generation = 0;
   uint64_t NumLoaded = 0;
   uint64_t NumValid = 0;

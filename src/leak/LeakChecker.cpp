@@ -1,6 +1,7 @@
 #include "leak/LeakChecker.h"
 
 #include "cache/RefutationCache.h"
+#include "ir/Fingerprint.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -57,6 +58,10 @@ LeakChecker::LeakChecker(const Program &P, const PointsToResult &PTA,
   // Fold the points-to phase's effort into the engine registry so reports
   // and --stats cover every analysis phase.
   WS.stats().mergeFrom(PTA.Effort);
+  // The checker owns the shared cross-edge registry and its deterministic
+  // publication protocol (checkEdge); the engine only probes it.
+  if (this->Opts.GlobalSubsume)
+    WS.setRegistry(&Registry);
 }
 
 void LeakChecker::setCache(RefutationCache *C, uint64_t ConfigHash,
@@ -64,6 +69,10 @@ void LeakChecker::setCache(RefutationCache *C, uint64_t ConfigHash,
   Cache = C;
   CacheConfig = ConfigHash;
   CacheVerify = Verify;
+  // Registry payloads serialize queries with raw dense ids, so persisted
+  // entries are guarded by the exact program fingerprint.
+  if (C && Opts.GlobalSubsume && ProgFp == 0)
+    ProgFp = fingerprintProgram(P);
 }
 
 void LeakChecker::setGovernor(ResourceGovernor *G) {
@@ -79,15 +88,41 @@ std::string LeakChecker::edgeLabel(const EdgeKey &E) const {
 }
 
 LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
-                                              const EdgeKey &E) {
+                                              const EdgeKey &E,
+                                              bool BypassCacheProbe) {
   EdgeInfo Info;
+  if (Opts.GlobalSubsume)
+    Info.Reg = std::make_shared<RegistryLog>();
+  // Moves the engine's per-edge registry activity (harvested refuted
+  // queries + probed-and-missed slots) into this edge's log. Must run
+  // after every search even when the log is discarded: the engine
+  // accumulates per edge, and leftovers would pollute the next edge.
+  auto Drain = [&] {
+    std::vector<SubsumeEntry> Pend = Engine.takePendingEntries();
+    std::set<std::string> Probed = Engine.takeProbedSlots();
+    if (!Info.Reg)
+      return;
+    Info.Reg->Pendings = std::move(Pend);
+    Info.Reg->ProbedSlots.assign(Probed.begin(), Probed.end());
+  };
+  // Serializes the edge's fresh harvest for cache persistence (so a warm
+  // run can republish without re-searching).
+  auto HarvestJson = [&] {
+    if (!Info.Reg || Info.Reg->Pendings.empty())
+      return std::string();
+    Engine.stats().bump("cache.regPersisted");
+    return subsumeEntriesToJson(Info.Reg->Pendings);
+  };
   std::string Label;
-  if (Cache) {
+  if (Cache)
     Label = edgeLabel(E);
+  if (Cache && !BypassCacheProbe) {
     SearchOutcome CachedOut;
     uint64_t CachedSteps = 0;
+    std::string RegJson;
     RefutationCache::Probe Pr =
-        Cache->probe(Label, CacheConfig, CachedOut, CachedSteps);
+        Cache->probe(Label, CacheConfig, CachedOut, CachedSteps,
+                     Info.Reg ? &RegJson : nullptr);
     // Exhausted searches are never cached, but an old or hand-edited store
     // may still carry TIMEOUT verdicts: distrust them and re-search.
     if (Pr == RefutationCache::Probe::Hit &&
@@ -103,6 +138,8 @@ LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
       Info.Outcome = CachedOut;
       Info.Steps = CachedSteps;
       Info.Cache = EdgeCacheState::Hit;
+      if (Info.Reg)
+        Info.Reg->PersistedJson = std::move(RegJson);
       if (!CacheVerify)
         return Info;
       // --cache-verify: run the search anyway; a mismatch is counted and
@@ -115,6 +152,7 @@ LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
                      : Engine.searchFieldEdge(E.Base, E.Fld, E.Target);
       Engine.setDepSink(nullptr);
       Engine.stats().bump("cache.verified");
+      Drain();
       if (R.Outcome == SearchOutcome::BudgetExhausted) {
         // The verification search ran out of budget: inconclusive, not a
         // disagreement (the cached verdict's facts replayed, so it still
@@ -134,7 +172,12 @@ LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
         Info.Cache = EdgeCacheState::Invalidated;
         Engine.stats().bump("cache.insert");
         Cache->insert(Label, E.IsGlobal, CacheConfig, R.Outcome,
-                      R.StepsUsed, materializeFootprint(P, PTA, FP));
+                      R.StepsUsed, materializeFootprint(P, PTA, FP),
+                      HarvestJson(), ProgFp);
+        // The fresh verdict won; its harvest (just drained) replaces the
+        // distrusted persisted payload at publication time.
+        if (Info.Reg)
+          Info.Reg->PersistedJson.clear();
       }
       return Info;
     }
@@ -158,6 +201,7 @@ LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
   if (Cache)
     Engine.setDepSink(nullptr);
   Engine.stats().bump("leak.searches");
+  Drain();
   Info.Outcome = R.Outcome;
   Info.Reason = R.Exhaustion;
   Info.Steps = R.StepsUsed;
@@ -171,7 +215,8 @@ LeakChecker::EdgeInfo LeakChecker::threshEdge(WitnessSearch &Engine,
     } else {
       Engine.stats().bump("cache.insert");
       Cache->insert(Label, E.IsGlobal, CacheConfig, R.Outcome, R.StepsUsed,
-                    materializeFootprint(P, PTA, FP));
+                    materializeFootprint(P, PTA, FP), HarvestJson(),
+                    ProgFp);
     }
   }
   return Info;
@@ -198,9 +243,47 @@ SearchOutcome LeakChecker::checkEdge(const EdgeKey &E) {
   auto It = EdgeResults.find(E);
   if (It != EdgeResults.end()) {
     Info = It->second;
+    // Registry revalidation: the prefetched search ran against an empty
+    // registry. If it probed (and missed) a slot that an earlier-consulted
+    // edge has since published into, the sequential run would have pruned
+    // differently — re-search now, against the registry exactly as the
+    // sequential algorithm would see it. Bypassing the cache probe is
+    // essential: prefetch just inserted its own (stale-stepped) entry.
+    if (Info.Reg && !PublishedSlots.empty()) {
+      bool Invalidated = false;
+      for (const std::string &Slot : Info.Reg->ProbedSlots)
+        if (PublishedSlots.count(Slot)) {
+          Invalidated = true;
+          break;
+        }
+      if (Invalidated) {
+        WS.stats().bump("par.registryResearches");
+        ResearchedLabels.insert(edgeLabel(E));
+        Info = threshEdge(WS, E, /*BypassCacheProbe=*/true);
+        It->second = Info;
+      }
+    }
   } else {
     Info = threshEdge(WS, E);
     EdgeResults.emplace(E, Info);
+  }
+  // Publish this edge's refuted-query harvest in consult order, so the
+  // registry contents at every later consult are identical for every
+  // thread count. A warm cache hit republishes the persisted payload the
+  // cold run recorded (same entries, no search needed).
+  if (Info.Reg) {
+    std::vector<SubsumeEntry> Entries;
+    if (!Info.Reg->PersistedJson.empty() &&
+        subsumeEntriesFromJson(Info.Reg->PersistedJson, Entries))
+      WS.stats().bump("cache.regRestored");
+    else
+      Entries = Info.Reg->Pendings;
+    if (!Entries.empty()) {
+      for (const SubsumeEntry &En : Entries)
+        PublishedSlots.insert(En.Slot);
+      size_t N = Registry.publishAll(std::move(Entries));
+      WS.stats().bump("par.registryPublished", N);
+    }
   }
   if (Gov)
     Gov->noteConsultedSteps(Info.Steps);
@@ -339,6 +422,11 @@ void LeakChecker::prefetchEdgesParallel(
   auto Worker = [&]() {
     WitnessSearch LocalWS(P, PTA, Opts);
     LocalWS.setGovernor(Gov);
+    // Shared registry, guaranteed empty throughout the (strictly phased)
+    // prefetch: probes always miss, but the probed slots are recorded so
+    // checkEdge can revalidate this worker's results in consult order.
+    if (Opts.GlobalSubsume)
+      LocalWS.setRegistry(&Registry);
     VectorTraceSink LocalTrace;
     LocalWS.setTraceSink(&LocalTrace);
     std::vector<std::pair<EdgeKey, EdgeInfo>> LocalResults;
@@ -369,6 +457,11 @@ LeakReport LeakChecker::run(unsigned Threads) {
   Consulted.clear();
   TraceBuffers.clear();
   Trace.clear();
+  // The registry and its publication state belong to a single run (its
+  // deterministic contract is phrased in consult order, which restarts).
+  Registry.clear();
+  PublishedSlots.clear();
+  ResearchedLabels.clear();
 
   LeakReport Report;
   Report.Threads = Threads;
@@ -451,6 +544,16 @@ LeakReport LeakChecker::run(unsigned Threads) {
     }
   }
   WS.setTraceSink(nullptr);
+  // Edges re-searched at consult time emitted their canonical events into
+  // SeqTrace; the prefetch workers' events for them reflect an
+  // empty-registry search and must not reach the merge.
+  if (!ResearchedLabels.empty())
+    for (std::vector<TraceEvent> &Buf : TraceBuffers)
+      Buf.erase(std::remove_if(Buf.begin(), Buf.end(),
+                               [&](const TraceEvent &Ev) {
+                                 return ResearchedLabels.count(Ev.Edge) > 0;
+                               }),
+                Buf.end());
   TraceBuffers.push_back(std::move(SeqTrace.events()));
   Trace = mergeTraceEvents(std::move(TraceBuffers));
   TraceBuffers.clear();

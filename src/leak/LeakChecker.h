@@ -31,6 +31,8 @@
 #include "sym/WitnessSearch.h"
 
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -144,7 +146,9 @@ public:
   /// Version tag stamped into every JSON report ("schema" member).
   /// v1.1: per-edge "reason" on TIMEOUT verdicts, config.governor section,
   /// robust.* counters under effort (minor bump: strictly additive).
-  static constexpr const char *ReportSchemaVersion = "thresher-report/v1.1";
+  /// v1.2: config.forwardSlice / config.globalSubsume flags and the
+  /// effort.registry section (minor bump: strictly additive).
+  static constexpr const char *ReportSchemaVersion = "thresher-report/v1.2";
 
   /// \p ActivityBase is the class whose (transitive) instances count as
   /// Activities.
@@ -219,6 +223,17 @@ private:
     }
   };
 
+  /// Subsumption-registry activity of the search that produced one
+  /// EdgeInfo: the history slots it probed (and missed), the refuted
+  /// queries it harvested, and — on a cache hit — the payload the cache
+  /// persisted for it. Drives the deterministic publication protocol in
+  /// checkEdge (see docs/PRUNING.md).
+  struct RegistryLog {
+    std::vector<std::string> ProbedSlots;
+    std::vector<SubsumeEntry> Pendings;
+    std::string PersistedJson;
+  };
+
   /// A cached edge-search result (outcome is deterministic; Nanos is the
   /// wall-clock of the search that produced it).
   struct EdgeInfo {
@@ -227,6 +242,9 @@ private:
     uint64_t Steps = 0;
     uint64_t Nanos = 0;
     EdgeCacheState Cache = EdgeCacheState::None;
+    /// Shared (EdgeResults + Consulted copies alias one log); null when
+    /// the registry is disabled or the edge degraded without a search.
+    std::shared_ptr<RegistryLog> Reg;
   };
 
   std::string edgeLabel(const EdgeKey &E) const;
@@ -235,7 +253,12 @@ private:
   /// cache first (hit -> skip the search) and records fresh results with
   /// their dependency footprint. Shared by the sequential path and the
   /// parallel prefetch workers (the cache is internally locked).
-  EdgeInfo threshEdge(WitnessSearch &Engine, const EdgeKey &E);
+  /// \p BypassCacheProbe skips the cache probe (fresh results are still
+  /// recorded): the consult-time re-search of a registry-invalidated
+  /// prefetch result must not be served the very entry that prefetch just
+  /// inserted.
+  EdgeInfo threshEdge(WitnessSearch &Engine, const EdgeKey &E,
+                      bool BypassCacheProbe = false);
   /// BFS for a path of edges not yet refuted *by a consulted search* from
   /// \p G to \p Target (prefetched-but-unconsulted refutations are
   /// deliberately ignored so the exploration order matches the purely
@@ -259,6 +282,19 @@ private:
   RefutationCache *Cache = nullptr;
   uint64_t CacheConfig = 0;
   bool CacheVerify = false;
+  /// The shared cross-edge subsumption registry (attached to WS and every
+  /// prefetch worker when Opts.GlobalSubsume). Cleared at the start of
+  /// each run(); stays empty during prefetch and is fed strictly in
+  /// consult order by checkEdge, so its contents at each consult are
+  /// identical for every thread count.
+  SubsumeRegistry Registry;
+  /// History slots some already-consulted edge has published into.
+  std::set<std::string> PublishedSlots;
+  /// Labels of edges whose prefetched result was re-searched at consult
+  /// time (their prefetch trace events are dropped before the merge).
+  std::set<std::string> ResearchedLabels;
+  /// fingerprintProgram(P), stamped onto persisted registry payloads.
+  uint64_t ProgFp = 0;
   /// Results of every search performed (prefetch fills this eagerly).
   std::map<EdgeKey, EdgeInfo> EdgeResults;
   /// The subset of EdgeResults the sequential algorithm consulted.

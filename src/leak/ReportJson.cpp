@@ -88,6 +88,10 @@ JsonValue LeakChecker::buildJsonReport(const LeakReport &R,
   Config.set("maxCallStackDepth", JsonValue::makeUint(Opts.MaxCallStackDepth));
   Config.set("pathConstraintCap", JsonValue::makeUint(Opts.PathConstraintCap));
   Config.set("maxLoopCrossings", JsonValue::makeUint(Opts.MaxLoopCrossings));
+  // The search reducers never change a verdict (only effort), but they are
+  // config: the same flags must reproduce the same steps.
+  Config.set("forwardSlice", JsonValue::makeBool(Opts.ForwardSlice));
+  Config.set("globalSubsume", JsonValue::makeBool(Opts.GlobalSubsume));
   if (Gov) {
     // Governance config is part of the deterministic section: the same
     // flags must reproduce the same report, and the steps/ms rate must be
@@ -178,6 +182,20 @@ JsonValue LeakChecker::buildJsonReport(const LeakReport &R,
       Cache.set("verifyMismatches",
                 JsonValue::makeUint(R.Cache.VerifyMismatches));
       Effort.set("cache", std::move(Cache));
+    }
+    if (Opts.GlobalSubsume) {
+      // Registry activity (duplicated from the counters for discoverability;
+      // size is a point-in-time value, not a counter).
+      JsonValue Reg = JsonValue::makeObject();
+      Reg.set("size", JsonValue::makeUint(Registry.size()));
+      Reg.set("hits", JsonValue::makeUint(stats().get("par.registryHits")));
+      Reg.set("misses",
+              JsonValue::makeUint(stats().get("par.registryMisses")));
+      Reg.set("published",
+              JsonValue::makeUint(stats().get("par.registryPublished")));
+      Reg.set("researches",
+              JsonValue::makeUint(stats().get("par.registryResearches")));
+      Effort.set("registry", std::move(Reg));
     }
     Doc.set("effort", std::move(Effort));
   }

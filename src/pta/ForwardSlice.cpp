@@ -1,0 +1,132 @@
+//===- ForwardSlice.cpp - Forward reachability slices ---------------------===//
+
+#include "pta/ForwardSlice.h"
+
+#include "ir/Program.h"
+
+#include <deque>
+#include <set>
+#include <vector>
+
+using namespace thresher;
+
+bool ForwardSlice::mayExecuteAfter(AbsLocId L, FuncId F, BlockId B) {
+  const LocSlice &S = sliceFor(PTA.Locs.site(L));
+  if (S.AlwaysAfter)
+    return true;
+  auto It = S.AfterFrom.find(F);
+  if (It == S.AfterFrom.end())
+    return false;
+  auto BIt = It->second.find(B);
+  // Only index 0 covers the block-start position the engine asks about;
+  // a later after-point (the allocation's own block, a block whose only
+  // after-suffix starts past a returning call) does not.
+  return BIt != It->second.end() && BIt->second == 0;
+}
+
+const ForwardSlice::LocSlice &ForwardSlice::sliceFor(AllocSiteId Site) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<LocSlice> &Slot = Memo[Site];
+  if (!Slot)
+    Slot = compute(Site);
+  return *Slot;
+}
+
+std::unique_ptr<ForwardSlice::LocSlice>
+ForwardSlice::compute(AllocSiteId Site) const {
+  auto Out = std::make_unique<LocSlice>();
+  const AllocSiteInfo &AS = P.AllocSites[Site];
+  if (AS.InFunc == InvalidId || AS.InFunc >= P.Funcs.size()) {
+    Out->AlwaysAfter = true;
+    return Out;
+  }
+  // Locate the allocation instruction.
+  const Function &AllocFn = P.Funcs[AS.InFunc];
+  BlockId AllocBlock = InvalidId;
+  uint32_t AllocIdx = 0;
+  for (BlockId B = 0; B < AllocFn.Blocks.size() && AllocBlock == InvalidId;
+       ++B) {
+    const BasicBlock &BB = AllocFn.Blocks[B];
+    for (uint32_t Idx = 0; Idx < BB.Insts.size(); ++Idx) {
+      const Instruction &I = BB.Insts[Idx];
+      if (I.Alloc == Site &&
+          (I.Op == Opcode::New || I.Op == Opcode::NewArray)) {
+        AllocBlock = B;
+        AllocIdx = Idx;
+        break;
+      }
+    }
+  }
+  if (AllocBlock == InvalidId) {
+    Out->AlwaysAfter = true;
+    return Out;
+  }
+
+  // Functions whose invocation can contain the allocation: the allocating
+  // function and, transitively, everything that calls into it. A call to
+  // one of these may return with the allocation done, so the caller's
+  // continuation past that call site is an after-point.
+  std::set<FuncId> Reaching{AS.InFunc};
+  std::deque<FuncId> RWork{AS.InFunc};
+  while (!RWork.empty()) {
+    FuncId F = RWork.front();
+    RWork.pop_front();
+    for (const CallEdge &CE : PTA.callersOf(F)) {
+      if (CE.Caller == InvalidId || CE.Caller >= P.Funcs.size())
+        continue;
+      if (Reaching.insert(CE.Caller).second)
+        RWork.push_back(CE.Caller);
+    }
+  }
+
+  // Min-index lattice: Mark lowers a block's after-point, never raises it.
+  auto Mark = [&](FuncId F, BlockId B, uint32_t Idx) {
+    auto &Fm = Out->AfterFrom[F];
+    auto It = Fm.find(B);
+    if (It != Fm.end() && It->second <= Idx)
+      return false;
+    Fm[B] = Idx;
+    return true;
+  };
+
+  // Seeds: just past the allocation itself, and just past every call that
+  // may perform it inside the callee.
+  Mark(AS.InFunc, AllocBlock, AllocIdx + 1);
+  for (FuncId F : Reaching)
+    for (const CallEdge &CE : PTA.callersOf(F))
+      if (CE.Caller != InvalidId && CE.Caller < P.Funcs.size())
+        Mark(CE.Caller, CE.At.B, CE.At.Idx + 1);
+
+  // Round-based least fixpoint (order-independent: min is monotone).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Snapshot: the rules add and lower entries while we walk.
+    std::vector<std::pair<FuncId, std::pair<BlockId, uint32_t>>> Items;
+    for (const auto &[F, Fm] : Out->AfterFrom)
+      for (const auto &[B, Idx] : Fm)
+        Items.push_back({F, {B, Idx}});
+    for (const auto &[F, BI] : Items) {
+      const auto [B, Idx] = BI;
+      const Function &Fn = P.Funcs[F];
+      const BasicBlock &BB = Fn.Blocks[B];
+      // The after-suffix runs straight through to the block's end, so
+      // every CFG successor is after from its start.
+      for (BlockId S : Fn.successors(B))
+        Changed |= Mark(F, S, 0);
+      // A call at or past the after-point runs its callees entirely after
+      // the allocation.
+      for (uint32_t I = Idx; I < BB.Insts.size(); ++I) {
+        if (BB.Insts[I].Op != Opcode::Call)
+          continue;
+        for (FuncId Callee : PTA.calleesAt({F, B, I})) {
+          if (Callee >= P.Funcs.size())
+            continue;
+          for (BlockId CB = 0; CB < P.Funcs[Callee].Blocks.size(); ++CB)
+            Changed |= Mark(Callee, CB, 0);
+        }
+      }
+    }
+  }
+  return Out;
+}

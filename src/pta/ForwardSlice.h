@@ -1,0 +1,87 @@
+//===- ForwardSlice.h - Forward reachability slices for witnesses -*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward reachability slices: for an abstract location, the set of basic
+/// blocks control can possibly reach *after* the location's allocation site
+/// has executed. Any concrete witness for a heap edge must allocate each
+/// queried instance before flowing it anywhere, so a backwards query that
+/// still constrains a symbolic instance of location L while standing in a
+/// block the allocation of L can never reach has no concretization — the
+/// witness search refutes it outright (Opts.ForwardSlice, counted under
+/// sym.refute.slice). See docs/PRUNING.md for the soundness argument.
+///
+/// The slice is context-insensitive (a location's slice is its allocation
+/// *site*'s slice) and tracked as, per basic block, the earliest
+/// instruction index from which execution may be past the allocation
+/// ("after-point"), computed over the PTA call graph:
+///
+///   seed:    the point just past the allocation instruction, and — for
+///            every call site whose callee can (transitively) execute the
+///            allocation — the point just past that call.
+///   flow:    an after-point flows forward through its block to the end,
+///            so every CFG successor is after from its start (index 0).
+///   calls:   a call at or past a block's after-point runs its callee
+///            entirely after the allocation (all callee blocks, index 0).
+///
+/// The index lattice makes the crucial distinction the engine needs: a
+/// call site *before* the allocation (or before the returning call that
+/// performs it) does not drag its callee — or, transitively, the whole
+/// program — into the slice. This is a least fixpoint over min-indices,
+/// so the result is order-independent and deterministic; every
+/// over-approximation (context-insensitive call edges, whole-callee
+/// import) only weakens the pruning, never the soundness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_PTA_FORWARDSLICE_H
+#define THRESHER_PTA_FORWARDSLICE_H
+
+#include "pta/PointsTo.h"
+#include "support/IdSet.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace thresher {
+
+/// Lazily computed, memoized forward slices. Thread-safe: a SearchPool's
+/// speculative runs share their engine's instance. Memoization is per
+/// allocation site (all heap contexts of a site share one slice).
+class ForwardSlice {
+public:
+  ForwardSlice(const Program &P, const PointsToResult &PTA)
+      : P(P), PTA(PTA) {}
+
+  /// May control be at the *start* of block (\p F, \p B) with the
+  /// allocation of \p L already executed? Conservative: true when the
+  /// site cannot be located in the IR.
+  bool mayExecuteAfter(AbsLocId L, FuncId F, BlockId B);
+
+private:
+  struct LocSlice {
+    /// Site not locatable (e.g. synthetic/harness allocation): no pruning.
+    bool AlwaysAfter = false;
+    /// Per function: block -> earliest instruction index from which
+    /// execution may be past the allocation. Index 0 means the block
+    /// start itself is reachable after the allocation.
+    std::map<FuncId, std::map<BlockId, uint32_t>> AfterFrom;
+  };
+
+  const LocSlice &sliceFor(AllocSiteId Site);
+  std::unique_ptr<LocSlice> compute(AllocSiteId Site) const;
+
+  const Program &P;
+  const PointsToResult &PTA;
+  std::mutex M;
+  std::unordered_map<AllocSiteId, std::unique_ptr<LocSlice>> Memo;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_PTA_FORWARDSLICE_H

@@ -1,0 +1,139 @@
+//===- Sharded.h - Sharded string-keyed slot map ----------------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concurrency-friendly map from string slots to append-only value lists,
+/// split into independently locked shards so readers and writers touching
+/// different slots rarely contend. The global subsumption registry
+/// (sym/Subsume.h) layers query semantics on top; this container knows
+/// nothing about queries, so it can live in support without dragging the
+/// symbolic layer in.
+///
+/// Determinism contract: values are only appended, never reordered or
+/// removed (except clear()), and every scan sees the entries of its slot in
+/// append order. Callers that need cross-thread determinism must arrange
+/// their publish points deterministically (docs/PRUNING.md); the container
+/// itself only guarantees data-race freedom and per-slot ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SUPPORT_SHARDED_H
+#define THRESHER_SUPPORT_SHARDED_H
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace thresher {
+
+/// FNV-1a shard hash. Deliberately independent of std::hash so shard
+/// assignment (observable through shardSizes(), which tests pin loosely)
+/// does not vary across standard libraries.
+inline size_t shardHashString(std::string_view S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : S) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 0x100000001b3ull;
+  }
+  return static_cast<size_t>(H);
+}
+
+/// Sharded map: slot string -> append-only vector<V>.
+template <typename V, size_t NumShardsT = 16> class ShardedSlotMap {
+public:
+  static constexpr size_t NumShards = NumShardsT;
+
+  /// Appends \p Val to \p Slot's list.
+  void append(const std::string &Slot, V Val) {
+    Shard &Sh = shardOf(Slot);
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    Sh.Slots[Slot].push_back(std::move(Val));
+  }
+
+  /// Calls \p F on each value in \p Slot (append order) under the shard
+  /// lock until F returns true; returns whether F accepted an entry.
+  template <typename Fn> bool scan(const std::string &Slot, Fn &&F) const {
+    const Shard &Sh = shardOf(Slot);
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    auto It = Sh.Slots.find(Slot);
+    if (It == Sh.Slots.end())
+      return false;
+    for (const V &Val : It->second)
+      if (F(Val))
+        return true;
+    return false;
+  }
+
+  /// Appends \p Val unless \p Same accepts an existing entry of the slot.
+  /// Returns true if the value was inserted. Atomic per slot.
+  template <typename Fn>
+  bool appendIfNone(const std::string &Slot, V Val, Fn &&Same) {
+    Shard &Sh = shardOf(Slot);
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    std::vector<V> &Vals = Sh.Slots[Slot];
+    for (const V &Existing : Vals)
+      if (Same(Existing))
+        return false;
+    Vals.push_back(std::move(Val));
+    return true;
+  }
+
+  /// Total values held across all shards.
+  size_t size() const {
+    size_t N = 0;
+    for (const Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> Lock(Sh.M);
+      for (const auto &[Slot, Vals] : Sh.Slots) {
+        (void)Slot;
+        N += Vals.size();
+      }
+    }
+    return N;
+  }
+
+  /// Per-shard value counts (for distribution diagnostics and tests).
+  std::array<size_t, NumShards> shardSizes() const {
+    std::array<size_t, NumShards> Out{};
+    for (size_t I = 0; I < NumShards; ++I) {
+      std::lock_guard<std::mutex> Lock(Shards[I].M);
+      for (const auto &[Slot, Vals] : Shards[I].Slots) {
+        (void)Slot;
+        Out[I] += Vals.size();
+      }
+    }
+    return Out;
+  }
+
+  void clear() {
+    for (Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> Lock(Sh.M);
+      Sh.Slots.clear();
+    }
+  }
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<std::string, std::vector<V>> Slots;
+  };
+
+  Shard &shardOf(const std::string &Slot) {
+    return Shards[shardHashString(Slot) % NumShards];
+  }
+  const Shard &shardOf(const std::string &Slot) const {
+    return Shards[shardHashString(Slot) % NumShards];
+  }
+
+  std::array<Shard, NumShards> Shards;
+};
+
+} // namespace thresher
+
+#endif // THRESHER_SUPPORT_SHARDED_H

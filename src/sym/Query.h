@@ -38,6 +38,8 @@
 
 namespace thresher {
 
+class JsonValue;
+
 /// Dense id of a symbolic variable within one query.
 using SymVarId = uint32_t;
 
@@ -202,6 +204,20 @@ public:
 
   /// Pretty form for diagnostics.
   std::string toString(const Program &P, const AbsLocTable &T) const;
+
+  /// Compact JSON form for registry persistence (see docs/PRUNING.md).
+  /// Serializes position, frames, bindings, cells, regions, and pure
+  /// primitives; trails, loop-crossing counters, and the elems-field cache
+  /// are engine bookkeeping and are not serialized. Ids are dense program
+  /// ids, so a payload is only meaningful for the exact program fingerprint
+  /// it was produced against (the cache guards this with "regfp").
+  JsonValue toJson() const;
+
+  /// Parses what toJson produced; nullopt on any malformed input. The
+  /// round-tripped query is probe-equivalent (canonicalKey and
+  /// queryWeakerThan behave identically) but regenerates path-constraint
+  /// group numbering, so it must not be re-executed by the engine.
+  static std::optional<Query> fromJson(const JsonValue &V);
 
 private:
   void normalizeCells();

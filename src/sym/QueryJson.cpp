@@ -1,0 +1,240 @@
+//===- QueryJson.cpp - Query (de)serialization for registry payloads ------===//
+//
+// Persists refuted queries into the refutation cache so a warm run can
+// republish the same cross-edge subsumption entries a cold run harvested
+// (docs/PRUNING.md). The format is compact positional arrays: payloads ride
+// inside every cache entry of a registry-enabled run, so size matters more
+// than readability here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "sym/Query.h"
+
+using namespace thresher;
+
+namespace {
+
+/// ValRef <-> JSON: null stays JSON null; a symbolic binding is its id.
+JsonValue valToJson(const ValRef &V) {
+  return V.isNull() ? JsonValue() : JsonValue::makeUint(V.Sym);
+}
+
+bool valFromJson(const JsonValue &J, ValRef &Out) {
+  if (J.isNull()) {
+    Out = ValRef::mkNull();
+    return true;
+  }
+  if (!J.isNumber())
+    return false;
+  Out = ValRef::mkSym(static_cast<SymVarId>(J.asUint()));
+  return true;
+}
+
+bool asU32(const JsonValue &J, uint32_t &Out) {
+  if (!J.isNumber())
+    return false;
+  Out = static_cast<uint32_t>(J.asUint());
+  return true;
+}
+
+} // namespace
+
+JsonValue Query::toJson() const {
+  JsonValue Obj = JsonValue::makeObject();
+  JsonValue PosArr = JsonValue::makeArray();
+  PosArr.append(JsonValue::makeUint(Pos.F));
+  PosArr.append(JsonValue::makeUint(Pos.B));
+  PosArr.append(JsonValue::makeUint(Pos.Idx));
+  Obj.set("pos", std::move(PosArr));
+
+  JsonValue FrArr = JsonValue::makeArray();
+  for (const QueryFrame &Fr : Frames) {
+    JsonValue F = JsonValue::makeArray();
+    F.append(JsonValue::makeUint(Fr.Func));
+    F.append(JsonValue::makeUint(Fr.Ctx));
+    F.append(JsonValue::makeBool(Fr.HasCallSite));
+    F.append(JsonValue::makeUint(Fr.CallAt.F));
+    F.append(JsonValue::makeUint(Fr.CallAt.B));
+    F.append(JsonValue::makeUint(Fr.CallAt.Idx));
+    FrArr.append(std::move(F));
+  }
+  Obj.set("frames", std::move(FrArr));
+
+  JsonValue LocArr = JsonValue::makeArray();
+  for (const auto &[K, V] : Locals) {
+    JsonValue L = JsonValue::makeArray();
+    L.append(JsonValue::makeUint(K.first));
+    L.append(JsonValue::makeUint(K.second));
+    L.append(valToJson(V));
+    LocArr.append(std::move(L));
+  }
+  Obj.set("locals", std::move(LocArr));
+
+  JsonValue GlArr = JsonValue::makeArray();
+  for (const auto &[G, V] : Globals) {
+    JsonValue GJ = JsonValue::makeArray();
+    GJ.append(JsonValue::makeUint(G));
+    GJ.append(valToJson(V));
+    GlArr.append(std::move(GJ));
+  }
+  Obj.set("globals", std::move(GlArr));
+
+  JsonValue CellArr = JsonValue::makeArray();
+  for (const HeapCell &C : Cells) {
+    JsonValue CJ = JsonValue::makeArray();
+    CJ.append(JsonValue::makeUint(C.Base));
+    CJ.append(JsonValue::makeUint(C.Field));
+    CJ.append(valToJson(C.Target));
+    CellArr.append(std::move(CJ));
+  }
+  Obj.set("cells", std::move(CellArr));
+
+  JsonValue RegArr = JsonValue::makeArray();
+  for (const auto &[Sym, R] : Regions) {
+    JsonValue RJ = JsonValue::makeArray();
+    RJ.append(JsonValue::makeUint(Sym));
+    RJ.append(JsonValue::makeBool(R.HasData));
+    JsonValue Locs = JsonValue::makeArray();
+    for (AbsLocId L : R.Locs)
+      Locs.append(JsonValue::makeUint(L));
+    RJ.append(std::move(Locs));
+    RegArr.append(std::move(RJ));
+  }
+  Obj.set("regions", std::move(RegArr));
+
+  JsonValue PureArr = JsonValue::makeArray();
+  for (const PurePrim &Pr : Pure.prims()) {
+    JsonValue PJ = JsonValue::makeArray();
+    PJ.append(JsonValue::makeBool(Pr.K == PurePrim::Kind::NE));
+    PJ.append(JsonValue::makeUint(Pr.X));
+    PJ.append(JsonValue::makeUint(Pr.Y));
+    PJ.append(JsonValue::makeInt(Pr.C));
+    PJ.append(JsonValue::makeBool(Pr.IsPath));
+    PureArr.append(std::move(PJ));
+  }
+  Obj.set("pure", std::move(PureArr));
+
+  Obj.set("next", JsonValue::makeUint(NextSym));
+  return Obj;
+}
+
+std::optional<Query> Query::fromJson(const JsonValue &V) {
+  if (!V.isObject())
+    return std::nullopt;
+  Query Q;
+
+  const JsonValue *PosJ = V.find("pos");
+  if (!PosJ || !PosJ->isArray() || PosJ->items().size() != 3)
+    return std::nullopt;
+  if (!asU32(PosJ->items()[0], Q.Pos.F) || !asU32(PosJ->items()[1], Q.Pos.B) ||
+      !asU32(PosJ->items()[2], Q.Pos.Idx))
+    return std::nullopt;
+
+  const JsonValue *FrJ = V.find("frames");
+  if (!FrJ || !FrJ->isArray() || FrJ->items().empty())
+    return std::nullopt;
+  for (const JsonValue &F : FrJ->items()) {
+    if (!F.isArray() || F.items().size() != 6 || !F.items()[2].isBool())
+      return std::nullopt;
+    QueryFrame Fr;
+    Fr.HasCallSite = F.items()[2].asBool();
+    if (!asU32(F.items()[0], Fr.Func) || !asU32(F.items()[1], Fr.Ctx) ||
+        !asU32(F.items()[3], Fr.CallAt.F) ||
+        !asU32(F.items()[4], Fr.CallAt.B) ||
+        !asU32(F.items()[5], Fr.CallAt.Idx))
+      return std::nullopt;
+    Q.Frames.push_back(Fr);
+  }
+
+  const JsonValue *LocJ = V.find("locals");
+  if (!LocJ || !LocJ->isArray())
+    return std::nullopt;
+  for (const JsonValue &L : LocJ->items()) {
+    if (!L.isArray() || L.items().size() != 3)
+      return std::nullopt;
+    uint32_t Frame = 0, Var = 0;
+    ValRef Val;
+    if (!asU32(L.items()[0], Frame) || !asU32(L.items()[1], Var) ||
+        !valFromJson(L.items()[2], Val))
+      return std::nullopt;
+    Q.Locals[{Frame, Var}] = Val;
+  }
+
+  const JsonValue *GlJ = V.find("globals");
+  if (!GlJ || !GlJ->isArray())
+    return std::nullopt;
+  for (const JsonValue &G : GlJ->items()) {
+    if (!G.isArray() || G.items().size() != 2)
+      return std::nullopt;
+    uint32_t Gid = 0;
+    ValRef Val;
+    if (!asU32(G.items()[0], Gid) || !valFromJson(G.items()[1], Val))
+      return std::nullopt;
+    Q.Globals[Gid] = Val;
+  }
+
+  const JsonValue *CellJ = V.find("cells");
+  if (!CellJ || !CellJ->isArray())
+    return std::nullopt;
+  for (const JsonValue &C : CellJ->items()) {
+    if (!C.isArray() || C.items().size() != 3)
+      return std::nullopt;
+    HeapCell Cell;
+    if (!asU32(C.items()[0], Cell.Base) || !asU32(C.items()[1], Cell.Field) ||
+        !valFromJson(C.items()[2], Cell.Target))
+      return std::nullopt;
+    Q.Cells.push_back(Cell);
+  }
+
+  const JsonValue *RegJ = V.find("regions");
+  if (!RegJ || !RegJ->isArray())
+    return std::nullopt;
+  for (const JsonValue &R : RegJ->items()) {
+    if (!R.isArray() || R.items().size() != 3 || !R.items()[1].isBool() ||
+        !R.items()[2].isArray())
+      return std::nullopt;
+    uint32_t Sym = 0;
+    if (!asU32(R.items()[0], Sym))
+      return std::nullopt;
+    Region Reg;
+    Reg.HasData = R.items()[1].asBool();
+    for (const JsonValue &L : R.items()[2].items()) {
+      uint32_t Loc = 0;
+      if (!asU32(L, Loc))
+        return std::nullopt;
+      Reg.Locs.insert(Loc);
+    }
+    Q.Regions.emplace(Sym, std::move(Reg));
+  }
+
+  const JsonValue *PureJ = V.find("pure");
+  if (!PureJ || !PureJ->isArray())
+    return std::nullopt;
+  for (const JsonValue &PJ : PureJ->items()) {
+    if (!PJ.isArray() || PJ.items().size() != 5 || !PJ.items()[0].isBool() ||
+        !PJ.items()[3].isNumber() || !PJ.items()[4].isBool())
+      return std::nullopt;
+    uint32_t X = 0, Y = 0;
+    if (!asU32(PJ.items()[1], X) || !asU32(PJ.items()[2], Y))
+      return std::nullopt;
+    int64_t C = PJ.items()[3].asInt();
+    bool IsNE = PJ.items()[0].asBool();
+    bool IsPath = PJ.items()[4].asBool();
+    // Rebuild through addCmp: semantically identical, though the
+    // path-group numbering restarts (each guard prim lands in its own
+    // group). Round-tripped queries are probed, never re-executed, so the
+    // cap machinery never sees the difference.
+    PureTerm L = X == PurePrim::ZeroVar ? PureTerm::mkConst(0)
+                                        : PureTerm::mkVar(X);
+    PureTerm R = Y == PurePrim::ZeroVar ? PureTerm::mkConst(C)
+                                        : PureTerm::mkVar(Y, C);
+    Q.Pure.addCmp(L, IsNE ? RelOp::NE : RelOp::LE, R, IsPath);
+  }
+
+  const JsonValue *NextJ = V.find("next");
+  if (!NextJ || !NextJ->isNumber())
+    return std::nullopt;
+  Q.NextSym = static_cast<SymVarId>(NextJ->asUint());
+  return Q;
+}

@@ -1,0 +1,195 @@
+//===- Subsume.cpp - Cross-edge query subsumption registry ----------------===//
+
+#include "sym/Subsume.h"
+
+#include "support/Json.h"
+#include "support/SmallMap.h"
+#include "sym/WitnessSearch.h"
+
+using namespace thresher;
+
+//===----------------------------------------------------------------------===//
+// queryWeakerThan (moved verbatim from the engine's per-run history check)
+//===----------------------------------------------------------------------===//
+
+bool thresher::queryWeakerThan(const Query &Weak, const Query &Strong,
+                               Representation Repr) {
+  // Build a mapping from Weak's symbolic variables to Strong's by
+  // walking the shared anchors (locals, globals), then cells. A sorted
+  // small-vector map: these renamings are built and discarded once per
+  // history entry per subsumption check, where std::map's node
+  // allocations dominated the hist.subsumeNanos profile.
+  SmallMap<SymVarId, SymVarId> Map;
+  auto MatchVal = [&](const ValRef &W, const ValRef &St) -> bool {
+    if (W.isNull() || St.isNull())
+      return W.K == St.K;
+    auto It = Map.find(W.Sym);
+    if (It != Map.end())
+      return It->second == St.Sym;
+    Map.emplace(W.Sym, St.Sym);
+    return true;
+  };
+  for (const auto &[K, V] : Weak.Locals) {
+    auto It = Strong.Locals.find(K);
+    if (It == Strong.Locals.end() || !MatchVal(V, It->second))
+      return false;
+  }
+  for (const auto &[G, V] : Weak.Globals) {
+    auto It = Strong.Globals.find(G);
+    if (It == Strong.Globals.end() || !MatchVal(V, It->second))
+      return false;
+  }
+  // Cells: iteratively match cells whose base is mapped.
+  std::vector<const HeapCell *> Pending;
+  for (const HeapCell &C : Weak.Cells)
+    Pending.push_back(&C);
+  std::vector<bool> StrongUsed(Strong.Cells.size(), false);
+  bool Progress = true;
+  while (!Pending.empty() && Progress) {
+    Progress = false;
+    for (size_t I = 0; I < Pending.size(); ++I) {
+      const HeapCell *WC = Pending[I];
+      auto BIt = Map.find(WC->Base);
+      if (BIt == Map.end())
+        continue;
+      bool Found = false;
+      for (size_t J = 0; J < Strong.Cells.size(); ++J) {
+        if (StrongUsed[J])
+          continue;
+        const HeapCell &SC = Strong.Cells[J];
+        if (SC.Base != BIt->second || SC.Field != WC->Field)
+          continue;
+        if (!MatchVal(WC->Target, SC.Target))
+          continue;
+        StrongUsed[J] = true;
+        Found = true;
+        break;
+      }
+      if (!Found)
+        return false;
+      Pending.erase(Pending.begin() + static_cast<ptrdiff_t>(I));
+      Progress = true;
+      break;
+    }
+  }
+  if (!Pending.empty())
+    return false; // Cells with unanchored bases: give up.
+  // Instance-constraint entailment (Eq. § of Sec. 3.3):
+  // Strong's region must be included in Weak's. The fully symbolic
+  // representation cannot perform this check; require equality there.
+  for (const auto &[WSym, SSym] : Map) {
+    const Region &WR = Weak.regionOf(WSym);
+    const Region &SR = Strong.regionOf(SSym);
+    if (Repr == Representation::FullySymbolic) {
+      if (!(WR == SR))
+        return false;
+    } else if (!SR.subsetOf(WR)) {
+      return false;
+    }
+  }
+  // Pure entailment: map Weak's pure constraints into Strong's ids.
+  PureConstraints Mapped;
+  for (PurePrim Pr : Weak.Pure.prims()) {
+    auto MapVar = [&](uint32_t V, bool &Ok) -> uint32_t {
+      if (V == PurePrim::ZeroVar)
+        return V;
+      auto It = Map.find(V);
+      if (It == Map.end()) {
+        Ok = false;
+        return V;
+      }
+      return It->second;
+    };
+    bool Ok = true;
+    Pr.X = MapVar(Pr.X, Ok);
+    Pr.Y = MapVar(Pr.Y, Ok);
+    if (!Ok)
+      return false; // Unanchored pure variable: give up.
+    PureTerm L = Pr.X == PurePrim::ZeroVar ? PureTerm::mkConst(0)
+                                           : PureTerm::mkVar(Pr.X);
+    PureTerm R = Pr.Y == PurePrim::ZeroVar ? PureTerm::mkConst(Pr.C)
+                                           : PureTerm::mkVar(Pr.Y, Pr.C);
+    Mapped.addCmp(L, Pr.K == PurePrim::Kind::LE ? RelOp::LE : RelOp::NE, R,
+                  false);
+  }
+  return Strong.Pure.entails(Mapped);
+}
+
+//===----------------------------------------------------------------------===//
+// SubsumeRegistry
+//===----------------------------------------------------------------------===//
+
+bool SubsumeRegistry::probe(const Query &Q, const std::string &Slot,
+                            const std::string &CanonKey,
+                            Representation Repr) const {
+  return Map.scan(Slot, [&](const Stored &E) {
+    bool Hit = E.CanonKey == CanonKey || queryWeakerThan(E.Q, Q, Repr);
+    if (Hit && HitObserver) {
+      SubsumeEntry SE;
+      SE.Slot = Slot;
+      SE.CanonKey = E.CanonKey;
+      SE.Q = E.Q;
+      HitObserver(SE, Q);
+    }
+    return Hit;
+  });
+}
+
+bool SubsumeRegistry::publish(SubsumeEntry E) {
+  Stored St;
+  St.CanonKey = E.CanonKey;
+  St.Q = std::move(E.Q);
+  return Map.appendIfNone(E.Slot, std::move(St), [&](const Stored &Old) {
+    return Old.CanonKey == E.CanonKey;
+  });
+}
+
+size_t SubsumeRegistry::publishAll(std::vector<SubsumeEntry> Entries) {
+  size_t N = 0;
+  for (SubsumeEntry &E : Entries)
+    N += publish(std::move(E)) ? 1 : 0;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent-cache (de)serialization
+//===----------------------------------------------------------------------===//
+
+std::string
+thresher::subsumeEntriesToJson(const std::vector<SubsumeEntry> &Entries) {
+  JsonValue Arr = JsonValue::makeArray();
+  for (const SubsumeEntry &E : Entries) {
+    JsonValue Obj = JsonValue::makeObject();
+    Obj.set("s", JsonValue::makeString(E.Slot));
+    Obj.set("k", JsonValue::makeString(E.CanonKey));
+    Obj.set("q", E.Q.toJson());
+    Arr.append(std::move(Obj));
+  }
+  return Arr.toString();
+}
+
+bool thresher::subsumeEntriesFromJson(const std::string &Json,
+                                      std::vector<SubsumeEntry> &Out) {
+  Out.clear();
+  JsonValue V;
+  if (!parseJson(Json, V) || !V.isArray())
+    return false;
+  for (const JsonValue &Obj : V.items()) {
+    if (!Obj.isObject())
+      return false;
+    const JsonValue *Slot = Obj.find("s");
+    const JsonValue *Key = Obj.find("k");
+    const JsonValue *QJ = Obj.find("q");
+    if (!Slot || !Slot->isString() || !Key || !Key->isString() || !QJ)
+      return false;
+    std::optional<Query> Q = Query::fromJson(*QJ);
+    if (!Q)
+      return false;
+    SubsumeEntry E;
+    E.Slot = Slot->asString();
+    E.CanonKey = Key->asString();
+    E.Q = std::move(*Q);
+    Out.push_back(std::move(E));
+  }
+  return true;
+}

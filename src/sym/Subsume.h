@@ -1,0 +1,116 @@
+//===- Subsume.h - Cross-edge query subsumption registry --------*- C++ -*-===//
+//
+// Part of the Thresher reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The global subsumption registry: a shared, sharded store of queries that
+/// were *fully refuted* by some completed search run, keyed by
+/// Query::historySlot(). Once a query is registered, any equal-or-stronger
+/// query (exact canonical key, or queryWeakerThan) arising on ANY edge, in
+/// any later run of the same program under the same options, can be pruned
+/// immediately: a backwards refutation depends only on the program, the
+/// points-to solution, and the search options — never on which edge or
+/// producer initiated it.
+///
+/// Soundness: entries must come only from runs whose overall outcome was
+/// Refuted. A per-run history entry merely records that a query was
+/// *explored*; only a fully refuted run certifies that every path from
+/// every explored query was refuted, which is what a cross-edge prune
+/// requires. (Pruning a query because a weaker one was refuted elsewhere
+/// can only remove witness-free subtrees, so WITNESS verdicts can never
+/// flip — the soundness harness in tests/soundness_diff_test.cpp pins
+/// this.)
+///
+/// Determinism: the registry itself is only thread-safe; the deterministic
+/// publication protocol (empty during parallel prefetch, published in
+/// consult order, prefetch results revalidated against their probed slots)
+/// lives in LeakChecker and is documented in docs/PRUNING.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THRESHER_SYM_SUBSUME_H
+#define THRESHER_SYM_SUBSUME_H
+
+#include "support/Sharded.h"
+#include "sym/Query.h"
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace thresher {
+
+enum class Representation : uint8_t; // sym/WitnessSearch.h
+
+/// True if \p Weak is semantically weaker than (entailed by) \p Strong:
+/// refuting Weak refutes Strong, so Strong can be dropped when Weak has
+/// already been recorded (per-run history) or registered as refuted
+/// (registry). Conservative — may say false. Factored out of the engine so
+/// the registry, the per-run history, and the property tests in
+/// tests/solver_test.cpp all exercise the same predicate.
+bool queryWeakerThan(const Query &Weak, const Query &Strong,
+                     Representation Repr);
+
+/// One registrable refuted query: its history slot, its canonical key
+/// (exact-match fast path), and the query itself (weaker-than slow path).
+struct SubsumeEntry {
+  std::string Slot;
+  std::string CanonKey;
+  Query Q;
+};
+
+/// The shared cross-edge registry. All methods are thread-safe; see the
+/// file comment for the determinism contract layered on top.
+class SubsumeRegistry {
+public:
+  /// True if a registered entry in \p Slot subsumes \p Q (same canonical
+  /// key, or registered-weaker-than-Q). \p CanonKey must be
+  /// Q.canonicalKey() (callers already have it computed).
+  bool probe(const Query &Q, const std::string &Slot,
+             const std::string &CanonKey, Representation Repr) const;
+
+  /// Registers \p E unless its slot already holds an entry with the same
+  /// canonical key. Returns true if inserted.
+  bool publish(SubsumeEntry E);
+
+  /// Registers a batch; returns how many were actually inserted.
+  size_t publishAll(std::vector<SubsumeEntry> Entries);
+
+  size_t size() const { return Map.size(); }
+  std::array<size_t, 16> shardSizes() const { return Map.shardSizes(); }
+  void clear() { Map.clear(); }
+
+  /// Test hook: called with the registered entry and the probing query on
+  /// every probe hit. Called under a shard lock — the observer must not
+  /// touch the registry. Set before any concurrent use (not synchronized
+  /// against in-flight probes).
+  void
+  setHitObserver(std::function<void(const SubsumeEntry &, const Query &)> O) {
+    HitObserver = std::move(O);
+  }
+
+private:
+  struct Stored {
+    std::string CanonKey;
+    Query Q;
+  };
+  ShardedSlotMap<Stored, 16> Map;
+  std::function<void(const SubsumeEntry &, const Query &)> HitObserver;
+};
+
+/// Serializes entries for the persistent refutation cache ("reg" field of
+/// a cache entry): a compact JSON array, stable under entry order.
+std::string subsumeEntriesToJson(const std::vector<SubsumeEntry> &Entries);
+
+/// Parses what subsumeEntriesToJson produced. Returns false (leaving \p Out
+/// in an unspecified state) on malformed input — callers treat that as "no
+/// persisted registry payload", never as an error.
+bool subsumeEntriesFromJson(const std::string &Json,
+                            std::vector<SubsumeEntry> &Out);
+
+} // namespace thresher
+
+#endif // THRESHER_SYM_SUBSUME_H

@@ -1,5 +1,6 @@
 #include "sym/WitnessSearch.h"
 
+#include "pta/ForwardSlice.h"
 #include "support/FaultInject.h"
 #include "support/SmallMap.h"
 #include "sym/SearchPool.h"
@@ -32,6 +33,12 @@ public:
       : P(WS.P), PTA(WS.PTA), Opts(WS.Opts), S(WS.S), Deps(WS.Deps),
         Budget(Budget), Gov(WS.Gov) {
     Pool = WS.Pool.get();
+    Slice = WS.Slice.get();
+    Reg = WS.registry();
+    if (Reg) {
+      EdgePend = &WS.EdgePending;
+      Probed = &WS.ProbedSlots;
+    }
     if (Gov) {
       if (WS.ActiveScope) {
         Scope = WS.ActiveScope;
@@ -58,6 +65,12 @@ public:
         Gov(Parent.Gov) {
     Spec = true;
     Shared = &Parent;
+    // The slice, registry, and edge harvest are all frozen for the
+    // duration of a run, so speculative probes against them are exact;
+    // only the probed-slot recording is buffered (RegProbes).
+    Slice = Parent.Slice;
+    Reg = Parent.Reg;
+    EdgePend = Parent.EdgePend;
   }
 
   ~Run() {
@@ -124,6 +137,37 @@ public:
   }
 
   uint64_t stepsUsed() const { return StepsUsed; }
+
+  /// Moves this run's explored-query history into the per-edge harvest,
+  /// deduplicating per slot by canonical key. Only call after run()
+  /// returned Refuted: a history entry records exploration, and only a
+  /// fully refuted run certifies every explored query witness-free —
+  /// which is what a cross-edge prune requires (sym/Subsume.h).
+  void
+  harvestInto(std::map<std::string, std::vector<SubsumeEntry>> &Pending) {
+    for (auto &[Slot, Entries] : History) {
+      std::vector<SubsumeEntry> &Dst = Pending[Slot];
+      for (HistoryEntry &E : Entries) {
+        bool Dup = false;
+        for (const SubsumeEntry &D : Dst)
+          if (D.CanonKey == E.CanonKey) {
+            Dup = true;
+            break;
+          }
+        if (Dup)
+          continue;
+        SubsumeEntry SE;
+        SE.Slot = Slot;
+        SE.CanonKey = std::move(E.CanonKey);
+        SE.Q = std::move(E.Q);
+        SE.Q.Trail.clear();
+        SE.Q.TrailQueries.clear();
+        SE.Q.LoopCrossings.clear();
+        Dst.push_back(std::move(SE));
+      }
+    }
+    History.clear();
+  }
 
 private:
   //--- Worklist management -------------------------------------------------
@@ -234,6 +278,9 @@ private:
       NE.Q = std::move(HI.Q);
       History[HI.Slot].push_back(std::move(NE));
     }
+    if (Probed)
+      for (std::string &Slot : B.RegProbes)
+        Probed->insert(std::move(Slot));
     for (WaveItem &C : B.Worklist)
       Worklist.push_back(std::move(C));
     for (const auto &[Kind, Count] : B.RefuteKinds)
@@ -422,6 +469,8 @@ private:
   }
 
   void atBlockStart(Query Q) {
+    if (outsideSlice(Q))
+      return;
     if (duplicateAtBlockStart(Q))
       return;
     const Function &Fn = P.Funcs[Q.Pos.F];
@@ -616,6 +665,8 @@ private:
             return true;
         }
       }
+      if (registrySubsumed(Q, Slot, Key))
+        return true;
       SpecHistInsert HI;
       HI.Slot = std::move(Slot);
       HI.Seen = Seen;
@@ -633,6 +684,8 @@ private:
       if (weakerThan(E.Q, Q))
         return true;
     }
+    if (registrySubsumed(Q, Slot, Key))
+      return true;
     HistoryEntry NE;
     NE.CanonKey = std::move(Key);
     NE.Q = Q;
@@ -644,107 +697,71 @@ private:
 
   /// True if \p Weak is semantically weaker than (entailed by) \p Strong:
   /// refuting Weak refutes Strong, so Strong can be dropped when Weak has
-  /// already been recorded. Conservative (may say false).
+  /// already been recorded. Conservative (may say false). The predicate
+  /// itself lives in sym/Subsume.cpp so the global registry and the
+  /// property tests exercise exactly the history join's notion of
+  /// subsumption.
   bool weakerThan(const Query &Weak, const Query &Strong) {
-    // Build a mapping from Weak's symbolic variables to Strong's by
-    // walking the shared anchors (locals, globals), then cells. A sorted
-    // small-vector map: these renamings are built and discarded once per
-    // history entry per subsumption check, where std::map's node
-    // allocations dominated the hist.subsumeNanos profile.
-    SmallMap<SymVarId, SymVarId> Map;
-    auto MatchVal = [&](const ValRef &W, const ValRef &St) -> bool {
-      if (W.isNull() || St.isNull())
-        return W.K == St.K;
-      auto It = Map.find(W.Sym);
-      if (It != Map.end())
-        return It->second == St.Sym;
-      Map.emplace(W.Sym, St.Sym);
+    return queryWeakerThan(Weak, Strong, Opts.Repr);
+  }
+
+  /// Cross-edge subsumption probe, called on a per-run history miss: this
+  /// edge's pending harvest first (a refuted producer search prunes its
+  /// sibling producers before anything is published), then the shared
+  /// registry. Both stores are frozen for the duration of a run, so
+  /// speculative probes are exact; slots probed against the shared
+  /// registry without a hit are recorded — buffered during speculation —
+  /// for the prefetch revalidation protocol (docs/PRUNING.md).
+  bool registrySubsumed(const Query &Q, const std::string &Slot,
+                        const std::string &Key) {
+    if (EdgePend) {
+      auto It = EdgePend->find(Slot);
+      if (It != EdgePend->end())
+        for (const SubsumeEntry &E : It->second)
+          if (E.CanonKey == Key || queryWeakerThan(E.Q, Q, Opts.Repr)) {
+            S.bump("sym.subsumedGlobal");
+            return true;
+          }
+    }
+    if (!Reg)
+      return false;
+    if (Reg->probe(Q, Slot, Key, Opts.Repr)) {
+      S.bump("sym.subsumedGlobal");
+      S.bump("par.registryHits");
       return true;
-    };
-    for (const auto &[K, V] : Weak.Locals) {
-      auto It = Strong.Locals.find(K);
-      if (It == Strong.Locals.end() || !MatchVal(V, It->second))
-        return false;
     }
-    for (const auto &[G, V] : Weak.Globals) {
-      auto It = Strong.Globals.find(G);
-      if (It == Strong.Globals.end() || !MatchVal(V, It->second))
-        return false;
-    }
-    // Cells: iteratively match cells whose base is mapped.
-    std::vector<const HeapCell *> Pending;
-    for (const HeapCell &C : Weak.Cells)
-      Pending.push_back(&C);
-    std::vector<bool> StrongUsed(Strong.Cells.size(), false);
-    bool Progress = true;
-    while (!Pending.empty() && Progress) {
-      Progress = false;
-      for (size_t I = 0; I < Pending.size(); ++I) {
-        const HeapCell *WC = Pending[I];
-        auto BIt = Map.find(WC->Base);
-        if (BIt == Map.end())
-          continue;
-        bool Found = false;
-        for (size_t J = 0; J < Strong.Cells.size(); ++J) {
-          if (StrongUsed[J])
-            continue;
-          const HeapCell &SC = Strong.Cells[J];
-          if (SC.Base != BIt->second || SC.Field != WC->Field)
-            continue;
-          if (!MatchVal(WC->Target, SC.Target))
-            continue;
-          StrongUsed[J] = true;
-          Found = true;
+    S.bump("par.registryMisses");
+    if (Spec)
+      RegProbes.push_back(Slot);
+    else if (Probed)
+      Probed->insert(Slot);
+    return false;
+  }
+
+  /// Forward-slice pruning (Opts.ForwardSlice): a query constraining a
+  /// symbolic instance whose allocation can never reach the current block
+  /// has no concretization — the instance must exist (hence have been
+  /// allocated) wherever its binding holds. Checked at block granularity,
+  /// so only at block starts and function entries.
+  bool outsideSlice(Query &Q) {
+    if (!Slice)
+      return false;
+    for (const auto &[Sym, R] : Q.Regions) {
+      if (R.HasData || !R.hasLocs() || !Q.symIsReferenced(Sym))
+        continue;
+      bool Reachable = false;
+      for (AbsLocId L : R.Locs)
+        if (Slice->mayExecuteAfter(L, Q.Pos.F, Q.Pos.B)) {
+          Reachable = true;
           break;
         }
-        if (!Found)
-          return false;
-        Pending.erase(Pending.begin() + static_cast<ptrdiff_t>(I));
-        Progress = true;
-        break;
+      if (!Reachable) {
+        refute(Q, "slice");
+        S.bump("sym.pathsRefuted");
+        return true;
       }
     }
-    if (!Pending.empty())
-      return false; // Cells with unanchored bases: give up.
-    // Instance-constraint entailment (Eq. § of Sec. 3.3):
-    // Strong's region must be included in Weak's. The fully symbolic
-    // representation cannot perform this check; require equality there.
-    for (const auto &[WSym, SSym] : Map) {
-      const Region &WR = Weak.regionOf(WSym);
-      const Region &SR = Strong.regionOf(SSym);
-      if (Opts.Repr == Representation::FullySymbolic) {
-        if (!(WR == SR))
-          return false;
-      } else if (!SR.subsetOf(WR)) {
-        return false;
-      }
-    }
-    // Pure entailment: map Weak's pure constraints into Strong's ids.
-    PureConstraints Mapped;
-    for (PurePrim Pr : Weak.Pure.prims()) {
-      auto MapVar = [&](uint32_t V, bool &Ok) -> uint32_t {
-        if (V == PurePrim::ZeroVar)
-          return V;
-        auto It = Map.find(V);
-        if (It == Map.end()) {
-          Ok = false;
-          return V;
-        }
-        return It->second;
-      };
-      bool Ok = true;
-      Pr.X = MapVar(Pr.X, Ok);
-      Pr.Y = MapVar(Pr.Y, Ok);
-      if (!Ok)
-        return false; // Unanchored pure variable: give up.
-      PureTerm L = Pr.X == PurePrim::ZeroVar ? PureTerm::mkConst(0)
-                                             : PureTerm::mkVar(Pr.X);
-      PureTerm R = Pr.Y == PurePrim::ZeroVar ? PureTerm::mkConst(Pr.C)
-                                             : PureTerm::mkVar(Pr.Y, Pr.C);
-      Mapped.addCmp(L, Pr.K == PurePrim::Kind::LE ? RelOp::LE : RelOp::NE, R,
-                    false);
-    }
-    return Strong.Pure.entails(Mapped);
+    return false;
   }
 
   //--- Assume handling ------------------------------------------------------
@@ -1561,6 +1578,8 @@ private:
   //--- Function entries -------------------------------------------------------
 
   void atFunctionEntry(Query Q) {
+    if (outsideSlice(Q))
+      return;
     const Function &Fn = P.Funcs[Q.Pos.F];
     uint32_t Fi = Q.curFrame();
     // Non-parameter locals are null at entry.
@@ -1784,6 +1803,21 @@ private:
   /// plus history copies); released in the destructor.
   uint64_t OutstandingBytes = 0;
 
+  // --- Cross-edge pruning (see docs/PRUNING.md). ---
+  /// Forward reachability slices (engine-owned; null when disabled).
+  ForwardSlice *Slice = nullptr;
+  /// Shared subsumption registry (frozen during a run; null when off).
+  SubsumeRegistry *Reg = nullptr;
+  /// The engine's per-edge harvest (read-only during a run; null when the
+  /// registry is off).
+  const std::map<std::string, std::vector<SubsumeEntry>> *EdgePend = nullptr;
+  /// Live engine only: registry slots probed without a hit land here.
+  std::set<std::string> *Probed = nullptr;
+  /// Speculation: probed slots buffered here, merged into Probed at the
+  /// item's commit; discarded buffers drop theirs, so nothing is
+  /// over-recorded.
+  std::vector<std::string> RegProbes;
+
   // --- Intra-edge parallelism (see docs/PARALLELISM.md). ---
   /// The engine-owned worker pool; null for a 1-thread search.
   SearchPool *Pool = nullptr;
@@ -1846,6 +1880,12 @@ WitnessSearch::WitnessSearch(const Program &P, const PointsToResult &PTA,
   // every edge this instance searches instead of respawning per edge.
   if (this->Opts.SearchThreads > 1)
     Pool = std::make_unique<SearchPool>(this->Opts.SearchThreads, S);
+  if (this->Opts.ForwardSlice)
+    Slice = std::make_unique<ForwardSlice>(P, PTA);
+  // The owned registry backs the stand-alone engine; callers running the
+  // deterministic cross-engine protocol install their own (setRegistry).
+  if (this->Opts.GlobalSubsume)
+    OwnedRegistry = std::make_unique<SubsumeRegistry>();
 }
 
 WitnessSearch::~WitnessSearch() = default;
@@ -1925,6 +1965,8 @@ EdgeSearchResult WitnessSearch::searchFieldEdgeAt(AbsLocId Base, FieldId Fld,
   }
   Run R(*this, Budget);
   Out.Outcome = R.run(std::move(Q), Out);
+  if (Out.Outcome == SearchOutcome::Refuted && registry())
+    R.harvestInto(EdgePending);
   Budget -= std::min(Budget, Out.StepsUsed);
   return Out;
 }
@@ -1952,7 +1994,39 @@ EdgeSearchResult WitnessSearch::searchGlobalEdgeAt(GlobalId G,
   EdgeSearchResult Out;
   Run R(*this, Budget);
   Out.Outcome = R.run(std::move(Q), Out);
+  if (Out.Outcome == SearchOutcome::Refuted && registry())
+    R.harvestInto(EdgePending);
   Budget -= std::min(Budget, Out.StepsUsed);
+  return Out;
+}
+
+EdgeSearchResult WitnessSearch::searchFrom(Query Q, uint64_t &Budget) {
+  EdgeSearchResult Out;
+  Run R(*this, Budget);
+  Out.Outcome = R.run(std::move(Q), Out);
+  Budget -= std::min(Budget, Out.StepsUsed);
+  return Out;
+}
+
+std::vector<SubsumeEntry> WitnessSearch::takePendingEntries() {
+  std::vector<SubsumeEntry> Out;
+  for (auto &[Slot, Entries] : EdgePending)
+    for (SubsumeEntry &E : Entries)
+      Out.push_back(std::move(E));
+  EdgePending.clear();
+  // The map already yields slot order; per-slot harvest order depends on
+  // the producer-run sequence, so impose (slot, key) order outright.
+  std::sort(Out.begin(), Out.end(),
+            [](const SubsumeEntry &A, const SubsumeEntry &B) {
+              return A.Slot != B.Slot ? A.Slot < B.Slot
+                                      : A.CanonKey < B.CanonKey;
+            });
+  return Out;
+}
+
+std::set<std::string> WitnessSearch::takeProbedSlots() {
+  std::set<std::string> Out = std::move(ProbedSlots);
+  ProbedSlots.clear();
   return Out;
 }
 
@@ -2002,6 +2076,8 @@ searchOverProducers(const std::vector<ProducerSite> &Producers,
 EdgeSearchResult WitnessSearch::searchFieldEdge(AbsLocId Base, FieldId Fld,
                                                 AbsLocId Target) {
   auto T0 = std::chrono::steady_clock::now();
+  EdgePending.clear();
+  ProbedSlots.clear();
   if (Deps)
     Deps->FieldProducers.emplace(Base, Fld, Target);
   std::vector<ProducerSite> Producers =
@@ -2024,6 +2100,7 @@ EdgeSearchResult WitnessSearch::searchFieldEdge(AbsLocId Base, FieldId Fld,
         return One;
       });
   ActiveScope = nullptr;
+  publishOwnedPending();
   emitEdgeTrace(PTA.Locs.label(P, Base) + "." + P.fieldName(Fld) + " -> " +
                     PTA.Locs.label(P, Target),
                 /*IsGlobal=*/false, R, EnumNanos, nanosSince(T1));
@@ -2033,6 +2110,8 @@ EdgeSearchResult WitnessSearch::searchFieldEdge(AbsLocId Base, FieldId Fld,
 EdgeSearchResult WitnessSearch::searchGlobalEdge(GlobalId G,
                                                  AbsLocId Target) {
   auto T0 = std::chrono::steady_clock::now();
+  EdgePending.clear();
+  ProbedSlots.clear();
   if (Deps)
     Deps->GlobalProducers.emplace(G, Target);
   std::vector<ProducerSite> Producers = PTA.producersOfGlobalEdge(G, Target);
@@ -2052,7 +2131,25 @@ EdgeSearchResult WitnessSearch::searchGlobalEdge(GlobalId G,
         return One;
       });
   ActiveScope = nullptr;
+  publishOwnedPending();
   emitEdgeTrace(P.globalName(G) + " -> " + PTA.Locs.label(P, Target),
                 /*IsGlobal=*/true, R, EnumNanos, nanosSince(T1));
   return R;
+}
+
+void WitnessSearch::publishOwnedPending() {
+  // Stand-alone (owned-registry) mode: each edge's harvest becomes
+  // visible to the NEXT edge this engine searches, never mid-edge — the
+  // registry is frozen while any run executes, which the speculative
+  // probe exactness relies on. With an external registry the caller owns
+  // publication (docs/PRUNING.md) and drains the accumulators instead.
+  if (Registry || !OwnedRegistry)
+    return;
+  for (auto &[Slot, Entries] : EdgePending) {
+    (void)Slot;
+    size_t N = OwnedRegistry->publishAll(std::move(Entries));
+    S.bump("par.registryPublished", N);
+  }
+  EdgePending.clear();
+  ProbedSlots.clear();
 }

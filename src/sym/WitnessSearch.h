@@ -32,15 +32,18 @@
 #include "support/Trace.h"
 #include "sym/Footprint.h"
 #include "sym/Query.h"
+#include "sym/Subsume.h"
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace thresher {
 
+class ForwardSlice;
 class SearchPool;
 
 /// Query state representation (Sec. 2.2 / Table 2).
@@ -97,6 +100,18 @@ struct SymOptions {
   /// the sequential commit loop will pop later, so neither this width nor
   /// the thread count changes the exploration order or any result.
   uint32_t SearchWaveWidth = 64;
+  /// Forward reachability slicing (pta/ForwardSlice.h): refute backwards
+  /// states standing in blocks the allocation of a still-constrained
+  /// instance can never reach. Sound block-granular pruning; counted under
+  /// sym.refute.slice, never silent.
+  bool ForwardSlice = true;
+  /// Cross-edge subsumption via the global registry (sym/Subsume.h):
+  /// queries refuted by one edge's (fully refuted) search prune
+  /// equal-or-stronger queries on other edges. Probed inside the history
+  /// join, so it requires QuerySimplification. When no external registry
+  /// is installed (setRegistry), the engine owns one and publishes each
+  /// edge's harvest at the end of searchFieldEdge/searchGlobalEdge.
+  bool GlobalSubsume = true;
 };
 
 /// Outcome of one edge (or statement) search.
@@ -183,12 +198,49 @@ public:
   void setGovernor(ResourceGovernor *G) { Gov = G; }
   ResourceGovernor *governor() const { return Gov; }
 
+  /// Installs an external subsumption registry (nullptr reverts to the
+  /// engine-owned one when Opts.GlobalSubsume). Not owned; must outlive
+  /// the searches. With an external registry the engine NEVER publishes:
+  /// it accumulates each edge's harvest (takePendingEntries) and the slots
+  /// it probed without a hit (takeProbedSlots) for the caller's
+  /// deterministic commit protocol (docs/PRUNING.md). searchFieldEdge /
+  /// searchGlobalEdge reset both accumulators at entry; the direct *At
+  /// entry points only accumulate, so drive whole edges when using this.
+  void setRegistry(SubsumeRegistry *R) { Registry = R; }
+
+  /// The registry probes go to: the external one if installed, else the
+  /// engine-owned one (null when Opts.GlobalSubsume is off).
+  SubsumeRegistry *registry() const {
+    return Registry ? Registry : OwnedRegistry.get();
+  }
+
+  /// Drains the refuted-query harvest of the edge searches since the last
+  /// drain, sorted by (slot, canonical key) — deterministic regardless of
+  /// exploration interleaving.
+  std::vector<SubsumeEntry> takePendingEntries();
+
+  /// Drains the slots probed against the registry without a hit since the
+  /// last drain. A published entry can only change a later search's course
+  /// if that search probes its slot and now hits; re-searching prefetched
+  /// edges whose probed slots intersect newly published ones restores
+  /// sequential-equivalent results (docs/PRUNING.md).
+  std::set<std::string> takeProbedSlots();
+
+  /// Test entry point: runs one backwards search from an arbitrary query
+  /// under \p Budget (decremented by steps used). Used by the registry
+  /// reproducibility property test to re-run a registered query
+  /// stand-alone.
+  EdgeSearchResult searchFrom(Query Q, uint64_t &Budget);
+
 private:
   class Run;
   friend class Run;
 
   /// "func@bb:idx" description of a producing statement.
   std::string describeSite(const ProducerSite &Site) const;
+  /// Owned-registry mode: publishes the finished edge's harvest (no-op
+  /// with an external registry, where the caller owns publication).
+  void publishOwnedPending();
   void emitEdgeTrace(std::string EdgeLabel, bool IsGlobal,
                      const EdgeSearchResult &R, uint64_t EnumNanos,
                      uint64_t SearchNanos);
@@ -208,6 +260,18 @@ private:
   /// searchFieldEdge / searchGlobalEdge; Run falls back to a local scope
   /// when the *At entry points are driven directly).
   ResourceGovernor::EdgeScope *ActiveScope = nullptr;
+  /// Forward reachability slices (null when Opts.ForwardSlice is off).
+  std::unique_ptr<ForwardSlice> Slice;
+  /// External registry (not owned) and the engine-owned fallback.
+  SubsumeRegistry *Registry = nullptr;
+  std::unique_ptr<SubsumeRegistry> OwnedRegistry;
+  /// Refuted-query harvest of the current edge, keyed by slot with
+  /// per-slot canonical-key dedup. Also probed (before the registry) so
+  /// one refuted producer search prunes the next producer of the same
+  /// edge even before anything is published.
+  std::map<std::string, std::vector<SubsumeEntry>> EdgePending;
+  /// Slots probed against the shared registry without a hit.
+  std::set<std::string> ProbedSlots;
 };
 
 } // namespace thresher

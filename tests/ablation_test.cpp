@@ -149,6 +149,56 @@ TEST_P(AblationTest, PrecisionLatticeHolds) {
   }
 }
 
+TEST_P(AblationTest, ReducerSquareVerdictEquivalence) {
+  // The search-reducer ablation: {forward slice off/on} x {global
+  // subsumption off/on} per points-to edge. Unlike the precision axes
+  // above, the reducers are pure pruners — every corner must produce the
+  // SAME outcome as the both-off baseline on every edge, except that a
+  // baseline timeout may improve to a refutation (pruning can finish a
+  // search the budget otherwise could not). In particular no corner may
+  // flip an edge to or from WITNESSED.
+  const CorpusProgram &CP = GetParam();
+  SCOPED_TRACE(CP.Path);
+  std::ifstream In(CP.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  CompileResult CR =
+      CP.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+
+  struct Corner {
+    bool Slice;
+    bool Subsume;
+  };
+  const Corner Corners[] = {
+      {false, false}, {true, false}, {false, true}, {true, true}};
+  std::vector<std::unique_ptr<WitnessSearch>> Engines;
+  for (const Corner &C : Corners) {
+    SymOptions SO;
+    SO.ForwardSlice = C.Slice;
+    SO.GlobalSubsume = C.Subsume;
+    Engines.push_back(std::make_unique<WitnessSearch>(P, *PTA, SO));
+  }
+
+  for (const Edge &E : allEdges(P, *PTA)) {
+    SCOPED_TRACE(edgeLabel(P, *PTA, E));
+    SearchOutcome Base = searchEdge(*Engines[0], E);
+    for (size_t I = 1; I < Engines.size(); ++I) {
+      SCOPED_TRACE("slice=" + std::to_string(Corners[I].Slice) +
+                   " subsume=" + std::to_string(Corners[I].Subsume));
+      SearchOutcome O = searchEdge(*Engines[I], E);
+      if (Base == SearchOutcome::BudgetExhausted)
+        EXPECT_NE(O, SearchOutcome::Witnessed)
+            << "reducer turned a timeout into a witness";
+      else
+        EXPECT_EQ(O, Base) << "reducer changed a decided verdict";
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Files, AblationTest, ::testing::ValuesIn(allPrograms()),
     [](const ::testing::TestParamInfo<CorpusProgram> &Info) {

@@ -181,6 +181,116 @@ TEST_P(ParallelDiffTest, ThreadCountInvariance) {
   }
 }
 
+TEST_P(ParallelDiffTest, RegistryModeThreadCountInvariance) {
+  // The global subsumption registry must not leak thread scheduling into
+  // any deterministic output: with the registry ON and with it OFF, the
+  // deterministic JSON report must be byte-identical across the whole
+  // {edge-threads 1,2} x {search-threads 1,2,4} cross-product. (Verdict
+  // equivalence BETWEEN the two modes is the soundness harness's job —
+  // here each mode is only held to its own sequential baseline.)
+  const CorpusProgram &CP = GetParam();
+  SCOPED_TRACE(CP.Path);
+  std::ifstream In(CP.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  CompileResult CR =
+      CP.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ClassId Act = activityBaseClass(P);
+  if (Act == InvalidId)
+    Act = 0;
+
+  struct ThreadConfig {
+    unsigned EdgeThreads;
+    unsigned SearchThreads;
+  };
+  const ThreadConfig Configs[] = {{1, 1}, {1, 2}, {1, 4},
+                                  {2, 1}, {2, 2}, {2, 4}};
+  for (bool Subsume : {true, false}) {
+    SCOPED_TRACE(Subsume ? "subsume=on" : "subsume=off");
+    std::string BaseJson;
+    for (const ThreadConfig &TC : Configs) {
+      SCOPED_TRACE("edgeThreads=" + std::to_string(TC.EdgeThreads) +
+                   " searchThreads=" + std::to_string(TC.SearchThreads));
+      SymOptions SO;
+      SO.SearchThreads = TC.SearchThreads;
+      SO.GlobalSubsume = Subsume;
+      LeakChecker LC(P, *PTA, Act, SO);
+      LeakReport R = LC.run(TC.EdgeThreads);
+      ReportJsonOptions JO;
+      JO.DeterministicOnly = true;
+      std::string Json = LC.buildJsonReport(R, JO).toString(2);
+      if (BaseJson.empty())
+        BaseJson = std::move(Json);
+      else
+        EXPECT_EQ(Json, BaseJson);
+    }
+  }
+}
+
+TEST(GovernedParallelDiffTest, RegistryModeMidEdgeTimeoutInvariance) {
+  // The governed (mid-edge deterministic deadline) variant of the
+  // registry-mode invariance: prefetched searches are cut off mid-edge
+  // and re-searched by the sequential consult loop when published
+  // registry entries intersect their probed slots; the outcome must
+  // still not depend on either thread count, in both registry modes.
+  auto Programs = allPrograms();
+  const CorpusProgram *Pick = nullptr;
+  for (const CorpusProgram &CP : Programs)
+    if (CP.Android) {
+      Pick = &CP;
+      break;
+    }
+  ASSERT_NE(Pick, nullptr);
+  std::ifstream In(Pick->Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  CompileResult CR = compileAndroidApp(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ClassId Act = activityBaseClass(P);
+  ASSERT_NE(Act, InvalidId);
+
+  struct ThreadConfig {
+    unsigned EdgeThreads;
+    unsigned SearchThreads;
+  };
+  const ThreadConfig Configs[] = {{1, 1}, {1, 2}, {1, 4},
+                                  {2, 1}, {2, 2}, {2, 4}};
+  for (bool Subsume : {true, false}) {
+    SCOPED_TRACE(Subsume ? "subsume=on" : "subsume=off");
+    std::string BaseJson;
+    for (const ThreadConfig &TC : Configs) {
+      SCOPED_TRACE("edgeThreads=" + std::to_string(TC.EdgeThreads) +
+                   " searchThreads=" + std::to_string(TC.SearchThreads));
+      GovernorConfig GC;
+      GC.Deterministic = true;
+      GC.StepsPerMs = 1;
+      GC.EdgeTimeoutMs = 5;
+      ResourceGovernor G(GC);
+      SymOptions SO;
+      SO.SearchThreads = TC.SearchThreads;
+      SO.GlobalSubsume = Subsume;
+      LeakChecker LC(P, *PTA, Act, SO);
+      LC.setGovernor(&G);
+      LeakReport R = LC.run(TC.EdgeThreads);
+      ReportJsonOptions JO;
+      JO.DeterministicOnly = true;
+      std::string Json = LC.buildJsonReport(R, JO).toString(2);
+      if (BaseJson.empty()) {
+        ASSERT_GT(R.TimeoutEdges, 0u);
+        BaseJson = std::move(Json);
+      } else {
+        EXPECT_EQ(Json, BaseJson);
+      }
+      EXPECT_EQ(G.memInUse(), 0u);
+    }
+  }
+}
+
 TEST(GovernedParallelDiffTest, MidEdgeTimeoutIsThreadConfigInvariant) {
   // A deterministic step-denominated edge deadline cuts every real search
   // off mid-edge. The degraded verdicts (TIMEOUT, reason "deadline"), the

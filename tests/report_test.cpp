@@ -166,7 +166,7 @@ TEST(ReportTest, SchemaVersionStamped) {
   ASSERT_NE(Doc.find("schema"), nullptr);
   EXPECT_EQ(Doc.find("schema")->asString(),
             LeakChecker::ReportSchemaVersion);
-  EXPECT_STREQ(LeakChecker::ReportSchemaVersion, "thresher-report/v1.1");
+  EXPECT_STREQ(LeakChecker::ReportSchemaVersion, "thresher-report/v1.2");
 }
 
 TEST(ReportTest, SummaryMatchesReportFields) {

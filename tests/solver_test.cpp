@@ -246,3 +246,106 @@ TEST(PureSolverTest, ImpliedBoundsAreTight) {
   Q2.addCmp(V(0), RelOp::GT, C(7), false);
   EXPECT_TRUE(Q2.isSatisfiable());
 }
+
+//===----------------------------------------------------------------------===//
+// queryWeakerThan order properties (sym/Subsume.h)
+//===----------------------------------------------------------------------===//
+//
+// The subsumption registry and the per-run history both prune through
+// queryWeakerThan, so it must behave like a preorder on queries: every
+// query subsumes itself (reflexivity — otherwise the exact-key fast path
+// and the weaker-than slow path disagree), and subsumption must chain
+// (transitivity — the registry keeps the weakest representative per slot
+// and relies on weaker(A,B) ∧ weaker(B,C) ⇒ weaker(A,C) to prune C after
+// deduplicating B away). Exercised over randomly generated strengthening
+// chains: A is weakened from B which is weakened from C by widening
+// instance regions and dropping pure constraints, the two moves the
+// engine's own weakening performs.
+
+#include "sym/Query.h"
+#include "sym/Subsume.h"
+#include "sym/WitnessSearch.h"
+
+namespace {
+
+/// Random base query: locals 0..N-1 bound to fresh syms over random
+/// regions from a small universe, plus random pure bounds on the syms.
+Query randomQuery(std::mt19937 &Rng, std::vector<SymVarId> &Syms) {
+  Query Q;
+  QueryFrame F;
+  F.Func = 0;
+  Q.Frames.push_back(F);
+  Q.Pos = {0, 0, 0};
+  std::uniform_int_distribution<int> NLocals(1, 3), Loc(1, 6), Coin(0, 1);
+  int N = NLocals(Rng);
+  for (int I = 0; I < N; ++I) {
+    IdSet Locs;
+    Locs.insert(static_cast<uint32_t>(Loc(Rng)));
+    if (Coin(Rng))
+      Locs.insert(static_cast<uint32_t>(Loc(Rng)));
+    SymVarId S = Q.freshSym(Region::ofLocs(std::move(Locs)));
+    Q.setLocal(0, static_cast<uint32_t>(I), ValRef::mkSym(S));
+    Syms.push_back(S);
+  }
+  return Q;
+}
+
+/// Strengthens \p Q in place: narrows one region to a single location
+/// and/or adds a pure upper bound on a random sym. Returns true if a
+/// region was STRICTLY narrowed (used for the non-symmetry check).
+bool strengthen(Query &Q, const std::vector<SymVarId> &Syms,
+                std::mt19937 &Rng) {
+  std::uniform_int_distribution<size_t> Pick(0, Syms.size() - 1);
+  std::uniform_int_distribution<int> Coin(0, 1), Bound(0, 20);
+  bool Narrowed = false;
+  SymVarId S = Syms[Pick(Rng)];
+  Region &R = Q.regionOf(S);
+  if (R.Locs.size() > 1) {
+    uint32_t Keep = *R.Locs.begin();
+    R = Region::ofLocs(IdSet{Keep});
+    Narrowed = true;
+  }
+  if (Coin(Rng)) {
+    SymVarId T = Syms[Pick(Rng)];
+    Q.Pure.addCmp(PureTerm::mkVar(T), RelOp::LE,
+                  PureTerm::mkConst(Bound(Rng)), false);
+  }
+  return Narrowed;
+}
+
+} // namespace
+
+TEST(QueryWeakerThanTest, ReflexiveOnRandomQueries) {
+  std::mt19937 Rng(7);
+  for (int Round = 0; Round < 100; ++Round) {
+    std::vector<SymVarId> Syms;
+    Query Q = randomQuery(Rng, Syms);
+    EXPECT_TRUE(queryWeakerThan(Q, Q, Representation::Mixed));
+    EXPECT_TRUE(queryWeakerThan(Q, Q, Representation::FullySymbolic));
+  }
+}
+
+TEST(QueryWeakerThanTest, TransitiveAlongStrengtheningChains) {
+  std::mt19937 Rng(7);
+  int StrictChains = 0;
+  for (int Round = 0; Round < 100; ++Round) {
+    std::vector<SymVarId> Syms;
+    Query A = randomQuery(Rng, Syms); // Weakest.
+    Query B = A;
+    bool NarrowedB = strengthen(B, Syms, Rng);
+    Query C = B;
+    strengthen(C, Syms, Rng);
+    // The chain holds by construction...
+    ASSERT_TRUE(queryWeakerThan(A, B, Representation::Mixed));
+    ASSERT_TRUE(queryWeakerThan(B, C, Representation::Mixed));
+    // ...and must compose.
+    EXPECT_TRUE(queryWeakerThan(A, C, Representation::Mixed));
+    // Strict narrowing must not be symmetric: the narrowed query's
+    // refutation says nothing about the wide one.
+    if (NarrowedB) {
+      EXPECT_FALSE(queryWeakerThan(B, A, Representation::Mixed));
+      ++StrictChains;
+    }
+  }
+  EXPECT_GT(StrictChains, 10) << "generator produced no strict chains";
+}

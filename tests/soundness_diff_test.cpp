@@ -1,0 +1,236 @@
+//===- soundness_diff_test.cpp - Reducer off/on soundness harness ---------===//
+//
+// The refutation-soundness differential harness for the two search
+// reducers (forward reachability slicing and the global subsumption
+// registry). For every corpus program, the full checker runs with the
+// reducers off (the baseline) and in every other corner of the
+// {slice off/on} x {subsume off/on} square. The reducers may only ever
+// REMOVE witness-free work:
+//
+//   * an alarm the baseline refutes stays refuted, and an alarm the
+//     baseline witnesses stays witnessed (a flip in either direction
+//     means a reducer pruned a real witness or invented one);
+//   * per consulted edge, REFUTED stays REFUTED and WITNESSED stays
+//     WITNESSED; only TIMEOUT may improve to REFUTED (pruning can finish
+//     a search the baseline's budget could not);
+//   * the surviving-path descriptions of witnessed alarms are identical.
+//
+// A governed variant repeats the square under a deterministic
+// step-denominated deadline so the TIMEOUT -> REFUTED improvement arm is
+// actually exercised rather than vacuously true.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "leak/LeakChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct CorpusProgram {
+  std::string Path;
+  bool Android = false;
+};
+
+std::vector<CorpusProgram> allPrograms() {
+  std::vector<CorpusProgram> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".mj")
+      continue;
+    CorpusProgram CP;
+    CP.Path = Entry.path().string();
+    std::ifstream In(CP.Path);
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.rfind("// ANDROID", 0) == 0)
+        CP.Android = true;
+    Out.push_back(CP);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const CorpusProgram &A, const CorpusProgram &B) {
+              return A.Path < B.Path;
+            });
+  return Out;
+}
+
+struct ReducerConfig {
+  bool Slice;
+  bool Subsume;
+};
+
+constexpr ReducerConfig Square[] = {
+    {false, false}, {true, false}, {false, true}, {true, true}};
+
+std::string cfgName(const ReducerConfig &C) {
+  return std::string("slice=") + (C.Slice ? "on" : "off") +
+         " subsume=" + (C.Subsume ? "on" : "off");
+}
+
+/// Runs the checker on \p P with the reducer corner \p C, optionally under
+/// a deterministic step deadline of \p DeadlineMs (0 = ungoverned).
+LeakReport runConfig(const Program &P, const PointsToResult &PTA,
+                     ClassId Act, const ReducerConfig &C,
+                     uint32_t DeadlineMs) {
+  SymOptions SO;
+  SO.ForwardSlice = C.Slice;
+  SO.GlobalSubsume = C.Subsume;
+  LeakChecker LC(P, PTA, Act, SO);
+  if (DeadlineMs > 0) {
+    GovernorConfig GC;
+    GC.Deterministic = true;
+    GC.StepsPerMs = 1;
+    GC.EdgeTimeoutMs = DeadlineMs;
+    ResourceGovernor G(GC);
+    LC.setGovernor(&G);
+    return LC.run(1);
+  }
+  return LC.run(1);
+}
+
+/// Checks the reducer soundness rules of \p R against baseline \p Base.
+void expectSoundAgainstBaseline(const LeakReport &Base, const LeakReport &R) {
+  // Alarms: the alarm list is derived from the points-to solution, which
+  // no reducer touches, so it is the same set in the same order.
+  ASSERT_EQ(R.Alarms.size(), Base.Alarms.size());
+  for (size_t A = 0; A < R.Alarms.size(); ++A) {
+    const AlarmResult &BA = Base.Alarms[A];
+    const AlarmResult &RA = R.Alarms[A];
+    EXPECT_EQ(RA.Source, BA.Source);
+    EXPECT_EQ(RA.Activity, BA.Activity);
+    switch (BA.Status) {
+    case AlarmStatus::Refuted:
+      EXPECT_EQ(RA.Status, AlarmStatus::Refuted)
+          << "reducer un-refuted alarm " << A;
+      break;
+    case AlarmStatus::Witnessed:
+      EXPECT_EQ(RA.Status, AlarmStatus::Witnessed)
+          << "reducer flipped witnessed alarm " << A;
+      EXPECT_EQ(RA.PathDescription, BA.PathDescription);
+      break;
+    case AlarmStatus::Timeout:
+      // Pruning may let the search finish: TIMEOUT improving to REFUTED
+      // is the one permitted change. Witnessing is not: a timed-out path
+      // had no witness, and reducers never add one.
+      EXPECT_NE(RA.Status, AlarmStatus::Witnessed)
+          << "reducer invented a witness for timed-out alarm " << A;
+      break;
+    }
+  }
+
+  // Per-edge verdicts over the common consulted labels (pruning can
+  // change which edges the threshing loop needs to consult).
+  std::map<std::string, SearchOutcome> BaseEdges;
+  for (const EdgeVerdict &E : Base.Edges)
+    BaseEdges.emplace(E.Label, E.Outcome);
+  for (const EdgeVerdict &E : R.Edges) {
+    auto It = BaseEdges.find(E.Label);
+    if (It == BaseEdges.end())
+      continue;
+    switch (It->second) {
+    case SearchOutcome::Refuted:
+      EXPECT_EQ(E.Outcome, SearchOutcome::Refuted) << E.Label;
+      break;
+    case SearchOutcome::Witnessed:
+      EXPECT_EQ(E.Outcome, SearchOutcome::Witnessed) << E.Label;
+      break;
+    case SearchOutcome::BudgetExhausted:
+      EXPECT_NE(E.Outcome, SearchOutcome::Witnessed)
+          << E.Label << ": reducer turned a timeout into a witness";
+      break;
+    }
+  }
+}
+
+ClassId pickActivity(const Program &P, const PointsToResult &PTA) {
+  ClassId Act = activityBaseClass(P);
+  if (Act != InvalidId)
+    return Act;
+  // Plain programs: pick the class with the most alarms (see
+  // parallel_diff_test.cpp), falling back to class 0.
+  Act = 0;
+  uint32_t BestAlarms = 0;
+  for (ClassId C = 0; C < P.Classes.size(); ++C) {
+    LeakChecker Probe(P, PTA, C);
+    uint32_t N = Probe.run(1).NumAlarms;
+    if (N > BestAlarms) {
+      BestAlarms = N;
+      Act = C;
+    }
+  }
+  return Act;
+}
+
+class SoundnessDiffTest : public ::testing::TestWithParam<CorpusProgram> {};
+
+} // namespace
+
+TEST_P(SoundnessDiffTest, ReducersNeverFlipVerdicts) {
+  const CorpusProgram &CP = GetParam();
+  SCOPED_TRACE(CP.Path);
+  std::ifstream In(CP.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  CompileResult CR =
+      CP.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ASSERT_GT(P.Classes.size(), 0u);
+  ClassId Act = pickActivity(P, *PTA);
+
+  LeakReport Base = runConfig(P, *PTA, Act, Square[0], /*DeadlineMs=*/0);
+  for (size_t I = 1; I < std::size(Square); ++I) {
+    SCOPED_TRACE(cfgName(Square[I]));
+    LeakReport R = runConfig(P, *PTA, Act, Square[I], /*DeadlineMs=*/0);
+    expectSoundAgainstBaseline(Base, R);
+  }
+}
+
+TEST_P(SoundnessDiffTest, ReducersNeverFlipVerdictsGoverned) {
+  // Same square under a tight deterministic step deadline, so the
+  // baseline actually produces TIMEOUT verdicts and the
+  // TIMEOUT -> REFUTED improvement arm is exercised.
+  const CorpusProgram &CP = GetParam();
+  SCOPED_TRACE(CP.Path);
+  std::ifstream In(CP.Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  CompileResult CR =
+      CP.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+  ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+  const Program &P = *CR.Prog;
+  auto PTA = PointsToAnalysis(P).run();
+  ASSERT_GT(P.Classes.size(), 0u);
+  ClassId Act = pickActivity(P, *PTA);
+
+  LeakReport Base = runConfig(P, *PTA, Act, Square[0], /*DeadlineMs=*/25);
+  for (size_t I = 1; I < std::size(Square); ++I) {
+    SCOPED_TRACE(cfgName(Square[I]));
+    LeakReport R = runConfig(P, *PTA, Act, Square[I], /*DeadlineMs=*/25);
+    expectSoundAgainstBaseline(Base, R);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, SoundnessDiffTest, ::testing::ValuesIn(allPrograms()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      std::string Name =
+          std::filesystem::path(Info.param.Path).stem().string();
+      for (char &Ch : Name)
+        if (!isalnum(static_cast<unsigned char>(Ch)))
+          Ch = '_';
+      return Name;
+    });

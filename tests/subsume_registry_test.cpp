@@ -1,0 +1,315 @@
+//===- subsume_registry_test.cpp - Cross-edge subsumption registry --------===//
+//
+// Unit and property tests for the global subsumption registry
+// (sym/Subsume.h): exact-key and weaker-than lookup semantics, shard
+// distribution, thread-safety under a concurrent publish/probe hammer
+// (meaningful under TSan), and the soundness property the whole design
+// rests on: every registry hit must be reproducible by re-running the
+// pruned query stand-alone with the registry disabled and obtaining a
+// refutation. A hit that a stand-alone search cannot reproduce would mean
+// the registry invented a refutation, which is exactly the bug class the
+// cross-edge design must exclude.
+//
+//===----------------------------------------------------------------------===//
+
+#include "android/AndroidModel.h"
+#include "sym/Subsume.h"
+#include "sym/WitnessSearch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace thresher;
+
+#ifndef THRESHER_CORPUS_DIR
+#error "THRESHER_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+/// A minimal query anchored at a dummy frame, one local bound to a fresh
+/// symbolic variable over \p Locs.
+Query mkQuery(IdSet Locs, uint32_t Local = 0) {
+  Query Q;
+  QueryFrame F;
+  F.Func = 0;
+  Q.Frames.push_back(F);
+  Q.Pos = {0, 0, 0};
+  SymVarId S = Q.freshSym(Region::ofLocs(std::move(Locs)));
+  Q.setLocal(0, Local, ValRef::mkSym(S));
+  return Q;
+}
+
+SubsumeEntry mkEntry(const Query &Q) {
+  SubsumeEntry E;
+  E.Slot = Q.historySlot();
+  E.CanonKey = Q.canonicalKey();
+  E.Q = Q;
+  return E;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lookup semantics
+//===----------------------------------------------------------------------===//
+
+TEST(SubsumeRegistryTest, ExactKeyHit) {
+  SubsumeRegistry Reg;
+  Query Q = mkQuery(IdSet{1, 2});
+  EXPECT_FALSE(
+      Reg.probe(Q, Q.historySlot(), Q.canonicalKey(), Representation::Mixed));
+  EXPECT_TRUE(Reg.publish(mkEntry(Q)));
+  EXPECT_TRUE(
+      Reg.probe(Q, Q.historySlot(), Q.canonicalKey(), Representation::Mixed));
+  EXPECT_EQ(Reg.size(), 1u);
+}
+
+TEST(SubsumeRegistryTest, DuplicateKeyNotReinserted) {
+  SubsumeRegistry Reg;
+  Query Q = mkQuery(IdSet{1, 2});
+  EXPECT_TRUE(Reg.publish(mkEntry(Q)));
+  EXPECT_FALSE(Reg.publish(mkEntry(Q)));
+  EXPECT_EQ(Reg.size(), 1u);
+}
+
+TEST(SubsumeRegistryTest, WeakerEntrySubsumesStrongerProbe) {
+  // Refuting the weaker query (wider region, fewer pure constraints)
+  // refutes every stronger one, so registering it must prune them.
+  SubsumeRegistry Reg;
+  Query Weak = mkQuery(IdSet{1, 2, 3});
+  ASSERT_TRUE(Reg.publish(mkEntry(Weak)));
+
+  Query Strong = mkQuery(IdSet{1, 2}); // Narrower region, same shape.
+  ASSERT_EQ(Strong.historySlot(), Weak.historySlot());
+  ASSERT_NE(Strong.canonicalKey(), Weak.canonicalKey());
+  EXPECT_TRUE(Reg.probe(Strong, Strong.historySlot(), Strong.canonicalKey(),
+                        Representation::Mixed));
+
+  // The fully symbolic representation cannot check region inclusion, so
+  // the same probe must miss there (equality is required).
+  EXPECT_FALSE(Reg.probe(Strong, Strong.historySlot(), Strong.canonicalKey(),
+                         Representation::FullySymbolic));
+}
+
+TEST(SubsumeRegistryTest, StrongerEntryDoesNotSubsumeWeakerProbe) {
+  // The converse direction would be unsound: refuting a narrow query says
+  // nothing about a wider one.
+  SubsumeRegistry Reg;
+  Query Strong = mkQuery(IdSet{1});
+  ASSERT_TRUE(Reg.publish(mkEntry(Strong)));
+  Query Weak = mkQuery(IdSet{1, 2});
+  EXPECT_FALSE(Reg.probe(Weak, Weak.historySlot(), Weak.canonicalKey(),
+                         Representation::Mixed));
+}
+
+TEST(SubsumeRegistryTest, DifferentShapeMisses) {
+  SubsumeRegistry Reg;
+  Query Q = mkQuery(IdSet{1, 2});
+  ASSERT_TRUE(Reg.publish(mkEntry(Q)));
+  Query Other = mkQuery(IdSet{1, 2}, /*Local=*/7); // Different local slot.
+  EXPECT_FALSE(Reg.probe(Other, Other.historySlot(), Other.canonicalKey(),
+                         Representation::Mixed));
+}
+
+TEST(SubsumeRegistryTest, HitObserverSeesEntryAndProbe) {
+  SubsumeRegistry Reg;
+  Query Weak = mkQuery(IdSet{1, 2, 3});
+  ASSERT_TRUE(Reg.publish(mkEntry(Weak)));
+  std::vector<std::pair<std::string, std::string>> Hits;
+  Reg.setHitObserver([&](const SubsumeEntry &E, const Query &Probe) {
+    Hits.emplace_back(E.CanonKey, Probe.canonicalKey());
+  });
+  Query Strong = mkQuery(IdSet{1});
+  ASSERT_TRUE(Reg.probe(Strong, Strong.historySlot(), Strong.canonicalKey(),
+                        Representation::Mixed));
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].first, Weak.canonicalKey());
+  EXPECT_EQ(Hits[0].second, Strong.canonicalKey());
+}
+
+//===----------------------------------------------------------------------===//
+// Sharding
+//===----------------------------------------------------------------------===//
+
+TEST(SubsumeRegistryTest, ShardDistribution) {
+  // ~64 distinct slots must spread over multiple shards and the shard
+  // sizes must account for every entry (no slot lost, none double-held).
+  SubsumeRegistry Reg;
+  Query Q = mkQuery(IdSet{1});
+  for (int I = 0; I < 64; ++I) {
+    SubsumeEntry E = mkEntry(Q);
+    E.Slot = "slot-" + std::to_string(I);
+    ASSERT_TRUE(Reg.publish(std::move(E)));
+  }
+  EXPECT_EQ(Reg.size(), 64u);
+  auto Sizes = Reg.shardSizes();
+  size_t Sum = 0, NonEmpty = 0;
+  for (size_t N : Sizes) {
+    Sum += N;
+    NonEmpty += N > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(Sum, 64u);
+  EXPECT_GT(NonEmpty, 1u) << "all slots hashed to one shard";
+
+  Reg.clear();
+  EXPECT_EQ(Reg.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency (run under TSan in CI)
+//===----------------------------------------------------------------------===//
+
+TEST(SubsumeRegistryTest, ConcurrentPublishProbeHammer) {
+  SubsumeRegistry Reg;
+  constexpr int Threads = 8;
+  constexpr int PerThread = 200;
+  std::atomic<size_t> Inserted{0};
+  std::atomic<size_t> Hits{0};
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T) {
+    Pool.emplace_back([&, T] {
+      Query Q = mkQuery(IdSet{1, 2});
+      for (int I = 0; I < PerThread; ++I) {
+        // Half the slots are shared across threads (contended inserts and
+        // duplicate suppression), half are private.
+        std::string Slot = I % 2 == 0
+                               ? "shared-" + std::to_string(I)
+                               : "t" + std::to_string(T) + "-" +
+                                     std::to_string(I);
+        SubsumeEntry E = mkEntry(Q);
+        E.Slot = Slot;
+        if (Reg.publish(std::move(E)))
+          Inserted.fetch_add(1, std::memory_order_relaxed);
+        if (Reg.probe(Q, Slot, Q.canonicalKey(), Representation::Mixed))
+          Hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread &Th : Pool)
+    Th.join();
+  // Shared slots dedupe to one entry each; private slots all land.
+  const size_t SharedSlots = PerThread / 2;
+  const size_t PrivateSlots = static_cast<size_t>(Threads) * (PerThread / 2);
+  EXPECT_EQ(Inserted.load(), SharedSlots + PrivateSlots);
+  EXPECT_EQ(Reg.size(), SharedSlots + PrivateSlots);
+  // Every probe follows this thread's own publish of the same slot.
+  EXPECT_EQ(Hits.load(), static_cast<size_t>(Threads) * PerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(SubsumeRegistryTest, JsonRoundTripPreservesProbeBehaviour) {
+  std::vector<SubsumeEntry> Entries;
+  Entries.push_back(mkEntry(mkQuery(IdSet{1, 2, 3})));
+  Entries.push_back(mkEntry(mkQuery(IdSet{4}, /*Local=*/2)));
+  std::string Json = subsumeEntriesToJson(Entries);
+  std::vector<SubsumeEntry> Back;
+  ASSERT_TRUE(subsumeEntriesFromJson(Json, Back));
+  ASSERT_EQ(Back.size(), Entries.size());
+  SubsumeRegistry Reg;
+  Reg.publishAll(std::move(Back));
+  Query Strong = mkQuery(IdSet{1});
+  EXPECT_TRUE(Reg.probe(Strong, Strong.historySlot(), Strong.canonicalKey(),
+                        Representation::Mixed));
+}
+
+TEST(SubsumeRegistryTest, MalformedJsonRejected) {
+  std::vector<SubsumeEntry> Out;
+  EXPECT_FALSE(subsumeEntriesFromJson("not json", Out));
+  EXPECT_FALSE(subsumeEntriesFromJson("{\"s\":1}", Out));
+  EXPECT_FALSE(subsumeEntriesFromJson("[{\"s\":\"x\"}]", Out));
+  EXPECT_TRUE(subsumeEntriesFromJson("[]", Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Reproducibility property (the registry's soundness contract)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CorpusProgram {
+  std::string Path;
+  bool Android = false;
+};
+
+std::vector<CorpusProgram> allPrograms() {
+  std::vector<CorpusProgram> Out;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(THRESHER_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".mj")
+      continue;
+    CorpusProgram CP;
+    CP.Path = Entry.path().string();
+    std::ifstream In(CP.Path);
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.rfind("// ANDROID", 0) == 0)
+        CP.Android = true;
+    Out.push_back(CP);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const CorpusProgram &A, const CorpusProgram &B) {
+              return A.Path < B.Path;
+            });
+  return Out;
+}
+
+} // namespace
+
+TEST(SubsumeRegistryTest, EveryHitReproducibleStandalone) {
+  // Drive the engine (owned-registry mode) over every points-to edge of
+  // every corpus program with an observer recording each registry hit's
+  // probing query. Then re-run every pruned query stand-alone with the
+  // registry off: each must refute on its own. At least one hit must
+  // occur across the corpus, else the property is vacuous and the
+  // registry integration has regressed.
+  size_t TotalHits = 0;
+  for (const CorpusProgram &CP : allPrograms()) {
+    SCOPED_TRACE(CP.Path);
+    std::ifstream In(CP.Path);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    CompileResult CR =
+        CP.Android ? compileAndroidApp(SS.str()) : compileMJ(SS.str());
+    ASSERT_TRUE(CR.ok()) << (CR.Errors.empty() ? "?" : CR.Errors[0]);
+    const Program &P = *CR.Prog;
+    auto PTA = PointsToAnalysis(P).run();
+
+    WitnessSearch WS(P, *PTA);
+    ASSERT_NE(WS.registry(), nullptr);
+    std::vector<Query> Pruned;
+    WS.registry()->setHitObserver(
+        [&](const SubsumeEntry &, const Query &Probe) {
+          Pruned.push_back(Probe);
+        });
+
+    for (GlobalId G = 0; G < P.Globals.size(); ++G)
+      for (AbsLocId L : PTA->ptGlobal(G))
+        WS.searchGlobalEdge(G, L);
+    for (AbsLocId L = 0; L < PTA->Locs.size(); ++L)
+      for (auto [Fld, T] : PTA->fieldEdges(L))
+        WS.searchFieldEdge(L, Fld, T);
+
+    TotalHits += Pruned.size();
+    SymOptions NoReg;
+    NoReg.GlobalSubsume = false;
+    for (const Query &Q : Pruned) {
+      WitnessSearch Solo(P, *PTA, NoReg);
+      uint64_t Budget = 1u << 22;
+      EdgeSearchResult R = Solo.searchFrom(Q, Budget);
+      EXPECT_EQ(R.Outcome, SearchOutcome::Refuted)
+          << "registry pruned a query a stand-alone search cannot refute";
+    }
+  }
+  EXPECT_GT(TotalHits, 0u)
+      << "registry never fired on the corpus; the property is vacuous";
+}

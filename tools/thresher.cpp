@@ -29,7 +29,13 @@
 //                          reference; results are identical (docs/PTA.md)
 //   --repr mixed|symbolic|explicit
 //   --loop full|drop       loop invariant inference mode
-//   --no-simplify          disable query simplification
+//   --no-simplify          disable query simplification (also disables the
+//                          subsumption registry, which keys on simplified
+//                          canonical queries)
+//   --forward-slice        forward reachability slice pruning (default on;
+//                          --no-forward-slice disables; docs/PRUNING.md)
+//   --global-subsume       cross-edge subsumption registry (default on;
+//                          --no-global-subsume disables; docs/PRUNING.md)
 //   --trails               print witness path programs
 //   --entry NAME           entry function name (default "main")
 //   --activity CLASS       Activity base class (default "Activity")
@@ -169,6 +175,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.PrintStats = true;
     } else if (A == "--no-simplify") {
       O.Sym.QuerySimplification = false;
+    } else if (A == "--forward-slice") {
+      O.Sym.ForwardSlice = true;
+    } else if (A == "--no-forward-slice") {
+      O.Sym.ForwardSlice = false;
+    } else if (A == "--global-subsume") {
+      O.Sym.GlobalSubsume = true;
+    } else if (A == "--no-global-subsume") {
+      O.Sym.GlobalSubsume = false;
     } else if (A == "--budget") {
       uint64_t N;
       if (!parseCount(A, Next(), UINT64_MAX / 2, N))
